@@ -1,0 +1,106 @@
+// khazanad is a standalone Khazana daemon over TCP.
+//
+// A three-node deployment on one machine:
+//
+//	khazanad -id 1 -listen 127.0.0.1:7451 -store /tmp/kz1 -genesis
+//	khazanad -id 2 -listen 127.0.0.1:7452 -store /tmp/kz2 \
+//	         -manager 1 -peers 1=127.0.0.1:7451
+//	khazanad -id 3 -listen 127.0.0.1:7453 -store /tmp/kz3 \
+//	         -manager 1 -peers 1=127.0.0.1:7451,2=127.0.0.1:7452
+//
+// Then drive it with khazctl.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"khazana"
+	"khazana/internal/ktypes"
+	"khazana/internal/transport"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("khazanad", flag.ContinueOnError)
+	id := fs.Uint("id", 0, "node ID (>= 1, required)")
+	listen := fs.String("listen", "127.0.0.1:7450", "TCP listen address")
+	store := fs.String("store", "", "disk-tier directory (required)")
+	manager := fs.Uint("manager", 0, "cluster manager node ID (default: self)")
+	mapHome := fs.Uint("map-home", 0, "address map home node ID (default: manager)")
+	genesis := fs.Bool("genesis", false, "initialize the address map (exactly one node)")
+	peers := fs.String("peers", "", "comma-separated peer addresses: id=host:port,...")
+	memPages := fs.Int("mem-pages", 0, "RAM page-cache bound (0 = default)")
+	heartbeat := fs.Duration("heartbeat", time.Second, "heartbeat interval (0 disables)")
+	retry := fs.Duration("retry", time.Second, "release retry interval (0 disables)")
+	replica := fs.Duration("replica", 2*time.Second, "replica maintenance interval (0 disables)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *id == 0 {
+		return fmt.Errorf("-id is required")
+	}
+	if *store == "" {
+		return fmt.Errorf("-store is required")
+	}
+
+	tcp, err := transport.NewTCP(ktypes.NodeID(*id), *listen)
+	if err != nil {
+		return err
+	}
+	if *peers != "" {
+		for _, spec := range strings.Split(*peers, ",") {
+			idStr, addr, ok := strings.Cut(strings.TrimSpace(spec), "=")
+			if !ok {
+				return fmt.Errorf("bad peer spec %q (want id=host:port)", spec)
+			}
+			pid, err := strconv.ParseUint(idStr, 10, 32)
+			if err != nil {
+				return fmt.Errorf("bad peer id %q: %v", idStr, err)
+			}
+			tcp.AddPeer(ktypes.NodeID(pid), addr)
+		}
+	}
+
+	node, err := khazana.StartNode(context.Background(), khazana.NodeConfig{
+		ID:                khazana.NodeID(*id),
+		Transport:         tcp,
+		StoreDir:          *store,
+		MemPages:          *memPages,
+		ClusterManager:    khazana.NodeID(*manager),
+		MapHome:           khazana.NodeID(*mapHome),
+		Genesis:           *genesis,
+		HeartbeatInterval: *heartbeat,
+		RetryInterval:     *retry,
+		ReplicaInterval:   *replica,
+	})
+	if err != nil {
+		_ = tcp.Close()
+		return err
+	}
+	log.Printf("khazanad node %d listening on %s (store %s, genesis=%v)",
+		*id, tcp.Addr(), *store, *genesis)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("khazanad node %d shutting down", *id)
+	err = node.Close()
+	if cerr := tcp.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

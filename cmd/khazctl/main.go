@@ -1,0 +1,203 @@
+// khazctl is a command-line client for a running khazanad.
+//
+//	khazctl -daemon 127.0.0.1:7451 reserve 8192
+//	khazctl -daemon 127.0.0.1:7451 alloc <addr>
+//	khazctl -daemon 127.0.0.1:7451 put <addr> 0 "hello"
+//	khazctl -daemon 127.0.0.1:7451 get <addr> 0 5
+//	khazctl -daemon 127.0.0.1:7451 attr <addr>
+//	khazctl -daemon 127.0.0.1:7451 stats
+//	khazctl -daemon 127.0.0.1:7451 migrate <addr> <node-id>
+//	khazctl -daemon 127.0.0.1:7451 free <addr>
+//	khazctl -daemon 127.0.0.1:7451 unreserve <addr>
+//
+// put and get wrap each access in a lock/unlock pair, presenting the
+// paper's full operation sequence.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	"khazana"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "khazctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("khazctl", flag.ContinueOnError)
+	daemon := fs.String("daemon", "127.0.0.1:7450", "daemon TCP address")
+	daemonID := fs.Uint("daemon-id", 1, "daemon node ID")
+	clientID := fs.Uint("client-id", 0, "this client's node ID (default: derived from pid)")
+	principal := fs.String("principal", "", "principal for access control")
+	timeout := fs.Duration("timeout", 10*time.Second, "operation timeout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rest := fs.Args()
+	if len(rest) == 0 {
+		return fmt.Errorf("usage: khazctl [flags] <reserve|alloc|free|unreserve|put|get|attr|stats|migrate> ...")
+	}
+	cid := khazana.NodeID(*clientID)
+	if cid == 0 {
+		cid = khazana.ClientID(os.Getpid())
+	}
+	cli, err := khazana.Dial(cid, khazana.NodeID(*daemonID), *daemon, khazana.Principal(*principal))
+	if err != nil {
+		return err
+	}
+	defer cli.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	cmd, rest := rest[0], rest[1:]
+	switch cmd {
+	case "reserve":
+		if len(rest) != 1 {
+			return fmt.Errorf("usage: reserve <size>")
+		}
+		size, err := strconv.ParseUint(rest[0], 10, 64)
+		if err != nil {
+			return err
+		}
+		start, err := cli.Reserve(ctx, size, khazana.Attrs{})
+		if err != nil {
+			return err
+		}
+		fmt.Println(start)
+		return nil
+	case "alloc", "free", "unreserve":
+		if len(rest) != 1 {
+			return fmt.Errorf("usage: %s <addr>", cmd)
+		}
+		addr, err := khazana.ParseAddr(rest[0])
+		if err != nil {
+			return err
+		}
+		switch cmd {
+		case "alloc":
+			err = cli.Allocate(ctx, addr)
+		case "free":
+			err = cli.Free(ctx, addr)
+		case "unreserve":
+			err = cli.Unreserve(ctx, addr)
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Println("ok")
+		return nil
+	case "put":
+		if len(rest) != 3 {
+			return fmt.Errorf("usage: put <addr> <offset> <data>")
+		}
+		addr, err := khazana.ParseAddr(rest[0])
+		if err != nil {
+			return err
+		}
+		off, err := strconv.ParseUint(rest[1], 10, 64)
+		if err != nil {
+			return err
+		}
+		data := []byte(rest[2])
+		target := addr.MustAdd(off)
+		lk, err := cli.Lock(ctx, khazana.Range{Start: target, Size: uint64(len(data))}, khazana.LockWrite)
+		if err != nil {
+			return err
+		}
+		defer lk.Unlock(ctx)
+		if err := lk.Write(ctx, target, data); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d bytes at %v\n", len(data), target)
+		return nil
+	case "get":
+		if len(rest) != 3 {
+			return fmt.Errorf("usage: get <addr> <offset> <len>")
+		}
+		addr, err := khazana.ParseAddr(rest[0])
+		if err != nil {
+			return err
+		}
+		off, err := strconv.ParseUint(rest[1], 10, 64)
+		if err != nil {
+			return err
+		}
+		n, err := strconv.ParseUint(rest[2], 10, 64)
+		if err != nil {
+			return err
+		}
+		target := addr.MustAdd(off)
+		lk, err := cli.Lock(ctx, khazana.Range{Start: target, Size: n}, khazana.LockRead)
+		if err != nil {
+			return err
+		}
+		defer lk.Unlock(ctx)
+		data, err := lk.Read(ctx, target, n)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%q\n", data)
+		return nil
+	case "attr":
+		if len(rest) != 1 {
+			return fmt.Errorf("usage: attr <addr>")
+		}
+		addr, err := khazana.ParseAddr(rest[0])
+		if err != nil {
+			return err
+		}
+		d, err := cli.GetAttr(ctx, addr)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("region    %v (+%d bytes)\n", d.Range.Start, d.Range.Size)
+		fmt.Printf("pagesize  %d\n", d.Attrs.PageSize)
+		fmt.Printf("protocol  %v (level %v)\n", d.Attrs.Protocol, d.Attrs.Level)
+		fmt.Printf("replicas  min %d, homes %v\n", d.Attrs.MinReplicas, d.Home)
+		fmt.Printf("owner     %q (world %v)\n", d.Attrs.ACL.Owner, d.Attrs.ACL.World)
+		fmt.Printf("allocated %v, epoch %d\n", d.Allocated, d.Epoch)
+		return nil
+	case "stats":
+		st, err := cli.Stats(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("node        %v (members %v)\n", st.Node, st.Members)
+		fmt.Printf("regions     %d homed here\n", st.HomedRegions)
+		fmt.Printf("pages       %d in RAM, %d on disk\n", st.MemPages, st.DiskPages)
+		fmt.Printf("lookups     %d (%d dir hits, %d cluster, %d tree walks)\n",
+			st.Lookups, st.DirHits, st.ClusterHits, st.TreeWalks)
+		fmt.Printf("locks       %d granted\n", st.LocksGranted)
+		fmt.Printf("recovery    %d release retries, %d promotions\n",
+			st.ReleaseRetries, st.Promotions)
+		return nil
+	case "migrate":
+		if len(rest) != 2 {
+			return fmt.Errorf("usage: migrate <addr> <node-id>")
+		}
+		addr, err := khazana.ParseAddr(rest[0])
+		if err != nil {
+			return err
+		}
+		target, err := strconv.ParseUint(rest[1], 10, 32)
+		if err != nil {
+			return err
+		}
+		if err := cli.Migrate(ctx, addr, khazana.NodeID(target)); err != nil {
+			return err
+		}
+		fmt.Printf("region %v migrated to node %d\n", addr, target)
+		return nil
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}

@@ -1,0 +1,155 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"khazana"
+)
+
+// startDaemon boots a single-node TCP daemon for CLI tests.
+func startDaemon(t *testing.T) *khazana.Node {
+	t.Helper()
+	node, err := khazana.StartNode(context.Background(), khazana.NodeConfig{
+		ID:         1,
+		ListenAddr: "127.0.0.1:0",
+		StoreDir:   filepath.Join(t.TempDir(), "n1"),
+		Genesis:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = node.Close() })
+	return node
+}
+
+// capture runs the CLI and captures stdout.
+func capture(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := run(args)
+	_ = w.Close()
+	os.Stdout = old
+	out := make([]byte, 64*1024)
+	n, _ := r.Read(out)
+	_ = r.Close()
+	return string(out[:n]), runErr
+}
+
+func TestCLIFullLifecycle(t *testing.T) {
+	node := startDaemon(t)
+	base := []string{"-daemon", node.Addr(), "-daemon-id", "1", "-principal", "cli"}
+
+	out, err := capture(t, append(base, "reserve", "8192")...)
+	if err != nil {
+		t.Fatalf("reserve: %v", err)
+	}
+	addr := strings.TrimSpace(out)
+	if _, perr := khazana.ParseAddr(addr); perr != nil {
+		t.Fatalf("reserve printed %q: %v", addr, perr)
+	}
+
+	if _, err := capture(t, append(base, "alloc", addr)...); err != nil {
+		t.Fatalf("alloc: %v", err)
+	}
+	if _, err := capture(t, append(base, "put", addr, "16", "hello khazctl")...); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	out, err = capture(t, append(base, "get", addr, "16", "13")...)
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	if !strings.Contains(out, "hello khazctl") {
+		t.Fatalf("get printed %q", out)
+	}
+	out, err = capture(t, append(base, "attr", addr)...)
+	if err != nil {
+		t.Fatalf("attr: %v", err)
+	}
+	for _, want := range []string{"pagesize  4096", "protocol  crew", `owner     "cli"`, "allocated true"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("attr output missing %q:\n%s", want, out)
+		}
+	}
+	if _, err := capture(t, append(base, "free", addr)...); err != nil {
+		t.Fatalf("free: %v", err)
+	}
+	if _, err := capture(t, append(base, "unreserve", addr)...); err != nil {
+		t.Fatalf("unreserve: %v", err)
+	}
+	if _, err := capture(t, append(base, "attr", addr)...); err == nil {
+		t.Fatal("attr after unreserve should fail")
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	node := startDaemon(t)
+	base := []string{"-daemon", node.Addr(), "-daemon-id", "1"}
+	cases := [][]string{
+		{},                        // no command
+		{"bogus"},                 // unknown command
+		{"reserve"},               // missing size
+		{"reserve", "notanumber"}, // bad size
+		{"alloc"},                 // missing addr
+		{"alloc", "zz"},           // bad addr
+		{"put", "00:00", "0"},     // missing data
+		{"get", "00:00", "0"},     // missing len
+	}
+	for i, c := range cases {
+		if err := run(append(append([]string{}, base...), c...)); err == nil {
+			t.Errorf("case %d (%v) should fail", i, c)
+		}
+	}
+	// ACL enforcement end to end: alice's private region rejects bob.
+	ctx := context.Background()
+	start, err := node.Reserve(ctx, 4096, khazana.Attrs{ACL: khazana.PrivateACL("alice")}, "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := node.Allocate(ctx, start, "alice"); err != nil {
+		t.Fatal(err)
+	}
+	bob := []string{"-daemon", node.Addr(), "-daemon-id", "1", "-principal", "bob",
+		"get", fmt.Sprint(start), "0", "4"}
+	if err := run(bob); err == nil {
+		t.Fatal("bob reading alice's region should fail")
+	}
+}
+
+func TestCLIStatsAndMigrate(t *testing.T) {
+	node := startDaemon(t)
+	base := []string{"-daemon", node.Addr(), "-daemon-id", "1", "-principal", "cli"}
+
+	out, err := capture(t, append(base, "reserve", "4096")...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := strings.TrimSpace(out)
+	if _, err := capture(t, append(base, "alloc", addr)...); err != nil {
+		t.Fatal(err)
+	}
+	out, err = capture(t, append(base, "stats")...)
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	if !strings.Contains(out, "regions     1 homed here") {
+		t.Fatalf("stats output:\n%s", out)
+	}
+	// Migrating to the only node is a no-op that must succeed.
+	if _, err := capture(t, append(base, "migrate", addr, "1")...); err != nil {
+		t.Fatalf("migrate: %v", err)
+	}
+	// Migrating to an unknown node fails.
+	if _, err := capture(t, append(base, "migrate", addr, "42")...); err == nil {
+		t.Fatal("migrate to unknown node should fail")
+	}
+}

@@ -1,0 +1,110 @@
+// Directory: a distributed directory service on Khazana — the use case
+// the paper's introduction motivates with Novell NDS and Microsoft Active
+// Directory.
+//
+// The namespace lives in global memory; a directory opened on any node
+// resolves names against locally cached, weakly consistent replicas
+// ("fast response", §3.3), while updates converge through the contexts'
+// home nodes.
+//
+//	go run ./examples/directory
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sort"
+
+	"khazana"
+	"khazana/kdir"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	ctx := context.Background()
+	cluster, err := khazana.NewCluster(3)
+	if err != nil {
+		return err
+	}
+	defer cluster.Close()
+
+	root, err := kdir.Create(ctx, cluster.Node(1), "diradmin", khazana.Attrs{})
+	if err != nil {
+		return err
+	}
+	d1, err := kdir.Open(ctx, cluster.Node(1), root, "diradmin")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("directory created, root context at %v\n", root)
+
+	// Populate an organizational tree from node 1.
+	if err := d1.MkContext(ctx, "/people"); err != nil {
+		return err
+	}
+	if err := d1.MkContext(ctx, "/services"); err != nil {
+		return err
+	}
+	people := map[string]map[string]string{
+		"alice": {"dept": "eng", "mail": "alice@example.com"},
+		"bob":   {"dept": "sales", "mail": "bob@example.com"},
+		"carol": {"dept": "eng", "mail": "carol@example.com"},
+	}
+	for who, attrs := range people {
+		if err := d1.Bind(ctx, "/people/"+who, attrs); err != nil {
+			return err
+		}
+	}
+	if err := d1.Bind(ctx, "/services/ldap", map[string]string{"host": "n1", "port": "389"}); err != nil {
+		return err
+	}
+	fmt.Println("node 1 bound 3 people and 1 service")
+
+	// Node 3 opens the same tree by root address and queries it.
+	d3, err := kdir.Open(ctx, cluster.Node(3), root, "diradmin")
+	if err != nil {
+		return err
+	}
+	attrs, err := d3.Resolve(ctx, "/people/alice")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("node 3 resolves /people/alice -> %v\n", attrs)
+
+	eng, err := d3.Search(ctx, "/people", "dept", "eng")
+	if err != nil {
+		return err
+	}
+	sort.Strings(eng)
+	fmt.Printf("node 3 searches dept=eng -> %v\n", eng)
+
+	// An update from node 3 converges back to node 1.
+	if err := d3.Bind(ctx, "/services/ldap", map[string]string{"host": "n3", "port": "636"}); err != nil {
+		return err
+	}
+	svc, err := d1.Resolve(ctx, "/services/ldap")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("node 1 sees the ldap service moved -> %v\n", svc)
+
+	entries, err := d3.List(ctx, "/")
+	if err != nil {
+		return err
+	}
+	fmt.Println("node 3 lists the root:")
+	for _, e := range entries {
+		kind := "entry"
+		if e.IsContext {
+			kind = "context"
+		}
+		fmt.Printf("  %-10s %s\n", e.Name, kind)
+	}
+	return nil
+}

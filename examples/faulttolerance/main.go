@@ -1,0 +1,130 @@
+// Faulttolerance: minimum replica counts, background release retries, and
+// home failover (§3.5).
+//
+// A region created with MinReplicas=2 gets a secondary home via replica
+// maintenance. When the primary home crashes, clients transparently
+// promote the secondary and keep working; when a release cannot reach the
+// home, it is queued and retried in the background rather than surfacing
+// an error.
+//
+//	go run ./examples/faulttolerance
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"khazana"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	ctx := context.Background()
+	cluster, err := khazana.NewCluster(4,
+		khazana.WithBackground(25*time.Millisecond, 25*time.Millisecond, 25*time.Millisecond))
+	if err != nil {
+		return err
+	}
+	defer cluster.Close()
+	fmt.Println("4-node cluster with background maintenance loops")
+
+	// Region homed on node 2, requiring two replicas for availability.
+	n2 := cluster.Node(2)
+	start, err := n2.Reserve(ctx, 4096, khazana.Attrs{MinReplicas: 2}, "ops")
+	if err != nil {
+		return err
+	}
+	if err := n2.Allocate(ctx, start, "ops"); err != nil {
+		return err
+	}
+	lk, err := n2.Lock(ctx, khazana.Range{Start: start, Size: 4096}, khazana.LockWrite, "ops")
+	if err != nil {
+		return err
+	}
+	if err := lk.Write(start, []byte("precious state")); err != nil {
+		return err
+	}
+	if err := lk.Unlock(ctx); err != nil {
+		return err
+	}
+	fmt.Printf("region %v written on node 2 (MinReplicas=2)\n", start)
+
+	// Wait for replica maintenance to recruit a secondary home.
+	var desc *khazana.Descriptor
+	for deadline := time.Now().Add(5 * time.Second); ; {
+		desc, err = n2.GetAttr(ctx, start)
+		if err != nil {
+			return err
+		}
+		if len(desc.Home) >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("replica maintenance never recruited a secondary: %v", desc.Home)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	fmt.Printf("replica maintenance recruited homes %v\n", desc.Home)
+
+	// Crash the primary home.
+	cluster.Crash(2)
+	fmt.Println("crashed node 2 (the primary home)")
+
+	// A client on node 4 still reads the data: it promotes the
+	// secondary home and fetches the replica.
+	n4 := cluster.Node(4)
+	rl, err := n4.Lock(ctx, khazana.Range{Start: start, Size: 4096}, khazana.LockRead, "ops")
+	if err != nil {
+		return fmt.Errorf("failover read failed: %w", err)
+	}
+	data, err := rl.Read(start, 14)
+	if err != nil {
+		return err
+	}
+	if err := rl.Unlock(ctx); err != nil {
+		return err
+	}
+	fmt.Printf("node 4 read %q after failover (promotions: n4=%d)\n",
+		data, n4.Core().Statistics().Promotions.Load())
+
+	// Background release retry: write somewhere whose home goes down
+	// mid-operation. The unlock succeeds immediately; the push is
+	// queued and retried until the home returns (§3.5).
+	n3 := cluster.Node(3)
+	start2, err := n3.Reserve(ctx, 4096, khazana.Attrs{}, "ops")
+	if err != nil {
+		return err
+	}
+	if err := n3.Allocate(ctx, start2, "ops"); err != nil {
+		return err
+	}
+	wl, err := n4.Lock(ctx, khazana.Range{Start: start2, Size: 4096}, khazana.LockWrite, "ops")
+	if err != nil {
+		return err
+	}
+	if err := wl.Write(start2, []byte("deferred")); err != nil {
+		return err
+	}
+	cluster.Crash(3)
+	if err := wl.Unlock(ctx); err != nil {
+		return err
+	}
+	fmt.Printf("node 3 crashed before release: unlock still succeeded, %d release(s) queued\n",
+		n4.Core().PendingRetries())
+	cluster.Restart(3)
+	for deadline := time.Now().Add(5 * time.Second); n4.Core().PendingRetries() > 0; {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("retry queue never drained")
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	fmt.Println("node 3 restarted: background retry delivered the dirty page")
+	return nil
+}

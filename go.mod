@@ -1,0 +1,3 @@
+module khazana
+
+go 1.22

@@ -1,0 +1,556 @@
+// Package addrmap implements Khazana's address map (paper §3.1): a
+// globally distributed tree that tracks reserved regions of the 128-bit
+// global address space and the home nodes of each region. The map is used
+// to locate home nodes "in much the same way that directories are used to
+// track copies of pages in software DSM systems".
+//
+// The address map itself resides in Khazana: a well-known region beginning
+// at address 0 stores the root node of the tree, and every tree node is
+// one page of that region. The package accesses its own backing pages
+// through the PageIO interface, which the daemon implements with
+// release-consistent lock/read/write operations — matching the paper's
+// choice of a release consistent protocol for address map tree nodes
+// (§3.3). Entries may therefore be stale at readers; callers fall back to
+// the cluster-walk algorithm when a cached home hint misses (§3.2).
+//
+// Address space within the map is handed out by a monotonic cursor and
+// never coalesced on unreserve: "For simplicity, we do not defragment ...
+// We do not expect this to cause address space fragmentation problems, as
+// we have a huge (128-bit) address space at our disposal" (§3.1).
+package addrmap
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"khazana/internal/enc"
+	"khazana/internal/gaddr"
+	"khazana/internal/ktypes"
+)
+
+// PageIO is the map's access path to its own backing pages.
+type PageIO interface {
+	// ReadPage returns the current contents of a map page (zero-filled
+	// if never written).
+	ReadPage(ctx context.Context, page gaddr.Addr) ([]byte, error)
+	// MutatePage applies fn to the page under a write lock and writes
+	// the result back. fn mutates data in place.
+	MutatePage(ctx context.Context, page gaddr.Addr, fn func(data []byte) error) error
+}
+
+// Geometry of the map region.
+const (
+	// PageSize is the fixed tree-node page size.
+	PageSize = 4096
+	// RegionSize is the span of address space reserved for the map
+	// itself, starting at address 0.
+	RegionSize = 1 << 30
+	// MaxHomes is the number of home nodes stored per entry; the paper
+	// calls the list non-exhaustive.
+	MaxHomes = 4
+	// maxEntries caps entries per tree node; overflow splits the node.
+	maxEntries = 80
+
+	magic       = 0x4B414D50 // "KAMP"
+	headerSize  = 32
+	entrySize   = 48
+	kindRegion  = 1
+	kindSubtree = 2
+)
+
+// Errors returned by the map.
+var (
+	// ErrNotFound reports a lookup or mutation on an unknown region.
+	ErrNotFound = errors.New("addrmap: region not found")
+	// ErrOverlap reports an insert that overlaps an existing region.
+	ErrOverlap = errors.New("addrmap: range overlaps an existing region")
+	// ErrSpaceExhausted reports cursor exhaustion (practically
+	// unreachable in a 128-bit space).
+	ErrSpaceExhausted = errors.New("addrmap: address space exhausted")
+	// ErrCorrupt reports an unparsable tree node.
+	ErrCorrupt = errors.New("addrmap: corrupt tree node")
+)
+
+// Entry describes one reserved region in the map.
+type Entry struct {
+	Range gaddr.Range
+	Homes []ktypes.NodeID
+}
+
+// Map is a handle on the address map tree.
+//
+// Mutating operations (Init, ReserveRange, Insert, Remove, SetHomes) must
+// be externally serialized: the daemon routes all map mutations through
+// the map region's home node and a single mutex there. Lookup and Walk are
+// safe to run concurrently from any node against (possibly stale)
+// release-consistent replicas.
+type Map struct {
+	io PageIO
+}
+
+// New creates a handle using the given page access path.
+func New(io PageIO) *Map { return &Map{io: io} }
+
+// pageAddr returns the global address of map page index i.
+func pageAddr(i uint64) gaddr.Addr { return gaddr.FromUint64(i * PageSize) }
+
+// --- node serialization ---------------------------------------------------
+
+// node is the in-memory form of one tree page.
+type node struct {
+	// root-only bookkeeping (zero on non-root nodes).
+	nextFreePage uint64
+	cursor       gaddr.Addr
+
+	entries []nodeEntry
+}
+
+type nodeEntry struct {
+	kind  uint8
+	rng   gaddr.Range
+	homes []ktypes.NodeID // kindRegion
+	child uint64          // kindSubtree: map page index
+}
+
+func decodeNode(data []byte) (*node, error) {
+	if len(data) != PageSize {
+		return nil, fmt.Errorf("%w: page size %d", ErrCorrupt, len(data))
+	}
+	d := enc.NewDecoder(data[:headerSize])
+	if got := d.U32(); got != magic {
+		if got == 0 {
+			// Never-written page: an empty node.
+			return &node{}, nil
+		}
+		return nil, fmt.Errorf("%w: magic %#x", ErrCorrupt, got)
+	}
+	count := int(d.U16())
+	d.U16() // pad
+	n := &node{nextFreePage: d.U64(), cursor: d.Addr()}
+	if count > maxEntries {
+		return nil, fmt.Errorf("%w: count %d", ErrCorrupt, count)
+	}
+	n.entries = make([]nodeEntry, 0, count)
+	for i := 0; i < count; i++ {
+		rec := data[headerSize+i*entrySize : headerSize+(i+1)*entrySize]
+		ed := enc.NewDecoder(rec)
+		ent := nodeEntry{kind: ed.U8()}
+		ent.rng = ed.Range()
+		switch ent.kind {
+		case kindRegion:
+			hc := int(ed.U8())
+			if hc > MaxHomes {
+				return nil, fmt.Errorf("%w: home count %d", ErrCorrupt, hc)
+			}
+			for j := 0; j < MaxHomes; j++ {
+				id := ed.NodeID()
+				if j < hc {
+					ent.homes = append(ent.homes, id)
+				}
+			}
+		case kindSubtree:
+			ent.child = ed.U64()
+		default:
+			return nil, fmt.Errorf("%w: entry kind %d", ErrCorrupt, ent.kind)
+		}
+		if ed.Err() != nil {
+			return nil, fmt.Errorf("%w: %v", ErrCorrupt, ed.Err())
+		}
+		n.entries = append(n.entries, ent)
+	}
+	return n, nil
+}
+
+// encodeInto writes the node into a page buffer.
+func (n *node) encodeInto(data []byte) error {
+	if len(n.entries) > maxEntries {
+		return fmt.Errorf("addrmap: node overflow: %d entries", len(n.entries))
+	}
+	e := enc.NewEncoder(PageSize)
+	e.U32(magic)
+	e.U16(uint16(len(n.entries)))
+	e.U16(0)
+	e.U64(n.nextFreePage)
+	e.Addr(n.cursor)
+	for _, ent := range n.entries {
+		base := e.Len()
+		e.U8(ent.kind)
+		e.Range(ent.rng)
+		switch ent.kind {
+		case kindRegion:
+			e.U8(uint8(len(ent.homes)))
+			for j := 0; j < MaxHomes; j++ {
+				if j < len(ent.homes) {
+					e.NodeID(ent.homes[j])
+				} else {
+					e.NodeID(0)
+				}
+			}
+		case kindSubtree:
+			e.U64(ent.child)
+		}
+		for e.Len()-base < entrySize {
+			e.U8(0)
+		}
+	}
+	buf := e.Bytes()
+	copy(data, buf)
+	for i := len(buf); i < PageSize; i++ {
+		data[i] = 0
+	}
+	return nil
+}
+
+// --- operations ---------------------------------------------------------------
+
+// Init writes the initial root node if the map is empty. The map region
+// itself is recorded as reserved so client reservations never collide with
+// tree pages. Idempotent.
+func (m *Map) Init(ctx context.Context, mapHomes []ktypes.NodeID) error {
+	return m.io.MutatePage(ctx, pageAddr(0), func(data []byte) error {
+		n, err := decodeNode(data)
+		if err == nil && len(n.entries) > 0 {
+			return nil // already initialized
+		}
+		root := &node{
+			nextFreePage: 1,
+			cursor:       gaddr.FromUint64(RegionSize),
+			entries: []nodeEntry{{
+				kind:  kindRegion,
+				rng:   gaddr.Range{Start: gaddr.Zero, Size: RegionSize},
+				homes: clampHomes(mapHomes),
+			}},
+		}
+		return root.encodeInto(data)
+	})
+}
+
+func clampHomes(homes []ktypes.NodeID) []ktypes.NodeID {
+	if len(homes) > MaxHomes {
+		homes = homes[:MaxHomes]
+	}
+	return append([]ktypes.NodeID(nil), homes...)
+}
+
+// ReserveRange advances the global cursor by size (aligned to align) and
+// returns the claimed range. The range is not yet a region: callers carve
+// client regions out of it and record them with Insert. This implements
+// the cluster-manager chunk grant of §3.1.
+func (m *Map) ReserveRange(ctx context.Context, size, align uint64) (gaddr.Range, error) {
+	if size == 0 {
+		return gaddr.Range{}, errors.New("addrmap: zero-size reservation")
+	}
+	if align == 0 {
+		align = PageSize
+	}
+	var out gaddr.Range
+	err := m.io.MutatePage(ctx, pageAddr(0), func(data []byte) error {
+		root, err := decodeNode(data)
+		if err != nil {
+			return err
+		}
+		start, err := root.cursor.AlignUp(align)
+		if err != nil {
+			return ErrSpaceExhausted
+		}
+		end, err := start.Add(size)
+		if err != nil {
+			return ErrSpaceExhausted
+		}
+		root.cursor = end
+		out = gaddr.Range{Start: start, Size: size}
+		return root.encodeInto(data)
+	})
+	return out, err
+}
+
+// Insert records a reserved region. The region must fall inside previously
+// cursor-granted space and must not overlap an existing region.
+func (m *Map) Insert(ctx context.Context, entry Entry) error {
+	if entry.Range.Size == 0 {
+		return errors.New("addrmap: empty range")
+	}
+	return m.insertAt(ctx, 0, entry)
+}
+
+// insertAt descends from map page index pageIdx to the node that should
+// hold the entry, splitting full nodes on the way back up is avoided by
+// splitting eagerly: a full node is split before insertion.
+func (m *Map) insertAt(ctx context.Context, pageIdx uint64, entry Entry) error {
+	var descend uint64
+	var needSplit bool
+	err := m.io.MutatePage(ctx, pageAddr(pageIdx), func(data []byte) error {
+		n, err := decodeNode(data)
+		if err != nil {
+			return err
+		}
+		descend = 0
+		needSplit = false
+		for _, ent := range n.entries {
+			if ent.kind == kindSubtree && ent.rng.ContainsRange(entry.Range) {
+				descend = ent.child
+				return nil // descend without mutating
+			}
+			if ent.rng.Overlaps(entry.Range) {
+				return fmt.Errorf("%w: %v overlaps %v", ErrOverlap, entry.Range, ent.rng)
+			}
+		}
+		if len(n.entries) >= maxEntries {
+			needSplit = true
+			return nil
+		}
+		// Insert in sorted position.
+		pos := len(n.entries)
+		for i, ent := range n.entries {
+			if entry.Range.Start.Less(ent.rng.Start) {
+				pos = i
+				break
+			}
+		}
+		n.entries = append(n.entries, nodeEntry{})
+		copy(n.entries[pos+1:], n.entries[pos:])
+		n.entries[pos] = nodeEntry{kind: kindRegion, rng: entry.Range, homes: clampHomes(entry.Homes)}
+		return n.encodeInto(data)
+	})
+	if err != nil {
+		return err
+	}
+	if descend != 0 {
+		return m.insertAt(ctx, descend, entry)
+	}
+	if needSplit {
+		if err := m.split(ctx, pageIdx); err != nil {
+			return err
+		}
+		return m.insertAt(ctx, pageIdx, entry)
+	}
+	return nil
+}
+
+// split moves the lower half of a full node's entries into a fresh child
+// node, replacing them with a single subtree entry describing that range
+// "in finer detail" (§3.1).
+//
+// The child page is written before the parent is updated: concurrent
+// readers (which do not hold the mutation serialization the daemon applies
+// to writers) see either the old parent or a parent whose subtree pointer
+// already resolves — never a dangling pointer.
+func (m *Map) split(ctx context.Context, pageIdx uint64) error {
+	// Allocate a child page index from the root header.
+	var childIdx uint64
+	err := m.io.MutatePage(ctx, pageAddr(0), func(data []byte) error {
+		root, err := decodeNode(data)
+		if err != nil {
+			return err
+		}
+		childIdx = root.nextFreePage
+		if childIdx*PageSize >= RegionSize {
+			return ErrSpaceExhausted
+		}
+		root.nextFreePage++
+		return root.encodeInto(data)
+	})
+	if err != nil {
+		return err
+	}
+	// Decide what moves (mutations are serialized by the caller, so this
+	// read cannot race another writer).
+	data, err := m.io.ReadPage(ctx, pageAddr(pageIdx))
+	if err != nil {
+		return err
+	}
+	n, err := decodeNode(data)
+	if err != nil {
+		return err
+	}
+	if len(n.entries) < 2 {
+		return nil // nothing to split
+	}
+	half := len(n.entries) / 2
+	moved := append([]nodeEntry(nil), n.entries[:half]...)
+	// Write the child first.
+	err = m.io.MutatePage(ctx, pageAddr(childIdx), func(data []byte) error {
+		child := &node{entries: moved}
+		return child.encodeInto(data)
+	})
+	if err != nil {
+		return err
+	}
+	// Swap the moved entries for a subtree pointer in the parent.
+	return m.io.MutatePage(ctx, pageAddr(pageIdx), func(data []byte) error {
+		n, err := decodeNode(data)
+		if err != nil {
+			return err
+		}
+		if len(n.entries) < half {
+			return nil
+		}
+		first := moved[0].rng.Start
+		last := moved[len(moved)-1].rng
+		coverEnd, ok := last.End()
+		if !ok {
+			coverEnd = gaddr.Max
+		}
+		coverSize, _ := first.Distance(coverEnd)
+		sub := nodeEntry{
+			kind:  kindSubtree,
+			rng:   gaddr.Range{Start: first, Size: coverSize},
+			child: childIdx,
+		}
+		n.entries = append([]nodeEntry{sub}, n.entries[half:]...)
+		return n.encodeInto(data)
+	})
+}
+
+// Lookup finds the region containing addr, descending the tree from the
+// root (§3.2: "search the address map tree, starting at the root tree node
+// and recursively loading pages"). steps reports the number of tree nodes
+// visited, which the lookup-path experiments use.
+func (m *Map) Lookup(ctx context.Context, addr gaddr.Addr) (Entry, int, error) {
+	pageIdx := uint64(0)
+	steps := 0
+	for {
+		steps++
+		data, err := m.io.ReadPage(ctx, pageAddr(pageIdx))
+		if err != nil {
+			return Entry{}, steps, err
+		}
+		n, err := decodeNode(data)
+		if err != nil {
+			return Entry{}, steps, err
+		}
+		next := uint64(0)
+		found := false
+		for _, ent := range n.entries {
+			if !ent.rng.Contains(addr) {
+				continue
+			}
+			if ent.kind == kindSubtree {
+				next = ent.child
+				found = true
+				break
+			}
+			return Entry{Range: ent.rng, Homes: append([]ktypes.NodeID(nil), ent.homes...)}, steps, nil
+		}
+		if !found {
+			return Entry{}, steps, ErrNotFound
+		}
+		pageIdx = next
+	}
+}
+
+// Remove deletes the region starting at start (unreserve, §3.1).
+func (m *Map) Remove(ctx context.Context, start gaddr.Addr) error {
+	return m.mutateEntry(ctx, 0, start, nil)
+}
+
+// SetHomes updates the home-node list of the region starting at start
+// (e.g. after replica migration or failover).
+func (m *Map) SetHomes(ctx context.Context, start gaddr.Addr, homes []ktypes.NodeID) error {
+	h := clampHomes(homes)
+	return m.mutateEntry(ctx, 0, start, func(ent *nodeEntry) { ent.homes = h })
+}
+
+// mutateEntry walks to the node holding the region that starts at start
+// and applies fn; fn == nil deletes the entry.
+func (m *Map) mutateEntry(ctx context.Context, pageIdx uint64, start gaddr.Addr, fn func(*nodeEntry)) error {
+	var descend uint64
+	var found bool
+	err := m.io.MutatePage(ctx, pageAddr(pageIdx), func(data []byte) error {
+		n, err := decodeNode(data)
+		if err != nil {
+			return err
+		}
+		descend, found = 0, false
+		for i := range n.entries {
+			ent := &n.entries[i]
+			if ent.kind == kindSubtree && ent.rng.Contains(start) {
+				descend = ent.child
+				return nil
+			}
+			if ent.kind == kindRegion && ent.rng.Start == start {
+				found = true
+				if fn == nil {
+					n.entries = append(n.entries[:i], n.entries[i+1:]...)
+				} else {
+					fn(ent)
+				}
+				return n.encodeInto(data)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if descend != 0 {
+		return m.mutateEntry(ctx, descend, start, fn)
+	}
+	if !found {
+		return ErrNotFound
+	}
+	return nil
+}
+
+// Walk visits every region entry in address order, for diagnostics and
+// space accounting.
+func (m *Map) Walk(ctx context.Context, visit func(Entry) bool) error {
+	_, err := m.walkNode(ctx, 0, visit)
+	return err
+}
+
+func (m *Map) walkNode(ctx context.Context, pageIdx uint64, visit func(Entry) bool) (bool, error) {
+	data, err := m.io.ReadPage(ctx, pageAddr(pageIdx))
+	if err != nil {
+		return false, err
+	}
+	n, err := decodeNode(data)
+	if err != nil {
+		return false, err
+	}
+	for _, ent := range n.entries {
+		switch ent.kind {
+		case kindSubtree:
+			cont, err := m.walkNode(ctx, ent.child, visit)
+			if err != nil || !cont {
+				return cont, err
+			}
+		case kindRegion:
+			if !visit(Entry{Range: ent.rng, Homes: append([]ktypes.NodeID(nil), ent.homes...)}) {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+// Depth returns the current tree depth (1 = root only).
+func (m *Map) Depth(ctx context.Context) (int, error) {
+	return m.depthOf(ctx, 0)
+}
+
+func (m *Map) depthOf(ctx context.Context, pageIdx uint64) (int, error) {
+	data, err := m.io.ReadPage(ctx, pageAddr(pageIdx))
+	if err != nil {
+		return 0, err
+	}
+	n, err := decodeNode(data)
+	if err != nil {
+		return 0, err
+	}
+	maxChild := 0
+	for _, ent := range n.entries {
+		if ent.kind != kindSubtree {
+			continue
+		}
+		d, err := m.depthOf(ctx, ent.child)
+		if err != nil {
+			return 0, err
+		}
+		if d > maxChild {
+			maxChild = d
+		}
+	}
+	return 1 + maxChild, nil
+}

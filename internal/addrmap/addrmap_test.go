@@ -1,0 +1,418 @@
+package addrmap
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"khazana/internal/gaddr"
+	"khazana/internal/ktypes"
+)
+
+// memIO is an in-memory PageIO for unit tests.
+type memIO struct {
+	mu    sync.Mutex
+	pages map[gaddr.Addr][]byte
+	reads int
+}
+
+func newMemIO() *memIO { return &memIO{pages: make(map[gaddr.Addr][]byte)} }
+
+func (io *memIO) ReadPage(_ context.Context, page gaddr.Addr) ([]byte, error) {
+	io.mu.Lock()
+	defer io.mu.Unlock()
+	io.reads++
+	data, ok := io.pages[page]
+	if !ok {
+		return make([]byte, PageSize), nil
+	}
+	return append([]byte(nil), data...), nil
+}
+
+func (io *memIO) MutatePage(_ context.Context, page gaddr.Addr, fn func([]byte) error) error {
+	io.mu.Lock()
+	defer io.mu.Unlock()
+	data, ok := io.pages[page]
+	if !ok {
+		data = make([]byte, PageSize)
+	}
+	if err := fn(data); err != nil {
+		return err
+	}
+	io.pages[page] = data
+	return nil
+}
+
+func newTestMap(t *testing.T) (*Map, *memIO) {
+	t.Helper()
+	io := newMemIO()
+	m := New(io)
+	if err := m.Init(context.Background(), []ktypes.NodeID{1}); err != nil {
+		t.Fatal(err)
+	}
+	return m, io
+}
+
+func TestInitIdempotent(t *testing.T) {
+	m, _ := newTestMap(t)
+	ctx := context.Background()
+	if err := m.Init(ctx, []ktypes.NodeID{2}); err != nil {
+		t.Fatal(err)
+	}
+	// Address 0 must resolve to the map's own region homed on node 1
+	// (the first Init wins).
+	entry, steps, err := m.Lookup(ctx, gaddr.Zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steps != 1 {
+		t.Fatalf("root lookup took %d steps", steps)
+	}
+	if entry.Range.Start != gaddr.Zero || entry.Range.Size != RegionSize {
+		t.Fatalf("map self-entry = %v", entry.Range)
+	}
+	if len(entry.Homes) != 1 || entry.Homes[0] != 1 {
+		t.Fatalf("map homes = %v", entry.Homes)
+	}
+}
+
+func TestReserveRangeMonotonicCursor(t *testing.T) {
+	m, _ := newTestMap(t)
+	ctx := context.Background()
+	r1, err := m.ReserveRange(ctx, 1<<20, PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := m.ReserveRange(ctx, 1<<20, PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Overlaps(r2) {
+		t.Fatalf("chunks overlap: %v %v", r1, r2)
+	}
+	if !gaddr.FromUint64(RegionSize).Less(r1.Start) && r1.Start != gaddr.FromUint64(RegionSize) {
+		t.Fatalf("first chunk %v inside map region", r1)
+	}
+	if r2.Start.Less(r1.Start) {
+		t.Fatal("cursor went backwards")
+	}
+}
+
+func TestInsertLookupRemove(t *testing.T) {
+	m, _ := newTestMap(t)
+	ctx := context.Background()
+	chunk, _ := m.ReserveRange(ctx, 1<<20, PageSize)
+	r := gaddr.Range{Start: chunk.Start, Size: 0x4000}
+	if err := m.Insert(ctx, Entry{Range: r, Homes: []ktypes.NodeID{3, 4}}); err != nil {
+		t.Fatal(err)
+	}
+	mid := r.Start.MustAdd(0x2000)
+	entry, _, err := m.Lookup(ctx, mid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entry.Range != r || len(entry.Homes) != 2 || entry.Homes[0] != 3 {
+		t.Fatalf("lookup = %+v", entry)
+	}
+	// Address past the region misses.
+	past := r.Start.MustAdd(r.Size)
+	if _, _, err := m.Lookup(ctx, past); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("lookup past region: %v", err)
+	}
+	if err := m.Remove(ctx, r.Start); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.Lookup(ctx, mid); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("lookup after remove: %v", err)
+	}
+	if err := m.Remove(ctx, r.Start); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double remove: %v", err)
+	}
+}
+
+func TestInsertOverlapRejected(t *testing.T) {
+	m, _ := newTestMap(t)
+	ctx := context.Background()
+	chunk, _ := m.ReserveRange(ctx, 1<<20, PageSize)
+	r := gaddr.Range{Start: chunk.Start, Size: 0x4000}
+	if err := m.Insert(ctx, Entry{Range: r, Homes: []ktypes.NodeID{1}}); err != nil {
+		t.Fatal(err)
+	}
+	overlapping := gaddr.Range{Start: chunk.Start.MustAdd(0x2000), Size: 0x4000}
+	if err := m.Insert(ctx, Entry{Range: overlapping, Homes: []ktypes.NodeID{1}}); !errors.Is(err, ErrOverlap) {
+		t.Fatalf("overlap insert: %v", err)
+	}
+	// Overlap with the map's own region is also rejected.
+	inMap := gaddr.Range{Start: gaddr.FromUint64(0x100000), Size: 0x1000}
+	if err := m.Insert(ctx, Entry{Range: inMap, Homes: []ktypes.NodeID{1}}); !errors.Is(err, ErrOverlap) {
+		t.Fatalf("map-region insert: %v", err)
+	}
+}
+
+func TestSetHomes(t *testing.T) {
+	m, _ := newTestMap(t)
+	ctx := context.Background()
+	chunk, _ := m.ReserveRange(ctx, 1<<20, PageSize)
+	r := gaddr.Range{Start: chunk.Start, Size: 0x1000}
+	if err := m.Insert(ctx, Entry{Range: r, Homes: []ktypes.NodeID{1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetHomes(ctx, r.Start, []ktypes.NodeID{5, 6}); err != nil {
+		t.Fatal(err)
+	}
+	entry, _, err := m.Lookup(ctx, r.Start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entry.Homes) != 2 || entry.Homes[0] != 5 || entry.Homes[1] != 6 {
+		t.Fatalf("homes = %v", entry.Homes)
+	}
+	if err := m.SetHomes(ctx, gaddr.FromUint64(0x500000), []ktypes.NodeID{9}); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("SetHomes on unknown region: %v", err)
+	}
+}
+
+func TestSplitGrowsTree(t *testing.T) {
+	m, _ := newTestMap(t)
+	ctx := context.Background()
+	const regions = maxEntries * 3
+	chunk, err := m.ReserveRange(ctx, uint64(regions)*0x10000, PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inserted []gaddr.Range
+	for i := 0; i < regions; i++ {
+		r := gaddr.Range{Start: chunk.Start.MustAdd(uint64(i) * 0x10000), Size: 0x8000}
+		if err := m.Insert(ctx, Entry{Range: r, Homes: []ktypes.NodeID{ktypes.NodeID(i%4 + 1)}}); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+		inserted = append(inserted, r)
+	}
+	depth, err := m.Depth(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if depth < 2 {
+		t.Fatalf("tree depth = %d after %d inserts, expected splits", depth, regions)
+	}
+	// Every inserted region must still resolve, and lookups inside
+	// subtrees must take more steps than the root.
+	deepSteps := 0
+	for i, r := range inserted {
+		entry, steps, err := m.Lookup(ctx, r.Start.MustAdd(1))
+		if err != nil {
+			t.Fatalf("lookup %d: %v", i, err)
+		}
+		if entry.Range != r {
+			t.Fatalf("lookup %d = %v, want %v", i, entry.Range, r)
+		}
+		if steps > deepSteps {
+			deepSteps = steps
+		}
+	}
+	if deepSteps < 2 {
+		t.Fatalf("max lookup steps = %d, expected tree descent", deepSteps)
+	}
+}
+
+func TestWalkVisitsAllInOrder(t *testing.T) {
+	m, _ := newTestMap(t)
+	ctx := context.Background()
+	const regions = 200
+	chunk, _ := m.ReserveRange(ctx, regions*0x2000, PageSize)
+	for i := 0; i < regions; i++ {
+		r := gaddr.Range{Start: chunk.Start.MustAdd(uint64(i) * 0x2000), Size: 0x1000}
+		if err := m.Insert(ctx, Entry{Range: r, Homes: []ktypes.NodeID{1}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var prev gaddr.Addr
+	count := 0
+	err := m.Walk(ctx, func(e Entry) bool {
+		if count > 0 && e.Range.Start.Less(prev) {
+			t.Fatalf("walk out of order: %v after %v", e.Range.Start, prev)
+		}
+		prev = e.Range.Start
+		count++
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != regions+1 { // +1 for the map's own region
+		t.Fatalf("walk visited %d, want %d", count, regions+1)
+	}
+	// Early termination.
+	count = 0
+	_ = m.Walk(ctx, func(Entry) bool { count++; return count < 5 })
+	if count != 5 {
+		t.Fatalf("early-stop walk visited %d", count)
+	}
+}
+
+func TestRemoveInsideSubtree(t *testing.T) {
+	m, _ := newTestMap(t)
+	ctx := context.Background()
+	const regions = maxEntries + 10
+	chunk, _ := m.ReserveRange(ctx, regions*0x2000, PageSize)
+	var rs []gaddr.Range
+	for i := 0; i < regions; i++ {
+		r := gaddr.Range{Start: chunk.Start.MustAdd(uint64(i) * 0x2000), Size: 0x1000}
+		rs = append(rs, r)
+		if err := m.Insert(ctx, Entry{Range: r, Homes: []ktypes.NodeID{1}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The earliest regions migrated into a subtree on split; remove one.
+	if err := m.Remove(ctx, rs[0].Start); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.Lookup(ctx, rs[0].Start); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("lookup removed subtree entry: %v", err)
+	}
+	// Neighbours survive.
+	if _, _, err := m.Lookup(ctx, rs[1].Start); err != nil {
+		t.Fatalf("neighbour lost: %v", err)
+	}
+}
+
+func TestLookupStepsGrowWithDepth(t *testing.T) {
+	m, _ := newTestMap(t)
+	ctx := context.Background()
+	_, steps1, err := m.Lookup(ctx, gaddr.Zero)
+	if err != nil || steps1 != 1 {
+		t.Fatalf("root lookup steps = %d, %v", steps1, err)
+	}
+	const regions = maxEntries * 2
+	chunk, _ := m.ReserveRange(ctx, regions*0x2000, PageSize)
+	for i := 0; i < regions; i++ {
+		r := gaddr.Range{Start: chunk.Start.MustAdd(uint64(i) * 0x2000), Size: 0x1000}
+		if err := m.Insert(ctx, Entry{Range: r, Homes: []ktypes.NodeID{1}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, deepSteps, err := m.Lookup(ctx, chunk.Start.MustAdd(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deepSteps <= steps1 {
+		t.Fatalf("deep lookup steps = %d, want > %d", deepSteps, steps1)
+	}
+}
+
+func TestCorruptNodeRejected(t *testing.T) {
+	m, io := newTestMap(t)
+	ctx := context.Background()
+	io.mu.Lock()
+	io.pages[pageAddr(0)][0] = 0xFF // clobber magic
+	io.mu.Unlock()
+	if _, _, err := m.Lookup(ctx, gaddr.Zero); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupt lookup err = %v", err)
+	}
+}
+
+func TestHomesClampedToMax(t *testing.T) {
+	m, _ := newTestMap(t)
+	ctx := context.Background()
+	chunk, _ := m.ReserveRange(ctx, 1<<20, PageSize)
+	r := gaddr.Range{Start: chunk.Start, Size: 0x1000}
+	homes := []ktypes.NodeID{1, 2, 3, 4, 5, 6}
+	if err := m.Insert(ctx, Entry{Range: r, Homes: homes}); err != nil {
+		t.Fatal(err)
+	}
+	entry, _, err := m.Lookup(ctx, r.Start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entry.Homes) != MaxHomes {
+		t.Fatalf("homes = %v, want %d entries (non-exhaustive list)", entry.Homes, MaxHomes)
+	}
+}
+
+// Property: any set of disjoint inserted regions remains resolvable with
+// correct homes, and uninserted addresses miss.
+func TestQuickInsertLookup(t *testing.T) {
+	f := func(sizesSeed []uint8, homeSeed uint8) bool {
+		if len(sizesSeed) > 120 {
+			sizesSeed = sizesSeed[:120]
+		}
+		io := newMemIO()
+		m := New(io)
+		ctx := context.Background()
+		if m.Init(ctx, []ktypes.NodeID{1}) != nil {
+			return false
+		}
+		type rec struct {
+			r    gaddr.Range
+			home ktypes.NodeID
+		}
+		var recs []rec
+		cursor, err := m.ReserveRange(ctx, uint64(len(sizesSeed)+1)*0x20000, PageSize)
+		if err != nil {
+			return false
+		}
+		next := cursor.Start
+		for i, s := range sizesSeed {
+			size := (uint64(s%16) + 1) * PageSize
+			r := gaddr.Range{Start: next, Size: size}
+			home := ktypes.NodeID(homeSeed%8 + 1 + uint8(i%3))
+			if m.Insert(ctx, Entry{Range: r, Homes: []ktypes.NodeID{home}}) != nil {
+				return false
+			}
+			recs = append(recs, rec{r, home})
+			next = next.MustAdd(size + PageSize) // leave a gap
+		}
+		for _, rc := range recs {
+			entry, _, err := m.Lookup(ctx, rc.r.Start.MustAdd(rc.r.Size-1))
+			if err != nil || entry.Range != rc.r || entry.Homes[0] != rc.home {
+				return false
+			}
+			// The gap after each region misses.
+			if _, _, err := m.Lookup(ctx, rc.r.Start.MustAdd(rc.r.Size)); !errors.Is(err, ErrNotFound) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentInsertsSerializedByIO(t *testing.T) {
+	// The daemon serializes map mutations at the map home; the package
+	// must still be safe when its PageIO serializes MutatePage calls.
+	m, _ := newTestMap(t)
+	ctx := context.Background()
+	chunk, _ := m.ReserveRange(ctx, 64*0x10000, PageSize)
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				idx := uint64(g*8 + i)
+				r := gaddr.Range{Start: chunk.Start.MustAdd(idx * 0x10000), Size: 0x1000}
+				if err := m.Insert(ctx, Entry{Range: r, Homes: []ktypes.NodeID{1}}); err != nil {
+					errs[g] = fmt.Errorf("insert %d: %w", idx, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	count := 0
+	_ = m.Walk(ctx, func(Entry) bool { count++; return true })
+	if count != 65 {
+		t.Fatalf("walk count = %d, want 65", count)
+	}
+}

@@ -1,0 +1,134 @@
+package addrmap
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"khazana/internal/gaddr"
+	"khazana/internal/ktypes"
+)
+
+// TestModelRandomOps drives the tree with a long random sequence of
+// insert/remove/set-homes/lookup operations and cross-checks every result
+// against a flat in-memory model. This catches structural bugs (split
+// boundaries, subtree descent, entry ordering) that targeted tests miss.
+func TestModelRandomOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	io := newMemIO()
+	m := New(io)
+	ctx := context.Background()
+	if err := m.Init(ctx, []ktypes.NodeID{1}); err != nil {
+		t.Fatal(err)
+	}
+
+	type modelEntry struct {
+		r     gaddr.Range
+		homes []ktypes.NodeID
+	}
+	model := make(map[gaddr.Addr]modelEntry)
+	var keys []gaddr.Addr
+
+	// All regions come from cursor-granted chunks, like the real daemon.
+	chunk, err := m.ReserveRange(ctx, 1<<24, PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := chunk.Start
+
+	const ops = 1500
+	for op := 0; op < ops; op++ {
+		switch r := rng.Intn(10); {
+		case r < 4: // insert
+			size := uint64(rng.Intn(8)+1) * PageSize
+			start := next
+			next = next.MustAdd(size + uint64(rng.Intn(3))*PageSize) // maybe a gap
+			homes := []ktypes.NodeID{ktypes.NodeID(rng.Intn(5) + 1)}
+			if err := m.Insert(ctx, Entry{Range: gaddr.Range{Start: start, Size: size}, Homes: homes}); err != nil {
+				t.Fatalf("op %d: insert: %v", op, err)
+			}
+			model[start] = modelEntry{r: gaddr.Range{Start: start, Size: size}, homes: homes}
+			keys = append(keys, start)
+		case r < 6 && len(keys) > 0: // remove
+			i := rng.Intn(len(keys))
+			start := keys[i]
+			keys = append(keys[:i], keys[i+1:]...)
+			if err := m.Remove(ctx, start); err != nil {
+				t.Fatalf("op %d: remove %v: %v", op, start, err)
+			}
+			delete(model, start)
+		case r < 7 && len(keys) > 0: // set homes
+			start := keys[rng.Intn(len(keys))]
+			homes := []ktypes.NodeID{ktypes.NodeID(rng.Intn(5) + 1), ktypes.NodeID(rng.Intn(5) + 6)}
+			if err := m.SetHomes(ctx, start, homes); err != nil {
+				t.Fatalf("op %d: sethomes: %v", op, err)
+			}
+			ent := model[start]
+			ent.homes = homes
+			model[start] = ent
+		default: // lookup (hit or miss)
+			if len(keys) > 0 && rng.Intn(2) == 0 {
+				start := keys[rng.Intn(len(keys))]
+				want := model[start]
+				off := uint64(0)
+				if want.r.Size > 1 {
+					off = uint64(rng.Int63n(int64(want.r.Size)))
+				}
+				got, _, err := m.Lookup(ctx, start.MustAdd(off))
+				if err != nil {
+					t.Fatalf("op %d: lookup %v+%d: %v", op, start, off, err)
+				}
+				if got.Range != want.r {
+					t.Fatalf("op %d: lookup range = %v, want %v", op, got.Range, want.r)
+				}
+				if len(got.Homes) != len(want.homes) || got.Homes[0] != want.homes[0] {
+					t.Fatalf("op %d: homes = %v, want %v", op, got.Homes, want.homes)
+				}
+			} else {
+				// An address past the cursor is always free.
+				miss := next.MustAdd(uint64(rng.Intn(1<<20)) + 1<<21)
+				if _, _, err := m.Lookup(ctx, miss); !errors.Is(err, ErrNotFound) {
+					t.Fatalf("op %d: lookup free space = %v", op, err)
+				}
+			}
+		}
+	}
+
+	// Final exhaustive cross-check: the walk must visit exactly the
+	// model (plus the map's own region), in order.
+	var walked []Entry
+	if err := m.Walk(ctx, func(e Entry) bool {
+		walked = append(walked, e)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(walked) != len(model)+1 {
+		t.Fatalf("walk visited %d entries, model has %d", len(walked), len(model)+1)
+	}
+	var prev gaddr.Addr
+	for i, e := range walked {
+		if i > 0 {
+			if e.Range.Start.Less(prev) {
+				t.Fatalf("walk out of order at %d", i)
+			}
+			want, ok := model[e.Range.Start]
+			if !ok {
+				t.Fatalf("walk produced unknown region %v", e.Range)
+			}
+			if want.r != e.Range {
+				t.Fatalf("walk range %v, want %v", e.Range, want.r)
+			}
+		}
+		prev = e.Range.Start
+	}
+	// The tree must actually have grown (the test is vacuous otherwise).
+	depth, err := m.Depth(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if depth < 2 {
+		t.Fatalf("tree depth = %d; random workload should have split the root", depth)
+	}
+}

@@ -1,0 +1,113 @@
+// Package baseline implements the comparator for the paper's §6
+// discussion: a hand-coded central-server shared store with no
+// replication, no consistency management, no location transparency — the
+// "roll your own" design Khazana argues against. The experiment harness
+// measures Khazana-based services against it to quantify the middleware's
+// overhead ("services written on top of our infrastructure may not perform
+// as well as the hand-coded versions").
+package baseline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"khazana/internal/gaddr"
+	"khazana/internal/ktypes"
+	"khazana/internal/transport"
+	"khazana/internal/wire"
+)
+
+// Server is the central store: one process owns all data; clients RPC
+// every access.
+type Server struct {
+	tr transport.Transport
+
+	mu   sync.RWMutex
+	data map[gaddr.Addr][]byte
+}
+
+// NewServer attaches a baseline server to the transport.
+func NewServer(tr transport.Transport) *Server {
+	s := &Server{tr: tr, data: make(map[gaddr.Addr][]byte)}
+	tr.SetHandler(s.handle)
+	return s
+}
+
+func (s *Server) handle(_ context.Context, _ ktypes.NodeID, m wire.Msg) (wire.Msg, error) {
+	switch msg := m.(type) {
+	case *wire.KVGet:
+		s.mu.RLock()
+		buf := s.data[msg.Key]
+		out := make([]byte, msg.Len)
+		if msg.Off < uint64(len(buf)) {
+			copy(out, buf[msg.Off:])
+		}
+		s.mu.RUnlock()
+		return &wire.CData{Data: out}, nil
+	case *wire.KVPut:
+		s.mu.Lock()
+		buf := s.data[msg.Key]
+		need := msg.Off + uint64(len(msg.Data))
+		if uint64(len(buf)) < need {
+			grown := make([]byte, need)
+			copy(grown, buf)
+			buf = grown
+		}
+		copy(buf[msg.Off:], msg.Data)
+		s.data[msg.Key] = buf
+		s.mu.Unlock()
+		return &wire.Ack{}, nil
+	case *wire.Ping:
+		return &wire.Pong{From: s.tr.Self()}, nil
+	default:
+		return nil, fmt.Errorf("baseline: unhandled %T", m)
+	}
+}
+
+// Len returns the number of stored keys.
+func (s *Server) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.data)
+}
+
+// Client talks to a baseline server.
+type Client struct {
+	tr     transport.Transport
+	target ktypes.NodeID
+}
+
+// NewClient wraps a transport endpoint as a client of server target.
+func NewClient(tr transport.Transport, target ktypes.NodeID) *Client {
+	return &Client{tr: tr, target: target}
+}
+
+// Get reads length bytes at offset off of key.
+func (c *Client) Get(ctx context.Context, key gaddr.Addr, off, length uint64) ([]byte, error) {
+	resp, err := c.tr.Request(ctx, c.target, &wire.KVGet{Key: key, Off: off, Len: length})
+	if err != nil {
+		return nil, err
+	}
+	d, ok := resp.(*wire.CData)
+	if !ok {
+		return nil, fmt.Errorf("baseline: unexpected reply %T", resp)
+	}
+	if d.Err != "" {
+		return nil, errors.New(d.Err)
+	}
+	return d.Data, nil
+}
+
+// Put writes data at offset off of key.
+func (c *Client) Put(ctx context.Context, key gaddr.Addr, off uint64, data []byte) error {
+	resp, err := c.tr.Request(ctx, c.target, &wire.KVPut{Key: key, Off: off, Data: data})
+	if err != nil {
+		return err
+	}
+	if ack, ok := resp.(*wire.Ack); ok && ack.Err != "" {
+		return errors.New(ack.Err)
+	}
+	return nil
+}

@@ -1,0 +1,117 @@
+package baseline
+
+import (
+	"bytes"
+	"context"
+	"sync"
+	"testing"
+
+	"khazana/internal/gaddr"
+	"khazana/internal/ktypes"
+	"khazana/internal/transport"
+)
+
+func setup(t *testing.T) (*Server, *Client) {
+	t.Helper()
+	net := transport.NewNetwork()
+	str, err := net.Attach(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctr, err := net.Attach(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewServer(str), NewClient(ctr, 1)
+}
+
+func TestPutGet(t *testing.T) {
+	srv, cli := setup(t)
+	ctx := context.Background()
+	key := gaddr.FromUint64(0x1000)
+	if err := cli.Put(ctx, key, 0, []byte("central")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cli.Get(ctx, key, 0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "central" {
+		t.Fatalf("got %q", got)
+	}
+	if srv.Len() != 1 {
+		t.Fatalf("server len = %d", srv.Len())
+	}
+}
+
+func TestOffsetAndGrowth(t *testing.T) {
+	_, cli := setup(t)
+	ctx := context.Background()
+	key := gaddr.FromUint64(0x2000)
+	if err := cli.Put(ctx, key, 100, []byte("xyz")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cli.Get(ctx, key, 100, 3)
+	if err != nil || string(got) != "xyz" {
+		t.Fatalf("got %q, %v", got, err)
+	}
+	// Holes read as zeroes.
+	got, _ = cli.Get(ctx, key, 0, 4)
+	if !bytes.Equal(got, []byte{0, 0, 0, 0}) {
+		t.Fatalf("hole = %v", got)
+	}
+	// Reads past the end are zero-padded.
+	got, _ = cli.Get(ctx, key, 102, 10)
+	if got[0] != 'z' || got[1] != 0 {
+		t.Fatalf("past-end = %v", got)
+	}
+}
+
+func TestMissingKey(t *testing.T) {
+	_, cli := setup(t)
+	got, err := cli.Get(context.Background(), gaddr.FromUint64(0x9000), 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte{0, 0, 0, 0}) {
+		t.Fatalf("missing key = %v", got)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	net := transport.NewNetwork()
+	str, _ := net.Attach(1)
+	NewServer(str)
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	for i := 0; i < 4; i++ {
+		tr, err := net.Attach(ktypes.NodeID(i + 10))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cli := NewClient(tr, 1)
+		wg.Add(1)
+		go func(i int, cli *Client) {
+			defer wg.Done()
+			ctx := context.Background()
+			key := gaddr.FromUint64(uint64(i+1) * 0x1000)
+			for j := 0; j < 50; j++ {
+				if err := cli.Put(ctx, key, 0, []byte{byte(j)}); err != nil {
+					errs[i] = err
+					return
+				}
+				got, err := cli.Get(ctx, key, 0, 1)
+				if err != nil || got[0] != byte(j) {
+					errs[i] = err
+					return
+				}
+			}
+		}(i, cli)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package consistency
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"khazana/internal/gaddr"
+	"khazana/internal/ktypes"
+	"khazana/internal/pagedir"
+	"khazana/internal/region"
+	"khazana/internal/wire"
+)
+
+// Host is the node-side environment a consistency manager runs in: access
+// to the local daemon's storage, page directory, lock table, and peers.
+// The daemon implements Host; tests provide a lightweight harness.
+type Host interface {
+	// Self returns the local node's ID.
+	Self() ktypes.NodeID
+	// Request performs an RPC to a peer daemon.
+	Request(ctx context.Context, to ktypes.NodeID, m wire.Msg) (wire.Msg, error)
+	// LoadPage returns the local copy of a page, if resident.
+	LoadPage(page gaddr.Addr) ([]byte, bool)
+	// StorePage replaces the local copy of a page.
+	StorePage(page gaddr.Addr, data []byte) error
+	// DropPage discards the local copy of a page.
+	DropPage(page gaddr.Addr)
+	// Dir returns the node's page directory.
+	Dir() *pagedir.Dir
+	// Locks returns the node's local lock table.
+	Locks() *LockTable
+	// Clock returns a monotonic-enough timestamp for last-writer-wins
+	// ordering in the eventual protocol.
+	Clock() int64
+}
+
+// CM is a consistency manager: the per-protocol module that mediates lock
+// grants and replica updates for the regions using it.
+type CM interface {
+	// Protocol names the protocol this CM implements.
+	Protocol() region.Protocol
+	// Acquire obtains lock credentials and a valid-enough local copy of
+	// page, per the protocol's semantics. On success the local lock is
+	// held and must be released with Release.
+	Acquire(ctx context.Context, desc *region.Descriptor, page gaddr.Addr, mode ktypes.LockMode) error
+	// Release drops the lock; dirty reports local modifications made
+	// under a write-mode lock.
+	Release(ctx context.Context, desc *region.Descriptor, page gaddr.Addr, mode ktypes.LockMode, dirty bool) error
+	// Handle processes protocol traffic arriving from a peer CM.
+	Handle(ctx context.Context, desc *region.Descriptor, from ktypes.NodeID, m wire.Msg) (wire.Msg, error)
+}
+
+// Errors shared by protocol implementations.
+var (
+	// ErrNotHome reports protocol traffic sent to a node that is not the
+	// region's home; the sender's descriptor was stale.
+	ErrNotHome = errors.New("consistency: not the home node for this page")
+	// ErrConflict reports a lock conflict that could not be resolved in
+	// time; the client may retry.
+	ErrConflict = errors.New("consistency: lock conflict")
+	// ErrUnknownMsg reports CM traffic no protocol handler claims.
+	ErrUnknownMsg = errors.New("consistency: unhandled message")
+)
+
+// Registry maps protocols to CM constructors. The paper emphasizes that
+// "plugging in new protocols or consistency managers is only a matter of
+// registering them" (§5).
+type Registry struct {
+	mu    sync.Mutex
+	ctors map[region.Protocol]func(Host) CM
+}
+
+// NewRegistry returns a registry preloaded with the built-in protocols.
+func NewRegistry() *Registry {
+	r := &Registry{ctors: make(map[region.Protocol]func(Host) CM)}
+	r.Register(region.CREW, func(h Host) CM { return NewCREW(h) })
+	r.Register(region.Release, func(h Host) CM { return NewRelease(h) })
+	r.Register(region.Eventual, func(h Host) CM { return NewEventual(h) })
+	return r
+}
+
+// Register installs a constructor for a protocol, replacing any previous
+// registration.
+func (r *Registry) Register(p region.Protocol, ctor func(Host) CM) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.ctors[p] = ctor
+}
+
+// Build instantiates one CM per registered protocol for the given host.
+func (r *Registry) Build(h Host) map[region.Protocol]CM {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[region.Protocol]CM, len(r.ctors))
+	for p, ctor := range r.ctors {
+		out[p] = ctor(h)
+	}
+	return out
+}
+
+// Protocols lists registered protocols in stable order.
+func (r *Registry) Protocols() []region.Protocol {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]region.Protocol, 0, len(r.ctors))
+	for p := range r.ctors {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// zeroFill returns a page-sized zero buffer, the contents of an allocated
+// but never-written page.
+func zeroFill(desc *region.Descriptor) []byte {
+	return make([]byte, desc.Attrs.PageSize)
+}
+
+// loadOrZero returns the local page copy, zero-filling for allocated pages
+// never written.
+func loadOrZero(h Host, desc *region.Descriptor, page gaddr.Addr) []byte {
+	if data, ok := h.LoadPage(page); ok {
+		return data
+	}
+	return zeroFill(desc)
+}
+
+// isHome reports whether the local node is the region's primary home.
+func isHome(h Host, desc *region.Descriptor) bool {
+	home, err := desc.PrimaryHome()
+	return err == nil && home == h.Self()
+}
+
+// homeOf returns the region's primary home or an error.
+func homeOf(desc *region.Descriptor) (ktypes.NodeID, error) {
+	home, err := desc.PrimaryHome()
+	if err != nil {
+		return ktypes.NilNode, fmt.Errorf("consistency: region %v: %w", desc.ID(), err)
+	}
+	return home, nil
+}

@@ -1,0 +1,255 @@
+package consistency
+
+import (
+	"context"
+	"fmt"
+
+	"khazana/internal/gaddr"
+	"khazana/internal/ktypes"
+	"khazana/internal/pagedir"
+	"khazana/internal/region"
+	"khazana/internal/wire"
+)
+
+// CrewCM implements the Concurrent Read Exclusive Write protocol (paper
+// §5: the only consistency model the prototype supports, citing Lamport).
+//
+// The region's primary home node is the manager for its pages, in the
+// style of directory-based software DSM (§3.1 likens the address map to
+// DSM directories). Global lock state lives at the home: concurrent read
+// locks are granted freely; a write lock waits until all read locks drain,
+// invalidates every other copy, and transfers ownership to the writer
+// (Figure 2, step 10). Dirty pages are written through to the home at
+// release time, so the home always holds current data when granting.
+type CrewCM struct {
+	h Host
+	// glocks is the manager-side global lock table for pages homed here.
+	glocks *LockTable
+}
+
+// NewCREW creates the CREW consistency manager for a node.
+func NewCREW(h Host) *CrewCM {
+	return &CrewCM{h: h, glocks: NewLockTable()}
+}
+
+var _ CM = (*CrewCM)(nil)
+
+// Protocol implements CM.
+func (c *CrewCM) Protocol() region.Protocol { return region.CREW }
+
+// PageBusy reports whether the manager-side global lock table holds any
+// lock on the page (used to find quiescent points, e.g. before region
+// migration).
+func (c *CrewCM) PageBusy(page gaddr.Addr) bool { return c.glocks.Held(page) }
+
+// Acquire implements CM. Every acquisition — local or remote — funnels
+// through the home's global lock table, which yields CREW's invariant: any
+// number of readers or exactly one writer, cluster-wide.
+func (c *CrewCM) Acquire(ctx context.Context, desc *region.Descriptor, page gaddr.Addr, mode ktypes.LockMode) error {
+	if mode == ktypes.LockWriteShared {
+		// CREW has no write-shared notion; treat as exclusive.
+		mode = ktypes.LockWrite
+	}
+	if isHome(c.h, desc) {
+		return c.homeAcquire(ctx, desc, page, mode, c.h.Self())
+	}
+	home, err := homeOf(desc)
+	if err != nil {
+		return err
+	}
+	resp, err := c.h.Request(ctx, home, &wire.PageReq{Page: page, Mode: mode, Requester: c.h.Self()})
+	if err != nil {
+		return fmt.Errorf("consistency: crew acquire %v from %v: %w", page, home, err)
+	}
+	grant, ok := resp.(*wire.PageGrant)
+	if !ok {
+		return fmt.Errorf("consistency: crew acquire %v: unexpected reply %T", page, resp)
+	}
+	if !grant.OK {
+		return fmt.Errorf("consistency: crew acquire %v: %s", page, grant.Err)
+	}
+	if grant.Data != nil {
+		if err := c.h.StorePage(page, grant.Data); err != nil {
+			return fmt.Errorf("consistency: crew acquire %v: store: %w", page, err)
+		}
+	}
+	c.h.Dir().Update(page, func(e *pagedir.Entry) {
+		e.Version = grant.Version
+		e.Owner = grant.Owner
+		if mode.Writes() {
+			e.State = pagedir.Owned
+		} else if e.State != pagedir.Owned {
+			e.State = pagedir.Shared
+		}
+	})
+	return nil
+}
+
+// homeAcquire is the manager-side grant path, shared by local clients and
+// the PageReq handler.
+func (c *CrewCM) homeAcquire(ctx context.Context, desc *region.Descriptor, page gaddr.Addr, mode ktypes.LockMode, requester ktypes.NodeID) error {
+	if err := c.glocks.Acquire(ctx, page, mode); err != nil {
+		return fmt.Errorf("%w: %v", ErrConflict, err)
+	}
+	if err := c.homeGrantLocked(ctx, desc, page, mode, requester); err != nil {
+		c.glocks.Release(page, mode)
+		return err
+	}
+	return nil
+}
+
+// homeGrantLocked updates directory state after the global lock is held.
+func (c *CrewCM) homeGrantLocked(ctx context.Context, desc *region.Descriptor, page gaddr.Addr, mode ktypes.LockMode, requester ktypes.NodeID) error {
+	self := c.h.Self()
+	var invalidate []ktypes.NodeID
+	c.h.Dir().Update(page, func(e *pagedir.Entry) {
+		e.HomedLocal = true
+		if mode.Writes() {
+			for _, n := range e.Copyset {
+				if n != requester && n != self {
+					invalidate = append(invalidate, n)
+				}
+			}
+			e.Copyset = []ktypes.NodeID{requester}
+			e.Owner = requester
+			if requester == self {
+				e.State = pagedir.Owned
+			} else {
+				// The home's own copy goes stale the moment the
+				// writer modifies the page.
+				e.State = pagedir.Invalid
+			}
+		} else {
+			e.AddSharer(requester)
+			if requester == self && e.State == pagedir.Invalid {
+				e.State = pagedir.Shared
+			}
+		}
+	})
+	// Invalidation happens while the global write lock is held, so no new
+	// readers can slip in with stale data.
+	for _, n := range invalidate {
+		entry, _ := c.h.Dir().Lookup(page)
+		if _, err := c.h.Request(ctx, n, &wire.Invalidate{Page: page, NewOwner: requester, Version: entry.Version}); err != nil {
+			// A dead sharer cannot serve stale reads either; log-free
+			// best effort matches the prototype's tolerance of stale
+			// hints. The copyset no longer lists it.
+			continue
+		}
+	}
+	return nil
+}
+
+// Release implements CM.
+func (c *CrewCM) Release(ctx context.Context, desc *region.Descriptor, page gaddr.Addr, mode ktypes.LockMode, dirty bool) error {
+	if mode == ktypes.LockWriteShared {
+		mode = ktypes.LockWrite
+	}
+	if isHome(c.h, desc) {
+		c.homeRelease(desc, page, mode, dirty, c.h.Self(), nil)
+		return nil
+	}
+	home, err := homeOf(desc)
+	if err != nil {
+		return err
+	}
+	var data []byte
+	if mode.Writes() && dirty {
+		data = loadOrZero(c.h, desc, page)
+	}
+	msg := &wire.ReleaseNotify{Page: page, Mode: mode, Dirty: dirty, Data: data, From: c.h.Self()}
+	if _, err := c.h.Request(ctx, home, msg); err != nil {
+		return fmt.Errorf("consistency: crew release %v to %v: %w", page, home, err)
+	}
+	if mode.Writes() && dirty {
+		c.h.Dir().Update(page, func(e *pagedir.Entry) { e.Version++ })
+	}
+	return nil
+}
+
+// homeRelease applies a release at the manager.
+func (c *CrewCM) homeRelease(desc *region.Descriptor, page gaddr.Addr, mode ktypes.LockMode, dirty bool, from ktypes.NodeID, data []byte) {
+	if mode.Writes() && dirty {
+		// Write-through: the home stores the new contents so later
+		// grants are served locally (and replica maintenance has a
+		// current copy).
+		if data != nil {
+			_ = c.h.StorePage(page, data)
+		}
+		self := c.h.Self()
+		c.h.Dir().Update(page, func(e *pagedir.Entry) {
+			e.Version++
+			e.AddSharer(self)
+			// The write-through makes the home's copy current again;
+			// the ownership hint returns home with it.
+			e.Owner = self
+			if from == self {
+				e.State = pagedir.Owned
+			} else {
+				e.State = pagedir.Shared
+			}
+		})
+	}
+	// TryRelease: after a failover this home may receive a (retried)
+	// release for a grant the failed primary issued; tolerate it.
+	c.glocks.TryRelease(page, mode)
+}
+
+// Handle implements CM.
+func (c *CrewCM) Handle(ctx context.Context, desc *region.Descriptor, from ktypes.NodeID, m wire.Msg) (wire.Msg, error) {
+	switch msg := m.(type) {
+	case *wire.PageReq:
+		return c.handlePageReq(ctx, desc, msg)
+	case *wire.ReleaseNotify:
+		if !isHome(c.h, desc) {
+			return nil, ErrNotHome
+		}
+		c.homeRelease(desc, msg.Page, msg.Mode, msg.Dirty, msg.From, msg.Data)
+		return &wire.Ack{}, nil
+	case *wire.Invalidate:
+		c.h.DropPage(msg.Page)
+		c.h.Dir().Update(msg.Page, func(e *pagedir.Entry) {
+			e.State = pagedir.Invalid
+			e.Owner = msg.NewOwner
+		})
+		return &wire.Ack{}, nil
+	case *wire.PageFetch:
+		return handlePageFetch(c.h, msg), nil
+	default:
+		return nil, fmt.Errorf("%w: crew got %T", ErrUnknownMsg, m)
+	}
+}
+
+func (c *CrewCM) handlePageReq(ctx context.Context, desc *region.Descriptor, msg *wire.PageReq) (wire.Msg, error) {
+	if !isHome(c.h, desc) {
+		// Stale descriptor at the requester (§3.2): tell it so it can
+		// fall back to a fresh lookup.
+		return &wire.PageGrant{OK: false, Err: ErrNotHome.Error()}, nil
+	}
+	mode := msg.Mode
+	if mode == ktypes.LockWriteShared {
+		mode = ktypes.LockWrite
+	}
+	if err := c.homeAcquire(ctx, desc, msg.Page, mode, msg.Requester); err != nil {
+		return &wire.PageGrant{OK: false, Err: err.Error()}, nil
+	}
+	entry, _ := c.h.Dir().Lookup(msg.Page)
+	return &wire.PageGrant{
+		OK:      true,
+		Data:    loadOrZero(c.h, desc, msg.Page),
+		Version: entry.Version,
+		Owner:   entry.Owner,
+	}, nil
+}
+
+// handlePageFetch serves a copy of a locally resident page; it is shared
+// by all protocols (Figure 2 steps 7-9: the daemon supplies a copy out of
+// local storage).
+func handlePageFetch(h Host, msg *wire.PageFetch) wire.Msg {
+	data, ok := h.LoadPage(msg.Page)
+	if !ok {
+		return &wire.PageData{Found: false}
+	}
+	entry, _ := h.Dir().Lookup(msg.Page)
+	return &wire.PageData{Found: true, Data: data, Version: entry.Version}
+}

@@ -1,0 +1,280 @@
+package consistency
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"khazana/internal/gaddr"
+	"khazana/internal/ktypes"
+	"khazana/internal/pagedir"
+	"khazana/internal/region"
+	"khazana/internal/wire"
+)
+
+// EventualCM implements the relaxed protocol the paper anticipates for
+// "applications such as web caches and some database query engines for
+// which release consistency is overkill. Such applications typically can
+// tolerate data that is temporarily out-of-date (i.e., one or two versions
+// old) as long as they get fast response" (§3.3).
+//
+// Reads and writes are served entirely from the local replica; dirty pages
+// propagate to the home at release time with a last-writer-wins timestamp,
+// and the home gossips accepted updates to the other replica sites. All
+// replicas converge on the maximum-stamped update; intermediate reads may
+// be stale by design.
+//
+// Two mechanisms keep page bytes and LWW stamps paired without blocking:
+// inbound updates arriving while a local write lock is held are parked and
+// applied at release, and the CM keeps an authoritative shadow of the
+// winning bytes so a local write that loses the LWW race can be rolled
+// back.
+type EventualCM struct {
+	h Host
+
+	mu sync.Mutex
+	// auth shadows the LWW-winning contents per page.
+	auth map[gaddr.Addr][]byte
+	// pending parks updates that arrived under a local write lock.
+	pending map[gaddr.Addr]*wire.UpdatePush
+}
+
+// NewEventual creates the eventual-consistency manager for a node.
+func NewEventual(h Host) *EventualCM {
+	return &EventualCM{
+		h:       h,
+		auth:    make(map[gaddr.Addr][]byte),
+		pending: make(map[gaddr.Addr]*wire.UpdatePush),
+	}
+}
+
+var _ CM = (*EventualCM)(nil)
+
+// Protocol implements CM.
+func (c *EventualCM) Protocol() region.Protocol { return region.Eventual }
+
+// Acquire implements CM. The only remote traffic is a one-time fetch when
+// the node has no replica at all — the fast-response property.
+func (c *EventualCM) Acquire(ctx context.Context, desc *region.Descriptor, page gaddr.Addr, mode ktypes.LockMode) error {
+	if err := c.h.Locks().Acquire(ctx, page, mode); err != nil {
+		return fmt.Errorf("%w: %v", ErrConflict, err)
+	}
+	if _, ok := c.h.LoadPage(page); ok || isHome(c.h, desc) {
+		if isHome(c.h, desc) {
+			c.h.Dir().Update(page, func(e *pagedir.Entry) { e.HomedLocal = true })
+		}
+		return nil
+	}
+	if err := c.fetchInitial(ctx, desc, page); err != nil {
+		c.h.Locks().Release(page, mode)
+		return err
+	}
+	return nil
+}
+
+// fetchInitial pulls the first local replica from the home.
+func (c *EventualCM) fetchInitial(ctx context.Context, desc *region.Descriptor, page gaddr.Addr) error {
+	home, err := homeOf(desc)
+	if err != nil {
+		return err
+	}
+	resp, err := c.h.Request(ctx, home, &wire.PageFetch{Page: page, Requester: c.h.Self()})
+	if err != nil {
+		return fmt.Errorf("consistency: eventual fetch %v: %w", page, err)
+	}
+	pd, ok := resp.(*wire.PageData)
+	if !ok {
+		return fmt.Errorf("consistency: eventual fetch %v: unexpected reply %T", page, resp)
+	}
+	data := pd.Data
+	if !pd.Found {
+		data = zeroFill(desc)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, already := c.h.LoadPage(page); already {
+		return nil // a concurrent update beat us to it
+	}
+	if err := c.h.StorePage(page, data); err != nil {
+		return err
+	}
+	c.auth[page] = append([]byte(nil), data...)
+	c.h.Dir().Update(page, func(e *pagedir.Entry) {
+		e.State = pagedir.Shared
+		e.Version = pd.Version
+	})
+	return nil
+}
+
+// applyLocked installs (data, stamp, origin) iff it supersedes the local
+// state under last-writer-wins. data == nil means "the bytes already in
+// the local store" (a local write claiming its stamp). Caller holds c.mu.
+func (c *EventualCM) applyLocked(page gaddr.Addr, data []byte, stamp int64, origin ktypes.NodeID) (bool, error) {
+	entry, _ := c.h.Dir().Lookup(page)
+	if !newerStamp(stamp, origin, &entry) {
+		return false, nil
+	}
+	if data == nil {
+		stored, ok := c.h.LoadPage(page)
+		if !ok {
+			return false, fmt.Errorf("consistency: eventual claim %v: no local data", page)
+		}
+		data = stored
+	} else {
+		if err := c.h.StorePage(page, data); err != nil {
+			return false, err
+		}
+	}
+	c.auth[page] = append([]byte(nil), data...)
+	c.h.Dir().Update(page, func(e *pagedir.Entry) {
+		e.Stamp = stamp
+		e.StampNode = origin
+		e.Version++
+		e.State = pagedir.Shared
+	})
+	return true, nil
+}
+
+// newerStamp reports whether (stamp, node) supersedes the entry under
+// last-writer-wins with node-ID tiebreak.
+func newerStamp(stamp int64, node ktypes.NodeID, e *pagedir.Entry) bool {
+	if stamp != e.Stamp {
+		return stamp > e.Stamp
+	}
+	return node > e.StampNode
+}
+
+// Release implements CM.
+func (c *EventualCM) Release(ctx context.Context, desc *region.Descriptor, page gaddr.Addr, mode ktypes.LockMode, dirty bool) error {
+	defer func() {
+		c.applyPending(ctx, desc, page)
+		c.h.Locks().Release(page, mode)
+	}()
+	if !mode.Writes() || !dirty {
+		return nil
+	}
+	stamp := c.h.Clock()
+	self := c.h.Self()
+
+	c.mu.Lock()
+	claimed, err := c.applyLocked(page, nil, stamp, self)
+	if err == nil && !claimed {
+		// A newer update won while we were writing; our bytes lose
+		// under LWW. Roll the store back to the winning contents.
+		if auth, ok := c.auth[page]; ok {
+			err = c.h.StorePage(page, auth)
+		}
+	}
+	var data []byte
+	if claimed {
+		data = append([]byte(nil), c.auth[page]...)
+	}
+	c.mu.Unlock()
+	if err != nil || !claimed {
+		return err
+	}
+
+	if isHome(c.h, desc) {
+		c.h.Dir().Update(page, func(e *pagedir.Entry) { e.HomedLocal = true })
+		c.gossip(ctx, page, data, stamp, self)
+		return nil
+	}
+	home, err := homeOf(desc)
+	if err != nil {
+		return err
+	}
+	resp, err := c.h.Request(ctx, home, &wire.UpdatePush{Page: page, Data: data, Stamp: stamp, Origin: self})
+	if err != nil {
+		return fmt.Errorf("consistency: eventual push %v: %w", page, err)
+	}
+	// The home answers with its authoritative state; reconcile in case
+	// our push lost to a newer update.
+	if auth, ok := resp.(*wire.UpdatePush); ok && auth.Data != nil {
+		c.mu.Lock()
+		_, err = c.applyLocked(page, auth.Data, auth.Stamp, auth.Origin)
+		c.mu.Unlock()
+	}
+	return err
+}
+
+// applyPending installs any update parked while the write lock was held.
+// When the home applies a parked update it still owes the copyset a
+// gossip round, or replicas that missed it would never converge.
+func (c *EventualCM) applyPending(ctx context.Context, desc *region.Descriptor, page gaddr.Addr) {
+	c.mu.Lock()
+	upd, ok := c.pending[page]
+	var applied bool
+	if ok {
+		delete(c.pending, page)
+		applied, _ = c.applyLocked(page, upd.Data, upd.Stamp, upd.Origin)
+	}
+	c.mu.Unlock()
+	if applied && isHome(c.h, desc) {
+		c.gossip(ctx, page, upd.Data, upd.Stamp, upd.Origin)
+	}
+}
+
+// gossip forwards an accepted update to every other replica site,
+// best-effort: a site that misses an update converges on the next
+// accepted one (or stays a version old, which this protocol permits).
+func (c *EventualCM) gossip(ctx context.Context, page gaddr.Addr, data []byte, stamp int64, origin ktypes.NodeID) {
+	entry, ok := c.h.Dir().Lookup(page)
+	if !ok {
+		return
+	}
+	msg := &wire.UpdatePush{Page: page, Data: data, Stamp: stamp, Origin: origin}
+	for _, n := range entry.Copyset {
+		if n == c.h.Self() || n == origin {
+			continue
+		}
+		_, _ = c.h.Request(ctx, n, msg)
+	}
+}
+
+// Handle implements CM.
+func (c *EventualCM) Handle(ctx context.Context, desc *region.Descriptor, from ktypes.NodeID, m wire.Msg) (wire.Msg, error) {
+	switch msg := m.(type) {
+	case *wire.PageFetch:
+		if isHome(c.h, desc) {
+			c.h.Dir().Update(msg.Page, func(e *pagedir.Entry) {
+				e.HomedLocal = true
+				e.AddSharer(msg.Requester)
+			})
+		}
+		return handlePageFetch(c.h, msg), nil
+	case *wire.UpdatePush:
+		home := isHome(c.h, desc)
+		if home {
+			c.h.Dir().Update(msg.Page, func(e *pagedir.Entry) {
+				e.HomedLocal = true
+				e.AddSharer(msg.Origin)
+			})
+		}
+		c.mu.Lock()
+		var applied bool
+		var err error
+		if c.h.Locks().WriteLocked(msg.Page) {
+			// A local writer is active: park the update; it is
+			// applied (LWW) when the lock releases.
+			if prev, ok := c.pending[msg.Page]; !ok || msg.Stamp > prev.Stamp ||
+				(msg.Stamp == prev.Stamp && msg.Origin > prev.Origin) {
+				c.pending[msg.Page] = msg
+			}
+		} else {
+			applied, err = c.applyLocked(msg.Page, msg.Data, msg.Stamp, msg.Origin)
+		}
+		entry, _ := c.h.Dir().Lookup(msg.Page)
+		authData := append([]byte(nil), c.auth[msg.Page]...)
+		c.mu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+		resp := &wire.UpdatePush{Page: msg.Page, Data: authData, Stamp: entry.Stamp, Origin: entry.StampNode}
+		if home && applied {
+			c.gossip(ctx, msg.Page, msg.Data, msg.Stamp, msg.Origin)
+		}
+		return resp, nil
+	default:
+		return nil, fmt.Errorf("%w: eventual got %T", ErrUnknownMsg, m)
+	}
+}

@@ -1,0 +1,176 @@
+package consistency
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"khazana/internal/gaddr"
+	"khazana/internal/ktypes"
+	"khazana/internal/pagedir"
+	"khazana/internal/region"
+	"khazana/internal/transport"
+	"khazana/internal/wire"
+)
+
+// testHost is a minimal Host: an in-memory page store, a page directory,
+// a lock table, and a transport endpoint, with CM traffic routed by the
+// shared test descriptor's protocol.
+type testHost struct {
+	id    ktypes.NodeID
+	tr    transport.Transport
+	dir   *pagedir.Dir
+	locks *LockTable
+	cms   map[region.Protocol]CM
+
+	mu    sync.Mutex
+	pages map[gaddr.Addr][]byte
+
+	clock atomic.Int64
+
+	// descs resolves pages to descriptors for inbound traffic.
+	descs []*region.Descriptor
+}
+
+var _ Host = (*testHost)(nil)
+
+func (h *testHost) Self() ktypes.NodeID { return h.id }
+
+func (h *testHost) Request(ctx context.Context, to ktypes.NodeID, m wire.Msg) (wire.Msg, error) {
+	return h.tr.Request(ctx, to, m)
+}
+
+func (h *testHost) LoadPage(page gaddr.Addr) ([]byte, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	data, ok := h.pages[page]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), data...), true
+}
+
+func (h *testHost) StorePage(page gaddr.Addr, data []byte) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.pages[page] = append([]byte(nil), data...)
+	return nil
+}
+
+func (h *testHost) DropPage(page gaddr.Addr) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	delete(h.pages, page)
+}
+
+func (h *testHost) Dir() *pagedir.Dir { return h.dir }
+func (h *testHost) Locks() *LockTable { return h.locks }
+func (h *testHost) Clock() int64      { return h.clock.Add(1) }
+
+// pageOf extracts the page address from CM traffic.
+func pageOf(m wire.Msg) (gaddr.Addr, bool) {
+	switch msg := m.(type) {
+	case *wire.PageReq:
+		return msg.Page, true
+	case *wire.ReleaseNotify:
+		return msg.Page, true
+	case *wire.Invalidate:
+		return msg.Page, true
+	case *wire.PageFetch:
+		return msg.Page, true
+	case *wire.VersionQuery:
+		return msg.Page, true
+	case *wire.UpdatePush:
+		return msg.Page, true
+	}
+	return gaddr.Addr{}, false
+}
+
+func (h *testHost) handle(ctx context.Context, from ktypes.NodeID, m wire.Msg) (wire.Msg, error) {
+	page, ok := pageOf(m)
+	if !ok {
+		return nil, fmt.Errorf("testHost: unroutable %T", m)
+	}
+	for _, d := range h.descs {
+		if d.Range.Contains(page) {
+			return h.cms[d.Attrs.Protocol].Handle(ctx, d, from, m)
+		}
+	}
+	return nil, fmt.Errorf("testHost: no descriptor for %v", page)
+}
+
+// cluster builds n hosts on a fresh in-process network sharing descs.
+func cluster(t *testing.T, n int, descs ...*region.Descriptor) []*testHost {
+	t.Helper()
+	net := transport.NewNetwork()
+	reg := NewRegistry()
+	hosts := make([]*testHost, n)
+	for i := 0; i < n; i++ {
+		id := ktypes.NodeID(i + 1)
+		tr, err := net.Attach(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := &testHost{
+			id:    id,
+			tr:    tr,
+			dir:   pagedir.New(),
+			locks: NewLockTable(),
+			pages: make(map[gaddr.Addr][]byte),
+			descs: descs,
+		}
+		h.cms = reg.Build(h)
+		tr.SetHandler(h.handle)
+		hosts[i] = h
+	}
+	return hosts
+}
+
+// testDesc builds a descriptor homed on node 1 with the given protocol.
+func testDesc(protocol region.Protocol) *region.Descriptor {
+	attrs := region.DefaultAttrs()
+	attrs.Protocol = protocol
+	return &region.Descriptor{
+		Range:     gaddr.Range{Start: gaddr.FromUint64(0x100000), Size: 0x10000},
+		Attrs:     attrs,
+		Home:      []ktypes.NodeID{1},
+		Epoch:     1,
+		Allocated: true,
+	}
+}
+
+// cm returns the host's CM for the descriptor's protocol.
+func (h *testHost) cm(d *region.Descriptor) CM { return h.cms[d.Attrs.Protocol] }
+
+// lockWrite acquires, mutates, and releases a page under a write lock.
+func lockWrite(t *testing.T, h *testHost, d *region.Descriptor, page gaddr.Addr, mutate func(data []byte)) {
+	t.Helper()
+	ctx := context.Background()
+	if err := h.cm(d).Acquire(ctx, d, page, ktypes.LockWrite); err != nil {
+		t.Fatalf("%v acquire write: %v", h.id, err)
+	}
+	data := loadOrZero(h, d, page)
+	mutate(data)
+	if err := h.StorePage(page, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.cm(d).Release(ctx, d, page, ktypes.LockWrite, true); err != nil {
+		t.Fatalf("%v release write: %v", h.id, err)
+	}
+}
+
+// lockRead acquires a read lock, snapshots the page, and releases.
+func lockRead(t *testing.T, h *testHost, d *region.Descriptor, page gaddr.Addr) []byte {
+	t.Helper()
+	ctx := context.Background()
+	if err := h.cm(d).Acquire(ctx, d, page, ktypes.LockRead); err != nil {
+		t.Fatalf("%v acquire read: %v", h.id, err)
+	}
+	data := loadOrZero(h, d, page)
+	if err := h.cm(d).Release(ctx, d, page, ktypes.LockRead, false); err != nil {
+		t.Fatalf("%v release read: %v", h.id, err)
+	}
+	return data
+}

@@ -1,0 +1,211 @@
+// Package consistency implements Khazana's consistency management
+// framework (paper §3.3): program modules called Consistency Managers
+// (CMs) run at each replica site and cooperate to implement the required
+// level of consistency among replicas. A Khazana node treats lock requests
+// as indications of intent to access in the specified mode and obtains the
+// local CM's permission before granting them; the CM checks for conflicts
+// with ongoing operations and, if necessary, delays granting locks until
+// the conflict is resolved.
+//
+// Three protocols ship, matching the paper: CREW (Concurrent Read
+// Exclusive Write, the prototype's only model, §5), release consistency
+// (used for the address map tree nodes), and an eventual protocol for
+// clients that tolerate temporarily out-of-date data. New protocols are
+// plugged in by registering them (§5).
+package consistency
+
+import (
+	"context"
+	"sync"
+
+	"khazana/internal/gaddr"
+	"khazana/internal/ktypes"
+)
+
+// LockTable provides per-page local lock accounting with blocking
+// acquisition. Conflict rules:
+//
+//   - LockRead conflicts with an exclusive writer.
+//   - LockWrite is exclusive: conflicts with readers, shared writers, and
+//     other writers.
+//   - LockWriteShared conflicts only with an exclusive writer (it coexists
+//     with readers and other shared writers; the region's protocol is
+//     responsible for merging).
+type LockTable struct {
+	mu    sync.Mutex
+	pages map[gaddr.Addr]*pageLock
+}
+
+type pageLock struct {
+	readers       int
+	sharedWriters int
+	exclusive     bool
+	gate          chan struct{}
+}
+
+// NewLockTable creates an empty lock table.
+func NewLockTable() *LockTable {
+	return &LockTable{pages: make(map[gaddr.Addr]*pageLock)}
+}
+
+// Acquire blocks until the page can be locked in the given mode or the
+// context is done.
+func (lt *LockTable) Acquire(ctx context.Context, page gaddr.Addr, mode ktypes.LockMode) error {
+	for {
+		lt.mu.Lock()
+		pl, ok := lt.pages[page]
+		if !ok {
+			pl = &pageLock{gate: make(chan struct{})}
+			lt.pages[page] = pl
+		}
+		if pl.admit(mode) {
+			lt.mu.Unlock()
+			return nil
+		}
+		gate := pl.gate
+		lt.mu.Unlock()
+		select {
+		case <-gate:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// TryAcquire attempts a non-blocking lock, reporting success.
+func (lt *LockTable) TryAcquire(page gaddr.Addr, mode ktypes.LockMode) bool {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	pl, ok := lt.pages[page]
+	if !ok {
+		pl = &pageLock{gate: make(chan struct{})}
+		lt.pages[page] = pl
+	}
+	return pl.admit(mode)
+}
+
+// admit grants the mode if compatible with current holders. Caller holds
+// the table mutex.
+func (pl *pageLock) admit(mode ktypes.LockMode) bool {
+	switch mode {
+	case ktypes.LockRead:
+		if pl.exclusive {
+			return false
+		}
+		pl.readers++
+		return true
+	case ktypes.LockWrite:
+		if pl.exclusive || pl.readers > 0 || pl.sharedWriters > 0 {
+			return false
+		}
+		pl.exclusive = true
+		return true
+	case ktypes.LockWriteShared:
+		if pl.exclusive {
+			return false
+		}
+		pl.sharedWriters++
+		return true
+	default:
+		return false
+	}
+}
+
+// Release drops a lock previously acquired in mode. Releasing an unheld
+// lock panics: it is a programming error in the daemon, not a runtime
+// condition.
+func (lt *LockTable) Release(page gaddr.Addr, mode ktypes.LockMode) {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	pl, ok := lt.pages[page]
+	if !ok {
+		panic("consistency: release of unlocked page " + page.String())
+	}
+	switch mode {
+	case ktypes.LockRead:
+		if pl.readers == 0 {
+			panic("consistency: release of unheld read lock")
+		}
+		pl.readers--
+	case ktypes.LockWrite:
+		if !pl.exclusive {
+			panic("consistency: release of unheld write lock")
+		}
+		pl.exclusive = false
+	case ktypes.LockWriteShared:
+		if pl.sharedWriters == 0 {
+			panic("consistency: release of unheld write-shared lock")
+		}
+		pl.sharedWriters--
+	default:
+		panic("consistency: release with invalid mode")
+	}
+	// Wake waiters and reset the gate.
+	close(pl.gate)
+	pl.gate = make(chan struct{})
+	if pl.readers == 0 && pl.sharedWriters == 0 && !pl.exclusive {
+		delete(lt.pages, page)
+	}
+}
+
+// TryRelease drops a lock if it is held, reporting whether it was. It is
+// used on paths where a release may legitimately arrive at a node that
+// never granted the lock — e.g. a retried release reaching a freshly
+// promoted home after failover (§3.5).
+func (lt *LockTable) TryRelease(page gaddr.Addr, mode ktypes.LockMode) bool {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	pl, ok := lt.pages[page]
+	if !ok {
+		return false
+	}
+	switch mode {
+	case ktypes.LockRead:
+		if pl.readers == 0 {
+			return false
+		}
+		pl.readers--
+	case ktypes.LockWrite:
+		if !pl.exclusive {
+			return false
+		}
+		pl.exclusive = false
+	case ktypes.LockWriteShared:
+		if pl.sharedWriters == 0 {
+			return false
+		}
+		pl.sharedWriters--
+	default:
+		return false
+	}
+	close(pl.gate)
+	pl.gate = make(chan struct{})
+	if pl.readers == 0 && pl.sharedWriters == 0 && !pl.exclusive {
+		delete(lt.pages, page)
+	}
+	return true
+}
+
+// WriteLocked reports whether any write-intent lock (exclusive or shared)
+// is currently held on the page.
+func (lt *LockTable) WriteLocked(page gaddr.Addr) bool {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	pl, ok := lt.pages[page]
+	return ok && (pl.exclusive || pl.sharedWriters > 0)
+}
+
+// Held reports whether any lock is currently held on the page.
+func (lt *LockTable) Held(page gaddr.Addr) bool {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	_, ok := lt.pages[page]
+	return ok
+}
+
+// Len returns the number of pages with active locks.
+func (lt *LockTable) Len() int {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	return len(lt.pages)
+}

@@ -1,0 +1,203 @@
+package consistency
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"khazana/internal/gaddr"
+	"khazana/internal/ktypes"
+)
+
+func lpage(n uint64) gaddr.Addr { return gaddr.FromUint64(n * 0x1000) }
+
+func TestLockModeCompatibility(t *testing.T) {
+	tests := []struct {
+		name   string
+		first  ktypes.LockMode
+		second ktypes.LockMode
+		admit  bool
+	}{
+		{"read read", ktypes.LockRead, ktypes.LockRead, true},
+		{"read write", ktypes.LockRead, ktypes.LockWrite, false},
+		{"read write-shared", ktypes.LockRead, ktypes.LockWriteShared, true},
+		{"write read", ktypes.LockWrite, ktypes.LockRead, false},
+		{"write write", ktypes.LockWrite, ktypes.LockWrite, false},
+		{"write write-shared", ktypes.LockWrite, ktypes.LockWriteShared, false},
+		{"write-shared read", ktypes.LockWriteShared, ktypes.LockRead, true},
+		{"write-shared write", ktypes.LockWriteShared, ktypes.LockWrite, false},
+		{"write-shared write-shared", ktypes.LockWriteShared, ktypes.LockWriteShared, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			lt := NewLockTable()
+			if err := lt.Acquire(context.Background(), lpage(1), tt.first); err != nil {
+				t.Fatal(err)
+			}
+			if got := lt.TryAcquire(lpage(1), tt.second); got != tt.admit {
+				t.Fatalf("TryAcquire(%v after %v) = %v, want %v", tt.second, tt.first, got, tt.admit)
+			}
+		})
+	}
+}
+
+func TestLockDifferentPagesIndependent(t *testing.T) {
+	lt := NewLockTable()
+	ctx := context.Background()
+	if err := lt.Acquire(ctx, lpage(1), ktypes.LockWrite); err != nil {
+		t.Fatal(err)
+	}
+	if err := lt.Acquire(ctx, lpage(2), ktypes.LockWrite); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLockBlocksUntilRelease(t *testing.T) {
+	lt := NewLockTable()
+	ctx := context.Background()
+	if err := lt.Acquire(ctx, lpage(1), ktypes.LockWrite); err != nil {
+		t.Fatal(err)
+	}
+	acquired := make(chan struct{})
+	go func() {
+		if err := lt.Acquire(ctx, lpage(1), ktypes.LockRead); err == nil {
+			close(acquired)
+		}
+	}()
+	select {
+	case <-acquired:
+		t.Fatal("read acquired while write held")
+	case <-time.After(30 * time.Millisecond):
+	}
+	lt.Release(lpage(1), ktypes.LockWrite)
+	select {
+	case <-acquired:
+	case <-time.After(time.Second):
+		t.Fatal("read never acquired after release")
+	}
+}
+
+func TestLockWriteWaitsForAllReaders(t *testing.T) {
+	lt := NewLockTable()
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if err := lt.Acquire(ctx, lpage(1), ktypes.LockRead); err != nil {
+			t.Fatal(err)
+		}
+	}
+	acquired := make(chan struct{})
+	go func() {
+		if err := lt.Acquire(ctx, lpage(1), ktypes.LockWrite); err == nil {
+			close(acquired)
+		}
+	}()
+	for i := 0; i < 3; i++ {
+		select {
+		case <-acquired:
+			t.Fatalf("write acquired with %d readers left", 3-i)
+		case <-time.After(10 * time.Millisecond):
+		}
+		lt.Release(lpage(1), ktypes.LockRead)
+	}
+	select {
+	case <-acquired:
+	case <-time.After(time.Second):
+		t.Fatal("write never acquired")
+	}
+}
+
+func TestLockContextCancel(t *testing.T) {
+	lt := NewLockTable()
+	if err := lt.Acquire(context.Background(), lpage(1), ktypes.LockWrite); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := lt.Acquire(ctx, lpage(1), ktypes.LockRead); err == nil {
+		t.Fatal("acquire should fail on context timeout")
+	}
+	// Table must stay consistent: release the writer, lock again.
+	lt.Release(lpage(1), ktypes.LockWrite)
+	if err := lt.Acquire(context.Background(), lpage(1), ktypes.LockWrite); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLockInvalidMode(t *testing.T) {
+	lt := NewLockTable()
+	if lt.TryAcquire(lpage(1), ktypes.LockMode(99)) {
+		t.Fatal("invalid mode admitted")
+	}
+}
+
+func TestLockReleasePanics(t *testing.T) {
+	tests := []struct {
+		name string
+		prep func(lt *LockTable)
+		rel  ktypes.LockMode
+	}{
+		{"never locked", func(*LockTable) {}, ktypes.LockRead},
+		{"wrong mode read", func(lt *LockTable) {
+			_ = lt.Acquire(context.Background(), lpage(1), ktypes.LockRead)
+		}, ktypes.LockWrite},
+		{"wrong mode write", func(lt *LockTable) {
+			_ = lt.Acquire(context.Background(), lpage(1), ktypes.LockWrite)
+		}, ktypes.LockWriteShared},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			lt := NewLockTable()
+			tt.prep(lt)
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			lt.Release(lpage(1), tt.rel)
+		})
+	}
+}
+
+func TestLockTableCleanup(t *testing.T) {
+	lt := NewLockTable()
+	ctx := context.Background()
+	_ = lt.Acquire(ctx, lpage(1), ktypes.LockRead)
+	_ = lt.Acquire(ctx, lpage(1), ktypes.LockRead)
+	if !lt.Held(lpage(1)) || lt.Len() != 1 {
+		t.Fatal("lock not tracked")
+	}
+	lt.Release(lpage(1), ktypes.LockRead)
+	if !lt.Held(lpage(1)) {
+		t.Fatal("lock dropped with a reader left")
+	}
+	lt.Release(lpage(1), ktypes.LockRead)
+	if lt.Held(lpage(1)) || lt.Len() != 0 {
+		t.Fatal("empty lock entry not cleaned up")
+	}
+}
+
+func TestLockStress(t *testing.T) {
+	lt := NewLockTable()
+	ctx := context.Background()
+	var counter int
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				if err := lt.Acquire(ctx, lpage(1), ktypes.LockWrite); err != nil {
+					t.Error(err)
+					return
+				}
+				counter++
+				lt.Release(lpage(1), ktypes.LockWrite)
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != 8*200 {
+		t.Fatalf("counter = %d, want %d (write lock not exclusive)", counter, 8*200)
+	}
+}

@@ -1,0 +1,171 @@
+package consistency
+
+import (
+	"context"
+	"fmt"
+
+	"khazana/internal/gaddr"
+	"khazana/internal/ktypes"
+	"khazana/internal/pagedir"
+	"khazana/internal/region"
+	"khazana/internal/wire"
+)
+
+// ReleaseCM implements release consistency (paper §3.3: "for the address
+// map tree nodes, we use a release consistent protocol", citing
+// Gharachorloo et al.).
+//
+// Writes are applied to the local replica and propagated to the region's
+// home only when the write lock is released; readers validate their cached
+// copy against the home's version at acquire time. This gives the RC
+// contract — an acquire observes all writes whose releases completed
+// before it — without any global lock traffic on the critical path.
+type ReleaseCM struct {
+	h Host
+}
+
+// NewRelease creates the release-consistency manager for a node.
+func NewRelease(h Host) *ReleaseCM { return &ReleaseCM{h: h} }
+
+var _ CM = (*ReleaseCM)(nil)
+
+// Protocol implements CM.
+func (c *ReleaseCM) Protocol() region.Protocol { return region.Release }
+
+// Acquire implements CM.
+func (c *ReleaseCM) Acquire(ctx context.Context, desc *region.Descriptor, page gaddr.Addr, mode ktypes.LockMode) error {
+	if err := c.h.Locks().Acquire(ctx, page, mode); err != nil {
+		return fmt.Errorf("%w: %v", ErrConflict, err)
+	}
+	if err := c.validate(ctx, desc, page, mode); err != nil {
+		c.h.Locks().Release(page, mode)
+		return err
+	}
+	return nil
+}
+
+// validate brings the local copy up to date with the home at acquire time.
+func (c *ReleaseCM) validate(ctx context.Context, desc *region.Descriptor, page gaddr.Addr, mode ktypes.LockMode) error {
+	if isHome(c.h, desc) {
+		c.h.Dir().Update(page, func(e *pagedir.Entry) {
+			e.HomedLocal = true
+			if e.State == pagedir.Invalid {
+				e.State = pagedir.Shared
+			}
+		})
+		return nil
+	}
+	home, err := homeOf(desc)
+	if err != nil {
+		return err
+	}
+	entry, haveEntry := c.h.Dir().Lookup(page)
+	_, haveData := c.h.LoadPage(page)
+
+	resp, err := c.h.Request(ctx, home, &wire.VersionQuery{Page: page})
+	if err != nil {
+		return fmt.Errorf("consistency: release validate %v: %w", page, err)
+	}
+	vi, ok := resp.(*wire.VersionInfo)
+	if !ok {
+		return fmt.Errorf("consistency: release validate %v: unexpected reply %T", page, resp)
+	}
+	fresh := haveData && haveEntry && entry.Version >= vi.Version
+	if fresh {
+		return nil
+	}
+	fetchResp, err := c.h.Request(ctx, home, &wire.PageFetch{Page: page, Requester: c.h.Self()})
+	if err != nil {
+		return fmt.Errorf("consistency: release fetch %v: %w", page, err)
+	}
+	pd, ok := fetchResp.(*wire.PageData)
+	if !ok {
+		return fmt.Errorf("consistency: release fetch %v: unexpected reply %T", page, fetchResp)
+	}
+	data := pd.Data
+	if !pd.Found {
+		// Never written: an allocated page reads as zeroes.
+		data = zeroFill(desc)
+	}
+	if err := c.h.StorePage(page, data); err != nil {
+		return fmt.Errorf("consistency: release store %v: %w", page, err)
+	}
+	c.h.Dir().Update(page, func(e *pagedir.Entry) {
+		e.State = pagedir.Shared
+		e.Version = pd.Version
+	})
+	_ = mode
+	return nil
+}
+
+// Release implements CM. Dirty contents propagate to the home here — the
+// essence of release consistency.
+func (c *ReleaseCM) Release(ctx context.Context, desc *region.Descriptor, page gaddr.Addr, mode ktypes.LockMode, dirty bool) error {
+	defer c.h.Locks().Release(page, mode)
+	if !mode.Writes() || !dirty {
+		return nil
+	}
+	if isHome(c.h, desc) {
+		c.h.Dir().Update(page, func(e *pagedir.Entry) {
+			e.Version++
+			e.HomedLocal = true
+		})
+		return nil
+	}
+	home, err := homeOf(desc)
+	if err != nil {
+		return err
+	}
+	data := loadOrZero(c.h, desc, page)
+	resp, err := c.h.Request(ctx, home, &wire.UpdatePush{Page: page, Data: data, Origin: c.h.Self()})
+	if err != nil {
+		return fmt.Errorf("consistency: release push %v: %w", page, err)
+	}
+	if vi, ok := resp.(*wire.VersionInfo); ok {
+		c.h.Dir().Update(page, func(e *pagedir.Entry) { e.Version = vi.Version })
+	}
+	return nil
+}
+
+// Handle implements CM.
+func (c *ReleaseCM) Handle(ctx context.Context, desc *region.Descriptor, from ktypes.NodeID, m wire.Msg) (wire.Msg, error) {
+	switch msg := m.(type) {
+	case *wire.VersionQuery:
+		if !isHome(c.h, desc) {
+			return nil, ErrNotHome
+		}
+		entry, ok := c.h.Dir().Lookup(msg.Page)
+		if !ok {
+			return &wire.VersionInfo{Found: false, Version: 0}, nil
+		}
+		return &wire.VersionInfo{Found: true, Version: entry.Version}, nil
+	case *wire.PageFetch:
+		if isHome(c.h, desc) {
+			// Track the fetcher so future protocols (and replica
+			// maintenance) know who caches the page.
+			c.h.Dir().Update(msg.Page, func(e *pagedir.Entry) {
+				e.HomedLocal = true
+				e.AddSharer(msg.Requester)
+			})
+		}
+		return handlePageFetch(c.h, msg), nil
+	case *wire.UpdatePush:
+		if !isHome(c.h, desc) {
+			return nil, ErrNotHome
+		}
+		if err := c.h.StorePage(msg.Page, msg.Data); err != nil {
+			return nil, err
+		}
+		var newVersion uint64
+		c.h.Dir().Update(msg.Page, func(e *pagedir.Entry) {
+			e.HomedLocal = true
+			e.Version++
+			e.State = pagedir.Shared
+			e.AddSharer(from)
+			newVersion = e.Version
+		})
+		return &wire.VersionInfo{Found: true, Version: newVersion}, nil
+	default:
+		return nil, fmt.Errorf("%w: release got %T", ErrUnknownMsg, m)
+	}
+}

@@ -1,0 +1,341 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"khazana/internal/addrmap"
+	"khazana/internal/gaddr"
+	"khazana/internal/ktypes"
+	"khazana/internal/pagedir"
+	"khazana/internal/region"
+	"khazana/internal/wire"
+)
+
+// --- address map mutation routing --------------------------------------------
+//
+// All map mutations execute at the map region's home node, serialized
+// under mapMu; other nodes route them there with the Map* messages. Reads
+// (tree walks) run anywhere against release-consistent replicas.
+
+// mapReserveRange grants a chunk of unreserved address space.
+func (n *Node) mapReserveRange(ctx context.Context, size, align uint64) (gaddr.Range, error) {
+	if n.cfg.ID == n.cfg.MapHome {
+		n.mapMu.Lock()
+		defer n.mapMu.Unlock()
+		return n.amap.ReserveRange(ctx, size, align)
+	}
+	resp, err := n.tr.Request(ctx, n.cfg.MapHome, &wire.ReserveSpace{From: n.cfg.ID, Size: size})
+	if err != nil {
+		return gaddr.Range{}, err
+	}
+	grant, ok := resp.(*wire.SpaceGrant)
+	if !ok {
+		return gaddr.Range{}, fmt.Errorf("core: unexpected reply %T", resp)
+	}
+	if grant.Err != "" {
+		return gaddr.Range{}, errors.New(grant.Err)
+	}
+	return grant.Range, nil
+}
+
+// mapInsert records a region in the address map.
+func (n *Node) mapInsert(ctx context.Context, r gaddr.Range, homes []ktypes.NodeID) error {
+	if n.cfg.ID == n.cfg.MapHome {
+		n.mapMu.Lock()
+		defer n.mapMu.Unlock()
+		return n.amap.Insert(ctx, mapEntry(r, homes))
+	}
+	return n.mapRPC(ctx, &wire.MapInsert{Range: r, Homes: homes})
+}
+
+// mapRemove deletes a region from the address map.
+func (n *Node) mapRemove(ctx context.Context, start gaddr.Addr) error {
+	if n.cfg.ID == n.cfg.MapHome {
+		n.mapMu.Lock()
+		defer n.mapMu.Unlock()
+		return n.amap.Remove(ctx, start)
+	}
+	return n.mapRPC(ctx, &wire.MapRemove{Start: start})
+}
+
+// mapSetHomes updates a region's home list in the address map.
+func (n *Node) mapSetHomes(ctx context.Context, start gaddr.Addr, homes []ktypes.NodeID) error {
+	if n.cfg.ID == n.cfg.MapHome {
+		n.mapMu.Lock()
+		defer n.mapMu.Unlock()
+		return n.amap.SetHomes(ctx, start, homes)
+	}
+	return n.mapRPC(ctx, &wire.MapSetHomes{Start: start, Homes: homes})
+}
+
+func (n *Node) mapRPC(ctx context.Context, m wire.Msg) error {
+	resp, err := n.tr.Request(ctx, n.cfg.MapHome, m)
+	if err != nil {
+		return err
+	}
+	if ack, ok := resp.(*wire.Ack); ok && ack.Err != "" {
+		return errors.New(ack.Err)
+	}
+	return nil
+}
+
+func mapEntry(r gaddr.Range, homes []ktypes.NodeID) addrmap.Entry {
+	return addrmap.Entry{Range: r, Homes: homes}
+}
+
+// --- background loops ------------------------------------------------------
+
+// heartbeatLoop reports liveness, free-space hints, and recently homed
+// regions to the cluster manager (§3.1).
+func (n *Node) heartbeatLoop() {
+	defer n.done.Done()
+	ticker := time.NewTicker(n.cfg.HeartbeatInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			n.SendHeartbeat()
+		case <-n.stop:
+			return
+		}
+	}
+}
+
+// SendHeartbeat sends one heartbeat (also callable by tests and tools).
+func (n *Node) SendHeartbeat() {
+	if n.manager != nil {
+		return // the manager's own liveness is implicit
+	}
+	total, max := n.FreeSpace()
+	regions := n.authStarts()
+	if len(regions) > 32 {
+		regions = regions[:32]
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	resp, err := n.tr.Request(ctx, n.cfg.ClusterManager, &wire.Heartbeat{
+		Node:      n.cfg.ID,
+		FreeTotal: total,
+		FreeMax:   max,
+		Regions:   regions,
+	})
+	if err != nil {
+		return
+	}
+	if view, ok := resp.(*wire.ClusterView); ok {
+		n.setMembers(view.Members)
+	}
+}
+
+// retryLoop drains the background release-retry queue (§3.5: "the Khazana
+// system keeps trying the operation in the background until it
+// succeeds").
+func (n *Node) retryLoop() {
+	defer n.done.Done()
+	ticker := time.NewTicker(n.cfg.RetryInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			n.RunRetries()
+		case <-n.stop:
+			return
+		}
+	}
+}
+
+// queueRetry enqueues a failed release-side operation.
+func (n *Node) queueRetry(op retryOp) {
+	n.retryMu.Lock()
+	defer n.retryMu.Unlock()
+	n.retries = append(n.retries, op)
+}
+
+// PendingRetries reports the queue length.
+func (n *Node) PendingRetries() int {
+	n.retryMu.Lock()
+	defer n.retryMu.Unlock()
+	return len(n.retries)
+}
+
+// RunRetries attempts every queued release once (also callable by tests).
+func (n *Node) RunRetries() {
+	n.retryMu.Lock()
+	ops := n.retries
+	n.retries = nil
+	n.retryMu.Unlock()
+	for _, op := range ops {
+		if err := n.retryRelease(op); err != nil {
+			n.queueRetry(op)
+		} else {
+			n.stats.ReleaseRetries.Add(1)
+		}
+	}
+}
+
+// retryRelease redoes the network half of a failed release. The local
+// lock state was already torn down when the release first ran, so only
+// the home-side notification is repeated.
+func (n *Node) retryRelease(op retryOp) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+	desc, err := n.lookupRegion(ctx, op.page)
+	if err != nil {
+		return err
+	}
+	home, err := desc.PrimaryHome()
+	if err != nil {
+		return err
+	}
+	if home == n.cfg.ID {
+		return nil // we became the home; nothing to notify
+	}
+	var data []byte
+	if op.dirty {
+		d, ok := n.store.Get(op.page)
+		if !ok {
+			// The page left the node since the release failed; the
+			// disk-eviction path only lets a dirty page go after
+			// pushing it home (§3.4), so the update has already been
+			// delivered. Pushing nil here would clobber it.
+			return nil
+		}
+		data = d
+	}
+	var msg wire.Msg
+	switch desc.Attrs.Protocol {
+	case region.CREW:
+		msg = &wire.ReleaseNotify{Page: op.page, Mode: op.mode, Dirty: op.dirty, Data: data, From: n.cfg.ID}
+	case region.Release:
+		if !op.dirty {
+			return nil
+		}
+		msg = &wire.UpdatePush{Page: op.page, Data: data, Origin: n.cfg.ID}
+	case region.Eventual:
+		if !op.dirty {
+			return nil
+		}
+		msg = &wire.UpdatePush{Page: op.page, Data: data, Stamp: n.now(), Origin: n.cfg.ID}
+	default:
+		return nil
+	}
+	if _, err = n.tr.Request(ctx, home, msg); err != nil {
+		return err
+	}
+	// Delivered: the local copy is no longer the only holder of the
+	// update, so it may be victimized again.
+	n.dir.Update(op.page, func(e *pagedir.Entry) { e.Dirty = false })
+	return nil
+}
+
+// replicaLoop maintains each homed region's minimum replica count (§3.5).
+func (n *Node) replicaLoop() {
+	defer n.done.Done()
+	ticker := time.NewTicker(n.cfg.ReplicaInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			n.MaintainReplicas()
+		case <-n.stop:
+			return
+		}
+	}
+}
+
+// MaintainReplicas pushes page copies and secondary descriptors to other
+// nodes until every homed region with MinReplicas > 1 has enough homes
+// (also callable by tests and tools).
+func (n *Node) MaintainReplicas() {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	for _, start := range n.authStarts() {
+		desc := n.authDescByStart(start)
+		if desc == nil || desc.Attrs.MinReplicas <= 1 {
+			continue
+		}
+		if desc, changed := n.ensureHomes(ctx, desc); changed {
+			n.pushReplicas(ctx, desc)
+		} else {
+			n.pushReplicas(ctx, desc)
+		}
+	}
+}
+
+// ensureHomes extends the region's home list with alive members up to
+// MinReplicas, recording the change in the map and the descriptor.
+func (n *Node) ensureHomes(ctx context.Context, desc *region.Descriptor) (*region.Descriptor, bool) {
+	want := int(desc.Attrs.MinReplicas)
+	if len(desc.Home) >= want {
+		return desc, false
+	}
+	alive := n.Members()
+	homes := append([]ktypes.NodeID(nil), desc.Home...)
+	for _, m := range alive {
+		if len(homes) >= want {
+			break
+		}
+		if !containsNode(homes, m) {
+			homes = append(homes, m)
+		}
+	}
+	if len(homes) == len(desc.Home) {
+		return desc, false
+	}
+	n.descMu.Lock()
+	d, ok := n.authDescs[desc.Range.Start]
+	if !ok {
+		n.descMu.Unlock()
+		return desc, false
+	}
+	d.Home = homes
+	d.Epoch++
+	out := d.Clone()
+	n.descMu.Unlock()
+	n.rdir.Insert(out)
+	_ = n.mapSetHomes(ctx, out.Range.Start, homes)
+	// Ship the descriptor to the new secondary homes so they can serve
+	// lookups and accept promotion.
+	for _, h := range homes[1:] {
+		if h == n.cfg.ID {
+			continue
+		}
+		_, _ = n.tr.Request(ctx, h, &wire.AttrSet{Desc: out, Principal: out.Attrs.ACL.Owner})
+	}
+	return out, true
+}
+
+// pushReplicas copies locally stored pages of the region to its secondary
+// homes.
+func (n *Node) pushReplicas(ctx context.Context, desc *region.Descriptor) {
+	if len(desc.Home) < 2 {
+		return
+	}
+	for _, page := range desc.Pages(0, desc.Range.Size) {
+		data, ok := n.store.Get(page)
+		if !ok {
+			continue // never written; zero-fills everywhere
+		}
+		entry, _ := n.dir.Lookup(page)
+		for _, h := range desc.Home[1:] {
+			if h == n.cfg.ID || entry.InCopyset(h) {
+				continue
+			}
+			if _, err := n.tr.Request(ctx, h, &wire.ReplicaPut{Page: page, Data: data, Version: entry.Version, From: n.cfg.ID}); err == nil {
+				n.dir.Update(page, func(e *pagedir.Entry) { e.AddSharer(h) })
+			}
+		}
+	}
+}
+
+func containsNode(ns []ktypes.NodeID, id ktypes.NodeID) bool {
+	for _, n := range ns {
+		if n == id {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"khazana/internal/gaddr"
+	"khazana/internal/ktypes"
+	"khazana/internal/region"
+	"khazana/internal/transport"
+	"khazana/internal/wire"
+)
+
+// testFederation builds two clusters on one network: nodes 1-3 form
+// cluster A (manager n1, which is also the global map home and genesis)
+// and nodes 4-6 form cluster B (manager n4). The two managers are peered
+// (§3.1: multiple clusters organized into a hierarchy; managers represent
+// their cluster during inter-cluster communication).
+func testFederation(t *testing.T) (*transport.Network, []*Node) {
+	t.Helper()
+	net := transport.NewNetwork()
+	nodes := make([]*Node, 6)
+	for i := 0; i < 6; i++ {
+		id := ktypes.NodeID(i + 1)
+		tr, err := net.Attach(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		manager := ktypes.NodeID(1)
+		var peers []ktypes.NodeID
+		if i >= 3 {
+			manager = 4
+		}
+		if id == 1 {
+			peers = []ktypes.NodeID{4}
+		}
+		if id == 4 {
+			peers = []ktypes.NodeID{1}
+		}
+		cfg := Config{
+			ID:             id,
+			Transport:      tr,
+			StoreDir:       filepath.Join(t.TempDir(), fmt.Sprintf("n%d", id)),
+			ClusterManager: manager,
+			PeerManagers:   peers,
+			MapHome:        1,
+			Genesis:        id == 1,
+		}
+		node, err := NewNode(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := node.Start(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = node.Close() })
+		nodes[i] = node
+	}
+	return net, nodes
+}
+
+func TestFederationCrossClusterLookup(t *testing.T) {
+	_, nodes := testFederation(t)
+	ctx := context.Background()
+
+	// Region homed on node 5 (cluster B); its manager learns about it
+	// via heartbeat.
+	start := mkRegion(t, nodes[4], 4096, region.Attrs{}, "")
+	lc, err := nodes[4].Lock(ctx, gaddr.Range{Start: start, Size: 4096}, ktypes.LockWrite, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = nodes[4].Write(lc, start, []byte("cluster B data"))
+	_ = nodes[4].Unlock(ctx, lc)
+	nodes[4].SendHeartbeat() // n5 -> manager n4
+
+	// Node 2 (cluster A) resolves the region. Its manager (n1) has no
+	// local hint and its cluster walk misses (no cluster-A node caches
+	// the region), so the query is forwarded to manager n4.
+	rlc, err := nodes[1].Lock(ctx, gaddr.Range{Start: start, Size: 4096}, ktypes.LockRead, "")
+	if err != nil {
+		t.Fatalf("cross-cluster lock: %v", err)
+	}
+	got, _ := nodes[1].Read(rlc, start, 14)
+	_ = nodes[1].Unlock(ctx, rlc)
+	if string(got) != "cluster B data" {
+		t.Fatalf("cross-cluster read %q", got)
+	}
+	// The forwarded answer is cached as a local hint at manager n1.
+	if hints, found := nodes[0].Manager().Query(start); !found || len(hints) == 0 {
+		t.Fatalf("manager A did not cache the inter-cluster hint: %v, %v", hints, found)
+	}
+}
+
+func TestFederationForwardedQueriesDoNotLoop(t *testing.T) {
+	_, nodes := testFederation(t)
+	ctx := context.Background()
+	// Ask cluster A's manager about an address nobody has. The query is
+	// forwarded once to manager B, which must not forward it back.
+	resp, err := nodes[1].tr.Request(ctx, 1, &wire.ClusterQuery{Addr: gaddr.FromUint64(0x7777777000)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hint, ok := resp.(*wire.ClusterHint)
+	if !ok || hint.Found {
+		t.Fatalf("query for unknown address = %+v", resp)
+	}
+}
+
+func TestFederationBothClustersShareAddressSpace(t *testing.T) {
+	_, nodes := testFederation(t)
+	ctx := context.Background()
+	// Reservations from both clusters go through the single map home
+	// and must never overlap.
+	a := mkRegion(t, nodes[1], 8192, region.Attrs{}, "")
+	b := mkRegion(t, nodes[4], 8192, region.Attrs{}, "")
+	ra := gaddr.Range{Start: a, Size: 8192}
+	rb := gaddr.Range{Start: b, Size: 8192}
+	if ra.Overlaps(rb) {
+		t.Fatalf("cross-cluster reservations overlap: %v %v", ra, rb)
+	}
+	// And both are globally accessible.
+	for _, n := range []*Node{nodes[2], nodes[5]} {
+		for _, r := range []gaddr.Range{ra, rb} {
+			lk, err := n.Lock(ctx, r, ktypes.LockRead, "")
+			if err != nil {
+				t.Fatalf("node %v lock %v: %v", n.ID(), r, err)
+			}
+			_ = n.Unlock(ctx, lk)
+		}
+	}
+}

@@ -1,0 +1,235 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"khazana/internal/gaddr"
+	"khazana/internal/ktypes"
+	"khazana/internal/region"
+	"khazana/internal/wire"
+)
+
+// ErrInaccessible is returned when every stage of the lookup path fails:
+// "If the region descriptor cannot be located, the region is deemed
+// inaccessible and the operation fails back to the client" (§3.2).
+var ErrInaccessible = errors.New("core: region inaccessible")
+
+// lookupRegion resolves the descriptor of the region containing addr,
+// following the paper's three-stage path (§3.2, §3.5): region directory
+// first, then the cluster manager, and only then the address map tree
+// walk.
+func (n *Node) lookupRegion(ctx context.Context, addr gaddr.Addr) (*region.Descriptor, error) {
+	n.stats.Lookups.Add(1)
+	// Stage 0: the address map region itself is well known.
+	if n.mapDesc.Range.Contains(addr) {
+		return n.mapDesc.Clone(), nil
+	}
+	// Stage 0b: regions homed here are authoritative.
+	if d := n.authDesc(addr); d != nil {
+		return d, nil
+	}
+	// Stage 1: region directory cache.
+	if d, ok := n.rdir.Lookup(addr); ok {
+		n.stats.DirHits.Add(1)
+		n.trace("1:region-directory-hit")
+		return d, nil
+	}
+	// Stage 2: cluster manager hint / cluster walk.
+	if d := n.lookupViaCluster(ctx, addr); d != nil {
+		n.stats.ClusterHits.Add(1)
+		n.rdir.Insert(d)
+		return d.Clone(), nil
+	}
+	// Stage 3: address map tree walk.
+	n.trace("2-3:address-map-lookup")
+	n.stats.TreeWalks.Add(1)
+	entry, _, err := n.amap.Lookup(ctx, addr)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInaccessible, err)
+	}
+	d, err := n.fetchDescriptor(ctx, entry.Homes, entry.Range.Start)
+	if err != nil {
+		return nil, err
+	}
+	n.rdir.Insert(d)
+	return d.Clone(), nil
+}
+
+// authDesc returns a clone of the authoritative descriptor for the region
+// containing addr, when this node homes it.
+func (n *Node) authDesc(addr gaddr.Addr) *region.Descriptor {
+	n.descMu.Lock()
+	defer n.descMu.Unlock()
+	for _, d := range n.authDescs {
+		if d.Range.Contains(addr) {
+			return d.Clone()
+		}
+	}
+	return nil
+}
+
+// authDescByStart returns the authoritative descriptor starting exactly at
+// start.
+func (n *Node) authDescByStart(start gaddr.Addr) *region.Descriptor {
+	n.descMu.Lock()
+	defer n.descMu.Unlock()
+	if d, ok := n.authDescs[start]; ok {
+		return d.Clone()
+	}
+	return nil
+}
+
+// putAuthDesc installs an authoritative descriptor.
+func (n *Node) putAuthDesc(d *region.Descriptor) {
+	n.descMu.Lock()
+	defer n.descMu.Unlock()
+	n.authDescs[d.Range.Start] = d.Clone()
+}
+
+// dropAuthDesc removes an authoritative descriptor.
+func (n *Node) dropAuthDesc(start gaddr.Addr) {
+	n.descMu.Lock()
+	defer n.descMu.Unlock()
+	delete(n.authDescs, start)
+}
+
+// authStarts lists the starts of regions homed here.
+func (n *Node) authStarts() []gaddr.Addr {
+	n.descMu.Lock()
+	defer n.descMu.Unlock()
+	out := make([]gaddr.Addr, 0, len(n.authDescs))
+	for s := range n.authDescs {
+		out = append(out, s)
+	}
+	return out
+}
+
+// lookupViaCluster queries the cluster manager for nearby cachers of the
+// region and fetches the descriptor from one of them.
+func (n *Node) lookupViaCluster(ctx context.Context, addr gaddr.Addr) *region.Descriptor {
+	var nodes []ktypes.NodeID
+	if n.manager != nil {
+		nodes, _ = n.manager.Query(addr)
+	} else {
+		resp, err := n.tr.Request(ctx, n.cfg.ClusterManager, &wire.ClusterQuery{Addr: addr})
+		if err != nil {
+			return nil
+		}
+		if hint, ok := resp.(*wire.ClusterHint); ok && hint.Found {
+			nodes = hint.Nodes
+		}
+	}
+	d, err := n.fetchDescriptorTolerant(ctx, nodes, addr)
+	if err != nil {
+		return nil
+	}
+	return d
+}
+
+// fetchDescriptor asks candidate nodes for the descriptor of the region
+// containing addr, returning the first hit.
+func (n *Node) fetchDescriptor(ctx context.Context, candidates []ktypes.NodeID, addr gaddr.Addr) (*region.Descriptor, error) {
+	d, err := n.fetchDescriptorTolerant(ctx, candidates, addr)
+	if err != nil {
+		return nil, err
+	}
+	if d == nil {
+		return nil, fmt.Errorf("%w: no candidate knows %v", ErrInaccessible, addr)
+	}
+	return d, nil
+}
+
+func (n *Node) fetchDescriptorTolerant(ctx context.Context, candidates []ktypes.NodeID, addr gaddr.Addr) (*region.Descriptor, error) {
+	var lastErr error
+	for _, node := range candidates {
+		if node == n.cfg.ID {
+			if d := n.authDesc(addr); d != nil {
+				return d, nil
+			}
+			if d, ok := n.rdir.Lookup(addr); ok {
+				return d, nil
+			}
+			continue
+		}
+		resp, err := n.tr.Request(ctx, node, &wire.RegionLookup{Addr: addr})
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		info, ok := resp.(*wire.RegionInfo)
+		if !ok || !info.Found {
+			continue
+		}
+		return info.Desc, nil
+	}
+	return nil, lastErr
+}
+
+// refreshDescriptor drops a stale cached descriptor and re-resolves it;
+// used after a home pointer proves stale (§3.2: "the use of a stale home
+// pointer will simply result in a message being sent to a node that no
+// longer is home").
+func (n *Node) refreshDescriptor(ctx context.Context, d *region.Descriptor) (*region.Descriptor, error) {
+	n.rdir.Remove(d.Range.Start)
+	return n.lookupRegion(ctx, d.Range.Start)
+}
+
+// promoteHome asks the next listed home of a region to take over as
+// primary after the current primary became unreachable (§3.5: operations
+// are repeatedly tried on all known Khazana nodes).
+func (n *Node) promoteHome(ctx context.Context, d *region.Descriptor) (*region.Descriptor, error) {
+	for _, candidate := range d.Home[1:] {
+		if candidate == n.cfg.ID {
+			promoted := n.promoteLocal(d.Range.Start)
+			if promoted != nil {
+				return promoted, nil
+			}
+			continue
+		}
+		resp, err := n.tr.Request(ctx, candidate, &wire.Promote{Start: d.Range.Start, From: n.cfg.ID})
+		if err != nil {
+			continue
+		}
+		info, ok := resp.(*wire.RegionInfo)
+		if !ok || !info.Found {
+			continue
+		}
+		n.stats.Promotions.Add(1)
+		n.rdir.Insert(info.Desc)
+		return info.Desc.Clone(), nil
+	}
+	return nil, fmt.Errorf("%w: no home of %v reachable", ErrInaccessible, d.Range.Start)
+}
+
+// promoteLocal makes this node the primary home for a region it already
+// holds a secondary descriptor for.
+func (n *Node) promoteLocal(start gaddr.Addr) *region.Descriptor {
+	n.descMu.Lock()
+	d, ok := n.authDescs[start]
+	if !ok || !d.HasHome(n.cfg.ID) {
+		n.descMu.Unlock()
+		return nil
+	}
+	// Move self to the front of the home list.
+	homes := []ktypes.NodeID{n.cfg.ID}
+	for _, h := range d.Home {
+		if h != n.cfg.ID {
+			homes = append(homes, h)
+		}
+	}
+	d.Home = homes
+	d.Epoch++
+	out := d.Clone()
+	n.descMu.Unlock()
+
+	n.stats.Promotions.Add(1)
+	n.rdir.Insert(out)
+	// Best-effort map update so tree walkers find the new home.
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	_ = n.mapSetHomes(ctx, start, homes)
+	return out
+}

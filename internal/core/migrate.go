@@ -1,0 +1,156 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"khazana/internal/gaddr"
+	"khazana/internal/ktypes"
+	"khazana/internal/pagedir"
+	"khazana/internal/security"
+	"khazana/internal/wire"
+)
+
+// Region migration: the mechanism behind "resource- and load-aware
+// migration and replication policies" the paper lists as future work
+// (§7). Khazana "is free to distribute object state across the network in
+// any way it sees fit" (§2); MigrateRegion hands a region's primary-home
+// role to another node, shipping its pages and descriptor, and updating
+// the address map. Clients with stale descriptors recover through the
+// ordinary stale-home path (§3.2).
+//
+// Migration is a quiescent-point operation: the home refuses while any of
+// the region's pages hold active global locks. Callers (policies) retry.
+
+// ErrBusyRegion reports a migration attempted while the region has active
+// lock holders.
+var ErrBusyRegion = errors.New("core: region busy; migrate when quiescent")
+
+// MigrateRegion moves the primary home of the region starting at start to
+// newHome. It can be called on any node; the request is forwarded to the
+// current primary home.
+func (n *Node) MigrateRegion(ctx context.Context, start gaddr.Addr, newHome ktypes.NodeID, principal ktypes.Principal) error {
+	desc, err := n.lookupRegion(ctx, start)
+	if err != nil {
+		return err
+	}
+	if desc.Range.Start != start {
+		return ErrNotRegionStart
+	}
+	home, err := desc.PrimaryHome()
+	if err != nil {
+		return err
+	}
+	if home != n.cfg.ID {
+		resp, err := n.tr.Request(ctx, home, &wire.Migrate{Start: start, NewHome: newHome, Principal: principal})
+		if err != nil {
+			return err
+		}
+		if ack, ok := resp.(*wire.Ack); ok && ack.Err != "" {
+			return errors.New(ack.Err)
+		}
+		n.rdir.Remove(start)
+		return nil
+	}
+	return n.migrateLocal(ctx, start, newHome, principal)
+}
+
+// migrateLocal performs the handoff at the current primary home.
+func (n *Node) migrateLocal(ctx context.Context, start gaddr.Addr, newHome ktypes.NodeID, principal ktypes.Principal) error {
+	desc := n.authDescByStart(start)
+	if desc == nil {
+		return fmt.Errorf("%w: %v not homed here", ErrInaccessible, start)
+	}
+	if err := desc.Attrs.ACL.Check(principal, security.PermAdmin); err != nil {
+		return err
+	}
+	if newHome == n.cfg.ID {
+		return nil
+	}
+	if !containsNode(n.Members(), newHome) {
+		return fmt.Errorf("core: migration target %v is not a known member", newHome)
+	}
+	// Quiescence check: no page of the region may be locked — in the
+	// local lock table (release/eventual protocols) or the protocol's
+	// own global lock state (CREW's manager-side table).
+	type pageBusier interface{ PageBusy(gaddr.Addr) bool }
+	busyCM, _ := n.cms[desc.Attrs.Protocol].(pageBusier)
+	pages := desc.Pages(0, desc.Range.Size)
+	for _, page := range pages {
+		if n.locks.Held(page) || (busyCM != nil && busyCM.PageBusy(page)) {
+			return ErrBusyRegion
+		}
+	}
+	// Ship every locally stored page.
+	for _, page := range pages {
+		data, ok := n.store.Get(page)
+		if !ok {
+			continue // never written; zero-fills at the new home too
+		}
+		entry, _ := n.dir.Lookup(page)
+		resp, err := n.tr.Request(ctx, newHome, &wire.ReplicaPut{Page: page, Data: data, Version: entry.Version, From: n.cfg.ID})
+		if err != nil {
+			return fmt.Errorf("core: migrate page %v: %w", page, err)
+		}
+		if ack, ok := resp.(*wire.Ack); ok && ack.Err != "" {
+			return fmt.Errorf("core: migrate page %v: %s", page, ack.Err)
+		}
+	}
+	// Hand over the descriptor: new home first, this node demoted to
+	// secondary.
+	homes := []ktypes.NodeID{newHome}
+	for _, h := range desc.Home {
+		if h != newHome {
+			homes = append(homes, h)
+		}
+	}
+	updated := desc.Clone()
+	updated.Home = homes
+	updated.Epoch++
+	resp, err := n.tr.Request(ctx, newHome, &wire.AttrSet{Desc: updated, Principal: principal})
+	if err != nil {
+		return fmt.Errorf("core: migrate descriptor: %w", err)
+	}
+	if ack, ok := resp.(*wire.Ack); ok && ack.Err != "" {
+		return fmt.Errorf("core: migrate descriptor: %s", ack.Err)
+	}
+	// Commit locally and in the address map.
+	n.descMu.Lock()
+	if d, ok := n.authDescs[start]; ok {
+		d.Home = homes
+		d.Epoch = updated.Epoch
+	}
+	n.descMu.Unlock()
+	n.rdir.Insert(updated)
+	if err := n.mapSetHomes(ctx, start, homes); err != nil {
+		return fmt.Errorf("core: migrate map entry: %w", err)
+	}
+	// This node's copies remain valid replicas; mark them shared.
+	for _, page := range pages {
+		n.dir.Update(page, func(e *pagedir.Entry) {
+			if e.State == pagedir.Owned {
+				e.State = pagedir.Shared
+			}
+		})
+	}
+	return nil
+}
+
+// statsResp builds a StatsResp snapshot.
+func (n *Node) statsResp() *wire.StatsResp {
+	return &wire.StatsResp{
+		Node:           n.cfg.ID,
+		Lookups:        n.stats.Lookups.Load(),
+		DirHits:        n.stats.DirHits.Load(),
+		ClusterHits:    n.stats.ClusterHits.Load(),
+		TreeWalks:      n.stats.TreeWalks.Load(),
+		LocksGranted:   n.stats.LocksGranted.Load(),
+		ReleaseRetries: n.stats.ReleaseRetries.Load(),
+		Promotions:     n.stats.Promotions.Load(),
+		MemPages:       uint64(n.store.Mem().Len()),
+		DiskPages:      uint64(n.store.Disk().Len()),
+		HomedRegions:   uint64(len(n.authStarts())),
+		Members:        n.Members(),
+	}
+}

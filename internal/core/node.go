@@ -1,0 +1,496 @@
+// Package core implements the Khazana daemon — the paper's primary
+// contribution. A dynamically changing set of cooperating daemon
+// processes, all peers (no server role), exports the abstraction of a
+// flat, persistent, globally shared store (§2). Each daemon combines:
+//
+//   - the two-tier local storage hierarchy (§3.4),
+//   - the page directory (§3.4),
+//   - the region directory cache and descriptor lookup path (§3.2),
+//   - pluggable consistency managers (§3.3),
+//   - the self-hosted address map tree (§3.1),
+//   - cluster membership and hints (§3.1),
+//   - failure handling with background release retries and minimum
+//     replica maintenance (§3.5).
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"khazana/internal/addrmap"
+	"khazana/internal/cluster"
+	"khazana/internal/consistency"
+	"khazana/internal/gaddr"
+	"khazana/internal/ktypes"
+	"khazana/internal/pagedir"
+	"khazana/internal/region"
+	"khazana/internal/store"
+	"khazana/internal/transport"
+	"khazana/internal/wire"
+)
+
+// Config configures a daemon.
+type Config struct {
+	// ID is this node's identity (>= 1).
+	ID ktypes.NodeID
+	// Transport connects the daemon to its peers.
+	Transport transport.Transport
+	// StoreDir is the disk tier directory.
+	StoreDir string
+	// MemPages bounds the RAM tier (0 = default).
+	MemPages int
+	// DiskPages bounds the disk tier (0 = unbounded).
+	DiskPages int
+	// ClusterManager names the cluster's manager node. When it equals
+	// ID, this daemon runs the manager.
+	ClusterManager ktypes.NodeID
+	// PeerManagers names the managers of other clusters in a
+	// multi-cluster hierarchy (§3.1); meaningful only on the manager.
+	PeerManagers []ktypes.NodeID
+	// MapHome names the home node of the address map region; all map
+	// mutations are routed there. Defaults to ClusterManager.
+	MapHome ktypes.NodeID
+	// Genesis initializes the address map (exactly one node per
+	// deployment, normally the map home).
+	Genesis bool
+	// ChunkSize is the span of address space a node reserves from the
+	// cluster manager at a time (paper §3.1 suggests one gigabyte).
+	ChunkSize uint64
+	// HeartbeatInterval drives the liveness/hints loop; 0 disables the
+	// background loop (tests drive it manually).
+	HeartbeatInterval time.Duration
+	// RetryInterval drives the background release-retry queue (§3.5).
+	// 0 disables the loop.
+	RetryInterval time.Duration
+	// ReplicaInterval drives minimum-replica maintenance. 0 disables
+	// the loop.
+	ReplicaInterval time.Duration
+	// MigrationInterval drives the load-aware auto-migration policy
+	// (§2 caching-policy goals, §7 migration policies). 0 disables it.
+	MigrationInterval time.Duration
+	// Migration tunes the policy; the zero value selects defaults.
+	Migration MigrationPolicy
+	// Registry supplies consistency protocols; nil uses the built-ins.
+	Registry *consistency.Registry
+	// Clock supplies last-writer-wins stamps; nil uses wall time.
+	Clock func() int64
+	// Tracer, when set, observes the named protocol steps of Figure 2.
+	Tracer func(step string)
+}
+
+// DefaultChunkSize is the default address-space chunk a daemon manages
+// locally ("a large (e.g., one gigabyte) region of unreserved space",
+// §3.1).
+const DefaultChunkSize = 1 << 30
+
+// Node is a Khazana daemon.
+type Node struct {
+	cfg   Config
+	tr    transport.Transport
+	store *store.Tiered
+	dir   *pagedir.Dir
+	locks *consistency.LockTable
+	rdir  *region.Directory
+	cms   map[region.Protocol]consistency.CM
+	amap  *addrmap.Map
+
+	// manager is non-nil when this node is the cluster manager.
+	manager *cluster.Manager
+
+	// mapMu serializes address-map mutations (held only at the map
+	// home).
+	mapMu sync.Mutex
+
+	// mapDesc is the well-known bootstrap descriptor for the map region.
+	mapDesc *region.Descriptor
+
+	// descMu guards authoritative descriptors for regions homed here.
+	descMu    sync.Mutex
+	authDescs map[gaddr.Addr]*region.Descriptor
+
+	// chunkMu guards the local pool of reserved-but-unused space.
+	chunkMu sync.Mutex
+	chunk   gaddr.Range
+	chunkOK bool
+
+	// lockMu guards active lock contexts.
+	lockMu  sync.Mutex
+	lockCtx map[uint64]*LockContext
+	nextLID atomic.Uint64
+
+	// membership view (manager-fed).
+	memMu   sync.Mutex
+	members []ktypes.NodeID
+
+	// retry queue of failed release-side operations (§3.5).
+	retryMu sync.Mutex
+	retries []retryOp
+
+	// access tracks per-region consistency traffic for the migration
+	// policy.
+	access *accessTracker
+
+	clock atomic.Int64
+
+	// app is the application-message hook (see SetAppHandler).
+	appMu sync.Mutex
+	app   AppHandler
+
+	stop chan struct{}
+	done sync.WaitGroup
+	once sync.Once
+
+	stats Stats
+}
+
+// Stats counts daemon activity.
+type Stats struct {
+	Lookups        atomic.Uint64
+	DirHits        atomic.Uint64
+	ClusterHits    atomic.Uint64
+	TreeWalks      atomic.Uint64
+	LocksGranted   atomic.Uint64
+	ReleaseRetries atomic.Uint64
+	Promotions     atomic.Uint64
+}
+
+// retryOp is a queued release-side operation.
+type retryOp struct {
+	desc  *region.Descriptor
+	page  gaddr.Addr
+	mode  ktypes.LockMode
+	dirty bool
+}
+
+// LockContext is the token returned by Lock and presented on read and
+// write operations (paper §2).
+type LockContext struct {
+	ID    uint64
+	Range gaddr.Range
+	Mode  ktypes.LockMode
+
+	desc  *region.Descriptor
+	pages []gaddr.Addr
+	dirty map[gaddr.Addr]bool
+	mu    sync.Mutex
+	node  *Node
+	freed bool
+}
+
+// NewNode creates (but does not start) a daemon.
+func NewNode(cfg Config) (*Node, error) {
+	if cfg.ID == ktypes.NilNode {
+		return nil, fmt.Errorf("core: invalid node ID")
+	}
+	if cfg.Transport == nil {
+		return nil, fmt.Errorf("core: transport required")
+	}
+	if cfg.ClusterManager == ktypes.NilNode {
+		cfg.ClusterManager = cfg.ID
+	}
+	if cfg.MapHome == ktypes.NilNode {
+		cfg.MapHome = cfg.ClusterManager
+	}
+	if cfg.ChunkSize == 0 {
+		cfg.ChunkSize = DefaultChunkSize
+	}
+	if cfg.StoreDir == "" {
+		return nil, fmt.Errorf("core: store dir required")
+	}
+	n := &Node{
+		cfg:       cfg,
+		tr:        cfg.Transport,
+		dir:       pagedir.New(),
+		locks:     consistency.NewLockTable(),
+		rdir:      region.NewDirectory(0),
+		authDescs: make(map[gaddr.Addr]*region.Descriptor),
+		lockCtx:   make(map[uint64]*LockContext),
+		access:    newAccessTracker(),
+		stop:      make(chan struct{}),
+		members:   []ktypes.NodeID{cfg.ID},
+	}
+	st, err := store.NewTiered(store.Config{
+		MemPages:    cfg.MemPages,
+		DiskPages:   cfg.DiskPages,
+		Dir:         cfg.StoreDir,
+		OnDiskEvict: n.onDiskEvict,
+	})
+	if err != nil {
+		return nil, err
+	}
+	n.store = st
+	reg := cfg.Registry
+	if reg == nil {
+		reg = consistency.NewRegistry()
+	}
+	n.cms = reg.Build(hostView{n})
+	n.amap = addrmap.New(mapIO{n})
+	n.mapDesc = &region.Descriptor{
+		Range: gaddr.Range{Start: gaddr.Zero, Size: addrmap.RegionSize},
+		Attrs: region.Attrs{
+			PageSize:    addrmap.PageSize,
+			Level:       region.Relaxed,
+			Protocol:    region.Release,
+			MinReplicas: 1,
+		},
+		Home:      []ktypes.NodeID{cfg.MapHome},
+		Epoch:     1,
+		Allocated: true,
+	}
+	if cfg.ID == cfg.ClusterManager {
+		n.manager = cluster.NewManager(cfg.ID)
+		n.manager.SetPeerManagers(cfg.PeerManagers)
+	}
+	n.tr.SetHandler(n.handle)
+	return n, nil
+}
+
+// Start restores persisted state, initializes the map (genesis only),
+// joins the cluster, and starts background loops.
+func (n *Node) Start(ctx context.Context) error {
+	if err := n.restore(); err != nil {
+		return err
+	}
+	if n.cfg.Genesis {
+		if n.cfg.ID != n.cfg.MapHome {
+			return fmt.Errorf("core: genesis node must be the map home")
+		}
+		if err := n.amap.Init(ctx, []ktypes.NodeID{n.cfg.MapHome}); err != nil {
+			return fmt.Errorf("core: init address map: %w", err)
+		}
+	}
+	if err := n.join(ctx); err != nil {
+		return err
+	}
+	if n.cfg.HeartbeatInterval > 0 {
+		n.done.Add(1)
+		go n.heartbeatLoop()
+	}
+	if n.cfg.RetryInterval > 0 {
+		n.done.Add(1)
+		go n.retryLoop()
+	}
+	if n.cfg.ReplicaInterval > 0 {
+		n.done.Add(1)
+		go n.replicaLoop()
+	}
+	if n.cfg.MigrationInterval > 0 {
+		n.done.Add(1)
+		go n.migrationLoop(n.cfg.MigrationInterval, n.cfg.Migration)
+	}
+	return nil
+}
+
+// join announces this node to the cluster manager.
+func (n *Node) join(ctx context.Context) error {
+	if n.manager != nil {
+		return nil // the manager is trivially a member
+	}
+	addr := ""
+	if t, ok := n.tr.(*transport.TCP); ok {
+		addr = t.Addr()
+	}
+	resp, err := n.tr.Request(ctx, n.cfg.ClusterManager, &wire.Join{Node: n.cfg.ID, Addr: addr})
+	if err != nil {
+		return fmt.Errorf("core: join cluster: %w", err)
+	}
+	if view, ok := resp.(*wire.ClusterView); ok {
+		n.setMembers(view.Members)
+	}
+	return nil
+}
+
+// Close stops background loops and checkpoints persistent state (§2: the
+// global store is persistent; a cleanly stopped daemon serves its homed
+// regions again after restart).
+func (n *Node) Close() error {
+	var err error
+	n.once.Do(func() {
+		close(n.stop)
+		n.done.Wait()
+		err = n.Persist()
+	})
+	return err
+}
+
+// ID returns the node's identity.
+func (n *Node) ID() ktypes.NodeID { return n.cfg.ID }
+
+// Manager returns the cluster manager state when this node runs it.
+func (n *Node) Manager() *cluster.Manager { return n.manager }
+
+// Statistics returns the daemon's counters.
+func (n *Node) Statistics() *Stats { return &n.stats }
+
+// Store exposes the local storage hierarchy (diagnostics and tests).
+func (n *Node) Store() *store.Tiered { return n.store }
+
+// PageDir exposes the page directory (diagnostics and tests).
+func (n *Node) PageDir() *pagedir.Dir { return n.dir }
+
+// RegionDir exposes the region directory cache (diagnostics and tests).
+func (n *Node) RegionDir() *region.Directory { return n.rdir }
+
+// AddressMap exposes the address map handle (diagnostics and tests).
+func (n *Node) AddressMap() *addrmap.Map { return n.amap }
+
+func (n *Node) setMembers(ms []ktypes.NodeID) {
+	n.memMu.Lock()
+	defer n.memMu.Unlock()
+	n.members = append([]ktypes.NodeID(nil), ms...)
+}
+
+// Members returns the latest membership view this node has seen.
+func (n *Node) Members() []ktypes.NodeID {
+	if n.manager != nil {
+		return n.manager.Alive()
+	}
+	n.memMu.Lock()
+	defer n.memMu.Unlock()
+	return append([]ktypes.NodeID(nil), n.members...)
+}
+
+// trace reports a Figure-2 protocol step to the configured tracer.
+func (n *Node) trace(step string) {
+	if n.cfg.Tracer != nil {
+		n.cfg.Tracer(step)
+	}
+}
+
+// now returns an LWW timestamp.
+func (n *Node) now() int64 {
+	if n.cfg.Clock != nil {
+		return n.cfg.Clock()
+	}
+	// Wall time with a monotonic bump so two calls never return the
+	// same stamp on one node.
+	for {
+		prev := n.clock.Load()
+		t := time.Now().UnixNano()
+		if t <= prev {
+			t = prev + 1
+		}
+		if n.clock.CompareAndSwap(prev, t) {
+			return t
+		}
+	}
+}
+
+// onDiskEvict runs when a page leaves the node entirely (§3.4: the disk
+// cache must invoke the consistency protocol before victimizing a page).
+func (n *Node) onDiskEvict(page gaddr.Addr, data []byte) error {
+	entry, ok := n.dir.Lookup(page)
+	if !ok || !entry.Dirty {
+		n.dir.Delete(page)
+		return nil
+	}
+	// A dirty page must be pushed home before leaving the node.
+	desc, err := n.lookupRegion(context.Background(), page)
+	if err != nil {
+		return fmt.Errorf("core: evict dirty %v: %w", page, err)
+	}
+	home, err := desc.PrimaryHome()
+	if err != nil {
+		return err
+	}
+	if home == n.cfg.ID {
+		return fmt.Errorf("core: refusing to evict dirty home page %v", page)
+	}
+	_, err = n.tr.Request(context.Background(), home,
+		&wire.UpdatePush{Page: page, Data: data, Stamp: n.now(), Origin: n.cfg.ID})
+	if err != nil {
+		return err
+	}
+	n.dir.Delete(page)
+	return nil
+}
+
+// --- consistency.Host implementation --------------------------------------
+
+// hostView adapts Node to consistency.Host.
+type hostView struct{ n *Node }
+
+var _ consistency.Host = hostView{}
+
+// Self implements consistency.Host.
+func (h hostView) Self() ktypes.NodeID { return h.n.cfg.ID }
+
+// Request implements consistency.Host.
+func (h hostView) Request(ctx context.Context, to ktypes.NodeID, m wire.Msg) (wire.Msg, error) {
+	return h.n.tr.Request(ctx, to, m)
+}
+
+// LoadPage implements consistency.Host.
+func (h hostView) LoadPage(page gaddr.Addr) ([]byte, bool) {
+	return h.n.store.Get(page)
+}
+
+// StorePage implements consistency.Host.
+func (h hostView) StorePage(page gaddr.Addr, data []byte) error {
+	return h.n.store.Put(page, data)
+}
+
+// DropPage implements consistency.Host.
+func (h hostView) DropPage(page gaddr.Addr) {
+	h.n.store.Delete(page)
+}
+
+// Dir implements consistency.Host.
+func (h hostView) Dir() *pagedir.Dir { return h.n.dir }
+
+// Locks implements consistency.Host.
+func (h hostView) Locks() *consistency.LockTable { return h.n.locks }
+
+// Clock implements consistency.Host.
+func (h hostView) Clock() int64 { return h.n.now() }
+
+// --- addrmap.PageIO implementation -------------------------------------------
+
+// mapIO adapts the daemon's release-consistent page path for the address
+// map: the map's tree nodes are ordinary Khazana pages (§3.1).
+type mapIO struct{ n *Node }
+
+var _ addrmap.PageIO = mapIO{}
+
+// ReadPage implements addrmap.PageIO.
+func (io mapIO) ReadPage(ctx context.Context, page gaddr.Addr) ([]byte, error) {
+	cm := io.n.cms[region.Release]
+	if err := cm.Acquire(ctx, io.n.mapDesc, page, ktypes.LockRead); err != nil {
+		return nil, err
+	}
+	defer func() { _ = cm.Release(ctx, io.n.mapDesc, page, ktypes.LockRead, false) }()
+	data, ok := io.n.store.Get(page)
+	if !ok {
+		data = make([]byte, addrmap.PageSize)
+	}
+	return data, nil
+}
+
+// MutatePage implements addrmap.PageIO. Map mutations run only at the map
+// home node, already serialized under n.mapMu.
+func (io mapIO) MutatePage(ctx context.Context, page gaddr.Addr, fn func([]byte) error) error {
+	if io.n.cfg.ID != io.n.cfg.MapHome {
+		return fmt.Errorf("core: map mutation on non-home node %v", io.n.cfg.ID)
+	}
+	cm := io.n.cms[region.Release]
+	if err := cm.Acquire(ctx, io.n.mapDesc, page, ktypes.LockWrite); err != nil {
+		return err
+	}
+	dirty := false
+	defer func() { _ = cm.Release(ctx, io.n.mapDesc, page, ktypes.LockWrite, dirty) }()
+	data, ok := io.n.store.Get(page)
+	if !ok {
+		data = make([]byte, addrmap.PageSize)
+	}
+	if err := fn(data); err != nil {
+		return err
+	}
+	if err := io.n.store.Put(page, data); err != nil {
+		return err
+	}
+	dirty = true
+	return nil
+}

@@ -1,0 +1,524 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"khazana/internal/consistency"
+	"khazana/internal/gaddr"
+	"khazana/internal/ktypes"
+	"khazana/internal/pagedir"
+	"khazana/internal/region"
+	"khazana/internal/security"
+	"khazana/internal/transport"
+	"khazana/internal/wire"
+)
+
+// Operation errors.
+var (
+	// ErrNotAllocated reports access to a region without allocated
+	// storage ("a region cannot be accessed until physical storage is
+	// explicitly allocated to it", §2).
+	ErrNotAllocated = errors.New("core: region not allocated")
+	// ErrBadLock reports an unknown or mismatched lock context.
+	ErrBadLock = errors.New("core: invalid lock context")
+	// ErrOutOfRange reports an access outside the locked range.
+	ErrOutOfRange = errors.New("core: access outside locked range")
+	// ErrNotRegionStart reports an operation addressed to the middle of
+	// a region where its start is required.
+	ErrNotRegionStart = errors.New("core: address is not a region start")
+)
+
+// Reserve reserves a contiguous range of global address space as a new
+// region with the given attributes (§2). The region's home is this node.
+func (n *Node) Reserve(ctx context.Context, size uint64, attrs region.Attrs, principal ktypes.Principal) (gaddr.Addr, error) {
+	attrs = attrs.Normalize()
+	if err := attrs.Validate(); err != nil {
+		return gaddr.Addr{}, err
+	}
+	if size == 0 {
+		return gaddr.Addr{}, errors.New("core: zero-size region")
+	}
+	// Round the region up to whole pages.
+	ps := uint64(attrs.PageSize)
+	size = (size + ps - 1) / ps * ps
+	if attrs.ACL.Owner == "" && principal != ktypes.Anonymous {
+		attrs.ACL.Owner = principal
+	}
+
+	start, err := n.carve(ctx, size, ps)
+	if err != nil {
+		return gaddr.Addr{}, err
+	}
+	desc := &region.Descriptor{
+		Range:     gaddr.Range{Start: start, Size: size},
+		Attrs:     attrs,
+		Home:      []ktypes.NodeID{n.cfg.ID},
+		Epoch:     1,
+		Allocated: false,
+	}
+	if err := n.mapInsert(ctx, desc.Range, desc.Home); err != nil {
+		return gaddr.Addr{}, fmt.Errorf("core: record region: %w", err)
+	}
+	n.putAuthDesc(desc)
+	n.rdir.Insert(desc)
+	return start, nil
+}
+
+// carve takes size bytes from the local pool of reserved-but-unused
+// address space, refilling the pool from the cluster manager / map home
+// when exhausted (§3.1).
+func (n *Node) carve(ctx context.Context, size, align uint64) (gaddr.Addr, error) {
+	n.chunkMu.Lock()
+	defer n.chunkMu.Unlock()
+	for attempt := 0; attempt < 2; attempt++ {
+		if n.chunkOK {
+			start, err := n.chunk.Start.AlignUp(align)
+			if err == nil {
+				used, ok := n.chunk.Start.Distance(start)
+				if ok && used+size <= n.chunk.Size {
+					n.chunk.Start = start.MustAdd(size)
+					n.chunk.Size -= used + size
+					return start, nil
+				}
+			}
+		}
+		// Refill: request a fresh chunk covering at least size.
+		want := n.cfg.ChunkSize
+		if size > want {
+			want = size
+		}
+		r, err := n.mapReserveRange(ctx, want, align)
+		if err != nil {
+			return gaddr.Addr{}, fmt.Errorf("core: reserve space: %w", err)
+		}
+		n.chunk, n.chunkOK = r, true
+	}
+	return gaddr.Addr{}, errors.New("core: could not carve region from chunk")
+}
+
+// FreeSpace reports the local pool's total and largest free extent, used
+// in heartbeat hints (§3.1).
+func (n *Node) FreeSpace() (total, max uint64) {
+	n.chunkMu.Lock()
+	defer n.chunkMu.Unlock()
+	if !n.chunkOK {
+		return 0, 0
+	}
+	return n.chunk.Size, n.chunk.Size
+}
+
+// Unreserve releases a region and any storage allocated to it (§2).
+func (n *Node) Unreserve(ctx context.Context, start gaddr.Addr, principal ktypes.Principal) error {
+	desc, err := n.lookupRegion(ctx, start)
+	if err != nil {
+		return err
+	}
+	if desc.Range.Start != start {
+		return ErrNotRegionStart
+	}
+	if err := desc.Attrs.ACL.Check(principal, security.PermAdmin); err != nil {
+		return err
+	}
+	home, err := desc.PrimaryHome()
+	if err != nil {
+		return err
+	}
+	if home != n.cfg.ID {
+		resp, err := n.tr.Request(ctx, home, &wire.CUnreserve{Start: start, Principal: principal})
+		if err != nil {
+			return err
+		}
+		if ack, ok := resp.(*wire.Ack); ok && ack.Err != "" {
+			return errors.New(ack.Err)
+		}
+		n.rdir.Remove(start)
+		return nil
+	}
+	// Home-side teardown: drop pages, descriptor, and the map entry.
+	n.dropRegionPages(desc)
+	n.dropAuthDesc(start)
+	n.access.forget(start)
+	n.rdir.Remove(start)
+	if err := n.mapRemove(ctx, start); err != nil {
+		return fmt.Errorf("core: unrecord region: %w", err)
+	}
+	return nil
+}
+
+// Allocate attaches physical storage to a reserved region (§2). Storage is
+// allocated lazily page by page; this flips the descriptor's Allocated
+// gate.
+func (n *Node) Allocate(ctx context.Context, start gaddr.Addr, principal ktypes.Principal) error {
+	return n.setAllocated(ctx, start, principal, true)
+}
+
+// Free releases a region's physical storage but keeps the reservation
+// (§2).
+func (n *Node) Free(ctx context.Context, start gaddr.Addr, principal ktypes.Principal) error {
+	return n.setAllocated(ctx, start, principal, false)
+}
+
+func (n *Node) setAllocated(ctx context.Context, start gaddr.Addr, principal ktypes.Principal, alloc bool) error {
+	desc, err := n.lookupRegion(ctx, start)
+	if err != nil {
+		return err
+	}
+	if desc.Range.Start != start {
+		return ErrNotRegionStart
+	}
+	if err := desc.Attrs.ACL.Check(principal, security.PermWrite); err != nil {
+		return err
+	}
+	home, err := desc.PrimaryHome()
+	if err != nil {
+		return err
+	}
+	if home != n.cfg.ID {
+		var msg wire.Msg
+		if alloc {
+			msg = &wire.CAllocate{Start: start, Principal: principal}
+		} else {
+			msg = &wire.CFree{Start: start, Principal: principal}
+		}
+		resp, err := n.tr.Request(ctx, home, msg)
+		if err != nil {
+			return err
+		}
+		if ack, ok := resp.(*wire.Ack); ok && ack.Err != "" {
+			return errors.New(ack.Err)
+		}
+		n.rdir.Remove(start) // cached copy is now stale
+		return nil
+	}
+	n.descMu.Lock()
+	d, ok := n.authDescs[start]
+	if !ok {
+		n.descMu.Unlock()
+		return fmt.Errorf("%w: %v not homed here", ErrInaccessible, start)
+	}
+	d.Allocated = alloc
+	d.Epoch++
+	out := d.Clone()
+	n.descMu.Unlock()
+	n.rdir.Insert(out)
+	if !alloc {
+		n.dropRegionPages(out)
+	}
+	return nil
+}
+
+// dropRegionPages discards local storage and invalidates remote copies for
+// every page of a region.
+func (n *Node) dropRegionPages(desc *region.Descriptor) {
+	for _, page := range desc.Pages(0, desc.Range.Size) {
+		if entry, ok := n.dir.Lookup(page); ok {
+			for _, sharer := range entry.Copyset {
+				if sharer == n.cfg.ID {
+					continue
+				}
+				ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+				_, _ = n.tr.Request(ctx, sharer, &wire.Invalidate{Page: page, NewOwner: n.cfg.ID, Version: entry.Version})
+				cancel()
+			}
+		}
+		n.store.Delete(page)
+		n.dir.Delete(page)
+	}
+}
+
+// GetAttr returns the attributes of the region containing addr (§2).
+func (n *Node) GetAttr(ctx context.Context, addr gaddr.Addr) (*region.Descriptor, error) {
+	return n.lookupRegion(ctx, addr)
+}
+
+// SetAttr updates a region's attributes (§2). The update is applied at the
+// region's home and the descriptor epoch advances.
+func (n *Node) SetAttr(ctx context.Context, start gaddr.Addr, attrs region.Attrs, principal ktypes.Principal) error {
+	desc, err := n.lookupRegion(ctx, start)
+	if err != nil {
+		return err
+	}
+	if desc.Range.Start != start {
+		return ErrNotRegionStart
+	}
+	if err := desc.Attrs.ACL.Check(principal, security.PermAdmin); err != nil {
+		return err
+	}
+	attrs = attrs.Normalize()
+	if err := attrs.Validate(); err != nil {
+		return err
+	}
+	if attrs.PageSize != desc.Attrs.PageSize {
+		return errors.New("core: page size is fixed at reservation time")
+	}
+	home, err := desc.PrimaryHome()
+	if err != nil {
+		return err
+	}
+	if home != n.cfg.ID {
+		updated := desc.Clone()
+		updated.Attrs = attrs
+		resp, err := n.tr.Request(ctx, home, &wire.CSetAttr{Start: start, Attrs: attrs, Principal: principal})
+		if err != nil {
+			return err
+		}
+		if ack, ok := resp.(*wire.Ack); ok && ack.Err != "" {
+			return errors.New(ack.Err)
+		}
+		n.rdir.Remove(start)
+		_ = updated
+		return nil
+	}
+	n.descMu.Lock()
+	d, ok := n.authDescs[start]
+	if !ok {
+		n.descMu.Unlock()
+		return fmt.Errorf("%w: %v not homed here", ErrInaccessible, start)
+	}
+	d.Attrs = attrs
+	d.Epoch++
+	out := d.Clone()
+	n.descMu.Unlock()
+	n.rdir.Insert(out)
+	return nil
+}
+
+// Lock locks part of a region in the given mode, returning the lock
+// context used by subsequent reads and writes (§2). Acquire-side errors
+// surface to the client (§3.5).
+func (n *Node) Lock(ctx context.Context, rng gaddr.Range, mode ktypes.LockMode, principal ktypes.Principal) (*LockContext, error) {
+	if !mode.Valid() {
+		return nil, fmt.Errorf("core: invalid lock mode %d", mode)
+	}
+	if rng.Size == 0 {
+		return nil, errors.New("core: empty lock range")
+	}
+	n.trace("1:obtain-region-descriptor")
+	desc, err := n.lookupRegion(ctx, rng.Start)
+	if err != nil {
+		return nil, err
+	}
+	if !desc.Range.ContainsRange(rng) {
+		return nil, fmt.Errorf("core: lock range %v escapes region %v", rng, desc.Range)
+	}
+	if err := desc.Attrs.ACL.CheckMode(principal, mode); err != nil {
+		return nil, err
+	}
+	if !desc.Allocated {
+		return nil, ErrNotAllocated
+	}
+	off, _ := desc.Range.OffsetOf(rng.Start)
+	pages := desc.Pages(off, rng.Size)
+	n.trace("4:page-directory")
+	n.trace("5:invoke-consistency-manager")
+
+	cm, ok := n.cms[desc.Attrs.Protocol]
+	if !ok {
+		return nil, fmt.Errorf("core: no CM for protocol %v", desc.Attrs.Protocol)
+	}
+	acquired := make([]gaddr.Addr, 0, len(pages))
+	rollback := func() {
+		for _, p := range acquired {
+			_ = cm.Release(context.Background(), desc, p, mode, false)
+			_ = n.store.Unpin(p)
+		}
+	}
+	for _, page := range pages {
+		if err := n.acquireWithFailover(ctx, &desc, cm, page, mode); err != nil {
+			rollback()
+			return nil, err
+		}
+		n.store.Pin(page)
+		acquired = append(acquired, page)
+	}
+	n.trace("11:lock-granted")
+
+	lc := &LockContext{
+		ID:    n.nextLID.Add(1),
+		Range: rng,
+		Mode:  mode,
+		desc:  desc,
+		pages: pages,
+		dirty: make(map[gaddr.Addr]bool),
+		node:  n,
+	}
+	n.lockMu.Lock()
+	n.lockCtx[lc.ID] = lc
+	n.lockMu.Unlock()
+	n.stats.LocksGranted.Add(1)
+
+	// Feed the cluster manager's hint cache (§3.1).
+	if n.manager != nil {
+		n.manager.AddHint(desc.Range.Start, n.cfg.ID)
+	}
+	return lc, nil
+}
+
+// acquireWithFailover acquires one page, refreshing stale descriptors and
+// promoting a secondary home if the primary is unreachable (§3.5).
+func (n *Node) acquireWithFailover(ctx context.Context, desc **region.Descriptor, cm consistency.CM, page gaddr.Addr, mode ktypes.LockMode) error {
+	n.trace("6:request-credentials")
+	err := cm.Acquire(ctx, *desc, page, mode)
+	if err == nil {
+		n.trace("10:ownership-granted")
+		return nil
+	}
+	// Stale home pointer: refresh the descriptor and retry once (§3.2).
+	if fresh, ferr := n.refreshDescriptor(ctx, *desc); ferr == nil && fresh.Epoch > (*desc).Epoch {
+		*desc = fresh
+		if err = cm.Acquire(ctx, *desc, page, mode); err == nil {
+			n.trace("10:ownership-granted")
+			return nil
+		}
+	}
+	// Unreachable home: try promoting a secondary (§3.5).
+	if errors.Is(err, transport.ErrUnreachable) || isUnreachable(err) {
+		if promoted, perr := n.promoteHome(ctx, *desc); perr == nil {
+			*desc = promoted
+			if err = cm.Acquire(ctx, *desc, page, mode); err == nil {
+				n.trace("10:ownership-granted")
+				return nil
+			}
+		}
+	}
+	return err
+}
+
+// isUnreachable matches unreachable errors that crossed a process
+// boundary and lost their type.
+func isUnreachable(err error) bool {
+	return err != nil && (errors.Is(err, transport.ErrUnreachable) ||
+		strings.Contains(err.Error(), "unreachable"))
+}
+
+// lockByID resolves a lock context.
+func (n *Node) lockByID(id uint64) (*LockContext, error) {
+	n.lockMu.Lock()
+	defer n.lockMu.Unlock()
+	lc, ok := n.lockCtx[id]
+	if !ok {
+		return nil, ErrBadLock
+	}
+	return lc, nil
+}
+
+// Read copies n bytes starting at addr out of a locked range (§2: read
+// subparts of a region by presenting its lock context).
+func (n *Node) Read(lc *LockContext, addr gaddr.Addr, count uint64) ([]byte, error) {
+	if lc == nil || lc.node != n {
+		return nil, ErrBadLock
+	}
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	if lc.freed {
+		return nil, ErrBadLock
+	}
+	if count == 0 {
+		return nil, nil
+	}
+	if !lc.Range.ContainsRange(gaddr.Range{Start: addr, Size: count}) {
+		return nil, ErrOutOfRange
+	}
+	out := make([]byte, count)
+	ps := uint64(lc.desc.Attrs.PageSize)
+	for covered := uint64(0); covered < count; {
+		cur := addr.MustAdd(covered)
+		page := cur.AlignDown(ps)
+		pageOff := cur.Offset(ps)
+		chunk := ps - pageOff
+		if chunk > count-covered {
+			chunk = count - covered
+		}
+		data, ok := n.store.Get(page)
+		if ok {
+			copy(out[covered:covered+chunk], data[pageOff:])
+		}
+		// Missing page: never written; reads as zeroes (already zero).
+		covered += chunk
+	}
+	n.trace("12-13:data-supplied")
+	return out, nil
+}
+
+// Write copies data into a locked range at addr (§2).
+func (n *Node) Write(lc *LockContext, addr gaddr.Addr, data []byte) error {
+	if lc == nil || lc.node != n {
+		return ErrBadLock
+	}
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	if lc.freed {
+		return ErrBadLock
+	}
+	if !lc.Mode.Writes() {
+		return fmt.Errorf("%w: lock mode %v does not permit writes", ErrBadLock, lc.Mode)
+	}
+	if len(data) == 0 {
+		return nil
+	}
+	if !lc.Range.ContainsRange(gaddr.Range{Start: addr, Size: uint64(len(data))}) {
+		return ErrOutOfRange
+	}
+	ps := uint64(lc.desc.Attrs.PageSize)
+	for covered := uint64(0); covered < uint64(len(data)); {
+		cur := addr.MustAdd(covered)
+		page := cur.AlignDown(ps)
+		pageOff := cur.Offset(ps)
+		chunk := ps - pageOff
+		if chunk > uint64(len(data))-covered {
+			chunk = uint64(len(data)) - covered
+		}
+		buf, ok := n.store.Get(page)
+		if !ok {
+			buf = make([]byte, ps)
+		}
+		copy(buf[pageOff:], data[covered:covered+chunk])
+		if err := n.store.Put(page, buf); err != nil {
+			return err
+		}
+		lc.dirty[page] = true
+		n.dir.Update(page, func(e *pagedir.Entry) { e.Dirty = true })
+		covered += chunk
+	}
+	return nil
+}
+
+// Unlock releases a lock context. Release-side errors are not surfaced;
+// they are retried in the background until they succeed (§3.5).
+func (n *Node) Unlock(ctx context.Context, lc *LockContext) error {
+	if lc == nil || lc.node != n {
+		return ErrBadLock
+	}
+	lc.mu.Lock()
+	if lc.freed {
+		lc.mu.Unlock()
+		return ErrBadLock
+	}
+	lc.freed = true
+	lc.mu.Unlock()
+
+	n.lockMu.Lock()
+	delete(n.lockCtx, lc.ID)
+	n.lockMu.Unlock()
+
+	cm := n.cms[lc.desc.Attrs.Protocol]
+	for _, page := range lc.pages {
+		dirty := lc.dirty[page]
+		if err := cm.Release(ctx, lc.desc, page, lc.Mode, dirty); err != nil {
+			// §3.5: errors while releasing resources are not
+			// reflected to the client; keep trying in the
+			// background. The page stays marked dirty so the local
+			// storage system will not discard it before the retried
+			// release delivers it (§3.4).
+			n.queueRetry(retryOp{desc: lc.desc, page: page, mode: lc.Mode, dirty: dirty})
+		} else if dirty {
+			n.dir.Update(page, func(e *pagedir.Entry) { e.Dirty = false })
+		}
+		_ = n.store.Unpin(page)
+	}
+	return nil
+}

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"khazana/internal/gaddr"
+	"khazana/internal/ktypes"
+	"khazana/internal/region"
+	"khazana/internal/transport"
+)
+
+// restartNode closes a node and starts a fresh daemon over the same store
+// directory and identity.
+func restartNode(t *testing.T, net *transport.Network, old *Node) *Node {
+	t.Helper()
+	cfg := old.cfg
+	if err := old.Close(); err != nil {
+		t.Fatal(err)
+	}
+	net.Detach(cfg.ID)
+	tr, err := net.Attach(cfg.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Transport = tr
+	node, err := NewNode(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := node.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = node.Close() })
+	return node
+}
+
+func TestSingleNodePersistenceAcrossRestart(t *testing.T) {
+	net := transport.NewNetwork()
+	tr, err := net.Attach(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "n1")
+	n1, err := NewNode(Config{ID: 1, Transport: tr, StoreDir: dir, Genesis: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n1.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	start := mkRegion(t, n1, 8192, region.Attrs{}, "alice")
+	lc, err := n1.Lock(ctx, gaddr.Range{Start: start, Size: 8192}, ktypes.LockWrite, "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("survives a restart")
+	if err := n1.Write(lc, start.MustAdd(100), payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := n1.Unlock(ctx, lc); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart the daemon on the same store.
+	n1b := restartNode(t, net, n1)
+
+	// The region descriptor, ACL, and data all survive.
+	d, err := n1b.GetAttr(ctx, start)
+	if err != nil {
+		t.Fatalf("region lost after restart: %v", err)
+	}
+	if d.Attrs.ACL.Owner != "alice" || !d.Allocated {
+		t.Fatalf("descriptor corrupted: %+v", d)
+	}
+	rlc, err := n1b.Lock(ctx, gaddr.Range{Start: start, Size: 8192}, ktypes.LockRead, "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := n1b.Read(rlc, start.MustAdd(100), uint64(len(payload)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = n1b.Unlock(ctx, rlc)
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("data after restart = %q", got)
+	}
+	// New reservations still work (the address map persisted too, so
+	// the cursor does not hand out overlapping space).
+	start2 := mkRegion(t, n1b, 4096, region.Attrs{}, "alice")
+	if (gaddr.Range{Start: start, Size: 8192}).Contains(start2) {
+		t.Fatalf("post-restart reservation %v overlaps %v", start2, start)
+	}
+}
+
+func TestHomeRestartServesPeers(t *testing.T) {
+	net, nodes := testCluster(t, 3)
+	ctx := context.Background()
+	start := mkRegion(t, nodes[1], 4096, region.Attrs{}, "")
+	lc, err := nodes[1].Lock(ctx, gaddr.Range{Start: start, Size: 4096}, ktypes.LockWrite, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = nodes[1].Write(lc, start, []byte("homed on n2"))
+	_ = nodes[1].Unlock(ctx, lc)
+
+	// Restart node 2; node 3 must still be able to read through it.
+	n2b := restartNode(t, net, nodes[1])
+	_ = n2b
+	rlc, err := nodes[2].Lock(ctx, gaddr.Range{Start: start, Size: 4096}, ktypes.LockRead, "")
+	if err != nil {
+		t.Fatalf("read after home restart: %v", err)
+	}
+	got, _ := nodes[2].Read(rlc, start, 11)
+	_ = nodes[2].Unlock(ctx, rlc)
+	if string(got) != "homed on n2" {
+		t.Fatalf("read %q", got)
+	}
+}
+
+func TestPersistCorruptMetadataRejected(t *testing.T) {
+	net := transport.NewNetwork()
+	tr, _ := net.Attach(1)
+	dir := filepath.Join(t.TempDir(), "n1")
+	n1, err := NewNode(Config{ID: 1, Transport: tr, StoreDir: dir, Genesis: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n1.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	mkRegion(t, n1, 4096, region.Attrs{}, "")
+	if err := n1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Clobber the regions file.
+	if err := os.WriteFile(filepath.Join(dir, regionsFile), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	net.Detach(1)
+	tr2, _ := net.Attach(1)
+	n1b, err := NewNode(Config{ID: 1, Transport: tr2, StoreDir: dir, Genesis: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n1b.Start(context.Background()); err == nil {
+		t.Fatal("corrupt metadata should fail the restart")
+	}
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"khazana/internal/gaddr"
+	"khazana/internal/ktypes"
+	"khazana/internal/region"
+)
+
+// hammer performs count lock-read cycles from node n.
+func hammer(t *testing.T, n *Node, start gaddr.Addr, count int) {
+	t.Helper()
+	ctx := context.Background()
+	for i := 0; i < count; i++ {
+		lc, err := n.Lock(ctx, gaddr.Range{Start: start, Size: 4096}, ktypes.LockRead, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := n.Unlock(ctx, lc); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestMigrationPolicyFollowsLoad(t *testing.T) {
+	_, nodes := testCluster(t, 3)
+	ctx := context.Background()
+	start := mkRegion(t, nodes[0], 4096, region.Attrs{}, "")
+
+	// Node 3 dominates the region's traffic.
+	hammer(t, nodes[2], start, 20)
+	hammer(t, nodes[1], start, 2)
+
+	moved := nodes[0].RunMigrationPolicy(ctx, DefaultMigrationPolicy())
+	if len(moved) != 1 || moved[0] != start {
+		t.Fatalf("policy moved %v, want [%v]", moved, start)
+	}
+	d := nodes[2].authDescByStart(start)
+	if d == nil {
+		t.Fatal("node 3 should now home the region")
+	}
+	if home, _ := d.PrimaryHome(); home != 3 {
+		t.Fatalf("new home = %v", home)
+	}
+	// Node 3's accesses are now local (no consistency traffic recorded
+	// anywhere for them); the old home no longer decides for the region.
+	hammer(t, nodes[2], start, 5)
+	if again := nodes[0].RunMigrationPolicy(ctx, DefaultMigrationPolicy()); len(again) != 0 {
+		t.Fatalf("old home migrated again: %v", again)
+	}
+}
+
+func TestMigrationPolicyThresholds(t *testing.T) {
+	_, nodes := testCluster(t, 3)
+	ctx := context.Background()
+	start := mkRegion(t, nodes[0], 4096, region.Attrs{}, "")
+
+	// Below MinRequests: no migration.
+	hammer(t, nodes[2], start, 5)
+	if moved := nodes[0].RunMigrationPolicy(ctx, DefaultMigrationPolicy()); len(moved) != 0 {
+		t.Fatalf("policy moved on a thin window: %v", moved)
+	}
+	// Balanced traffic: no dominant node, no migration.
+	hammer(t, nodes[1], start, 10)
+	hammer(t, nodes[2], start, 10)
+	if moved := nodes[0].RunMigrationPolicy(ctx, DefaultMigrationPolicy()); len(moved) != 0 {
+		t.Fatalf("policy moved on balanced traffic: %v", moved)
+	}
+	// The decision window resets each pass: old traffic does not leak.
+	hammer(t, nodes[2], start, 20)
+	moved := nodes[0].RunMigrationPolicy(ctx, DefaultMigrationPolicy())
+	if len(moved) != 1 {
+		t.Fatalf("dominant window after reset should migrate: %v", moved)
+	}
+}
+
+func TestMigrationPolicyBackgroundLoop(t *testing.T) {
+	_, nodes := testCluster(t, 2, func(i int, cfg *Config) {
+		cfg.MigrationInterval = 20 * time.Millisecond
+	})
+	ctx := context.Background()
+	start := mkRegion(t, nodes[0], 4096, region.Attrs{}, "")
+	hammer(t, nodes[1], start, 25)
+
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		if d := nodes[1].authDescByStart(start); d != nil {
+			if home, _ := d.PrimaryHome(); home == 2 {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("background policy never migrated the region")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	// The region still works after the automatic move.
+	lc, err := nodes[0].Lock(ctx, gaddr.Range{Start: start, Size: 4096}, ktypes.LockRead, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = nodes[0].Unlock(ctx, lc)
+}
+
+func TestMapRegionNeverMigrates(t *testing.T) {
+	_, nodes := testCluster(t, 2)
+	ctx := context.Background()
+	// Generate plenty of map traffic from node 2 (reserves walk the
+	// tree and push release updates to the map home).
+	for i := 0; i < 10; i++ {
+		if _, err := nodes[1].Reserve(ctx, 4096, region.Attrs{}, ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if moved := nodes[0].RunMigrationPolicy(ctx, DefaultMigrationPolicy()); len(moved) != 0 {
+		t.Fatalf("policy must never move the address map region: %v", moved)
+	}
+}

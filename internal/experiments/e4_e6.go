@@ -1,0 +1,227 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"khazana"
+)
+
+// E4Scalability measures aggregate throughput as nodes are added, for
+// disjoint regions versus a single write-contended region. §2:
+// "performance should scale as nodes are added if the new nodes do not
+// contend for access to the same regions". Every worker accesses a region
+// homed on a *different* node, so each operation pays real (simulated)
+// network time; disjoint operations overlap, contended ones serialize on
+// the region's global CREW lock.
+func E4Scalability(cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	res := Result{
+		ID:        "E4",
+		Title:     "§2 scalability — aggregate remote ops/s vs node count, disjoint vs contended",
+		Predicted: "disjoint workloads scale with node count; a write-contended region does not",
+	}
+	sizes := []int{2, 4, 8}
+	var disjointRates, contendedRates []float64
+	for _, n := range sizes {
+		c, err := newCluster(cfg, n)
+		if err != nil {
+			return res, err
+		}
+		ctx := context.Background()
+
+		// Disjoint: worker w runs on node w+1 against a region homed
+		// on the next node around the ring — always remote.
+		regions := make([]khazana.Addr, n)
+		for w := 0; w < n; w++ {
+			home := (w+1)%n + 1
+			r, err := mkRegion(ctx, c.Node(home), 4096, khazana.Attrs{})
+			if err != nil {
+				c.Close()
+				return res, err
+			}
+			regions[w] = r
+		}
+		payload := []byte("scalability payload")
+		disjoint, err := opsPerSecond(cfg, n, func(w int) error {
+			return writeOnce(ctx, c.Node(w+1), regions[w], payload)
+		})
+		if err != nil {
+			c.Close()
+			return res, err
+		}
+
+		// Contended: every node hammers one region homed on node 1.
+		shared, err := mkRegion(ctx, c.Node(1), 4096, khazana.Attrs{})
+		if err != nil {
+			c.Close()
+			return res, err
+		}
+		contended, err := opsPerSecond(cfg, n-1, func(w int) error {
+			return writeOnce(ctx, c.Node(w+2), shared, payload)
+		})
+		c.Close()
+		if err != nil {
+			return res, err
+		}
+		disjointRates = append(disjointRates, disjoint)
+		contendedRates = append(contendedRates, contended)
+		res.Rows = append(res.Rows, Row{
+			Name:   fmt.Sprintf("%d node(s)", n),
+			Value:  fmtRate(disjoint),
+			Detail: "disjoint; contended: " + fmtRate(contended),
+		})
+	}
+	last := len(sizes) - 1
+	disjointSpeedup := disjointRates[last] / disjointRates[0]
+	contendedSpeedup := contendedRates[last] / contendedRates[0]
+	res.Rows = append(res.Rows, Row{
+		Name:   "disjoint speedup 2→8 nodes",
+		Value:  fmt.Sprintf("%.1fx", disjointSpeedup),
+		Detail: fmt.Sprintf("contended: %.1fx", contendedSpeedup),
+	})
+	res.Pass = disjointSpeedup > 2 && contendedSpeedup < 2 && disjointSpeedup > contendedSpeedup
+	return res, nil
+}
+
+// E5Consistency compares the three consistency protocols under read-mostly
+// and write-heavy sharing from non-home nodes (§3.3: protocol choice
+// trades performance for freshness; weaker protocols give "fast response"
+// at the cost of temporarily out-of-date data). Per-read cost: eventual =
+// no traffic, release = one version check, CREW = a grant/release exchange
+// with the home. Per-write cost: release = one push; CREW adds global
+// exclusion; eventual adds the home's gossip fan-out to every replica.
+func E5Consistency(cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	res := Result{
+		ID:        "E5",
+		Title:     "§3.3 consistency protocols — non-home throughput under read-mostly and write-heavy sharing",
+		Predicted: "read-mostly: eventual > release > CREW; write-heavy: release > CREW (no global exclusion); eventual pays its gossip fan-out on writes",
+	}
+	protocols := []struct {
+		name  string
+		attrs khazana.Attrs
+	}{
+		{"crew", khazana.Attrs{Protocol: khazana.CREW}},
+		{"release", khazana.Attrs{Protocol: khazana.Release}},
+		{"eventual", khazana.Attrs{Protocol: khazana.Eventual}},
+	}
+	rates := make(map[string][2]float64)
+	for _, p := range protocols {
+		c, err := newCluster(cfg, 4)
+		if err != nil {
+			return res, err
+		}
+		ctx := context.Background()
+		start, err := mkRegion(ctx, c.Node(1), 4096, p.attrs)
+		if err != nil {
+			c.Close()
+			return res, err
+		}
+		// Seed a replica everywhere.
+		for i := 1; i <= 4; i++ {
+			if _, err := readOnce(ctx, c.Node(i), start, 64); err != nil {
+				c.Close()
+				return res, err
+			}
+		}
+		payload := []byte("protocol payload")
+		run := func(writeEvery int) (float64, error) {
+			var seq [3]int
+			// Workers run on the three non-home nodes.
+			return opsPerSecond(cfg, 3, func(w int) error {
+				seq[w]++
+				node := c.Node(w + 2)
+				if seq[w]%writeEvery == 0 {
+					return writeOnce(ctx, node, start, payload)
+				}
+				_, err := readOnce(ctx, node, start, 64)
+				return err
+			})
+		}
+		readMostly, err := run(20) // 5% writes
+		if err != nil {
+			c.Close()
+			return res, err
+		}
+		writeHeavy, err := run(2) // 50% writes
+		c.Close()
+		if err != nil {
+			return res, err
+		}
+		rates[p.name] = [2]float64{readMostly, writeHeavy}
+		res.Rows = append(res.Rows, Row{
+			Name:   p.name,
+			Value:  fmtRate(readMostly),
+			Detail: "read-mostly; write-heavy: " + fmtRate(writeHeavy),
+		})
+	}
+	res.Pass = rates["eventual"][0] > rates["release"][0] &&
+		rates["release"][0] > rates["crew"][0] &&
+		rates["release"][1] > rates["crew"][1]
+	return res, nil
+}
+
+// E6Replication measures the cost and benefit of minimum replica counts
+// (§3.5: minimum primary replicas enhance availability "at a cost of
+// resource consumption").
+func E6Replication(cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	res := Result{
+		ID:        "E6",
+		Title:     "§3.5 replication — write/maintenance cost and post-crash availability vs MinReplicas",
+		Predicted: "maintenance cost grows with the replica count; data survives a home crash only with MinReplicas ≥ 2",
+	}
+	survived := make(map[uint8]bool)
+	var costs []time.Duration
+	for _, k := range []uint8{1, 2, 3, 4} {
+		c, err := newCluster(cfg, 5)
+		if err != nil {
+			return res, err
+		}
+		ctx := context.Background()
+		start, err := mkRegion(ctx, c.Node(2), 4096, khazana.Attrs{MinReplicas: k})
+		if err != nil {
+			c.Close()
+			return res, err
+		}
+		if err := writeOnce(ctx, c.Node(2), start, []byte("replicated payload")); err != nil {
+			c.Close()
+			return res, err
+		}
+		maintain, err := timeOp(func() error {
+			c.Node(2).Core().MaintainReplicas()
+			return nil
+		})
+		if err != nil {
+			c.Close()
+			return res, err
+		}
+		costs = append(costs, maintain)
+		d, err := c.Node(2).GetAttr(ctx, start)
+		if err != nil {
+			c.Close()
+			return res, err
+		}
+		homes := len(d.Home)
+		// Let another node cache the (fresh) descriptor, then kill the
+		// primary home.
+		if _, err := c.Node(4).GetAttr(ctx, start); err != nil {
+			c.Close()
+			return res, err
+		}
+		c.Crash(2)
+		data, err := readOnce(ctx, c.Node(4), start, 18)
+		ok := err == nil && string(data) == "replicated payload"
+		survived[k] = ok
+		c.Close()
+		res.Rows = append(res.Rows, Row{
+			Name:   fmt.Sprintf("MinReplicas=%d", k),
+			Value:  fmt.Sprintf("available after home crash: %v", ok),
+			Detail: fmt.Sprintf("homes=%d, maintenance cost %s", homes, fmtDur(maintain)),
+		})
+	}
+	res.Pass = !survived[1] && survived[2] && survived[3] && costs[3] >= costs[0]
+	return res, nil
+}

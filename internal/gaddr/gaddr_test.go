@@ -1,0 +1,335 @@
+package gaddr
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddCarry(t *testing.T) {
+	tests := []struct {
+		name string
+		a    Addr
+		n    uint64
+		want Addr
+		err  bool
+	}{
+		{"zero plus zero", Zero, 0, Zero, false},
+		{"simple", New(0, 5), 7, New(0, 12), false},
+		{"carry into hi", New(0, math.MaxUint64), 1, New(1, 0), false},
+		{"carry with remainder", New(2, math.MaxUint64), 3, New(3, 2), false},
+		{"overflow", Max, 1, Addr{}, true},
+		{"max plus zero", Max, 0, Max, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := tt.a.Add(tt.n)
+			if (err != nil) != tt.err {
+				t.Fatalf("Add err = %v, want err=%v", err, tt.err)
+			}
+			if err == nil && got != tt.want {
+				t.Fatalf("Add = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestSubBorrow(t *testing.T) {
+	tests := []struct {
+		name string
+		a    Addr
+		n    uint64
+		want Addr
+		err  bool
+	}{
+		{"simple", New(0, 12), 7, New(0, 5), false},
+		{"borrow from hi", New(1, 0), 1, New(0, math.MaxUint64), false},
+		{"underflow", New(0, 3), 4, Addr{}, true},
+		{"zero minus zero", Zero, 0, Zero, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := tt.a.Sub(tt.n)
+			if (err != nil) != tt.err {
+				t.Fatalf("Sub err = %v, want err=%v", err, tt.err)
+			}
+			if err == nil && got != tt.want {
+				t.Fatalf("Sub = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestDistance(t *testing.T) {
+	a := New(1, 100)
+	b := New(1, 500)
+	if d, ok := a.Distance(b); !ok || d != 400 {
+		t.Fatalf("Distance = %d,%v; want 400,true", d, ok)
+	}
+	if _, ok := b.Distance(a); ok {
+		t.Fatal("Distance backwards should fail")
+	}
+	// Distance crossing a hi boundary that still fits in 64 bits.
+	c := New(0, math.MaxUint64-1)
+	d := New(1, 7)
+	if got, ok := c.Distance(d); !ok || got != 9 {
+		t.Fatalf("Distance across hi = %d,%v; want 9,true", got, ok)
+	}
+	// Distance that does not fit in 64 bits.
+	if _, ok := Zero.Distance(New(2, 0)); ok {
+		t.Fatal("128-bit distance should not fit")
+	}
+}
+
+func TestCmpOrdering(t *testing.T) {
+	ordered := []Addr{
+		Zero,
+		New(0, 1),
+		New(0, math.MaxUint64),
+		New(1, 0),
+		New(1, 1),
+		Max,
+	}
+	for i := range ordered {
+		for j := range ordered {
+			want := 0
+			if i < j {
+				want = -1
+			} else if i > j {
+				want = 1
+			}
+			if got := ordered[i].Cmp(ordered[j]); got != want {
+				t.Errorf("Cmp(%v,%v) = %d, want %d", ordered[i], ordered[j], got, want)
+			}
+		}
+	}
+}
+
+func TestAlign(t *testing.T) {
+	a := New(3, 0x1fff)
+	if got := a.AlignDown(0x1000); got != New(3, 0x1000) {
+		t.Fatalf("AlignDown = %v", got)
+	}
+	up, err := a.AlignUp(0x1000)
+	if err != nil || up != New(3, 0x2000) {
+		t.Fatalf("AlignUp = %v, %v", up, err)
+	}
+	aligned := New(3, 0x2000)
+	if got, _ := aligned.AlignUp(0x1000); got != aligned {
+		t.Fatalf("AlignUp of aligned = %v", got)
+	}
+	if got := a.Offset(0x1000); got != 0xfff {
+		t.Fatalf("Offset = %#x", got)
+	}
+}
+
+func TestAlignPanicsOnBadAlignment(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-power-of-two alignment")
+		}
+	}()
+	New(0, 10).AlignDown(3)
+}
+
+func TestStringParseRoundTrip(t *testing.T) {
+	addrs := []Addr{Zero, New(0, 0x1000), New(0xdeadbeef, 0xcafebabe), Max}
+	for _, a := range addrs {
+		got, err := Parse(a.String())
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", a.String(), err)
+		}
+		if got != a {
+			t.Fatalf("round trip %v != %v", got, a)
+		}
+	}
+}
+
+func TestParseBareHex(t *testing.T) {
+	got, err := Parse("0x1000")
+	if err != nil || got != New(0, 0x1000) {
+		t.Fatalf("Parse bare hex = %v, %v", got, err)
+	}
+	if _, err := Parse("zz"); err == nil {
+		t.Fatal("Parse should reject garbage")
+	}
+	if _, err := Parse("zz:00"); err == nil {
+		t.Fatal("Parse should reject garbage hi half")
+	}
+	if _, err := Parse("00:zz"); err == nil {
+		t.Fatal("Parse should reject garbage lo half")
+	}
+}
+
+func TestRangeContains(t *testing.T) {
+	r, err := NewRange(New(0, 0x1000), 0x1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		a    Addr
+		want bool
+	}{
+		{New(0, 0xfff), false},
+		{New(0, 0x1000), true},
+		{New(0, 0x1fff), true},
+		{New(0, 0x2000), false},
+		{New(1, 0x1800), false},
+	}
+	for _, tt := range tests {
+		if got := r.Contains(tt.a); got != tt.want {
+			t.Errorf("Contains(%v) = %v, want %v", tt.a, got, tt.want)
+		}
+	}
+}
+
+func TestRangeValidation(t *testing.T) {
+	if _, err := NewRange(Zero, 0); err == nil {
+		t.Fatal("empty range should fail")
+	}
+	if _, err := NewRange(Max, 2); err == nil {
+		t.Fatal("wrapping range should fail")
+	}
+	if _, err := NewRange(Max, 1); err != nil {
+		t.Fatalf("1-byte range at top should be fine: %v", err)
+	}
+}
+
+func TestRangeEnd(t *testing.T) {
+	r, _ := NewRange(New(0, 0x1000), 0x1000)
+	end, ok := r.End()
+	if !ok || end != New(0, 0x2000) {
+		t.Fatalf("End = %v,%v", end, ok)
+	}
+	top, _ := NewRange(Max, 1)
+	if _, ok := top.End(); ok {
+		t.Fatal("End at top of space should report !ok")
+	}
+}
+
+func TestRangeOverlapsAndContainsRange(t *testing.T) {
+	r, _ := NewRange(New(0, 0x1000), 0x1000)
+	cases := []struct {
+		q        Range
+		overlaps bool
+		contains bool
+	}{
+		{Range{New(0, 0x1000), 0x1000}, true, true},
+		{Range{New(0, 0x1800), 0x100}, true, true},
+		{Range{New(0, 0x800), 0x801}, true, false},
+		{Range{New(0, 0x800), 0x800}, false, false},
+		{Range{New(0, 0x2000), 0x100}, false, false},
+		{Range{New(0, 0x1fff), 2}, true, false},
+	}
+	for i, c := range cases {
+		if got := r.Overlaps(c.q); got != c.overlaps {
+			t.Errorf("case %d: Overlaps(%v) = %v, want %v", i, c.q, got, c.overlaps)
+		}
+		if got := r.ContainsRange(c.q); got != c.contains {
+			t.Errorf("case %d: ContainsRange(%v) = %v, want %v", i, c.q, got, c.contains)
+		}
+	}
+}
+
+func TestRangePages(t *testing.T) {
+	r, _ := NewRange(New(0, 0x10000), 0x4000) // 4 pages of 4K
+	pages := r.Pages(0, 0x4000, 0x1000)
+	if len(pages) != 4 {
+		t.Fatalf("Pages full range = %d pages", len(pages))
+	}
+	pages = r.Pages(0x800, 0x1000, 0x1000) // straddles 2 pages
+	if len(pages) != 2 || pages[0] != New(0, 0x10000) || pages[1] != New(0, 0x11000) {
+		t.Fatalf("Pages straddle = %v", pages)
+	}
+	if got := r.Pages(0, 0, 0x1000); got != nil {
+		t.Fatalf("empty span should give nil, got %v", got)
+	}
+	if got := r.Pages(0x3000, 0x2000, 0x1000); got != nil {
+		t.Fatalf("escaping span should give nil, got %v", got)
+	}
+}
+
+func TestRangeOffsetOf(t *testing.T) {
+	r, _ := NewRange(New(7, 0x1000), 0x1000)
+	if off, ok := r.OffsetOf(New(7, 0x1800)); !ok || off != 0x800 {
+		t.Fatalf("OffsetOf = %d,%v", off, ok)
+	}
+	if _, ok := r.OffsetOf(New(7, 0x800)); ok {
+		t.Fatal("OffsetOf outside should fail")
+	}
+}
+
+// Property: Add then Sub round-trips whenever Add succeeds.
+func TestQuickAddSubRoundTrip(t *testing.T) {
+	f := func(hi, lo, n uint64) bool {
+		a := New(hi, lo)
+		sum, err := a.Add(n)
+		if err != nil {
+			return true // overflow is allowed, nothing to check
+		}
+		back, err := sum.Sub(n)
+		return err == nil && back == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Distance(a, a.Add(n)) == n.
+func TestQuickDistanceInvertsAdd(t *testing.T) {
+	f := func(hi, lo, n uint64) bool {
+		a := New(hi, lo)
+		sum, err := a.Add(n)
+		if err != nil {
+			return true
+		}
+		d, ok := a.Distance(sum)
+		return ok && d == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Cmp is antisymmetric and consistent with Less.
+func TestQuickCmpAntisymmetric(t *testing.T) {
+	f := func(h1, l1, h2, l2 uint64) bool {
+		a, b := New(h1, l1), New(h2, l2)
+		return a.Cmp(b) == -b.Cmp(a) && (a.Cmp(b) < 0) == a.Less(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: AlignDown(a) <= a < AlignDown(a)+align, and result is aligned.
+func TestQuickAlignDown(t *testing.T) {
+	f := func(hi, lo uint64, shift uint8) bool {
+		align := uint64(1) << (shift % 32)
+		a := New(hi, lo)
+		d := a.AlignDown(align)
+		if d.Offset(align) != 0 {
+			return false
+		}
+		if a.Less(d) {
+			return false
+		}
+		dist, ok := d.Distance(a)
+		return ok && dist < align
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: string form round-trips through Parse.
+func TestQuickStringRoundTrip(t *testing.T) {
+	f := func(hi, lo uint64) bool {
+		a := New(hi, lo)
+		got, err := Parse(a.String())
+		return err == nil && got == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

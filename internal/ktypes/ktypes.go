@@ -1,0 +1,64 @@
+// Package ktypes holds small identifier types shared across all Khazana
+// layers: node identities and lock modes.
+package ktypes
+
+import "strconv"
+
+// NodeID identifies a Khazana daemon process. All Khazana nodes are peers
+// (paper §2); there is no server role. Valid IDs start at 1; 0 is "no node".
+type NodeID uint32
+
+// NilNode is the absent node ID.
+const NilNode NodeID = 0
+
+// String renders the node as "n<id>", matching the paper's Node 1..Node 5
+// numbering in Figure 1.
+func (n NodeID) String() string {
+	if n == NilNode {
+		return "n?"
+	}
+	return "n" + strconv.FormatUint(uint64(n), 10)
+}
+
+// LockMode is the mode a client states as its intention when locking part
+// of a region (paper §2: "read-only, read-write etc"). Lock operations do
+// not themselves enforce concurrency control; the region's consistency
+// protocol decides policy from these stated intentions.
+type LockMode uint8
+
+const (
+	// LockRead declares an intention to read.
+	LockRead LockMode = iota + 1
+	// LockWrite declares an intention to read and write.
+	LockWrite
+	// LockWriteShared declares a write intention that tolerates concurrent
+	// writers (used by the weaker consistency protocols).
+	LockWriteShared
+)
+
+// String renders the lock mode.
+func (m LockMode) String() string {
+	switch m {
+	case LockRead:
+		return "read"
+	case LockWrite:
+		return "write"
+	case LockWriteShared:
+		return "write-shared"
+	default:
+		return "invalid"
+	}
+}
+
+// Writes reports whether the mode permits writes.
+func (m LockMode) Writes() bool { return m == LockWrite || m == LockWriteShared }
+
+// Valid reports whether m is a defined lock mode.
+func (m LockMode) Valid() bool { return m >= LockRead && m <= LockWriteShared }
+
+// Principal identifies a client for access-control checks. Authentication
+// proper is out of the paper's scope (§3); principals are opaque strings.
+type Principal string
+
+// Anonymous is the principal used when a client does not identify itself.
+const Anonymous Principal = ""

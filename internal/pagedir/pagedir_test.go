@@ -1,0 +1,224 @@
+package pagedir
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"khazana/internal/gaddr"
+	"khazana/internal/ktypes"
+)
+
+func pg(n uint64) gaddr.Addr { return gaddr.FromUint64(n * 0x1000) }
+
+func TestLookupAbsent(t *testing.T) {
+	d := New()
+	if _, ok := d.Lookup(pg(1)); ok {
+		t.Fatal("absent entry found")
+	}
+}
+
+func TestUpdateCreatesAndMutates(t *testing.T) {
+	d := New()
+	d.Update(pg(1), func(e *Entry) {
+		e.State = Owned
+		e.Owner = 3
+		e.Version = 7
+	})
+	got, ok := d.Lookup(pg(1))
+	if !ok || got.State != Owned || got.Owner != 3 || got.Version != 7 {
+		t.Fatalf("entry = %+v, %v", got, ok)
+	}
+	d.Update(pg(1), func(e *Entry) { e.Version++ })
+	got, _ = d.Lookup(pg(1))
+	if got.Version != 8 {
+		t.Fatalf("Version = %d", got.Version)
+	}
+	if got.Page != pg(1) {
+		t.Fatalf("Page = %v", got.Page)
+	}
+}
+
+func TestLookupReturnsCopy(t *testing.T) {
+	d := New()
+	d.Update(pg(1), func(e *Entry) { e.AddSharer(2) })
+	got, _ := d.Lookup(pg(1))
+	got.Copyset[0] = 99
+	again, _ := d.Lookup(pg(1))
+	if again.Copyset[0] != 2 {
+		t.Fatal("Lookup shares copyset slice")
+	}
+}
+
+func TestCopysetOps(t *testing.T) {
+	var e Entry
+	e.AddSharer(1)
+	e.AddSharer(2)
+	e.AddSharer(1) // duplicate
+	if len(e.Copyset) != 2 {
+		t.Fatalf("Copyset = %v", e.Copyset)
+	}
+	if !e.InCopyset(1) || !e.InCopyset(2) || e.InCopyset(3) {
+		t.Fatal("InCopyset wrong")
+	}
+	e.RemoveSharer(1)
+	if e.InCopyset(1) || len(e.Copyset) != 1 {
+		t.Fatalf("after remove = %v", e.Copyset)
+	}
+	e.RemoveSharer(9) // absent: no-op
+	if len(e.Copyset) != 1 {
+		t.Fatal("removing absent sharer changed copyset")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	d := New()
+	d.Update(pg(1), func(e *Entry) {})
+	d.Delete(pg(1))
+	if _, ok := d.Lookup(pg(1)); ok {
+		t.Fatal("deleted entry found")
+	}
+	if d.Len() != 0 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+}
+
+func TestPagesAndHomedPages(t *testing.T) {
+	d := New()
+	d.Update(pg(1), func(e *Entry) { e.HomedLocal = true })
+	d.Update(pg(2), func(e *Entry) {})
+	d.Update(pg(3), func(e *Entry) { e.HomedLocal = true })
+	if got := len(d.Pages()); got != 3 {
+		t.Fatalf("Pages = %d", got)
+	}
+	homed := d.HomedPages()
+	if len(homed) != 2 {
+		t.Fatalf("HomedPages = %v", homed)
+	}
+	for _, p := range homed {
+		if p != pg(1) && p != pg(3) {
+			t.Fatalf("unexpected homed page %v", p)
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	d := New()
+	d.Update(pg(1), func(e *Entry) {
+		e.HomedLocal = true
+		e.State = Owned
+		e.Owner = 1
+		e.Copyset = []ktypes.NodeID{1, 4}
+		e.Version = 12
+		e.Dirty = true
+		e.Stamp = 999
+		e.StampNode = 4
+	})
+	d.Update(pg(2), func(e *Entry) { e.State = Shared }) // remote-homed: not persisted
+
+	var buf bytes.Buffer
+	if err := d.SaveTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	d2 := New()
+	if err := d2.LoadFrom(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if d2.Len() != 1 {
+		t.Fatalf("restored Len = %d", d2.Len())
+	}
+	got, ok := d2.Lookup(pg(1))
+	if !ok || got.State != Owned || got.Version != 12 || !got.Dirty ||
+		!got.HomedLocal || got.Stamp != 999 || got.StampNode != 4 {
+		t.Fatalf("restored entry = %+v", got)
+	}
+	if len(got.Copyset) != 2 || got.Copyset[1] != 4 {
+		t.Fatalf("restored copyset = %v", got.Copyset)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	d := New()
+	if err := d.LoadFrom(bytes.NewReader([]byte("not a pagedir"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if err := d.LoadFrom(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	// Truncated valid prefix.
+	src := New()
+	src.Update(pg(1), func(e *Entry) { e.HomedLocal = true })
+	var buf bytes.Buffer
+	_ = src.SaveTo(&buf)
+	full := buf.Bytes()
+	for cut := 1; cut < len(full); cut++ {
+		if err := New().LoadFrom(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("cut=%d accepted", cut)
+		}
+	}
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	d := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				d.Update(pg(uint64(j%10)), func(e *Entry) { e.Version++ })
+			}
+		}()
+	}
+	wg.Wait()
+	var total uint64
+	for i := uint64(0); i < 10; i++ {
+		e, _ := d.Lookup(pg(i))
+		total += e.Version
+	}
+	if total != 8*200 {
+		t.Fatalf("total versions = %d, want %d", total, 8*200)
+	}
+}
+
+// Property: save/load preserves every homed entry for arbitrary field
+// values.
+func TestQuickPersistRoundTrip(t *testing.T) {
+	f := func(pagesSeed []uint16, version uint64, stamp int64, dirty bool) bool {
+		d := New()
+		seen := make(map[gaddr.Addr]bool)
+		for _, s := range pagesSeed {
+			p := pg(uint64(s))
+			seen[p] = true
+			d.Update(p, func(e *Entry) {
+				e.HomedLocal = true
+				e.Version = version
+				e.Stamp = stamp
+				e.Dirty = dirty
+				e.AddSharer(ktypes.NodeID(s%5 + 1))
+			})
+		}
+		var buf bytes.Buffer
+		if d.SaveTo(&buf) != nil {
+			return false
+		}
+		d2 := New()
+		if d2.LoadFrom(&buf) != nil {
+			return false
+		}
+		if d2.Len() != len(seen) {
+			return false
+		}
+		for p := range seen {
+			got, ok := d2.Lookup(p)
+			if !ok || got.Version != version || got.Stamp != stamp || got.Dirty != dirty {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

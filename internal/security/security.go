@@ -1,0 +1,166 @@
+// Package security implements Khazana's per-region access control.
+//
+// A region's attributes include "access control information" (paper §2).
+// Khazana checks a region's access permissions before granting locks
+// (§3.2). Authentication mechanisms proper are explicitly deferred by the
+// paper (§3: "space precludes a detailed discussion"); principals here are
+// opaque identities supplied by the client library.
+package security
+
+import (
+	"fmt"
+
+	"khazana/internal/enc"
+	"khazana/internal/ktypes"
+)
+
+// Perm is a permission bit set.
+type Perm uint8
+
+const (
+	// PermRead allows read locks.
+	PermRead Perm = 1 << iota
+	// PermWrite allows write locks.
+	PermWrite
+	// PermAdmin allows attribute changes and unreserve/free.
+	PermAdmin
+)
+
+// PermAll grants every permission.
+const PermAll = PermRead | PermWrite | PermAdmin
+
+// String renders the permission set as "rwa" flags.
+func (p Perm) String() string {
+	b := []byte("---")
+	if p&PermRead != 0 {
+		b[0] = 'r'
+	}
+	if p&PermWrite != 0 {
+		b[1] = 'w'
+	}
+	if p&PermAdmin != 0 {
+		b[2] = 'a'
+	}
+	return string(b)
+}
+
+// Entry grants a permission set to one principal.
+type Entry struct {
+	Principal ktypes.Principal
+	Allow     Perm
+}
+
+// ACL is a region's access-control list. The zero value is an open ACL:
+// regions created without access-control attributes are world-accessible,
+// which matches the prototype's default behaviour.
+type ACL struct {
+	// Owner always holds PermAll.
+	Owner ktypes.Principal
+	// World is the permission set for principals with no entry.
+	World Perm
+	// Entries grant specific principals additional permissions.
+	Entries []Entry
+}
+
+// Open is the world-accessible ACL used when a client does not specify
+// access control.
+func Open() ACL { return ACL{World: PermAll} }
+
+// Private returns an ACL granting access only to owner.
+func Private(owner ktypes.Principal) ACL { return ACL{Owner: owner} }
+
+// IsOpen reports whether the ACL grants everything to everyone.
+func (a ACL) IsOpen() bool {
+	return a.World == PermAll
+}
+
+// Grant returns a copy of the ACL with an added or widened entry for p.
+func (a ACL) Grant(p ktypes.Principal, perm Perm) ACL {
+	out := a
+	out.Entries = make([]Entry, len(a.Entries), len(a.Entries)+1)
+	copy(out.Entries, a.Entries)
+	for i := range out.Entries {
+		if out.Entries[i].Principal == p {
+			out.Entries[i].Allow |= perm
+			return out
+		}
+	}
+	out.Entries = append(out.Entries, Entry{Principal: p, Allow: perm})
+	return out
+}
+
+// Check returns nil when principal p holds all permissions in need.
+func (a ACL) Check(p ktypes.Principal, need Perm) error {
+	have := a.World
+	if p != ktypes.Anonymous && p == a.Owner {
+		have |= PermAll
+	}
+	for _, e := range a.Entries {
+		if e.Principal == p {
+			have |= e.Allow
+		}
+	}
+	if have&need != need {
+		return &AccessError{Principal: p, Need: need, Have: have}
+	}
+	return nil
+}
+
+// CheckMode maps a lock mode to the permission it requires and checks it.
+func (a ACL) CheckMode(p ktypes.Principal, mode ktypes.LockMode) error {
+	need := PermRead
+	if mode.Writes() {
+		need |= PermWrite
+	}
+	return a.Check(p, need)
+}
+
+// AccessError reports a failed permission check.
+type AccessError struct {
+	Principal ktypes.Principal
+	Need      Perm
+	Have      Perm
+}
+
+// Error implements the error interface.
+func (e *AccessError) Error() string {
+	who := string(e.Principal)
+	if who == "" {
+		who = "<anonymous>"
+	}
+	return fmt.Sprintf("security: %s needs %v but has %v", who, e.Need, e.Have)
+}
+
+// EncodeTo serializes the ACL.
+func (a ACL) EncodeTo(e *enc.Encoder) {
+	e.String(string(a.Owner))
+	e.U8(uint8(a.World))
+	e.U16(uint16(len(a.Entries)))
+	for _, ent := range a.Entries {
+		e.String(string(ent.Principal))
+		e.U8(uint8(ent.Allow))
+	}
+}
+
+// DecodeACL deserializes an ACL.
+func DecodeACL(d *enc.Decoder) ACL {
+	var a ACL
+	a.Owner = ktypes.Principal(d.String())
+	a.World = Perm(d.U8())
+	n := int(d.U16())
+	if d.Err() != nil || n == 0 {
+		return a
+	}
+	a.Entries = make([]Entry, 0, n)
+	for i := 0; i < n; i++ {
+		ent := Entry{
+			Principal: ktypes.Principal(d.String()),
+			Allow:     Perm(d.U8()),
+		}
+		if d.Err() != nil {
+			return a
+		}
+		a.Entries = append(a.Entries, ent)
+	}
+	return a
+}

@@ -1,0 +1,199 @@
+package security
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"khazana/internal/enc"
+	"khazana/internal/ktypes"
+)
+
+func TestOpenACL(t *testing.T) {
+	a := Open()
+	if !a.IsOpen() {
+		t.Fatal("Open() should be open")
+	}
+	if err := a.Check("anyone", PermAll); err != nil {
+		t.Fatalf("open ACL denied: %v", err)
+	}
+	if err := a.Check(ktypes.Anonymous, PermRead|PermWrite); err != nil {
+		t.Fatalf("open ACL denied anonymous: %v", err)
+	}
+}
+
+func TestPrivateACL(t *testing.T) {
+	a := Private("alice")
+	if err := a.Check("alice", PermAll); err != nil {
+		t.Fatalf("owner denied: %v", err)
+	}
+	if err := a.Check("bob", PermRead); err == nil {
+		t.Fatal("bob should be denied")
+	}
+	var accessErr *AccessError
+	err := a.Check("bob", PermWrite)
+	if !errors.As(err, &accessErr) {
+		t.Fatalf("want AccessError, got %T", err)
+	}
+	if accessErr.Principal != "bob" || accessErr.Need != PermWrite {
+		t.Fatalf("AccessError fields = %+v", accessErr)
+	}
+}
+
+func TestAnonymousIsNotOwner(t *testing.T) {
+	// A region owned by the empty principal must not grant PermAll to
+	// anonymous clients.
+	a := ACL{Owner: ktypes.Anonymous, World: PermRead}
+	if err := a.Check(ktypes.Anonymous, PermWrite); err == nil {
+		t.Fatal("anonymous should not match an anonymous owner")
+	}
+	if err := a.Check(ktypes.Anonymous, PermRead); err != nil {
+		t.Fatalf("world read denied: %v", err)
+	}
+}
+
+func TestGrant(t *testing.T) {
+	a := Private("alice").Grant("bob", PermRead)
+	if err := a.Check("bob", PermRead); err != nil {
+		t.Fatalf("bob read denied after grant: %v", err)
+	}
+	if err := a.Check("bob", PermWrite); err == nil {
+		t.Fatal("bob write should be denied")
+	}
+	// Widening an existing entry.
+	a = a.Grant("bob", PermWrite)
+	if err := a.Check("bob", PermRead|PermWrite); err != nil {
+		t.Fatalf("bob rw denied after widening: %v", err)
+	}
+	if len(a.Entries) != 1 {
+		t.Fatalf("Grant should widen in place, entries = %v", a.Entries)
+	}
+}
+
+func TestGrantDoesNotMutateOriginal(t *testing.T) {
+	orig := Private("alice").Grant("bob", PermRead)
+	_ = orig.Grant("bob", PermWrite)
+	if err := orig.Check("bob", PermWrite); err == nil {
+		t.Fatal("Grant mutated the original ACL")
+	}
+}
+
+func TestCheckMode(t *testing.T) {
+	a := Private("alice").Grant("reader", PermRead)
+	if err := a.CheckMode("reader", ktypes.LockRead); err != nil {
+		t.Fatalf("reader read lock: %v", err)
+	}
+	if err := a.CheckMode("reader", ktypes.LockWrite); err == nil {
+		t.Fatal("reader write lock should be denied")
+	}
+	if err := a.CheckMode("reader", ktypes.LockWriteShared); err == nil {
+		t.Fatal("reader write-shared lock should be denied")
+	}
+	if err := a.CheckMode("alice", ktypes.LockWrite); err != nil {
+		t.Fatalf("owner write lock: %v", err)
+	}
+}
+
+func TestPermString(t *testing.T) {
+	tests := []struct {
+		p    Perm
+		want string
+	}{
+		{0, "---"},
+		{PermRead, "r--"},
+		{PermWrite, "-w-"},
+		{PermAdmin, "--a"},
+		{PermAll, "rwa"},
+	}
+	for _, tt := range tests {
+		if got := tt.p.String(); got != tt.want {
+			t.Errorf("%d.String() = %q, want %q", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	acls := []ACL{
+		{},
+		Open(),
+		Private("alice"),
+		Private("alice").Grant("bob", PermRead).Grant("carol", PermAll),
+	}
+	for _, a := range acls {
+		e := enc.NewEncoder(0)
+		a.EncodeTo(e)
+		d := enc.NewDecoder(e.Bytes())
+		got := DecodeACL(d)
+		if err := d.Finish(); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if got.Owner != a.Owner || got.World != a.World || len(got.Entries) != len(a.Entries) {
+			t.Fatalf("round trip mismatch: %+v vs %+v", got, a)
+		}
+		for i := range a.Entries {
+			if got.Entries[i] != a.Entries[i] {
+				t.Fatalf("entry %d mismatch: %+v vs %+v", i, got.Entries[i], a.Entries[i])
+			}
+		}
+	}
+}
+
+func TestDecodeTruncatedACL(t *testing.T) {
+	e := enc.NewEncoder(0)
+	Private("alice").Grant("bob", PermRead).EncodeTo(e)
+	full := e.Bytes()
+	for cut := 0; cut < len(full); cut++ {
+		d := enc.NewDecoder(full[:cut])
+		_ = DecodeACL(d)
+		if d.Err() == nil && cut < len(full) {
+			// Some prefixes decode cleanly to a shorter ACL (e.g. entry
+			// count 0); Finish must still flag leftover or truncation.
+			if err := d.Finish(); err == nil {
+				t.Fatalf("cut=%d decoded cleanly", cut)
+			}
+		}
+	}
+}
+
+// Property: after Grant(p, perm), Check(p, perm) always passes.
+func TestQuickGrantThenCheck(t *testing.T) {
+	f := func(owner, p string, permBits uint8) bool {
+		perm := Perm(permBits) & PermAll
+		if perm == 0 {
+			perm = PermRead
+		}
+		a := Private(ktypes.Principal(owner)).Grant(ktypes.Principal(p), perm)
+		return a.Check(ktypes.Principal(p), perm) == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ACL encode/decode round-trips for arbitrary principals.
+func TestQuickACLRoundTrip(t *testing.T) {
+	f := func(owner, p1, p2 string, w, a1, a2 uint8) bool {
+		a := ACL{Owner: ktypes.Principal(owner), World: Perm(w) & PermAll}
+		a = a.Grant(ktypes.Principal(p1), Perm(a1)&PermAll)
+		a = a.Grant(ktypes.Principal(p2), Perm(a2)&PermAll)
+		e := enc.NewEncoder(0)
+		a.EncodeTo(e)
+		d := enc.NewDecoder(e.Bytes())
+		got := DecodeACL(d)
+		if d.Finish() != nil {
+			return false
+		}
+		if got.Owner != a.Owner || got.World != a.World || len(got.Entries) != len(a.Entries) {
+			return false
+		}
+		for i := range a.Entries {
+			if got.Entries[i] != a.Entries[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

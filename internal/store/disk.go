@@ -1,0 +1,176 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"khazana/internal/gaddr"
+)
+
+// DiskStore is the persistent tier: one file per page under a directory,
+// named by the page's global address. It provides the "backing store for
+// Khazana" (paper §3.4) — raw storage for pages without knowledge of
+// region boundaries or semantics.
+type DiskStore struct {
+	mu    sync.Mutex
+	dir   string
+	index map[gaddr.Addr]uint64 // resident pages -> last-use clock
+	clock uint64
+	cap   int // 0 = unbounded
+	// onEvict observes pages victimized when the tier is bounded; the
+	// paper requires the disk cache to invoke the consistency protocol
+	// before victimizing a page (§3.4).
+	onEvict EvictFunc
+}
+
+// NewDiskStore opens (creating if needed) a disk tier rooted at dir.
+// capacity bounds resident pages (0 = unbounded).
+func NewDiskStore(dir string, capacity int, onEvict EvictFunc) (*DiskStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: create %s: %w", dir, err)
+	}
+	s := &DiskStore{
+		dir:     dir,
+		index:   make(map[gaddr.Addr]uint64),
+		cap:     capacity,
+		onEvict: onEvict,
+	}
+	if err := s.loadIndex(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// loadIndex rebuilds the resident-page index from directory contents,
+// recovering persistent state after a restart.
+func (s *DiskStore) loadIndex() error {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("store: scan %s: %w", s.dir, err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".page") {
+			continue
+		}
+		name := strings.TrimSuffix(e.Name(), ".page")
+		a, err := gaddr.Parse(name)
+		if err != nil {
+			continue // foreign file; ignore
+		}
+		s.clock++
+		s.index[a] = s.clock
+	}
+	return nil
+}
+
+func (s *DiskStore) path(page gaddr.Addr) string {
+	return filepath.Join(s.dir, page.String()+".page")
+}
+
+// Get reads a page from disk.
+func (s *DiskStore) Get(page gaddr.Addr) ([]byte, bool) {
+	s.mu.Lock()
+	if _, ok := s.index[page]; !ok {
+		s.mu.Unlock()
+		return nil, false
+	}
+	s.clock++
+	s.index[page] = s.clock
+	s.mu.Unlock()
+	data, err := os.ReadFile(s.path(page))
+	if err != nil {
+		return nil, false
+	}
+	return data, true
+}
+
+// Put writes a page to disk, victimizing the LRU page when bounded.
+func (s *DiskStore) Put(page gaddr.Addr, data []byte) error {
+	s.mu.Lock()
+	_, resident := s.index[page]
+	if !resident && s.cap > 0 && len(s.index) >= s.cap {
+		if err := s.evictLocked(); err != nil {
+			s.mu.Unlock()
+			return err
+		}
+	}
+	s.clock++
+	s.index[page] = s.clock
+	s.mu.Unlock()
+
+	tmp := s.path(page) + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("store: write %v: %w", page, err)
+	}
+	if err := os.Rename(tmp, s.path(page)); err != nil {
+		return fmt.Errorf("store: commit %v: %w", page, err)
+	}
+	return nil
+}
+
+// evictLocked victimizes the least recently used page. The caller holds
+// the mutex.
+func (s *DiskStore) evictLocked() error {
+	var victim gaddr.Addr
+	var oldest uint64
+	found := false
+	for page, used := range s.index {
+		if !found || used < oldest {
+			victim, oldest, found = page, used, true
+		}
+	}
+	if !found {
+		return ErrFull
+	}
+	if s.onEvict != nil {
+		data, err := os.ReadFile(s.path(victim))
+		if err != nil {
+			return fmt.Errorf("store: read victim %v: %w", victim, err)
+		}
+		if err := s.onEvict(victim, data); err != nil {
+			return fmt.Errorf("store: evict %v: %w", victim, err)
+		}
+	}
+	delete(s.index, victim)
+	return os.Remove(s.path(victim))
+}
+
+// Delete removes a page from disk.
+func (s *DiskStore) Delete(page gaddr.Addr) {
+	s.mu.Lock()
+	_, ok := s.index[page]
+	delete(s.index, page)
+	s.mu.Unlock()
+	if ok {
+		_ = os.Remove(s.path(page))
+	}
+}
+
+// Contains reports residency.
+func (s *DiskStore) Contains(page gaddr.Addr) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.index[page]
+	return ok
+}
+
+// Len returns the number of resident pages.
+func (s *DiskStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.index)
+}
+
+// Pages returns the resident page addresses.
+func (s *DiskStore) Pages() []gaddr.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]gaddr.Addr, 0, len(s.index))
+	for page := range s.index {
+		out = append(out, page)
+	}
+	return out
+}

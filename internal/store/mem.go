@@ -1,0 +1,178 @@
+// Package store implements Khazana's node-local storage hierarchy (paper
+// §3.4): node-local storage is treated as a cache of global data indexed
+// by global addresses, organized into tiers by access speed. The prototype
+// matches the paper's two levels — main memory and on-disk — with LRU
+// victimization from RAM to disk and an eviction callback so the
+// consistency protocol can push dirty data before a page leaves the node.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"khazana/internal/gaddr"
+)
+
+// Errors returned by stores.
+var (
+	// ErrFull reports that a store is at capacity and every resident
+	// page is pinned.
+	ErrFull = errors.New("store: full; all pages pinned")
+	// ErrNotPinned reports an Unpin without a matching Pin.
+	ErrNotPinned = errors.New("store: page not pinned")
+)
+
+// EvictFunc receives pages victimized from a tier. Returning an error
+// aborts the eviction (and the Put that triggered it).
+type EvictFunc func(page gaddr.Addr, data []byte) error
+
+// MemStore is the main-memory tier: a bounded page cache with LRU
+// victimization. Pinned pages (pages under an active lock context) are
+// never victimized.
+type MemStore struct {
+	mu      sync.Mutex
+	pages   map[gaddr.Addr]*memPage
+	cap     int
+	clock   uint64
+	onEvict EvictFunc
+}
+
+type memPage struct {
+	data   []byte
+	used   uint64
+	pinned int
+}
+
+// DefaultMemCapacity is the default number of resident pages.
+const DefaultMemCapacity = 4096
+
+// NewMemStore creates a memory tier holding at most capacity pages.
+// onEvict (optional) observes victimized pages; capacity <= 0 selects the
+// default.
+func NewMemStore(capacity int, onEvict EvictFunc) *MemStore {
+	if capacity <= 0 {
+		capacity = DefaultMemCapacity
+	}
+	return &MemStore{
+		pages:   make(map[gaddr.Addr]*memPage, capacity),
+		cap:     capacity,
+		onEvict: onEvict,
+	}
+}
+
+// Get returns a copy of the page's contents.
+func (s *MemStore) Get(page gaddr.Addr) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.pages[page]
+	if !ok {
+		return nil, false
+	}
+	s.clock++
+	p.used = s.clock
+	out := make([]byte, len(p.data))
+	copy(out, p.data)
+	return out, true
+}
+
+// Put stores a copy of data for the page, victimizing the LRU unpinned
+// page if the store is full.
+func (s *MemStore) Put(page gaddr.Addr, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.clock++
+	if p, ok := s.pages[page]; ok {
+		p.data = append(p.data[:0], data...)
+		p.used = s.clock
+		return nil
+	}
+	if len(s.pages) >= s.cap {
+		if err := s.evictLocked(); err != nil {
+			return err
+		}
+	}
+	s.pages[page] = &memPage{data: append([]byte(nil), data...), used: s.clock}
+	return nil
+}
+
+// evictLocked victimizes the least recently used unpinned page.
+func (s *MemStore) evictLocked() error {
+	var victim gaddr.Addr
+	var vp *memPage
+	for page, p := range s.pages {
+		if p.pinned > 0 {
+			continue
+		}
+		if vp == nil || p.used < vp.used {
+			victim, vp = page, p
+		}
+	}
+	if vp == nil {
+		return ErrFull
+	}
+	if s.onEvict != nil {
+		if err := s.onEvict(victim, vp.data); err != nil {
+			return fmt.Errorf("store: evict %v: %w", victim, err)
+		}
+	}
+	delete(s.pages, victim)
+	return nil
+}
+
+// Delete drops the page if present.
+func (s *MemStore) Delete(page gaddr.Addr) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.pages, page)
+}
+
+// Pin marks the page non-victimizable. Pins nest.
+func (s *MemStore) Pin(page gaddr.Addr) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.pages[page]
+	if !ok {
+		return false
+	}
+	p.pinned++
+	return true
+}
+
+// Unpin releases one pin.
+func (s *MemStore) Unpin(page gaddr.Addr) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.pages[page]
+	if !ok || p.pinned == 0 {
+		return ErrNotPinned
+	}
+	p.pinned--
+	return nil
+}
+
+// Contains reports residency without touching LRU state.
+func (s *MemStore) Contains(page gaddr.Addr) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.pages[page]
+	return ok
+}
+
+// Len returns the number of resident pages.
+func (s *MemStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.pages)
+}
+
+// Pages returns the resident page addresses.
+func (s *MemStore) Pages() []gaddr.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]gaddr.Addr, 0, len(s.pages))
+	for page := range s.pages {
+		out = append(out, page)
+	}
+	return out
+}

@@ -1,0 +1,370 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"khazana/internal/gaddr"
+)
+
+func page(n uint64) gaddr.Addr { return gaddr.FromUint64(n * 0x1000) }
+
+func TestMemPutGet(t *testing.T) {
+	s := NewMemStore(10, nil)
+	if err := s.Put(page(1), []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(page(1))
+	if !ok || string(got) != "hello" {
+		t.Fatalf("Get = %q, %v", got, ok)
+	}
+	if _, ok := s.Get(page(2)); ok {
+		t.Fatal("absent page found")
+	}
+	// Overwrite.
+	if err := s.Put(page(1), []byte("world")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = s.Get(page(1))
+	if string(got) != "world" {
+		t.Fatalf("after overwrite = %q", got)
+	}
+}
+
+func TestMemGetReturnsCopy(t *testing.T) {
+	s := NewMemStore(10, nil)
+	orig := []byte("data")
+	_ = s.Put(page(1), orig)
+	orig[0] = 'X' // caller's buffer must not alias the store
+	got, _ := s.Get(page(1))
+	if string(got) != "data" {
+		t.Fatal("Put aliased the caller's buffer")
+	}
+	got[0] = 'Y'
+	again, _ := s.Get(page(1))
+	if string(again) != "data" {
+		t.Fatal("Get aliased the store's buffer")
+	}
+}
+
+func TestMemLRUEviction(t *testing.T) {
+	var evicted []gaddr.Addr
+	s := NewMemStore(3, func(p gaddr.Addr, _ []byte) error {
+		evicted = append(evicted, p)
+		return nil
+	})
+	for i := uint64(1); i <= 3; i++ {
+		_ = s.Put(page(i), []byte{byte(i)})
+	}
+	// Touch page 1 so page 2 is LRU.
+	s.Get(page(1))
+	if err := s.Put(page(4), []byte{4}); err != nil {
+		t.Fatal(err)
+	}
+	if len(evicted) != 1 || evicted[0] != page(2) {
+		t.Fatalf("evicted = %v, want [page 2]", evicted)
+	}
+	if s.Contains(page(2)) {
+		t.Fatal("victim still resident")
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestMemPinPreventsEviction(t *testing.T) {
+	s := NewMemStore(2, nil)
+	_ = s.Put(page(1), []byte{1})
+	_ = s.Put(page(2), []byte{2})
+	if !s.Pin(page(1)) || !s.Pin(page(2)) {
+		t.Fatal("pin failed")
+	}
+	if err := s.Put(page(3), []byte{3}); !errors.Is(err, ErrFull) {
+		t.Fatalf("err = %v, want ErrFull", err)
+	}
+	if err := s.Unpin(page(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(page(3), []byte{3}); err != nil {
+		t.Fatalf("after unpin: %v", err)
+	}
+	if s.Contains(page(1)) {
+		t.Fatal("unpinned page should have been victimized")
+	}
+	if !s.Contains(page(2)) {
+		t.Fatal("pinned page was victimized")
+	}
+}
+
+func TestMemPinNesting(t *testing.T) {
+	s := NewMemStore(1, nil)
+	_ = s.Put(page(1), []byte{1})
+	s.Pin(page(1))
+	s.Pin(page(1))
+	_ = s.Unpin(page(1))
+	// Still pinned once.
+	if err := s.Put(page(2), nil); !errors.Is(err, ErrFull) {
+		t.Fatalf("err = %v", err)
+	}
+	_ = s.Unpin(page(1))
+	if err := s.Unpin(page(1)); !errors.Is(err, ErrNotPinned) {
+		t.Fatalf("extra unpin err = %v", err)
+	}
+	if s.Pin(page(9)) {
+		t.Fatal("pin of absent page should fail")
+	}
+}
+
+func TestMemEvictCallbackErrorAborts(t *testing.T) {
+	s := NewMemStore(1, func(gaddr.Addr, []byte) error {
+		return fmt.Errorf("push failed")
+	})
+	_ = s.Put(page(1), []byte{1})
+	if err := s.Put(page(2), []byte{2}); err == nil {
+		t.Fatal("Put should fail when eviction callback fails")
+	}
+	if !s.Contains(page(1)) {
+		t.Fatal("page 1 should survive aborted eviction")
+	}
+}
+
+func TestMemDelete(t *testing.T) {
+	s := NewMemStore(10, nil)
+	_ = s.Put(page(1), []byte{1})
+	s.Delete(page(1))
+	if s.Contains(page(1)) {
+		t.Fatal("deleted page still resident")
+	}
+	s.Delete(page(2)) // no-op
+}
+
+func TestDiskPutGetDelete(t *testing.T) {
+	s, err := NewDiskStore(t.TempDir(), 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(page(1), []byte("persistent")); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(page(1))
+	if !ok || string(got) != "persistent" {
+		t.Fatalf("Get = %q, %v", got, ok)
+	}
+	if _, ok := s.Get(page(2)); ok {
+		t.Fatal("absent page found")
+	}
+	s.Delete(page(1))
+	if s.Contains(page(1)) {
+		t.Fatal("deleted page still resident")
+	}
+}
+
+func TestDiskSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := NewDiskStore(dir, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = s1.Put(page(7), []byte("durable"))
+	_ = s1.Put(gaddr.New(5, 0x3000), []byte("high half"))
+
+	s2, err := NewDiskStore(dir, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 2 {
+		t.Fatalf("reopened Len = %d", s2.Len())
+	}
+	got, ok := s2.Get(page(7))
+	if !ok || string(got) != "durable" {
+		t.Fatalf("reopened Get = %q, %v", got, ok)
+	}
+	got, ok = s2.Get(gaddr.New(5, 0x3000))
+	if !ok || string(got) != "high half" {
+		t.Fatalf("reopened high Get = %q, %v", got, ok)
+	}
+}
+
+func TestDiskBoundedEviction(t *testing.T) {
+	var evicted []gaddr.Addr
+	s, err := NewDiskStore(t.TempDir(), 2, func(p gaddr.Addr, data []byte) error {
+		evicted = append(evicted, p)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = s.Put(page(1), []byte{1})
+	_ = s.Put(page(2), []byte{2})
+	s.Get(page(1)) // page 2 becomes LRU
+	if err := s.Put(page(3), []byte{3}); err != nil {
+		t.Fatal(err)
+	}
+	if len(evicted) != 1 || evicted[0] != page(2) {
+		t.Fatalf("evicted = %v", evicted)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestDiskEvictionCallbackSeesData(t *testing.T) {
+	var got []byte
+	s, err := NewDiskStore(t.TempDir(), 1, func(_ gaddr.Addr, data []byte) error {
+		got = append([]byte(nil), data...)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = s.Put(page(1), []byte("precious"))
+	_ = s.Put(page(2), []byte{2})
+	if string(got) != "precious" {
+		t.Fatalf("callback data = %q", got)
+	}
+}
+
+func TestTieredPromoteDemote(t *testing.T) {
+	tiered, err := NewTiered(Config{MemPages: 2, Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = tiered.Put(page(1), []byte{1})
+	_ = tiered.Put(page(2), []byte{2})
+	// Page 1 is LRU; putting page 3 demotes it to disk.
+	if err := tiered.Put(page(3), []byte{3}); err != nil {
+		t.Fatal(err)
+	}
+	if tiered.Mem().Contains(page(1)) {
+		t.Fatal("page 1 should have left RAM")
+	}
+	if !tiered.Disk().Contains(page(1)) {
+		t.Fatal("page 1 should be on disk")
+	}
+	// Get promotes it back.
+	got, ok := tiered.Get(page(1))
+	if !ok || got[0] != 1 {
+		t.Fatalf("Get = %v, %v", got, ok)
+	}
+	if !tiered.Mem().Contains(page(1)) {
+		t.Fatal("page 1 should be promoted to RAM")
+	}
+}
+
+func TestTieredFlush(t *testing.T) {
+	tiered, err := NewTiered(Config{MemPages: 4, Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = tiered.Put(page(1), []byte("flushed"))
+	if err := tiered.Flush(page(1)); err != nil {
+		t.Fatal(err)
+	}
+	if !tiered.Disk().Contains(page(1)) {
+		t.Fatal("flush did not reach disk")
+	}
+	if err := tiered.Flush(page(9)); err == nil {
+		t.Fatal("flushing absent page should fail")
+	}
+}
+
+func TestTieredDelete(t *testing.T) {
+	tiered, err := NewTiered(Config{MemPages: 4, Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = tiered.Put(page(1), []byte{1})
+	_ = tiered.Flush(page(1))
+	tiered.Delete(page(1))
+	if tiered.Contains(page(1)) {
+		t.Fatal("deleted page still resident")
+	}
+	if _, ok := tiered.Get(page(1)); ok {
+		t.Fatal("deleted page readable")
+	}
+}
+
+func TestTieredDiskEvictionCallback(t *testing.T) {
+	var lost []gaddr.Addr
+	tiered, err := NewTiered(Config{
+		MemPages:  1,
+		DiskPages: 1,
+		Dir:       t.TempDir(),
+		OnDiskEvict: func(p gaddr.Addr, _ []byte) error {
+			lost = append(lost, p)
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = tiered.Put(page(1), []byte{1})
+	_ = tiered.Put(page(2), []byte{2}) // 1 demoted to disk
+	_ = tiered.Put(page(3), []byte{3}) // 2 demoted; disk full; 1 leaves node
+	if len(lost) != 1 || lost[0] != page(1) {
+		t.Fatalf("lost = %v", lost)
+	}
+}
+
+func TestTieredLen(t *testing.T) {
+	tiered, err := NewTiered(Config{MemPages: 2, Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = tiered.Put(page(1), []byte{1})
+	_ = tiered.Flush(page(1)) // resident in both tiers, counts once
+	_ = tiered.Put(page(2), []byte{2})
+	if got := tiered.Len(); got != 2 {
+		t.Fatalf("Len = %d", got)
+	}
+}
+
+// Property: a sequence of puts on a large-enough store is fully readable.
+func TestQuickMemStoreFidelity(t *testing.T) {
+	f := func(writes []struct {
+		Page uint8
+		Data []byte
+	}) bool {
+		s := NewMemStore(300, nil)
+		expect := make(map[gaddr.Addr][]byte)
+		for _, w := range writes {
+			p := page(uint64(w.Page))
+			if err := s.Put(p, w.Data); err != nil {
+				return false
+			}
+			expect[p] = w.Data
+		}
+		for p, want := range expect {
+			got, ok := s.Get(p)
+			if !ok || string(got) != string(want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: disk store round-trips arbitrary data.
+func TestQuickDiskRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewDiskStore(dir, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(n uint16, data []byte) bool {
+		p := page(uint64(n))
+		if err := s.Put(p, data); err != nil {
+			return false
+		}
+		got, ok := s.Get(p)
+		return ok && string(got) == string(data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

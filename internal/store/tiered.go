@@ -1,0 +1,126 @@
+package store
+
+import (
+	"fmt"
+
+	"khazana/internal/gaddr"
+)
+
+// Tiered composes the memory and disk tiers into the storage hierarchy of
+// paper §3.4: gets promote pages from disk to RAM, puts land in RAM, and
+// RAM overflow victimizes pages down to disk. When the disk tier itself
+// victimizes a page, the configured EvictFunc (wired to the consistency
+// protocol by the daemon) runs first so dirty data can be pushed to remote
+// nodes.
+type Tiered struct {
+	mem  *MemStore
+	disk *DiskStore
+}
+
+// Config sizes a tiered store.
+type Config struct {
+	// MemPages bounds the RAM tier (0 = default).
+	MemPages int
+	// DiskPages bounds the disk tier (0 = unbounded).
+	DiskPages int
+	// Dir is the disk tier's directory.
+	Dir string
+	// OnDiskEvict runs before a page leaves the node entirely.
+	OnDiskEvict EvictFunc
+}
+
+// NewTiered builds the two-level hierarchy.
+func NewTiered(cfg Config) (*Tiered, error) {
+	disk, err := NewDiskStore(cfg.Dir, cfg.DiskPages, cfg.OnDiskEvict)
+	if err != nil {
+		return nil, err
+	}
+	t := &Tiered{disk: disk}
+	// RAM victimization demotes to disk.
+	t.mem = NewMemStore(cfg.MemPages, func(page gaddr.Addr, data []byte) error {
+		return t.disk.Put(page, data)
+	})
+	return t, nil
+}
+
+// Get returns a copy of the page, promoting disk-resident pages to RAM.
+func (t *Tiered) Get(page gaddr.Addr) ([]byte, bool) {
+	if data, ok := t.mem.Get(page); ok {
+		return data, true
+	}
+	data, ok := t.disk.Get(page)
+	if !ok {
+		return nil, false
+	}
+	// Promote; a failure to promote is not fatal — the data is valid.
+	_ = t.mem.Put(page, data)
+	return data, true
+}
+
+// Put stores the page in RAM (victimizing to disk as needed).
+func (t *Tiered) Put(page gaddr.Addr, data []byte) error {
+	return t.mem.Put(page, data)
+}
+
+// Flush forces the page to the persistent tier (used for locally homed
+// pages whose directory information must survive restarts, §3.4).
+func (t *Tiered) Flush(page gaddr.Addr) error {
+	data, ok := t.mem.Get(page)
+	if !ok {
+		if t.disk.Contains(page) {
+			return nil
+		}
+		return fmt.Errorf("store: flush %v: not resident", page)
+	}
+	return t.disk.Put(page, data)
+}
+
+// FlushAll forces every RAM-resident page to the persistent tier, used
+// when a daemon shuts down cleanly so its state survives restart.
+func (t *Tiered) FlushAll() error {
+	for _, page := range t.mem.Pages() {
+		data, ok := t.mem.Get(page)
+		if !ok {
+			continue
+		}
+		if err := t.disk.Put(page, data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Delete removes the page from both tiers.
+func (t *Tiered) Delete(page gaddr.Addr) {
+	t.mem.Delete(page)
+	t.disk.Delete(page)
+}
+
+// Contains reports residency in either tier.
+func (t *Tiered) Contains(page gaddr.Addr) bool {
+	return t.mem.Contains(page) || t.disk.Contains(page)
+}
+
+// Pin protects a page from RAM victimization while locked.
+func (t *Tiered) Pin(page gaddr.Addr) bool { return t.mem.Pin(page) }
+
+// Unpin releases a pin.
+func (t *Tiered) Unpin(page gaddr.Addr) error { return t.mem.Unpin(page) }
+
+// Mem exposes the RAM tier for inspection.
+func (t *Tiered) Mem() *MemStore { return t.mem }
+
+// Disk exposes the disk tier for inspection.
+func (t *Tiered) Disk() *DiskStore { return t.disk }
+
+// Len returns the total number of distinct resident pages.
+func (t *Tiered) Len() int {
+	seen := make(map[gaddr.Addr]struct{})
+	for _, p := range t.mem.Pages() {
+		seen[p] = struct{}{}
+	}
+	for _, p := range t.disk.Pages() {
+		seen[p] = struct{}{}
+	}
+	return len(seen)
+}

@@ -1,0 +1,322 @@
+package transport
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"khazana/internal/ktypes"
+	"khazana/internal/wire"
+)
+
+// Frame format, both directions:
+//
+//	request:  [u32 length][u32 from-node][payload...]
+//	response: [u32 length][u8 status][payload-or-error-string...]
+//
+// status 0 carries a marshaled wire.Msg; status 1 carries an error string
+// produced by the remote handler.
+const (
+	tcpStatusOK  = 0
+	tcpStatusErr = 1
+	// maxFrame bounds a frame to guard against corrupt length prefixes.
+	maxFrame = 1 << 26
+)
+
+// TCP is a socket transport for standalone Khazana daemons. Peers are
+// registered with AddPeer; connections are pooled and used serially (one
+// in-flight request per pooled connection).
+type TCP struct {
+	self ktypes.NodeID
+	ln   net.Listener
+
+	hmu     sync.RWMutex
+	handler Handler
+
+	pmu   sync.RWMutex
+	peers map[ktypes.NodeID]string
+
+	cmu    sync.Mutex
+	idle   map[ktypes.NodeID][]net.Conn
+	served map[net.Conn]struct{}
+
+	wg     sync.WaitGroup
+	closed chan struct{}
+}
+
+var _ Transport = (*TCP)(nil)
+
+// NewTCP starts a TCP endpoint for node self listening on listenAddr
+// (e.g. "127.0.0.1:0").
+func NewTCP(self ktypes.NodeID, listenAddr string) (*TCP, error) {
+	if self == ktypes.NilNode {
+		return nil, errBadNodeID
+	}
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen: %w", err)
+	}
+	t := &TCP{
+		self:   self,
+		ln:     ln,
+		peers:  make(map[ktypes.NodeID]string),
+		idle:   make(map[ktypes.NodeID][]net.Conn),
+		served: make(map[net.Conn]struct{}),
+		closed: make(chan struct{}),
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Self implements Transport.
+func (t *TCP) Self() ktypes.NodeID { return t.self }
+
+// Addr returns the transport's bound listen address.
+func (t *TCP) Addr() string { return t.ln.Addr().String() }
+
+// SetHandler implements Transport.
+func (t *TCP) SetHandler(h Handler) {
+	t.hmu.Lock()
+	defer t.hmu.Unlock()
+	t.handler = h
+}
+
+func (t *TCP) getHandler() Handler {
+	t.hmu.RLock()
+	defer t.hmu.RUnlock()
+	return t.handler
+}
+
+// AddPeer registers the listen address of a peer node.
+func (t *TCP) AddPeer(id ktypes.NodeID, addr string) {
+	t.pmu.Lock()
+	defer t.pmu.Unlock()
+	t.peers[id] = addr
+}
+
+// PeerAddr returns a peer's registered address.
+func (t *TCP) PeerAddr(id ktypes.NodeID) (string, bool) {
+	t.pmu.RLock()
+	defer t.pmu.RUnlock()
+	a, ok := t.peers[id]
+	return a, ok
+}
+
+// Close implements Transport.
+func (t *TCP) Close() error {
+	select {
+	case <-t.closed:
+		return nil
+	default:
+	}
+	close(t.closed)
+	err := t.ln.Close()
+	t.cmu.Lock()
+	for _, conns := range t.idle {
+		for _, c := range conns {
+			_ = c.Close()
+		}
+	}
+	t.idle = make(map[ktypes.NodeID][]net.Conn)
+	for c := range t.served {
+		_ = c.Close()
+	}
+	t.cmu.Unlock()
+	t.wg.Wait()
+	return err
+}
+
+// Request implements Transport.
+func (t *TCP) Request(ctx context.Context, to ktypes.NodeID, m wire.Msg) (wire.Msg, error) {
+	select {
+	case <-t.closed:
+		return nil, ErrClosed
+	default:
+	}
+	conn, err := t.getConn(ctx, to)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := t.roundTrip(ctx, conn, m)
+	if err != nil {
+		_ = conn.Close()
+		// A stale pooled connection may have died; retry once on a
+		// fresh dial, unless the failure was remote-side or ctx.
+		if _, remote := err.(*RemoteError); remote || ctx.Err() != nil {
+			return nil, err
+		}
+		conn, err2 := t.dial(ctx, to)
+		if err2 != nil {
+			return nil, err
+		}
+		resp, err = t.roundTrip(ctx, conn, m)
+		if err != nil {
+			_ = conn.Close()
+			return nil, err
+		}
+	}
+	t.putConn(to, conn)
+	return resp, nil
+}
+
+func (t *TCP) roundTrip(ctx context.Context, conn net.Conn, m wire.Msg) (wire.Msg, error) {
+	if dl, ok := ctx.Deadline(); ok {
+		_ = conn.SetDeadline(dl)
+	} else {
+		_ = conn.SetDeadline(time.Time{})
+	}
+	payload := wire.Marshal(m)
+	hdr := make([]byte, 8)
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)+4))
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(t.self))
+	if _, err := conn.Write(hdr); err != nil {
+		return nil, fmt.Errorf("transport: write header: %w", err)
+	}
+	if _, err := conn.Write(payload); err != nil {
+		return nil, fmt.Errorf("transport: write payload: %w", err)
+	}
+	frame, err := readFrame(conn)
+	if err != nil {
+		return nil, fmt.Errorf("transport: read response: %w", err)
+	}
+	if len(frame) < 1 {
+		return nil, fmt.Errorf("transport: empty response frame")
+	}
+	switch frame[0] {
+	case tcpStatusOK:
+		return wire.Unmarshal(frame[1:])
+	case tcpStatusErr:
+		return nil, &RemoteError{Msg: string(frame[1:])}
+	default:
+		return nil, fmt.Errorf("transport: bad response status %d", frame[0])
+	}
+}
+
+func (t *TCP) getConn(ctx context.Context, to ktypes.NodeID) (net.Conn, error) {
+	t.cmu.Lock()
+	conns := t.idle[to]
+	if n := len(conns); n > 0 {
+		conn := conns[n-1]
+		t.idle[to] = conns[:n-1]
+		t.cmu.Unlock()
+		return conn, nil
+	}
+	t.cmu.Unlock()
+	return t.dial(ctx, to)
+}
+
+func (t *TCP) dial(ctx context.Context, to ktypes.NodeID) (net.Conn, error) {
+	addr, ok := t.PeerAddr(to)
+	if !ok {
+		return nil, ErrUnreachable
+	}
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("%w: dial %v: %v", ErrUnreachable, to, err)
+	}
+	return conn, nil
+}
+
+func (t *TCP) putConn(to ktypes.NodeID, conn net.Conn) {
+	t.cmu.Lock()
+	defer t.cmu.Unlock()
+	select {
+	case <-t.closed:
+		_ = conn.Close()
+		return
+	default:
+	}
+	if len(t.idle[to]) >= 4 {
+		_ = conn.Close()
+		return
+	}
+	t.idle[to] = append(t.idle[to], conn)
+}
+
+func (t *TCP) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return
+		}
+		t.cmu.Lock()
+		t.served[conn] = struct{}{}
+		t.cmu.Unlock()
+		t.wg.Add(1)
+		go t.serveConn(conn)
+	}
+}
+
+func (t *TCP) serveConn(conn net.Conn) {
+	defer t.wg.Done()
+	defer func() {
+		t.cmu.Lock()
+		delete(t.served, conn)
+		t.cmu.Unlock()
+		_ = conn.Close()
+	}()
+	for {
+		select {
+		case <-t.closed:
+			return
+		default:
+		}
+		frame, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		if len(frame) < 4 {
+			return
+		}
+		from := ktypes.NodeID(binary.LittleEndian.Uint32(frame[0:4]))
+		msg, err := wire.Unmarshal(frame[4:])
+		if err != nil {
+			writeResponse(conn, tcpStatusErr, []byte(err.Error()))
+			continue
+		}
+		h := t.getHandler()
+		if h == nil {
+			writeResponse(conn, tcpStatusErr, []byte(ErrNoHandler.Error()))
+			continue
+		}
+		resp, err := h(context.Background(), from, msg)
+		if err != nil {
+			writeResponse(conn, tcpStatusErr, []byte(err.Error()))
+			continue
+		}
+		writeResponse(conn, tcpStatusOK, wire.Marshal(resp))
+	}
+}
+
+func writeResponse(conn net.Conn, status byte, payload []byte) {
+	hdr := make([]byte, 5)
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)+1))
+	hdr[4] = status
+	if _, err := conn.Write(hdr); err != nil {
+		return
+	}
+	_, _ = conn.Write(payload)
+}
+
+func readFrame(r io.Reader) ([]byte, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(lenBuf[:])
+	if n == 0 || n > maxFrame {
+		return nil, fmt.Errorf("transport: bad frame length %d", n)
+	}
+	frame := make([]byte, n)
+	if _, err := io.ReadFull(r, frame); err != nil {
+		return nil, err
+	}
+	return frame, nil
+}

@@ -1,0 +1,55 @@
+// Package transport moves wire messages between Khazana daemons.
+//
+// Two implementations are provided. Network is an in-process simulated
+// network with configurable latency, link partitions, and node crashes; it
+// still marshals every message through the wire format so protocol code is
+// exercised identically to a real deployment. TCP is a real socket
+// transport with length-prefixed frames, used by the standalone daemon.
+//
+// The paper notes that only the messaging layer of Khazana is system
+// dependent (§5); this package is that layer.
+package transport
+
+import (
+	"context"
+	"errors"
+
+	"khazana/internal/ktypes"
+	"khazana/internal/wire"
+)
+
+// Handler processes one inbound request and produces a response.
+type Handler func(ctx context.Context, from ktypes.NodeID, m wire.Msg) (wire.Msg, error)
+
+// Transport sends requests to peers and delivers inbound requests to a
+// handler.
+type Transport interface {
+	// Self returns this endpoint's node ID.
+	Self() ktypes.NodeID
+	// Request sends m to the peer and waits for its response.
+	Request(ctx context.Context, to ktypes.NodeID, m wire.Msg) (wire.Msg, error)
+	// SetHandler installs the inbound request handler. It must be called
+	// before the first request arrives.
+	SetHandler(h Handler)
+	// Close releases the endpoint.
+	Close() error
+}
+
+// Errors shared by transport implementations.
+var (
+	// ErrUnreachable reports that the destination cannot be contacted:
+	// unknown, crashed, or partitioned away.
+	ErrUnreachable = errors.New("transport: peer unreachable")
+	// ErrClosed reports use of a closed transport.
+	ErrClosed = errors.New("transport: closed")
+	// ErrNoHandler reports a request delivered before SetHandler.
+	ErrNoHandler = errors.New("transport: no handler installed")
+)
+
+// RemoteError carries an error string returned by a peer's handler.
+type RemoteError struct {
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *RemoteError) Error() string { return "transport: remote: " + e.Msg }

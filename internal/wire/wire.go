@@ -1,0 +1,1127 @@
+// Package wire defines Khazana's inter-node and client-daemon message set
+// and its binary framing. Every message implements Msg; Marshal prefixes
+// the payload with a 16-bit kind so Unmarshal can dispatch.
+//
+// The message groups mirror the paper's protocols: region descriptor
+// lookup (§3.2), consistency-manager traffic for lock grants, fetches,
+// invalidations and update pushes (§3.3, Figure 2), cluster membership and
+// hint exchange (§3.1), replication pushes for minimum-replica maintenance
+// (§3.5), and the client operation set (§2).
+package wire
+
+import (
+	"fmt"
+
+	"khazana/internal/enc"
+	"khazana/internal/gaddr"
+	"khazana/internal/ktypes"
+	"khazana/internal/region"
+)
+
+// Kind identifies a message type on the wire.
+type Kind uint16
+
+// Message kinds. Values are part of the wire format; only append.
+const (
+	KindAck Kind = iota + 1
+	KindPing
+	KindPong
+
+	KindRegionLookup
+	KindRegionInfo
+	KindAttrSet
+	KindReserveSpace
+	KindSpaceGrant
+
+	KindPageReq
+	KindPageGrant
+	KindInvalidate
+	KindPageFetch
+	KindPageData
+	KindUpdatePush
+	KindVersionQuery
+	KindVersionInfo
+	KindReleaseNotify
+
+	KindReplicaPut
+	KindCopysetQuery
+	KindCopysetInfo
+
+	KindJoin
+	KindClusterView
+	KindHeartbeat
+	KindClusterQuery
+	KindClusterHint
+	KindLeave
+
+	KindCReserve
+	KindCReserveResp
+	KindCUnreserve
+	KindCAllocate
+	KindCFree
+	KindCLock
+	KindCLockResp
+	KindCUnlock
+	KindCRead
+	KindCData
+	KindCWrite
+	KindCGetAttr
+	KindCSetAttr
+
+	KindKVGet
+	KindKVPut
+
+	KindMapInsert
+	KindMapRemove
+	KindMapSetHomes
+	KindPromote
+
+	KindObjInvoke
+	KindObjResult
+
+	KindMigrate
+	KindStatsReq
+	KindStatsResp
+)
+
+// Msg is a wire message.
+type Msg interface {
+	Kind() Kind
+	encode(e *enc.Encoder)
+	decode(d *enc.Decoder)
+}
+
+// Marshal serializes a message with its kind prefix.
+func Marshal(m Msg) []byte {
+	e := enc.NewEncoder(64)
+	e.U16(uint16(m.Kind()))
+	m.encode(e)
+	return e.Bytes()
+}
+
+// Unmarshal parses a message produced by Marshal.
+func Unmarshal(b []byte) (Msg, error) {
+	d := enc.NewDecoder(b)
+	kind := Kind(d.U16())
+	if d.Err() != nil {
+		return nil, fmt.Errorf("wire: %w", d.Err())
+	}
+	factory, ok := factories[kind]
+	if !ok {
+		return nil, fmt.Errorf("wire: unknown message kind %d", kind)
+	}
+	m := factory()
+	m.decode(d)
+	if err := d.Finish(); err != nil {
+		return nil, fmt.Errorf("wire: decode kind %d: %w", kind, err)
+	}
+	return m, nil
+}
+
+var factories = map[Kind]func() Msg{
+	KindAck:          func() Msg { return &Ack{} },
+	KindPing:         func() Msg { return &Ping{} },
+	KindPong:         func() Msg { return &Pong{} },
+	KindRegionLookup: func() Msg { return &RegionLookup{} },
+	KindRegionInfo:   func() Msg { return &RegionInfo{} },
+	KindAttrSet:      func() Msg { return &AttrSet{} },
+	KindReserveSpace: func() Msg { return &ReserveSpace{} },
+	KindSpaceGrant:   func() Msg { return &SpaceGrant{} },
+	KindPageReq:      func() Msg { return &PageReq{} },
+	KindPageGrant:    func() Msg { return &PageGrant{} },
+	KindInvalidate:   func() Msg { return &Invalidate{} },
+	KindPageFetch:    func() Msg { return &PageFetch{} },
+	KindPageData:     func() Msg { return &PageData{} },
+	KindUpdatePush:   func() Msg { return &UpdatePush{} },
+	KindVersionQuery: func() Msg { return &VersionQuery{} },
+	KindVersionInfo:  func() Msg { return &VersionInfo{} },
+	KindReleaseNotify: func() Msg {
+		return &ReleaseNotify{}
+	},
+	KindReplicaPut:   func() Msg { return &ReplicaPut{} },
+	KindCopysetQuery: func() Msg { return &CopysetQuery{} },
+	KindCopysetInfo:  func() Msg { return &CopysetInfo{} },
+	KindJoin:         func() Msg { return &Join{} },
+	KindClusterView:  func() Msg { return &ClusterView{} },
+	KindHeartbeat:    func() Msg { return &Heartbeat{} },
+	KindClusterQuery: func() Msg { return &ClusterQuery{} },
+	KindClusterHint:  func() Msg { return &ClusterHint{} },
+	KindLeave:        func() Msg { return &Leave{} },
+	KindCReserve:     func() Msg { return &CReserve{} },
+	KindCReserveResp: func() Msg { return &CReserveResp{} },
+	KindCUnreserve:   func() Msg { return &CUnreserve{} },
+	KindCAllocate:    func() Msg { return &CAllocate{} },
+	KindCFree:        func() Msg { return &CFree{} },
+	KindCLock:        func() Msg { return &CLock{} },
+	KindCLockResp:    func() Msg { return &CLockResp{} },
+	KindCUnlock:      func() Msg { return &CUnlock{} },
+	KindCRead:        func() Msg { return &CRead{} },
+	KindCData:        func() Msg { return &CData{} },
+	KindCWrite:       func() Msg { return &CWrite{} },
+	KindCGetAttr:     func() Msg { return &CGetAttr{} },
+	KindCSetAttr:     func() Msg { return &CSetAttr{} },
+	KindKVGet:        func() Msg { return &KVGet{} },
+	KindKVPut:        func() Msg { return &KVPut{} },
+	KindMapInsert:    func() Msg { return &MapInsert{} },
+	KindMapRemove:    func() Msg { return &MapRemove{} },
+	KindMapSetHomes:  func() Msg { return &MapSetHomes{} },
+	KindPromote:      func() Msg { return &Promote{} },
+	KindObjInvoke:    func() Msg { return &ObjInvoke{} },
+	KindObjResult:    func() Msg { return &ObjResult{} },
+	KindMigrate:      func() Msg { return &Migrate{} },
+	KindStatsReq:     func() Msg { return &StatsReq{} },
+	KindStatsResp:    func() Msg { return &StatsResp{} },
+}
+
+// --- infrastructure -----------------------------------------------------
+
+// Ack is the generic reply carrying an optional error string.
+type Ack struct {
+	Err string
+}
+
+// Kind implements Msg.
+func (*Ack) Kind() Kind              { return KindAck }
+func (m *Ack) encode(e *enc.Encoder) { e.String(m.Err) }
+func (m *Ack) decode(d *enc.Decoder) { m.Err = d.String() }
+
+// Ping probes liveness.
+type Ping struct {
+	From ktypes.NodeID
+}
+
+// Kind implements Msg.
+func (*Ping) Kind() Kind              { return KindPing }
+func (m *Ping) encode(e *enc.Encoder) { e.NodeID(m.From) }
+func (m *Ping) decode(d *enc.Decoder) { m.From = d.NodeID() }
+
+// Pong answers a Ping.
+type Pong struct {
+	From ktypes.NodeID
+}
+
+// Kind implements Msg.
+func (*Pong) Kind() Kind              { return KindPong }
+func (m *Pong) encode(e *enc.Encoder) { e.NodeID(m.From) }
+func (m *Pong) decode(d *enc.Decoder) { m.From = d.NodeID() }
+
+// --- region descriptors ---------------------------------------------------
+
+// RegionLookup asks a node for the descriptor of the region enclosing
+// Addr (paper §3.2).
+type RegionLookup struct {
+	Addr gaddr.Addr
+}
+
+// Kind implements Msg.
+func (*RegionLookup) Kind() Kind              { return KindRegionLookup }
+func (m *RegionLookup) encode(e *enc.Encoder) { e.Addr(m.Addr) }
+func (m *RegionLookup) decode(d *enc.Decoder) { m.Addr = d.Addr() }
+
+// RegionInfo carries a region descriptor, or Found=false when the queried
+// node does not know the region.
+type RegionInfo struct {
+	Found bool
+	Desc  *region.Descriptor
+	Err   string
+}
+
+// Kind implements Msg.
+func (*RegionInfo) Kind() Kind { return KindRegionInfo }
+func (m *RegionInfo) encode(e *enc.Encoder) {
+	e.Bool(m.Found)
+	if m.Found {
+		m.Desc.EncodeTo(e)
+	}
+	e.String(m.Err)
+}
+func (m *RegionInfo) decode(d *enc.Decoder) {
+	m.Found = d.Bool()
+	if m.Found {
+		m.Desc = region.DecodeDescriptor(d)
+	}
+	m.Err = d.String()
+}
+
+// AttrSet pushes an updated descriptor to a region's home node.
+type AttrSet struct {
+	Desc      *region.Descriptor
+	Principal ktypes.Principal
+}
+
+// Kind implements Msg.
+func (*AttrSet) Kind() Kind { return KindAttrSet }
+func (m *AttrSet) encode(e *enc.Encoder) {
+	m.Desc.EncodeTo(e)
+	e.String(string(m.Principal))
+}
+func (m *AttrSet) decode(d *enc.Decoder) {
+	m.Desc = region.DecodeDescriptor(d)
+	m.Principal = ktypes.Principal(d.String())
+}
+
+// ReserveSpace asks the cluster manager for a large range of unreserved
+// address space to manage locally (paper §3.1).
+type ReserveSpace struct {
+	From ktypes.NodeID
+	Size uint64
+}
+
+// Kind implements Msg.
+func (*ReserveSpace) Kind() Kind { return KindReserveSpace }
+func (m *ReserveSpace) encode(e *enc.Encoder) {
+	e.NodeID(m.From)
+	e.U64(m.Size)
+}
+func (m *ReserveSpace) decode(d *enc.Decoder) {
+	m.From = d.NodeID()
+	m.Size = d.U64()
+}
+
+// SpaceGrant answers ReserveSpace with a granted range.
+type SpaceGrant struct {
+	Range gaddr.Range
+	Err   string
+}
+
+// Kind implements Msg.
+func (*SpaceGrant) Kind() Kind { return KindSpaceGrant }
+func (m *SpaceGrant) encode(e *enc.Encoder) {
+	e.Range(m.Range)
+	e.String(m.Err)
+}
+func (m *SpaceGrant) decode(d *enc.Decoder) {
+	m.Range = d.Range()
+	m.Err = d.String()
+}
+
+// --- consistency traffic --------------------------------------------------
+
+// PageReq asks a page's home node for lock credentials in the given mode
+// (Figure 2, step 6). The home consults its directory state, performs any
+// needed invalidations or fetches, and answers with a PageGrant.
+type PageReq struct {
+	Page      gaddr.Addr
+	Mode      ktypes.LockMode
+	Requester ktypes.NodeID
+}
+
+// Kind implements Msg.
+func (*PageReq) Kind() Kind { return KindPageReq }
+func (m *PageReq) encode(e *enc.Encoder) {
+	e.Addr(m.Page)
+	e.U8(uint8(m.Mode))
+	e.NodeID(m.Requester)
+}
+func (m *PageReq) decode(d *enc.Decoder) {
+	m.Page = d.Addr()
+	m.Mode = ktypes.LockMode(d.U8())
+	m.Requester = d.NodeID()
+}
+
+// PageGrant carries lock credentials and, when needed, a copy of the page
+// (Figure 2, steps 7-10).
+type PageGrant struct {
+	OK      bool
+	Data    []byte
+	Version uint64
+	// Owner is the page's owner after the grant.
+	Owner ktypes.NodeID
+	Err   string
+}
+
+// Kind implements Msg.
+func (*PageGrant) Kind() Kind { return KindPageGrant }
+func (m *PageGrant) encode(e *enc.Encoder) {
+	e.Bool(m.OK)
+	e.Bytes32(m.Data)
+	e.U64(m.Version)
+	e.NodeID(m.Owner)
+	e.String(m.Err)
+}
+func (m *PageGrant) decode(d *enc.Decoder) {
+	m.OK = d.Bool()
+	m.Data = d.Bytes32()
+	m.Version = d.U64()
+	m.Owner = d.NodeID()
+	m.Err = d.String()
+}
+
+// Invalidate tells a node to drop its copy of a page because NewOwner is
+// taking exclusive ownership.
+type Invalidate struct {
+	Page     gaddr.Addr
+	NewOwner ktypes.NodeID
+	Version  uint64
+}
+
+// Kind implements Msg.
+func (*Invalidate) Kind() Kind { return KindInvalidate }
+func (m *Invalidate) encode(e *enc.Encoder) {
+	e.Addr(m.Page)
+	e.NodeID(m.NewOwner)
+	e.U64(m.Version)
+}
+func (m *Invalidate) decode(d *enc.Decoder) {
+	m.Page = d.Addr()
+	m.NewOwner = d.NodeID()
+	m.Version = d.U64()
+}
+
+// PageFetch asks a node holding a page for its current contents (Figure 2,
+// steps 7-9: the owner's daemon supplies a copy).
+type PageFetch struct {
+	Page      gaddr.Addr
+	Requester ktypes.NodeID
+}
+
+// Kind implements Msg.
+func (*PageFetch) Kind() Kind { return KindPageFetch }
+func (m *PageFetch) encode(e *enc.Encoder) {
+	e.Addr(m.Page)
+	e.NodeID(m.Requester)
+}
+func (m *PageFetch) decode(d *enc.Decoder) {
+	m.Page = d.Addr()
+	m.Requester = d.NodeID()
+}
+
+// PageData answers PageFetch.
+type PageData struct {
+	Found   bool
+	Data    []byte
+	Version uint64
+}
+
+// Kind implements Msg.
+func (*PageData) Kind() Kind { return KindPageData }
+func (m *PageData) encode(e *enc.Encoder) {
+	e.Bool(m.Found)
+	e.Bytes32(m.Data)
+	e.U64(m.Version)
+}
+func (m *PageData) decode(d *enc.Decoder) {
+	m.Found = d.Bool()
+	m.Data = d.Bytes32()
+	m.Version = d.U64()
+}
+
+// UpdatePush propagates new page contents under the release and eventual
+// protocols (§3.3: CMs inform peers of changes, which eventually update
+// their replicas).
+type UpdatePush struct {
+	Page    gaddr.Addr
+	Data    []byte
+	Version uint64
+	// Stamp orders concurrent eventual-protocol writes (last writer
+	// wins); ties break on Origin.
+	Stamp  int64
+	Origin ktypes.NodeID
+}
+
+// Kind implements Msg.
+func (*UpdatePush) Kind() Kind { return KindUpdatePush }
+func (m *UpdatePush) encode(e *enc.Encoder) {
+	e.Addr(m.Page)
+	e.Bytes32(m.Data)
+	e.U64(m.Version)
+	e.I64(m.Stamp)
+	e.NodeID(m.Origin)
+}
+func (m *UpdatePush) decode(d *enc.Decoder) {
+	m.Page = d.Addr()
+	m.Data = d.Bytes32()
+	m.Version = d.U64()
+	m.Stamp = d.I64()
+	m.Origin = d.NodeID()
+}
+
+// VersionQuery asks a page's home for its current version, used by the
+// release protocol to validate a cached copy at acquire time.
+type VersionQuery struct {
+	Page gaddr.Addr
+}
+
+// Kind implements Msg.
+func (*VersionQuery) Kind() Kind              { return KindVersionQuery }
+func (m *VersionQuery) encode(e *enc.Encoder) { e.Addr(m.Page) }
+func (m *VersionQuery) decode(d *enc.Decoder) { m.Page = d.Addr() }
+
+// VersionInfo answers VersionQuery.
+type VersionInfo struct {
+	Found   bool
+	Version uint64
+}
+
+// Kind implements Msg.
+func (*VersionInfo) Kind() Kind { return KindVersionInfo }
+func (m *VersionInfo) encode(e *enc.Encoder) {
+	e.Bool(m.Found)
+	e.U64(m.Version)
+}
+func (m *VersionInfo) decode(d *enc.Decoder) {
+	m.Found = d.Bool()
+	m.Version = d.U64()
+}
+
+// ReleaseNotify tells a page's home that a lock was released, carrying
+// dirty contents when the release protocol defers propagation to release
+// time.
+type ReleaseNotify struct {
+	Page    gaddr.Addr
+	Mode    ktypes.LockMode
+	Dirty   bool
+	Data    []byte
+	Version uint64
+	From    ktypes.NodeID
+}
+
+// Kind implements Msg.
+func (*ReleaseNotify) Kind() Kind { return KindReleaseNotify }
+func (m *ReleaseNotify) encode(e *enc.Encoder) {
+	e.Addr(m.Page)
+	e.U8(uint8(m.Mode))
+	e.Bool(m.Dirty)
+	e.Bytes32(m.Data)
+	e.U64(m.Version)
+	e.NodeID(m.From)
+}
+func (m *ReleaseNotify) decode(d *enc.Decoder) {
+	m.Page = d.Addr()
+	m.Mode = ktypes.LockMode(d.U8())
+	m.Dirty = d.Bool()
+	m.Data = d.Bytes32()
+	m.Version = d.U64()
+	m.From = d.NodeID()
+}
+
+// --- replication ------------------------------------------------------------
+
+// ReplicaPut pushes a page copy to another node to satisfy a region's
+// minimum replica count (paper §3.5).
+type ReplicaPut struct {
+	Page    gaddr.Addr
+	Data    []byte
+	Version uint64
+	From    ktypes.NodeID
+}
+
+// Kind implements Msg.
+func (*ReplicaPut) Kind() Kind { return KindReplicaPut }
+func (m *ReplicaPut) encode(e *enc.Encoder) {
+	e.Addr(m.Page)
+	e.Bytes32(m.Data)
+	e.U64(m.Version)
+	e.NodeID(m.From)
+}
+func (m *ReplicaPut) decode(d *enc.Decoder) {
+	m.Page = d.Addr()
+	m.Data = d.Bytes32()
+	m.Version = d.U64()
+	m.From = d.NodeID()
+}
+
+// CopysetQuery asks a page's home which nodes hold copies.
+type CopysetQuery struct {
+	Page gaddr.Addr
+}
+
+// Kind implements Msg.
+func (*CopysetQuery) Kind() Kind              { return KindCopysetQuery }
+func (m *CopysetQuery) encode(e *enc.Encoder) { e.Addr(m.Page) }
+func (m *CopysetQuery) decode(d *enc.Decoder) { m.Page = d.Addr() }
+
+// CopysetInfo answers CopysetQuery.
+type CopysetInfo struct {
+	Owner ktypes.NodeID
+	Nodes []ktypes.NodeID
+}
+
+// Kind implements Msg.
+func (*CopysetInfo) Kind() Kind { return KindCopysetInfo }
+func (m *CopysetInfo) encode(e *enc.Encoder) {
+	e.NodeID(m.Owner)
+	e.NodeIDs(m.Nodes)
+}
+func (m *CopysetInfo) decode(d *enc.Decoder) {
+	m.Owner = d.NodeID()
+	m.Nodes = d.NodeIDs()
+}
+
+// --- cluster membership -----------------------------------------------------
+
+// Join announces a node to its cluster manager (paper §3.1: machines can
+// dynamically enter and leave Khazana).
+type Join struct {
+	Node ktypes.NodeID
+	// Addr is the node's transport address (empty for in-process nets).
+	Addr string
+}
+
+// Kind implements Msg.
+func (*Join) Kind() Kind { return KindJoin }
+func (m *Join) encode(e *enc.Encoder) {
+	e.NodeID(m.Node)
+	e.String(m.Addr)
+}
+func (m *Join) decode(d *enc.Decoder) {
+	m.Node = d.NodeID()
+	m.Addr = d.String()
+}
+
+// ClusterView answers Join with current membership.
+type ClusterView struct {
+	Manager ktypes.NodeID
+	Members []ktypes.NodeID
+}
+
+// Kind implements Msg.
+func (*ClusterView) Kind() Kind { return KindClusterView }
+func (m *ClusterView) encode(e *enc.Encoder) {
+	e.NodeID(m.Manager)
+	e.NodeIDs(m.Members)
+}
+func (m *ClusterView) decode(d *enc.Decoder) {
+	m.Manager = d.NodeID()
+	m.Members = d.NodeIDs()
+}
+
+// Heartbeat reports liveness and free-space hints to the cluster manager
+// (§3.1: managers maintain hints of free address space sizes managed by
+// cluster nodes), plus recently-cached region starts as location hints.
+type Heartbeat struct {
+	Node      ktypes.NodeID
+	FreeTotal uint64
+	FreeMax   uint64
+	Regions   []gaddr.Addr
+}
+
+// Kind implements Msg.
+func (*Heartbeat) Kind() Kind { return KindHeartbeat }
+func (m *Heartbeat) encode(e *enc.Encoder) {
+	e.NodeID(m.Node)
+	e.U64(m.FreeTotal)
+	e.U64(m.FreeMax)
+	e.U16(uint16(len(m.Regions)))
+	for _, r := range m.Regions {
+		e.Addr(r)
+	}
+}
+func (m *Heartbeat) decode(d *enc.Decoder) {
+	m.Node = d.NodeID()
+	m.FreeTotal = d.U64()
+	m.FreeMax = d.U64()
+	n := int(d.U16())
+	if d.Err() != nil || n == 0 {
+		return
+	}
+	m.Regions = make([]gaddr.Addr, 0, n)
+	for i := 0; i < n; i++ {
+		a := d.Addr()
+		if d.Err() != nil {
+			return
+		}
+		m.Regions = append(m.Regions, a)
+	}
+}
+
+// ClusterQuery asks the cluster manager whether a region is cached in a
+// nearby node (paper §3.2). Forwarded marks a query relayed between
+// cluster managers during inter-cluster communication (§3.1); a forwarded
+// query is never relayed again.
+type ClusterQuery struct {
+	Addr      gaddr.Addr
+	Forwarded bool
+}
+
+// Kind implements Msg.
+func (*ClusterQuery) Kind() Kind { return KindClusterQuery }
+func (m *ClusterQuery) encode(e *enc.Encoder) {
+	e.Addr(m.Addr)
+	e.Bool(m.Forwarded)
+}
+func (m *ClusterQuery) decode(d *enc.Decoder) {
+	m.Addr = d.Addr()
+	m.Forwarded = d.Bool()
+}
+
+// ClusterHint answers ClusterQuery with candidate nodes.
+type ClusterHint struct {
+	Found bool
+	Nodes []ktypes.NodeID
+}
+
+// Kind implements Msg.
+func (*ClusterHint) Kind() Kind { return KindClusterHint }
+func (m *ClusterHint) encode(e *enc.Encoder) {
+	e.Bool(m.Found)
+	e.NodeIDs(m.Nodes)
+}
+func (m *ClusterHint) decode(d *enc.Decoder) {
+	m.Found = d.Bool()
+	m.Nodes = d.NodeIDs()
+}
+
+// Leave announces departure from the cluster.
+type Leave struct {
+	Node ktypes.NodeID
+}
+
+// Kind implements Msg.
+func (*Leave) Kind() Kind              { return KindLeave }
+func (m *Leave) encode(e *enc.Encoder) { e.NodeID(m.Node) }
+func (m *Leave) decode(d *enc.Decoder) { m.Node = d.NodeID() }
+
+// --- client operations --------------------------------------------------
+
+// CReserve reserves a contiguous range of global address space (paper §2).
+type CReserve struct {
+	Size      uint64
+	Attrs     region.Attrs
+	Principal ktypes.Principal
+}
+
+// Kind implements Msg.
+func (*CReserve) Kind() Kind { return KindCReserve }
+func (m *CReserve) encode(e *enc.Encoder) {
+	e.U64(m.Size)
+	m.Attrs.EncodeTo(e)
+	e.String(string(m.Principal))
+}
+func (m *CReserve) decode(d *enc.Decoder) {
+	m.Size = d.U64()
+	m.Attrs = region.DecodeAttrs(d)
+	m.Principal = ktypes.Principal(d.String())
+}
+
+// CReserveResp answers CReserve.
+type CReserveResp struct {
+	Start gaddr.Addr
+	Err   string
+}
+
+// Kind implements Msg.
+func (*CReserveResp) Kind() Kind { return KindCReserveResp }
+func (m *CReserveResp) encode(e *enc.Encoder) {
+	e.Addr(m.Start)
+	e.String(m.Err)
+}
+func (m *CReserveResp) decode(d *enc.Decoder) {
+	m.Start = d.Addr()
+	m.Err = d.String()
+}
+
+// CUnreserve releases a reserved region.
+type CUnreserve struct {
+	Start     gaddr.Addr
+	Principal ktypes.Principal
+}
+
+// Kind implements Msg.
+func (*CUnreserve) Kind() Kind { return KindCUnreserve }
+func (m *CUnreserve) encode(e *enc.Encoder) {
+	e.Addr(m.Start)
+	e.String(string(m.Principal))
+}
+func (m *CUnreserve) decode(d *enc.Decoder) {
+	m.Start = d.Addr()
+	m.Principal = ktypes.Principal(d.String())
+}
+
+// CAllocate allocates physical storage for a reserved region.
+type CAllocate struct {
+	Start     gaddr.Addr
+	Principal ktypes.Principal
+}
+
+// Kind implements Msg.
+func (*CAllocate) Kind() Kind { return KindCAllocate }
+func (m *CAllocate) encode(e *enc.Encoder) {
+	e.Addr(m.Start)
+	e.String(string(m.Principal))
+}
+func (m *CAllocate) decode(d *enc.Decoder) {
+	m.Start = d.Addr()
+	m.Principal = ktypes.Principal(d.String())
+}
+
+// CFree releases a region's physical storage.
+type CFree struct {
+	Start     gaddr.Addr
+	Principal ktypes.Principal
+}
+
+// Kind implements Msg.
+func (*CFree) Kind() Kind { return KindCFree }
+func (m *CFree) encode(e *enc.Encoder) {
+	e.Addr(m.Start)
+	e.String(string(m.Principal))
+}
+func (m *CFree) decode(d *enc.Decoder) {
+	m.Start = d.Addr()
+	m.Principal = ktypes.Principal(d.String())
+}
+
+// CLock locks part of a region in a specified mode, returning a lock
+// context (paper §2).
+type CLock struct {
+	Range     gaddr.Range
+	Mode      ktypes.LockMode
+	Principal ktypes.Principal
+}
+
+// Kind implements Msg.
+func (*CLock) Kind() Kind { return KindCLock }
+func (m *CLock) encode(e *enc.Encoder) {
+	e.Range(m.Range)
+	e.U8(uint8(m.Mode))
+	e.String(string(m.Principal))
+}
+func (m *CLock) decode(d *enc.Decoder) {
+	m.Range = d.Range()
+	m.Mode = ktypes.LockMode(d.U8())
+	m.Principal = ktypes.Principal(d.String())
+}
+
+// CLockResp answers CLock with the lock context identifier.
+type CLockResp struct {
+	LockID uint64
+	Err    string
+}
+
+// Kind implements Msg.
+func (*CLockResp) Kind() Kind { return KindCLockResp }
+func (m *CLockResp) encode(e *enc.Encoder) {
+	e.U64(m.LockID)
+	e.String(m.Err)
+}
+func (m *CLockResp) decode(d *enc.Decoder) {
+	m.LockID = d.U64()
+	m.Err = d.String()
+}
+
+// CUnlock releases a lock context.
+type CUnlock struct {
+	LockID uint64
+}
+
+// Kind implements Msg.
+func (*CUnlock) Kind() Kind              { return KindCUnlock }
+func (m *CUnlock) encode(e *enc.Encoder) { e.U64(m.LockID) }
+func (m *CUnlock) decode(d *enc.Decoder) { m.LockID = d.U64() }
+
+// CRead reads a subrange of a locked region by presenting the lock
+// context.
+type CRead struct {
+	LockID uint64
+	Addr   gaddr.Addr
+	Len    uint64
+}
+
+// Kind implements Msg.
+func (*CRead) Kind() Kind { return KindCRead }
+func (m *CRead) encode(e *enc.Encoder) {
+	e.U64(m.LockID)
+	e.Addr(m.Addr)
+	e.U64(m.Len)
+}
+func (m *CRead) decode(d *enc.Decoder) {
+	m.LockID = d.U64()
+	m.Addr = d.Addr()
+	m.Len = d.U64()
+}
+
+// CData answers CRead or KVGet.
+type CData struct {
+	Data []byte
+	Err  string
+}
+
+// Kind implements Msg.
+func (*CData) Kind() Kind { return KindCData }
+func (m *CData) encode(e *enc.Encoder) {
+	e.Bytes32(m.Data)
+	e.String(m.Err)
+}
+func (m *CData) decode(d *enc.Decoder) {
+	m.Data = d.Bytes32()
+	m.Err = d.String()
+}
+
+// CWrite writes a subrange of a locked region.
+type CWrite struct {
+	LockID uint64
+	Addr   gaddr.Addr
+	Data   []byte
+}
+
+// Kind implements Msg.
+func (*CWrite) Kind() Kind { return KindCWrite }
+func (m *CWrite) encode(e *enc.Encoder) {
+	e.U64(m.LockID)
+	e.Addr(m.Addr)
+	e.Bytes32(m.Data)
+}
+func (m *CWrite) decode(d *enc.Decoder) {
+	m.LockID = d.U64()
+	m.Addr = d.Addr()
+	m.Data = d.Bytes32()
+}
+
+// CGetAttr fetches a region's attributes.
+type CGetAttr struct {
+	Addr gaddr.Addr
+}
+
+// Kind implements Msg.
+func (*CGetAttr) Kind() Kind              { return KindCGetAttr }
+func (m *CGetAttr) encode(e *enc.Encoder) { e.Addr(m.Addr) }
+func (m *CGetAttr) decode(d *enc.Decoder) { m.Addr = d.Addr() }
+
+// CSetAttr updates a region's attributes.
+type CSetAttr struct {
+	Start     gaddr.Addr
+	Attrs     region.Attrs
+	Principal ktypes.Principal
+}
+
+// Kind implements Msg.
+func (*CSetAttr) Kind() Kind { return KindCSetAttr }
+func (m *CSetAttr) encode(e *enc.Encoder) {
+	e.Addr(m.Start)
+	m.Attrs.EncodeTo(e)
+	e.String(string(m.Principal))
+}
+func (m *CSetAttr) decode(d *enc.Decoder) {
+	m.Start = d.Addr()
+	m.Attrs = region.DecodeAttrs(d)
+	m.Principal = ktypes.Principal(d.String())
+}
+
+// --- baseline comparator ------------------------------------------------
+
+// KVGet reads from the hand-coded central-server baseline store.
+type KVGet struct {
+	Key gaddr.Addr
+	Len uint64
+	Off uint64
+}
+
+// Kind implements Msg.
+func (*KVGet) Kind() Kind { return KindKVGet }
+func (m *KVGet) encode(e *enc.Encoder) {
+	e.Addr(m.Key)
+	e.U64(m.Len)
+	e.U64(m.Off)
+}
+func (m *KVGet) decode(d *enc.Decoder) {
+	m.Key = d.Addr()
+	m.Len = d.U64()
+	m.Off = d.U64()
+}
+
+// KVPut writes to the baseline store.
+type KVPut struct {
+	Key  gaddr.Addr
+	Off  uint64
+	Data []byte
+}
+
+// Kind implements Msg.
+func (*KVPut) Kind() Kind { return KindKVPut }
+func (m *KVPut) encode(e *enc.Encoder) {
+	e.Addr(m.Key)
+	e.U64(m.Off)
+	e.Bytes32(m.Data)
+}
+func (m *KVPut) decode(d *enc.Decoder) {
+	m.Key = d.Addr()
+	m.Off = d.U64()
+	m.Data = d.Bytes32()
+}
+
+// --- address map mutations (routed to the map region's home) -------------
+
+// MapInsert records a reserved region in the address map tree.
+type MapInsert struct {
+	Range gaddr.Range
+	Homes []ktypes.NodeID
+}
+
+// Kind implements Msg.
+func (*MapInsert) Kind() Kind { return KindMapInsert }
+func (m *MapInsert) encode(e *enc.Encoder) {
+	e.Range(m.Range)
+	e.NodeIDs(m.Homes)
+}
+func (m *MapInsert) decode(d *enc.Decoder) {
+	m.Range = d.Range()
+	m.Homes = d.NodeIDs()
+}
+
+// MapRemove deletes a region from the address map (unreserve).
+type MapRemove struct {
+	Start gaddr.Addr
+}
+
+// Kind implements Msg.
+func (*MapRemove) Kind() Kind              { return KindMapRemove }
+func (m *MapRemove) encode(e *enc.Encoder) { e.Addr(m.Start) }
+func (m *MapRemove) decode(d *enc.Decoder) { m.Start = d.Addr() }
+
+// MapSetHomes updates a region's home list in the address map (replica
+// migration or failover).
+type MapSetHomes struct {
+	Start gaddr.Addr
+	Homes []ktypes.NodeID
+}
+
+// Kind implements Msg.
+func (*MapSetHomes) Kind() Kind { return KindMapSetHomes }
+func (m *MapSetHomes) encode(e *enc.Encoder) {
+	e.Addr(m.Start)
+	e.NodeIDs(m.Homes)
+}
+func (m *MapSetHomes) decode(d *enc.Decoder) {
+	m.Start = d.Addr()
+	m.Homes = d.NodeIDs()
+}
+
+// Promote asks a secondary home node to take over as a region's primary
+// home after the old primary failed (§3.5 failure handling). The reply is
+// a RegionInfo carrying the promoted descriptor.
+type Promote struct {
+	Start gaddr.Addr
+	From  ktypes.NodeID
+}
+
+// Kind implements Msg.
+func (*Promote) Kind() Kind { return KindPromote }
+func (m *Promote) encode(e *enc.Encoder) {
+	e.Addr(m.Start)
+	e.NodeID(m.From)
+}
+func (m *Promote) decode(d *enc.Decoder) {
+	m.Start = d.Addr()
+	m.From = d.NodeID()
+}
+
+// --- distributed object runtime (kobj) -----------------------------------
+
+// ObjInvoke asks a peer's object runtime to invoke a method on an object
+// instantiated there (§4.2: "perform a remote invocation of the object on
+// a node where it is already physically instantiated").
+type ObjInvoke struct {
+	Ref    gaddr.Addr
+	Method string
+	Args   []byte
+}
+
+// Kind implements Msg.
+func (*ObjInvoke) Kind() Kind { return KindObjInvoke }
+func (m *ObjInvoke) encode(e *enc.Encoder) {
+	e.Addr(m.Ref)
+	e.String(m.Method)
+	e.Bytes32(m.Args)
+}
+func (m *ObjInvoke) decode(d *enc.Decoder) {
+	m.Ref = d.Addr()
+	m.Method = d.String()
+	m.Args = d.Bytes32()
+}
+
+// ObjResult answers ObjInvoke.
+type ObjResult struct {
+	Result []byte
+	Err    string
+}
+
+// Kind implements Msg.
+func (*ObjResult) Kind() Kind { return KindObjResult }
+func (m *ObjResult) encode(e *enc.Encoder) {
+	e.Bytes32(m.Result)
+	e.String(m.Err)
+}
+func (m *ObjResult) decode(d *enc.Decoder) {
+	m.Result = d.Bytes32()
+	m.Err = d.String()
+}
+
+// --- migration and introspection ------------------------------------------
+
+// Migrate asks a region's home to hand the primary-home role to NewHome
+// (§7 future work: migration and replication policies; the mechanism
+// lives here, policies drive it).
+type Migrate struct {
+	Start     gaddr.Addr
+	NewHome   ktypes.NodeID
+	Principal ktypes.Principal
+}
+
+// Kind implements Msg.
+func (*Migrate) Kind() Kind { return KindMigrate }
+func (m *Migrate) encode(e *enc.Encoder) {
+	e.Addr(m.Start)
+	e.NodeID(m.NewHome)
+	e.String(string(m.Principal))
+}
+func (m *Migrate) decode(d *enc.Decoder) {
+	m.Start = d.Addr()
+	m.NewHome = d.NodeID()
+	m.Principal = ktypes.Principal(d.String())
+}
+
+// StatsReq asks a daemon for its counters.
+type StatsReq struct{}
+
+// Kind implements Msg.
+func (*StatsReq) Kind() Kind            { return KindStatsReq }
+func (m *StatsReq) encode(*enc.Encoder) {}
+func (m *StatsReq) decode(*enc.Decoder) {}
+
+// StatsResp carries a daemon's activity counters and resource usage.
+type StatsResp struct {
+	Node           ktypes.NodeID
+	Lookups        uint64
+	DirHits        uint64
+	ClusterHits    uint64
+	TreeWalks      uint64
+	LocksGranted   uint64
+	ReleaseRetries uint64
+	Promotions     uint64
+	MemPages       uint64
+	DiskPages      uint64
+	HomedRegions   uint64
+	Members        []ktypes.NodeID
+}
+
+// Kind implements Msg.
+func (*StatsResp) Kind() Kind { return KindStatsResp }
+func (m *StatsResp) encode(e *enc.Encoder) {
+	e.NodeID(m.Node)
+	e.U64(m.Lookups)
+	e.U64(m.DirHits)
+	e.U64(m.ClusterHits)
+	e.U64(m.TreeWalks)
+	e.U64(m.LocksGranted)
+	e.U64(m.ReleaseRetries)
+	e.U64(m.Promotions)
+	e.U64(m.MemPages)
+	e.U64(m.DiskPages)
+	e.U64(m.HomedRegions)
+	e.NodeIDs(m.Members)
+}
+func (m *StatsResp) decode(d *enc.Decoder) {
+	m.Node = d.NodeID()
+	m.Lookups = d.U64()
+	m.DirHits = d.U64()
+	m.ClusterHits = d.U64()
+	m.TreeWalks = d.U64()
+	m.LocksGranted = d.U64()
+	m.ReleaseRetries = d.U64()
+	m.Promotions = d.U64()
+	m.MemPages = d.U64()
+	m.DiskPages = d.U64()
+	m.HomedRegions = d.U64()
+	m.Members = d.NodeIDs()
+}

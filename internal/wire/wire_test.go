@@ -1,0 +1,223 @@
+package wire
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"khazana/internal/gaddr"
+	"khazana/internal/ktypes"
+	"khazana/internal/region"
+	"khazana/internal/security"
+)
+
+// sampleMessages returns one populated instance of every message type.
+func sampleMessages() []Msg {
+	desc := &region.Descriptor{
+		Range: gaddr.Range{Start: gaddr.New(1, 0x1000), Size: 0x4000},
+		Attrs: region.Attrs{
+			PageSize:    4096,
+			Level:       region.Strict,
+			Protocol:    region.CREW,
+			MinReplicas: 2,
+			ACL:         security.Private("alice").Grant("bob", security.PermRead),
+		},
+		Home:      []ktypes.NodeID{1, 3},
+		Epoch:     7,
+		Allocated: true,
+	}
+	return []Msg{
+		&Ack{Err: "boom"},
+		&Ack{},
+		&Ping{From: 4},
+		&Pong{From: 5},
+		&RegionLookup{Addr: gaddr.New(2, 0x2000)},
+		&RegionInfo{Found: true, Desc: desc},
+		&RegionInfo{Found: false, Err: "not found"},
+		&AttrSet{Desc: desc, Principal: "alice"},
+		&ReserveSpace{From: 2, Size: 1 << 30},
+		&SpaceGrant{Range: gaddr.Range{Start: gaddr.New(0, 1<<30), Size: 1 << 30}},
+		&SpaceGrant{Err: "no space"},
+		&PageReq{Page: gaddr.New(0, 0x3000), Mode: ktypes.LockWrite, Requester: 1},
+		&PageGrant{OK: true, Data: []byte("page contents"), Version: 9, Owner: 2},
+		&PageGrant{Err: "denied"},
+		&Invalidate{Page: gaddr.New(0, 0x3000), NewOwner: 4, Version: 10},
+		&PageFetch{Page: gaddr.New(0, 0x3000), Requester: 3},
+		&PageData{Found: true, Data: []byte{1, 2, 3}, Version: 11},
+		&UpdatePush{Page: gaddr.New(0, 0x4000), Data: []byte("new"), Version: 2, Stamp: 99, Origin: 5},
+		&VersionQuery{Page: gaddr.New(0, 0x4000)},
+		&VersionInfo{Found: true, Version: 12},
+		&ReleaseNotify{Page: gaddr.New(0, 0x5000), Mode: ktypes.LockWrite, Dirty: true, Data: []byte("d"), Version: 3, From: 2},
+		&ReplicaPut{Page: gaddr.New(0, 0x6000), Data: []byte("replica"), Version: 4, From: 1},
+		&CopysetQuery{Page: gaddr.New(0, 0x6000)},
+		&CopysetInfo{Owner: 1, Nodes: []ktypes.NodeID{1, 2, 3}},
+		&Join{Node: 6, Addr: "127.0.0.1:9999"},
+		&ClusterView{Manager: 1, Members: []ktypes.NodeID{1, 2, 3, 6}},
+		&Heartbeat{Node: 2, FreeTotal: 1 << 40, FreeMax: 1 << 30, Regions: []gaddr.Addr{gaddr.New(0, 0x1000)}},
+		&ClusterQuery{Addr: gaddr.New(0, 0x2000)},
+		&ClusterHint{Found: true, Nodes: []ktypes.NodeID{4}},
+		&Leave{Node: 6},
+		&CReserve{Size: 8192, Attrs: region.DefaultAttrs(), Principal: "bob"},
+		&CReserveResp{Start: gaddr.New(0, 0x10000)},
+		&CUnreserve{Start: gaddr.New(0, 0x10000), Principal: "bob"},
+		&CAllocate{Start: gaddr.New(0, 0x10000), Principal: "bob"},
+		&CFree{Start: gaddr.New(0, 0x10000), Principal: "bob"},
+		&CLock{Range: gaddr.Range{Start: gaddr.New(0, 0x10000), Size: 4096}, Mode: ktypes.LockRead, Principal: "bob"},
+		&CLockResp{LockID: 77},
+		&CUnlock{LockID: 77},
+		&CRead{LockID: 77, Addr: gaddr.New(0, 0x10000), Len: 128},
+		&CData{Data: []byte("result")},
+		&CWrite{LockID: 77, Addr: gaddr.New(0, 0x10080), Data: []byte("payload")},
+		&CGetAttr{Addr: gaddr.New(0, 0x10000)},
+		&CSetAttr{Start: gaddr.New(0, 0x10000), Attrs: region.DefaultAttrs(), Principal: "bob"},
+		&KVGet{Key: gaddr.New(0, 0x20000), Len: 64, Off: 8},
+		&KVPut{Key: gaddr.New(0, 0x20000), Off: 8, Data: []byte("kv")},
+		&MapInsert{Range: gaddr.Range{Start: gaddr.New(0, 0x40000000), Size: 0x2000}, Homes: []ktypes.NodeID{2}},
+		&MapRemove{Start: gaddr.New(0, 0x40000000)},
+		&MapSetHomes{Start: gaddr.New(0, 0x40000000), Homes: []ktypes.NodeID{3, 4}},
+		&Promote{Start: gaddr.New(0, 0x40000000), From: 2},
+		&ObjInvoke{Ref: gaddr.New(0, 0x50000000), Method: "deposit", Args: []byte{1, 2}},
+		&ObjResult{Result: []byte("ok")},
+		&ObjResult{Err: "no such method"},
+		&Migrate{Start: gaddr.New(0, 0x60000000), NewHome: 3, Principal: "admin"},
+		&StatsReq{},
+		&StatsResp{Node: 2, Lookups: 10, DirHits: 8, TreeWalks: 1, MemPages: 5,
+			HomedRegions: 3, Members: []ktypes.NodeID{1, 2}},
+	}
+}
+
+func TestEveryMessageRoundTrips(t *testing.T) {
+	for _, m := range sampleMessages() {
+		b := Marshal(m)
+		got, err := Unmarshal(b)
+		if err != nil {
+			t.Fatalf("%T: unmarshal: %v", m, err)
+		}
+		if got.Kind() != m.Kind() {
+			t.Fatalf("%T: kind %d != %d", m, got.Kind(), m.Kind())
+		}
+		if !reflect.DeepEqual(got, m) {
+			t.Errorf("%T round trip mismatch:\n got %+v\nwant %+v", m, got, m)
+		}
+	}
+}
+
+func TestEveryKindRegistered(t *testing.T) {
+	seen := make(map[Kind]bool)
+	for _, m := range sampleMessages() {
+		seen[m.Kind()] = true
+	}
+	for kind := range factories {
+		if !seen[kind] {
+			t.Errorf("kind %d has no sample message; add one to keep coverage honest", kind)
+		}
+	}
+	// And the reverse: every sample's kind must be registered.
+	for _, m := range sampleMessages() {
+		if _, ok := factories[m.Kind()]; !ok {
+			t.Errorf("%T kind %d not registered", m, m.Kind())
+		}
+	}
+}
+
+func TestKindsAreUnique(t *testing.T) {
+	byKind := make(map[Kind]string)
+	for _, m := range sampleMessages() {
+		name := reflect.TypeOf(m).String()
+		if prev, ok := byKind[m.Kind()]; ok && prev != name {
+			t.Errorf("kind %d shared by %s and %s", m.Kind(), prev, name)
+		}
+		byKind[m.Kind()] = name
+	}
+}
+
+func TestFactoryProducesCorrectKind(t *testing.T) {
+	for kind, f := range factories {
+		if got := f().Kind(); got != kind {
+			t.Errorf("factory for kind %d produces kind %d", kind, got)
+		}
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	if _, err := Unmarshal(nil); err == nil {
+		t.Error("empty buffer should fail")
+	}
+	if _, err := Unmarshal([]byte{0xff, 0xff}); err == nil {
+		t.Error("unknown kind should fail")
+	}
+	// Truncated payload of a real message.
+	b := Marshal(&PageGrant{OK: true, Data: []byte("abcdef"), Version: 1})
+	for cut := 2; cut < len(b); cut++ {
+		if _, err := Unmarshal(b[:cut]); err == nil {
+			t.Errorf("cut=%d should fail", cut)
+		}
+	}
+	// Trailing garbage.
+	withTrailing := append(Marshal(&Ping{From: 1}), 0xee)
+	if _, err := Unmarshal(withTrailing); err == nil {
+		t.Error("trailing bytes should fail")
+	}
+}
+
+// Property: Unmarshal never panics on arbitrary input.
+func TestQuickUnmarshalNoPanic(t *testing.T) {
+	f := func(b []byte) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		_, _ = Unmarshal(b)
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 500}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: fuzzing a valid message's bytes either fails cleanly or yields
+// some message; it never panics.
+func TestQuickBitFlipNoPanic(t *testing.T) {
+	base := Marshal(&UpdatePush{Page: gaddr.New(0, 0x4000), Data: []byte("data"), Version: 2, Stamp: 5, Origin: 3})
+	f := func(pos int, bit uint8) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		b := append([]byte(nil), base...)
+		if len(b) == 0 {
+			return true
+		}
+		p := pos % len(b)
+		if p < 0 {
+			p = -p
+		}
+		b[p] ^= 1 << (bit % 8)
+		_, _ = Unmarshal(b)
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMarshalPageGrant(b *testing.B) {
+	m := &PageGrant{OK: true, Data: make([]byte, 4096), Version: 1, Owner: 2}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Marshal(m)
+	}
+}
+
+func BenchmarkUnmarshalPageGrant(b *testing.B) {
+	raw := Marshal(&PageGrant{OK: true, Data: make([]byte, 4096), Version: 1, Owner: 2})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Unmarshal(raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,439 @@
+// Package kdir is a distributed directory service built on Khazana — the
+// use case the paper's introduction motivates alongside file systems
+// (Novell's NDS, Microsoft's Active Directory). It maintains a
+// hierarchical namespace of entries, each carrying a set of string
+// attributes, stored entirely in global memory:
+//
+//   - every directory context (interior node) is one Khazana region
+//     holding its serialized bindings;
+//   - name resolution walks contexts exactly like the paper's file system
+//     walks directories (§4.1), with Khazana locating and caching each
+//     region along the way;
+//   - directory deployments choose their consistency per context: the
+//     default is the eventual protocol, reflecting that directory services
+//     "can tolerate data that is temporarily out-of-date ... as long as
+//     they get fast response" (§3.3), while security-sensitive contexts
+//     can demand CREW.
+//
+// Unlike kfs, contexts store structured attribute maps rather than byte
+// blobs, and bindings are upserts — the operations a directory service
+// needs (bind, resolve, list, unbind).
+package kdir
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"khazana"
+	"khazana/internal/enc"
+)
+
+// ContextSize is the fixed region size of one directory context (holds
+// the serialized binding table).
+const ContextSize = 64 * 1024
+
+const dirMagic = 0x4B444952 // "KDIR"
+
+// Errors returned by the directory.
+var (
+	// ErrNotFound reports an unresolvable name.
+	ErrNotFound = errors.New("kdir: name not found")
+	// ErrNotContext reports a name used as a context that is a leaf.
+	ErrNotContext = errors.New("kdir: not a context")
+	// ErrIsContext reports a context where a leaf entry was expected.
+	ErrIsContext = errors.New("kdir: is a context")
+	// ErrContextFull reports a context whose binding table exceeds its
+	// region.
+	ErrContextFull = errors.New("kdir: context full")
+	// ErrBadRoot reports opening something that is not a directory
+	// root.
+	ErrBadRoot = errors.New("kdir: bad root context")
+)
+
+// Entry is one binding in a context.
+type Entry struct {
+	Name string
+	// Attrs are the entry's attributes (e.g. "type"=user, "mail"=...).
+	Attrs map[string]string
+	// IsContext marks sub-contexts; Child is their region.
+	IsContext bool
+	Child     khazana.Addr
+}
+
+// Directory is a handle on a directory tree, usable from any node.
+type Directory struct {
+	node      *khazana.Node
+	principal khazana.Principal
+	root      khazana.Addr
+	attrs     khazana.Attrs
+}
+
+// Create makes a new directory tree and returns its root context address.
+// attrs selects the default consistency for contexts; zero attrs default
+// to the eventual protocol.
+func Create(ctx context.Context, node *khazana.Node, principal khazana.Principal, attrs khazana.Attrs) (khazana.Addr, error) {
+	d := &Directory{node: node, principal: principal, attrs: normalize(attrs)}
+	root, err := d.newContext(ctx)
+	if err != nil {
+		return khazana.Addr{}, err
+	}
+	d.root = root
+	return root, nil
+}
+
+// Open attaches to an existing directory tree by root address.
+func Open(ctx context.Context, node *khazana.Node, root khazana.Addr, principal khazana.Principal) (*Directory, error) {
+	d := &Directory{node: node, principal: principal, root: root, attrs: normalize(khazana.Attrs{})}
+	if _, err := d.readContext(ctx, root); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func normalize(a khazana.Attrs) khazana.Attrs {
+	if a.Level == 0 && a.Protocol == 0 {
+		a.Level = khazana.Weak // directory default: fast, convergent
+	}
+	return a.Normalize()
+}
+
+// Root returns the root context address.
+func (d *Directory) Root() khazana.Addr { return d.root }
+
+// newContext reserves and initializes an empty context region.
+func (d *Directory) newContext(ctx context.Context) (khazana.Addr, error) {
+	start, err := d.node.Reserve(ctx, ContextSize, d.attrs, d.principal)
+	if err != nil {
+		return khazana.Addr{}, err
+	}
+	if err := d.node.Allocate(ctx, start, d.principal); err != nil {
+		return khazana.Addr{}, err
+	}
+	if err := d.writeContext(ctx, start, nil); err != nil {
+		return khazana.Addr{}, err
+	}
+	return start, nil
+}
+
+// --- context serialization ---------------------------------------------------
+
+func encodeContext(entries []Entry) ([]byte, error) {
+	e := enc.NewEncoder(512)
+	e.U32(dirMagic)
+	e.U32(uint32(len(entries)))
+	for _, ent := range entries {
+		e.String(ent.Name)
+		e.Bool(ent.IsContext)
+		e.Addr(ent.Child)
+		e.U16(uint16(len(ent.Attrs)))
+		keys := make([]string, 0, len(ent.Attrs))
+		for k := range ent.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			e.String(k)
+			e.String(ent.Attrs[k])
+		}
+	}
+	if e.Len() > ContextSize {
+		return nil, ErrContextFull
+	}
+	return e.Bytes(), nil
+}
+
+func decodeContext(buf []byte) ([]Entry, error) {
+	d := enc.NewDecoder(buf)
+	if magic := d.U32(); magic != dirMagic {
+		return nil, fmt.Errorf("%w: magic %#x", ErrBadRoot, magic)
+	}
+	count := d.U32()
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	entries := make([]Entry, 0, count)
+	for i := uint32(0); i < count; i++ {
+		ent := Entry{Name: d.String()}
+		ent.IsContext = d.Bool()
+		ent.Child = d.Addr()
+		n := int(d.U16())
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		if n > 0 {
+			ent.Attrs = make(map[string]string, n)
+			for j := 0; j < n; j++ {
+				k := d.String()
+				v := d.String()
+				if d.Err() != nil {
+					return nil, d.Err()
+				}
+				ent.Attrs[k] = v
+			}
+		}
+		entries = append(entries, ent)
+	}
+	return entries, nil
+}
+
+func (d *Directory) readContext(ctx context.Context, addr khazana.Addr) ([]Entry, error) {
+	lk, err := d.node.Lock(ctx, khazana.Range{Start: addr, Size: ContextSize}, khazana.LockRead, d.principal)
+	if err != nil {
+		return nil, err
+	}
+	defer lk.Unlock(ctx)
+	buf, err := lk.Read(addr, ContextSize)
+	if err != nil {
+		return nil, err
+	}
+	return decodeContext(buf)
+}
+
+func (d *Directory) writeContext(ctx context.Context, addr khazana.Addr, entries []Entry) error {
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Name < entries[j].Name })
+	buf, err := encodeContext(entries)
+	if err != nil {
+		return err
+	}
+	lk, err := d.node.Lock(ctx, khazana.Range{Start: addr, Size: ContextSize}, khazana.LockWrite, d.principal)
+	if err != nil {
+		return err
+	}
+	defer lk.Unlock(ctx)
+	return lk.Write(addr, buf)
+}
+
+// mutateContext applies fn to a context's entries under its write lock
+// (read-modify-write stays atomic for strict contexts; for eventual
+// contexts, concurrent mutations converge last-writer-wins).
+func (d *Directory) mutateContext(ctx context.Context, addr khazana.Addr, fn func([]Entry) ([]Entry, error)) error {
+	lk, err := d.node.Lock(ctx, khazana.Range{Start: addr, Size: ContextSize}, khazana.LockWrite, d.principal)
+	if err != nil {
+		return err
+	}
+	defer lk.Unlock(ctx)
+	buf, err := lk.Read(addr, ContextSize)
+	if err != nil {
+		return err
+	}
+	entries, err := decodeContext(buf)
+	if err != nil {
+		return err
+	}
+	entries, err = fn(entries)
+	if err != nil {
+		return err
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Name < entries[j].Name })
+	out, err := encodeContext(entries)
+	if err != nil {
+		return err
+	}
+	return lk.Write(addr, out)
+}
+
+// --- name resolution ------------------------------------------------------------
+
+func splitName(name string) ([]string, error) {
+	name = strings.Trim(name, "/")
+	if name == "" {
+		return nil, nil
+	}
+	parts := strings.Split(name, "/")
+	for _, p := range parts {
+		if p == "" {
+			return nil, fmt.Errorf("kdir: empty name component in %q", name)
+		}
+	}
+	return parts, nil
+}
+
+// resolveContext walks to the context holding the final component,
+// returning the context address and the leaf name.
+func (d *Directory) resolveContext(ctx context.Context, name string) (khazana.Addr, string, error) {
+	parts, err := splitName(name)
+	if err != nil {
+		return khazana.Addr{}, "", err
+	}
+	if len(parts) == 0 {
+		return khazana.Addr{}, "", errors.New("kdir: empty name")
+	}
+	cur := d.root
+	for _, part := range parts[:len(parts)-1] {
+		entries, err := d.readContext(ctx, cur)
+		if err != nil {
+			return khazana.Addr{}, "", err
+		}
+		ent, ok := find(entries, part)
+		if !ok {
+			return khazana.Addr{}, "", fmt.Errorf("%w: %s", ErrNotFound, name)
+		}
+		if !ent.IsContext {
+			return khazana.Addr{}, "", fmt.Errorf("%w: %s", ErrNotContext, part)
+		}
+		cur = ent.Child
+	}
+	return cur, parts[len(parts)-1], nil
+}
+
+func find(entries []Entry, name string) (Entry, bool) {
+	for _, e := range entries {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return Entry{}, false
+}
+
+// --- operations ----------------------------------------------------------------
+
+// Bind creates or replaces the attributes bound to name (an upsert, like
+// directory-service bind/rebind).
+func (d *Directory) Bind(ctx context.Context, name string, attrs map[string]string) error {
+	ctxAddr, leaf, err := d.resolveContext(ctx, name)
+	if err != nil {
+		return err
+	}
+	return d.mutateContext(ctx, ctxAddr, func(entries []Entry) ([]Entry, error) {
+		copied := make(map[string]string, len(attrs))
+		for k, v := range attrs {
+			copied[k] = v
+		}
+		for i := range entries {
+			if entries[i].Name == leaf {
+				if entries[i].IsContext {
+					return nil, fmt.Errorf("%w: %s", ErrIsContext, name)
+				}
+				entries[i].Attrs = copied
+				return entries, nil
+			}
+		}
+		return append(entries, Entry{Name: leaf, Attrs: copied}), nil
+	})
+}
+
+// Resolve returns the attributes bound to name.
+func (d *Directory) Resolve(ctx context.Context, name string) (map[string]string, error) {
+	ctxAddr, leaf, err := d.resolveContext(ctx, name)
+	if err != nil {
+		return nil, err
+	}
+	entries, err := d.readContext(ctx, ctxAddr)
+	if err != nil {
+		return nil, err
+	}
+	ent, ok := find(entries, leaf)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	if ent.IsContext {
+		return nil, fmt.Errorf("%w: %s", ErrIsContext, name)
+	}
+	out := make(map[string]string, len(ent.Attrs))
+	for k, v := range ent.Attrs {
+		out[k] = v
+	}
+	return out, nil
+}
+
+// MkContext creates a sub-context (like mkdir for names).
+func (d *Directory) MkContext(ctx context.Context, name string) error {
+	ctxAddr, leaf, err := d.resolveContext(ctx, name)
+	if err != nil {
+		return err
+	}
+	child, err := d.newContext(ctx)
+	if err != nil {
+		return err
+	}
+	return d.mutateContext(ctx, ctxAddr, func(entries []Entry) ([]Entry, error) {
+		if _, exists := find(entries, leaf); exists {
+			return nil, fmt.Errorf("kdir: %s already bound", name)
+		}
+		return append(entries, Entry{Name: leaf, IsContext: true, Child: child}), nil
+	})
+}
+
+// List returns the entries of the context named by name ("" or "/" lists
+// the root).
+func (d *Directory) List(ctx context.Context, name string) ([]Entry, error) {
+	addr := d.root
+	parts, err := splitName(name)
+	if err != nil {
+		return nil, err
+	}
+	if len(parts) > 0 {
+		ctxAddr, leaf, err := d.resolveContext(ctx, name)
+		if err != nil {
+			return nil, err
+		}
+		entries, err := d.readContext(ctx, ctxAddr)
+		if err != nil {
+			return nil, err
+		}
+		ent, ok := find(entries, leaf)
+		if !ok {
+			return nil, fmt.Errorf("%w: %s", ErrNotFound, name)
+		}
+		if !ent.IsContext {
+			return nil, fmt.Errorf("%w: %s", ErrNotContext, name)
+		}
+		addr = ent.Child
+	}
+	return d.readContext(ctx, addr)
+}
+
+// Unbind removes a leaf binding or an empty sub-context, unreserving the
+// sub-context's region.
+func (d *Directory) Unbind(ctx context.Context, name string) error {
+	ctxAddr, leaf, err := d.resolveContext(ctx, name)
+	if err != nil {
+		return err
+	}
+	var childToFree khazana.Addr
+	err = d.mutateContext(ctx, ctxAddr, func(entries []Entry) ([]Entry, error) {
+		for i := range entries {
+			if entries[i].Name != leaf {
+				continue
+			}
+			if entries[i].IsContext {
+				sub, err := d.readContext(ctx, entries[i].Child)
+				if err != nil {
+					return nil, err
+				}
+				if len(sub) > 0 {
+					return nil, fmt.Errorf("kdir: context %s not empty", name)
+				}
+				childToFree = entries[i].Child
+			}
+			return append(entries[:i], entries[i+1:]...), nil
+		}
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, name)
+	})
+	if err != nil {
+		return err
+	}
+	if !childToFree.IsZero() {
+		return d.node.Unreserve(ctx, childToFree, d.principal)
+	}
+	return nil
+}
+
+// Search returns the names in context name whose attribute key equals
+// value (a minimal directory query).
+func (d *Directory) Search(ctx context.Context, name, key, value string) ([]string, error) {
+	entries, err := d.List(ctx, name)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range entries {
+		if !e.IsContext && e.Attrs[key] == value {
+			out = append(out, e.Name)
+		}
+	}
+	return out, nil
+}

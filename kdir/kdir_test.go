@@ -1,0 +1,238 @@
+package kdir
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"khazana"
+)
+
+func newDir(t *testing.T, nodes int, attrs khazana.Attrs) (*khazana.Cluster, *Directory) {
+	t.Helper()
+	c, err := khazana.NewCluster(nodes, khazana.WithStoreDir(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	ctx := context.Background()
+	root, err := Create(ctx, c.Node(1), "diradmin", attrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Open(ctx, c.Node(1), root, "diradmin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, d
+}
+
+func TestBindResolve(t *testing.T) {
+	_, d := newDir(t, 1, khazana.Attrs{})
+	ctx := context.Background()
+	attrs := map[string]string{"type": "user", "mail": "alice@example.com"}
+	if err := d.Bind(ctx, "/alice", attrs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.Resolve(ctx, "/alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["mail"] != "alice@example.com" || got["type"] != "user" {
+		t.Fatalf("resolve = %v", got)
+	}
+	// Rebind replaces the attributes.
+	if err := d.Bind(ctx, "/alice", map[string]string{"type": "admin"}); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = d.Resolve(ctx, "/alice")
+	if got["type"] != "admin" || got["mail"] != "" {
+		t.Fatalf("after rebind = %v", got)
+	}
+	// Returned maps are copies.
+	got["type"] = "mutated"
+	again, _ := d.Resolve(ctx, "/alice")
+	if again["type"] != "admin" {
+		t.Fatal("Resolve leaked internal map")
+	}
+}
+
+func TestContextsAndList(t *testing.T) {
+	_, d := newDir(t, 1, khazana.Attrs{})
+	ctx := context.Background()
+	if err := d.MkContext(ctx, "/users"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.MkContext(ctx, "/users/eng"); err != nil {
+		t.Fatal(err)
+	}
+	for i, who := range []string{"alice", "bob", "carol"} {
+		err := d.Bind(ctx, "/users/eng/"+who, map[string]string{"uid": fmt.Sprint(1000 + i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := d.List(ctx, "/users/eng")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 || entries[0].Name != "alice" || entries[2].Name != "carol" {
+		t.Fatalf("list = %+v", entries)
+	}
+	root, err := d.List(ctx, "/")
+	if err != nil || len(root) != 1 || !root[0].IsContext {
+		t.Fatalf("root list = %+v, %v", root, err)
+	}
+	// Resolving a context as a leaf fails; descending through a leaf
+	// fails.
+	if _, err := d.Resolve(ctx, "/users"); !errors.Is(err, ErrIsContext) {
+		t.Fatalf("resolve context: %v", err)
+	}
+	if err := d.Bind(ctx, "/users/eng/alice/sub", nil); !errors.Is(err, ErrNotContext) {
+		t.Fatalf("descend through leaf: %v", err)
+	}
+	if _, err := d.Resolve(ctx, "/users/hr/dave"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing context: %v", err)
+	}
+}
+
+func TestUnbind(t *testing.T) {
+	_, d := newDir(t, 1, khazana.Attrs{})
+	ctx := context.Background()
+	_ = d.MkContext(ctx, "/ou")
+	_ = d.Bind(ctx, "/ou/entry", map[string]string{"k": "v"})
+
+	// Non-empty contexts cannot be unbound.
+	if err := d.Unbind(ctx, "/ou"); err == nil {
+		t.Fatal("unbind of non-empty context should fail")
+	}
+	if err := d.Unbind(ctx, "/ou/entry"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Resolve(ctx, "/ou/entry"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("resolve after unbind: %v", err)
+	}
+	if err := d.Unbind(ctx, "/ou"); err != nil {
+		t.Fatalf("unbind empty context: %v", err)
+	}
+	if err := d.Unbind(ctx, "/never"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("unbind missing: %v", err)
+	}
+}
+
+func TestSearch(t *testing.T) {
+	_, d := newDir(t, 1, khazana.Attrs{})
+	ctx := context.Background()
+	_ = d.Bind(ctx, "/alice", map[string]string{"dept": "eng"})
+	_ = d.Bind(ctx, "/bob", map[string]string{"dept": "sales"})
+	_ = d.Bind(ctx, "/carol", map[string]string{"dept": "eng"})
+	got, err := d.Search(ctx, "/", "dept", "eng")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(got, ",") != "alice,carol" {
+		t.Fatalf("search = %v", got)
+	}
+}
+
+func TestDistributedReplicas(t *testing.T) {
+	// Directory opened on another node sees bindings; with the default
+	// weak consistency, repeated reads are served from the local
+	// replica.
+	c, d1 := newDir(t, 3, khazana.Attrs{})
+	ctx := context.Background()
+	if err := d1.Bind(ctx, "/printer", map[string]string{"loc": "floor-2"}); err != nil {
+		t.Fatal(err)
+	}
+	d3, err := Open(ctx, c.Node(3), d1.Root(), "diradmin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := d3.Resolve(ctx, "/printer")
+	if err != nil || got["loc"] != "floor-2" {
+		t.Fatalf("remote resolve = %v, %v", got, err)
+	}
+	// Update flows back (via the home and gossip).
+	if err := d3.Bind(ctx, "/printer", map[string]string{"loc": "floor-9"}); err != nil {
+		t.Fatal(err)
+	}
+	got, err = d1.Resolve(ctx, "/printer")
+	if err != nil || got["loc"] != "floor-9" {
+		t.Fatalf("home resolve after remote bind = %v, %v", got, err)
+	}
+}
+
+func TestStrictDirectoryConcurrentBinds(t *testing.T) {
+	// A CREW directory serializes binds: concurrent upserts from many
+	// nodes must all survive.
+	c, d1 := newDir(t, 3, khazana.Attrs{Protocol: khazana.CREW})
+	ctx := context.Background()
+	dirs := []*Directory{d1}
+	for i := 2; i <= 3; i++ {
+		di, err := Open(ctx, c.Node(i), d1.Root(), "diradmin")
+		if err != nil {
+			t.Fatal(err)
+		}
+		dirs = append(dirs, di)
+	}
+	done := make(chan error, len(dirs))
+	for i, di := range dirs {
+		go func(i int, di *Directory) {
+			for j := 0; j < 10; j++ {
+				name := fmt.Sprintf("/n%d-e%d", i, j)
+				if err := di.Bind(ctx, name, map[string]string{"i": fmt.Sprint(i)}); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}(i, di)
+	}
+	for range dirs {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := d1.List(ctx, "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 30 {
+		t.Fatalf("entries = %d, want 30 (lost binds under CREW)", len(entries))
+	}
+}
+
+func TestContextCapacity(t *testing.T) {
+	_, d := newDir(t, 1, khazana.Attrs{})
+	ctx := context.Background()
+	big := strings.Repeat("x", 4096)
+	var err error
+	for i := 0; i < 64; i++ {
+		err = d.Bind(ctx, fmt.Sprintf("/big-%02d", i), map[string]string{"blob": big})
+		if err != nil {
+			break
+		}
+	}
+	if !errors.Is(err, ErrContextFull) {
+		t.Fatalf("expected ErrContextFull, got %v", err)
+	}
+}
+
+func TestOpenBadRoot(t *testing.T) {
+	c, d := newDir(t, 1, khazana.Attrs{})
+	ctx := context.Background()
+	// A region that is not a context fails to open.
+	start, err := c.Node(1).Reserve(ctx, ContextSize, khazana.Attrs{}, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Node(1).Allocate(ctx, start, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(ctx, c.Node(1), start, "x"); !errors.Is(err, ErrBadRoot) {
+		t.Fatalf("open non-context: %v", err)
+	}
+	_ = d
+}

@@ -1,0 +1,292 @@
+package kfs
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"khazana"
+	"khazana/internal/enc"
+)
+
+// File is an open file handle. Reads and writes find the Khazana address
+// for the block, lock it in the appropriate mode, and execute the
+// operation (§4.1).
+type File struct {
+	fs        *FS
+	inodeAddr khazana.Addr
+	name      string
+}
+
+// Name returns the path the file was opened with.
+func (f *File) Name() string { return f.name }
+
+// InodeAddr returns the file's inode region address.
+func (f *File) InodeAddr() khazana.Addr { return f.inodeAddr }
+
+// Size returns the file's current size.
+func (f *File) Size(ctx context.Context) (uint64, error) {
+	ino, err := f.fs.readInode(ctx, f.inodeAddr)
+	if err != nil {
+		return 0, err
+	}
+	return ino.Size, nil
+}
+
+// ReadAt reads into p starting at offset off, returning the number of
+// bytes read. Reads past EOF return io.EOF.
+func (f *File) ReadAt(ctx context.Context, p []byte, off uint64) (int, error) {
+	ino, err := f.fs.readInode(ctx, f.inodeAddr)
+	if err != nil {
+		return 0, err
+	}
+	return f.readAtWithInode(ctx, ino, p, off)
+}
+
+func (f *File) readAtWithInode(ctx context.Context, ino *inode, p []byte, off uint64) (int, error) {
+	if ino.isDir() && f.name != "" {
+		return 0, ErrIsDir
+	}
+	if off >= ino.Size {
+		return 0, io.EOF
+	}
+	n := uint64(len(p))
+	if off+n > ino.Size {
+		n = ino.Size - off
+	}
+	var read uint64
+	for read < n {
+		idx := (off + read) / BlockSize
+		blockOff := (off + read) % BlockSize
+		chunk := BlockSize - blockOff
+		if chunk > n-read {
+			chunk = n - read
+		}
+		blockAddr, err := f.blockAddr(ctx, ino, idx, false)
+		if err != nil {
+			return int(read), err
+		}
+		if blockAddr.IsZero() {
+			// Hole: reads as zeroes.
+			for i := uint64(0); i < chunk; i++ {
+				p[read+i] = 0
+			}
+		} else {
+			data, err := f.fs.readRegion(ctx, blockAddr, blockOff, chunk)
+			if err != nil {
+				return int(read), err
+			}
+			copy(p[read:read+chunk], data)
+		}
+		read += chunk
+	}
+	if off+read >= ino.Size && read < uint64(len(p)) {
+		return int(read), io.EOF
+	}
+	return int(read), nil
+}
+
+// WriteAt writes p at offset off, growing the file as needed.
+func (f *File) WriteAt(ctx context.Context, p []byte, off uint64) (int, error) {
+	// The inode region write lock serializes all metadata mutation for
+	// this file cluster-wide.
+	lk, err := f.fs.node.Lock(ctx, khazana.Range{Start: f.inodeAddr, Size: BlockSize}, khazana.LockWrite, f.fs.principal)
+	if err != nil {
+		return 0, err
+	}
+	defer lk.Unlock(ctx)
+	ino, err := f.fs.readInodeLocked(lk, f.inodeAddr)
+	if err != nil {
+		return 0, err
+	}
+	if err := f.writeAtWithInode(ctx, ino, p, off); err != nil {
+		return 0, err
+	}
+	if err := f.fs.writeInodeLocked(lk, f.inodeAddr, ino); err != nil {
+		return 0, err
+	}
+	return len(p), nil
+}
+
+// writeAtWithInode writes data and updates ino in memory; the caller
+// persists the inode.
+func (f *File) writeAtWithInode(ctx context.Context, ino *inode, p []byte, off uint64) error {
+	end := off + uint64(len(p))
+	if end > MaxFileSize {
+		return ErrFileTooLarge
+	}
+	var written uint64
+	n := uint64(len(p))
+	for written < n {
+		idx := (off + written) / BlockSize
+		blockOff := (off + written) % BlockSize
+		chunk := BlockSize - blockOff
+		if chunk > n-written {
+			chunk = n - written
+		}
+		blockAddr, err := f.blockAddr(ctx, ino, idx, true)
+		if err != nil {
+			return err
+		}
+		if err := f.fs.writeRegion(ctx, blockAddr, blockOff, p[written:written+chunk]); err != nil {
+			return err
+		}
+		written += chunk
+	}
+	if end > ino.Size {
+		ino.Size = end
+	}
+	return nil
+}
+
+// Truncate resizes the file, deallocating block regions no longer needed
+// (§4.1).
+func (f *File) Truncate(ctx context.Context, size uint64) error {
+	lk, err := f.fs.node.Lock(ctx, khazana.Range{Start: f.inodeAddr, Size: BlockSize}, khazana.LockWrite, f.fs.principal)
+	if err != nil {
+		return err
+	}
+	defer lk.Unlock(ctx)
+	ino, err := f.fs.readInodeLocked(lk, f.inodeAddr)
+	if err != nil {
+		return err
+	}
+	if err := f.truncateWithInode(ctx, ino, size); err != nil {
+		return err
+	}
+	return f.fs.writeInodeLocked(lk, f.inodeAddr, ino)
+}
+
+func (f *File) truncateWithInode(ctx context.Context, ino *inode, size uint64) error {
+	if size > MaxFileSize {
+		return ErrFileTooLarge
+	}
+	keep := (size + BlockSize - 1) / BlockSize
+	total := (ino.Size + BlockSize - 1) / BlockSize
+	for idx := keep; idx < total; idx++ {
+		addr, err := f.blockAddr(ctx, ino, idx, false)
+		if err != nil {
+			return err
+		}
+		if addr.IsZero() {
+			continue
+		}
+		if err := f.fs.node.Unreserve(ctx, addr, f.fs.principal); err != nil {
+			return err
+		}
+		if err := f.setBlockAddr(ctx, ino, idx, khazana.Addr{}); err != nil {
+			return err
+		}
+	}
+	// Drop the indirect block itself when no longer needed.
+	if keep <= DirectBlocks && !ino.Indirect.IsZero() {
+		if err := f.fs.node.Unreserve(ctx, ino.Indirect, f.fs.principal); err != nil {
+			return err
+		}
+		ino.Indirect = khazana.Addr{}
+	}
+	ino.Size = size
+	return nil
+}
+
+// blockAddr resolves the region address of block idx, allocating it (and
+// the indirect block) when create is set.
+func (f *File) blockAddr(ctx context.Context, ino *inode, idx uint64, create bool) (khazana.Addr, error) {
+	if idx < DirectBlocks {
+		if ino.Direct[idx].IsZero() && create {
+			addr, err := f.fs.allocRegion(ctx, BlockSize)
+			if err != nil {
+				return khazana.Addr{}, err
+			}
+			ino.Direct[idx] = addr
+		}
+		return ino.Direct[idx], nil
+	}
+	iidx := idx - DirectBlocks
+	if iidx >= IndirectBlocks {
+		return khazana.Addr{}, ErrFileTooLarge
+	}
+	if ino.Indirect.IsZero() {
+		if !create {
+			return khazana.Addr{}, nil
+		}
+		addr, err := f.fs.allocRegion(ctx, BlockSize)
+		if err != nil {
+			return khazana.Addr{}, err
+		}
+		ino.Indirect = addr
+	}
+	// Read the 16-byte slot for this index from the indirect block.
+	slotOff := iidx * 16
+	buf, err := f.fs.readRegion(ctx, ino.Indirect, slotOff, 16)
+	if err != nil {
+		return khazana.Addr{}, err
+	}
+	d := enc.NewDecoder(buf)
+	cur := d.Addr()
+	if cur.IsZero() && create {
+		addr, err := f.fs.allocRegion(ctx, BlockSize)
+		if err != nil {
+			return khazana.Addr{}, err
+		}
+		e := enc.NewEncoder(16)
+		e.Addr(addr)
+		if err := f.fs.writeRegion(ctx, ino.Indirect, slotOff, e.Bytes()); err != nil {
+			return khazana.Addr{}, err
+		}
+		return addr, nil
+	}
+	return cur, nil
+}
+
+// setBlockAddr clears or sets a block pointer (used by truncate).
+func (f *File) setBlockAddr(ctx context.Context, ino *inode, idx uint64, addr khazana.Addr) error {
+	if idx < DirectBlocks {
+		ino.Direct[idx] = addr
+		return nil
+	}
+	iidx := idx - DirectBlocks
+	if iidx >= IndirectBlocks || ino.Indirect.IsZero() {
+		return fmt.Errorf("kfs: bad indirect index %d", idx)
+	}
+	e := enc.NewEncoder(16)
+	e.Addr(addr)
+	return f.fs.writeRegion(ctx, ino.Indirect, iidx*16, e.Bytes())
+}
+
+// Append writes p at the end of the file.
+func (f *File) Append(ctx context.Context, p []byte) (int, error) {
+	lk, err := f.fs.node.Lock(ctx, khazana.Range{Start: f.inodeAddr, Size: BlockSize}, khazana.LockWrite, f.fs.principal)
+	if err != nil {
+		return 0, err
+	}
+	defer lk.Unlock(ctx)
+	ino, err := f.fs.readInodeLocked(lk, f.inodeAddr)
+	if err != nil {
+		return 0, err
+	}
+	if err := f.writeAtWithInode(ctx, ino, p, ino.Size); err != nil {
+		return 0, err
+	}
+	if err := f.fs.writeInodeLocked(lk, f.inodeAddr, ino); err != nil {
+		return 0, err
+	}
+	return len(p), nil
+}
+
+// ReadAll reads the whole file.
+func (f *File) ReadAll(ctx context.Context) ([]byte, error) {
+	ino, err := f.fs.readInode(ctx, f.inodeAddr)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, ino.Size)
+	if ino.Size == 0 {
+		return buf, nil
+	}
+	_, err = f.readAtWithInode(ctx, ino, buf, 0)
+	if err == io.EOF {
+		err = nil
+	}
+	return buf, err
+}

@@ -1,0 +1,568 @@
+// Package kfs is a wide-area distributed file system built on Khazana,
+// reproducing §4.1 of the paper: "The filesystem treats the entire Khazana
+// space as a single disk ... At the time of file system creation, the
+// creator allocates a superblock and an inode for the root of the
+// filesystem. Mounting this filesystem only requires the Khazana address
+// of the superblock."
+//
+// Design points taken directly from the paper:
+//
+//   - Each inode is allocated as a region of its own.
+//   - Each 4 KB file block is allocated into a separate region.
+//   - Parameters at file-creation time select replica counts, consistency
+//     level, and access modes per file.
+//   - The same file system runs on a stand-alone node or distributed,
+//     without kfs itself being aware of the difference: Khazana handles
+//     consistency, replication, and location of the individual regions.
+//   - New instances (mounts) can be started on any node without changes
+//     to existing instances, enabling external load balancing.
+package kfs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"khazana"
+	"khazana/internal/enc"
+)
+
+// Geometry and format constants.
+const (
+	// BlockSize is the file block size; each block is its own region
+	// (§4.1).
+	BlockSize = 4096
+	// DirectBlocks is the number of block addresses stored directly in
+	// an inode.
+	DirectBlocks = 128
+	// IndirectBlocks is the number of block addresses in the single
+	// indirect block.
+	IndirectBlocks = BlockSize / 16
+	// MaxFileSize is the largest file this layout supports.
+	MaxFileSize = (DirectBlocks + IndirectBlocks) * BlockSize
+
+	superMagic = 0x4B465331 // "KFS1"
+	inodeMagic = 0x4B464E44 // "KFND"
+
+	// ModeDir marks directory inodes.
+	ModeDir = 1 << 16
+)
+
+// Errors returned by the file system.
+var (
+	// ErrNotExist reports a missing path component.
+	ErrNotExist = errors.New("kfs: file does not exist")
+	// ErrExist reports a create over an existing name.
+	ErrExist = errors.New("kfs: file already exists")
+	// ErrNotDir reports a non-directory used as a directory.
+	ErrNotDir = errors.New("kfs: not a directory")
+	// ErrIsDir reports a directory used as a file.
+	ErrIsDir = errors.New("kfs: is a directory")
+	// ErrNotEmpty reports removal of a non-empty directory.
+	ErrNotEmpty = errors.New("kfs: directory not empty")
+	// ErrFileTooLarge reports growth past MaxFileSize.
+	ErrFileTooLarge = errors.New("kfs: file too large")
+	// ErrBadSuperblock reports a mount of something that is not a kfs
+	// superblock.
+	ErrBadSuperblock = errors.New("kfs: bad superblock")
+)
+
+// FS is one mounted instance of the file system. Multiple instances on
+// different nodes share state purely through Khazana.
+type FS struct {
+	node      *khazana.Node
+	principal khazana.Principal
+	super     khazana.Addr
+	root      khazana.Addr
+	// attrs are the default region attributes for new inodes and
+	// blocks; per-file attributes can override them at creation time.
+	attrs khazana.Attrs
+}
+
+// inode is the on-disk inode layout, one region per inode (§4.1).
+type inode struct {
+	Mode     uint32
+	Size     uint64
+	Direct   [DirectBlocks]khazana.Addr
+	Indirect khazana.Addr
+}
+
+func (ino *inode) isDir() bool { return ino.Mode&ModeDir != 0 }
+
+// DirEntry is one directory entry.
+type DirEntry struct {
+	Name  string
+	Inode khazana.Addr
+	IsDir bool
+}
+
+// FileInfo describes a file or directory.
+type FileInfo struct {
+	Name  string
+	Size  uint64
+	IsDir bool
+	Inode khazana.Addr
+}
+
+// Mkfs creates a new file system: a superblock region and an empty root
+// directory inode. It returns the superblock address, the only thing a
+// mount needs (§4.1).
+func Mkfs(ctx context.Context, node *khazana.Node, principal khazana.Principal, attrs khazana.Attrs) (khazana.Addr, error) {
+	fs := &FS{node: node, principal: principal, attrs: normalizeAttrs(attrs)}
+	rootInode, err := fs.allocRegion(ctx, BlockSize)
+	if err != nil {
+		return khazana.Addr{}, fmt.Errorf("kfs: alloc root inode: %w", err)
+	}
+	if err := fs.writeInode(ctx, rootInode, &inode{Mode: ModeDir}); err != nil {
+		return khazana.Addr{}, err
+	}
+	super, err := fs.allocRegion(ctx, BlockSize)
+	if err != nil {
+		return khazana.Addr{}, fmt.Errorf("kfs: alloc superblock: %w", err)
+	}
+	e := enc.NewEncoder(64)
+	e.U32(superMagic)
+	e.Addr(rootInode)
+	if err := fs.writeRegion(ctx, super, 0, e.Bytes()); err != nil {
+		return khazana.Addr{}, err
+	}
+	return super, nil
+}
+
+// Mount opens an existing file system by superblock address on any node.
+func Mount(ctx context.Context, node *khazana.Node, super khazana.Addr, principal khazana.Principal) (*FS, error) {
+	fs := &FS{node: node, principal: principal, super: super, attrs: normalizeAttrs(khazana.Attrs{})}
+	buf, err := fs.readRegion(ctx, super, 0, 4+16)
+	if err != nil {
+		return nil, fmt.Errorf("kfs: read superblock: %w", err)
+	}
+	d := enc.NewDecoder(buf)
+	if magic := d.U32(); magic != superMagic {
+		return nil, fmt.Errorf("%w: magic %#x", ErrBadSuperblock, magic)
+	}
+	fs.root = d.Addr()
+	return fs, nil
+}
+
+// normalizeAttrs applies kfs defaults (4 KB pages to match BlockSize).
+func normalizeAttrs(a khazana.Attrs) khazana.Attrs {
+	a.PageSize = BlockSize
+	return a.Normalize()
+}
+
+// Root returns the root directory inode address.
+func (fs *FS) Root() khazana.Addr { return fs.root }
+
+// Super returns the superblock address.
+func (fs *FS) Super() khazana.Addr { return fs.super }
+
+// --- region helpers ---------------------------------------------------------
+
+// allocRegion reserves and allocates a fresh region.
+func (fs *FS) allocRegion(ctx context.Context, size uint64) (khazana.Addr, error) {
+	return fs.allocRegionAttrs(ctx, size, fs.attrs)
+}
+
+func (fs *FS) allocRegionAttrs(ctx context.Context, size uint64, attrs khazana.Attrs) (khazana.Addr, error) {
+	start, err := fs.node.Reserve(ctx, size, attrs, fs.principal)
+	if err != nil {
+		return khazana.Addr{}, err
+	}
+	if err := fs.node.Allocate(ctx, start, fs.principal); err != nil {
+		return khazana.Addr{}, err
+	}
+	return start, nil
+}
+
+// readRegion reads [off, off+n) of a region under a read lock.
+func (fs *FS) readRegion(ctx context.Context, start khazana.Addr, off, n uint64) ([]byte, error) {
+	lk, err := fs.node.Lock(ctx, khazana.Range{Start: start.MustAdd(off), Size: n}, khazana.LockRead, fs.principal)
+	if err != nil {
+		return nil, err
+	}
+	defer lk.Unlock(ctx)
+	return lk.Read(start.MustAdd(off), n)
+}
+
+// writeRegion writes data at off of a region under a write lock.
+func (fs *FS) writeRegion(ctx context.Context, start khazana.Addr, off uint64, data []byte) error {
+	lk, err := fs.node.Lock(ctx, khazana.Range{Start: start.MustAdd(off), Size: uint64(len(data))}, khazana.LockWrite, fs.principal)
+	if err != nil {
+		return err
+	}
+	defer lk.Unlock(ctx)
+	return lk.Write(start.MustAdd(off), data)
+}
+
+// --- inode serialization -------------------------------------------------
+
+func encodeInode(ino *inode) []byte {
+	e := enc.NewEncoder(BlockSize)
+	e.U32(inodeMagic)
+	e.U32(ino.Mode)
+	e.U64(ino.Size)
+	for _, b := range ino.Direct {
+		e.Addr(b)
+	}
+	e.Addr(ino.Indirect)
+	return e.Bytes()
+}
+
+func decodeInode(buf []byte) (*inode, error) {
+	d := enc.NewDecoder(buf)
+	if magic := d.U32(); magic != inodeMagic {
+		return nil, fmt.Errorf("kfs: bad inode magic %#x", magic)
+	}
+	ino := &inode{}
+	ino.Mode = d.U32()
+	ino.Size = d.U64()
+	for i := range ino.Direct {
+		ino.Direct[i] = d.Addr()
+	}
+	ino.Indirect = d.Addr()
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	return ino, nil
+}
+
+const inodeEncodedLen = 4 + 4 + 8 + DirectBlocks*16 + 16
+
+func (fs *FS) readInode(ctx context.Context, addr khazana.Addr) (*inode, error) {
+	buf, err := fs.readRegion(ctx, addr, 0, inodeEncodedLen)
+	if err != nil {
+		return nil, err
+	}
+	return decodeInode(buf)
+}
+
+func (fs *FS) writeInode(ctx context.Context, addr khazana.Addr, ino *inode) error {
+	return fs.writeRegion(ctx, addr, 0, encodeInode(ino))
+}
+
+// --- path resolution ----------------------------------------------------------
+
+// splitPath normalizes and splits a slash path.
+func splitPath(path string) ([]string, error) {
+	path = strings.Trim(path, "/")
+	if path == "" {
+		return nil, nil
+	}
+	parts := strings.Split(path, "/")
+	for _, p := range parts {
+		if p == "" || p == "." || p == ".." {
+			return nil, fmt.Errorf("kfs: invalid path component %q", p)
+		}
+		if len(p) > 255 {
+			return nil, fmt.Errorf("kfs: name too long: %q", p)
+		}
+	}
+	return parts, nil
+}
+
+// lookupPath resolves a path to its inode address, "a recursive descent of
+// the filesystem directory tree from the root" (§4.1).
+func (fs *FS) lookupPath(ctx context.Context, path string) (khazana.Addr, *inode, error) {
+	parts, err := splitPath(path)
+	if err != nil {
+		return khazana.Addr{}, nil, err
+	}
+	cur := fs.root
+	ino, err := fs.readInode(ctx, cur)
+	if err != nil {
+		return khazana.Addr{}, nil, err
+	}
+	for _, name := range parts {
+		if !ino.isDir() {
+			return khazana.Addr{}, nil, ErrNotDir
+		}
+		entries, err := fs.readDirEntries(ctx, cur, ino)
+		if err != nil {
+			return khazana.Addr{}, nil, err
+		}
+		next, ok := findEntry(entries, name)
+		if !ok {
+			return khazana.Addr{}, nil, fmt.Errorf("%w: %s", ErrNotExist, path)
+		}
+		cur = next.Inode
+		if ino, err = fs.readInode(ctx, cur); err != nil {
+			return khazana.Addr{}, nil, err
+		}
+	}
+	return cur, ino, nil
+}
+
+// lookupParent resolves the parent directory of path, returning its inode
+// address and the final name component.
+func (fs *FS) lookupParent(ctx context.Context, path string) (khazana.Addr, string, error) {
+	parts, err := splitPath(path)
+	if err != nil {
+		return khazana.Addr{}, "", err
+	}
+	if len(parts) == 0 {
+		return khazana.Addr{}, "", errors.New("kfs: root has no parent")
+	}
+	dirPath := "/" + strings.Join(parts[:len(parts)-1], "/")
+	addr, ino, err := fs.lookupPath(ctx, dirPath)
+	if err != nil {
+		return khazana.Addr{}, "", err
+	}
+	if !ino.isDir() {
+		return khazana.Addr{}, "", ErrNotDir
+	}
+	return addr, parts[len(parts)-1], nil
+}
+
+func findEntry(entries []DirEntry, name string) (DirEntry, bool) {
+	for _, e := range entries {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return DirEntry{}, false
+}
+
+// --- directory contents -----------------------------------------------------
+
+// Directory contents are the directory file's data: a count-prefixed list
+// of entries.
+func encodeDirEntries(entries []DirEntry) []byte {
+	e := enc.NewEncoder(256)
+	e.U32(uint32(len(entries)))
+	for _, ent := range entries {
+		e.String(ent.Name)
+		e.Addr(ent.Inode)
+		e.Bool(ent.IsDir)
+	}
+	return e.Bytes()
+}
+
+func decodeDirEntries(buf []byte) ([]DirEntry, error) {
+	d := enc.NewDecoder(buf)
+	count := d.U32()
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	entries := make([]DirEntry, 0, count)
+	for i := uint32(0); i < count; i++ {
+		ent := DirEntry{Name: d.String()}
+		ent.Inode = d.Addr()
+		ent.IsDir = d.Bool()
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		entries = append(entries, ent)
+	}
+	return entries, nil
+}
+
+// readDirEntries reads a directory's entry list through its file data.
+func (fs *FS) readDirEntries(ctx context.Context, addr khazana.Addr, ino *inode) ([]DirEntry, error) {
+	if ino.Size == 0 {
+		return nil, nil
+	}
+	f := &File{fs: fs, inodeAddr: addr}
+	buf := make([]byte, ino.Size)
+	if _, err := f.readAtWithInode(ctx, ino, buf, 0); err != nil {
+		return nil, err
+	}
+	return decodeDirEntries(buf)
+}
+
+// writeDirEntries replaces a directory's entry list and updates ino.Size
+// in memory. The caller holds the write lock on the directory inode region
+// and persists the inode through that lock afterwards (writing it here
+// would self-deadlock on the already-held lock).
+func (fs *FS) writeDirEntries(ctx context.Context, addr khazana.Addr, ino *inode, entries []DirEntry) error {
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Name < entries[j].Name })
+	buf := encodeDirEntries(entries)
+	f := &File{fs: fs, inodeAddr: addr}
+	if err := f.writeAtWithInode(ctx, ino, buf, 0); err != nil {
+		return err
+	}
+	ino.Size = uint64(len(buf))
+	return nil
+}
+
+// --- namespace operations --------------------------------------------------------
+
+// Create creates a new file, with per-file region attributes selected at
+// creation time (§4.1: "parameters specified at file creation time may be
+// used to specify the number of replicas required, consistency level
+// required, access modes permitted, and so forth").
+func (fs *FS) Create(ctx context.Context, path string, attrs ...khazana.Attrs) (*File, error) {
+	a := fs.attrs
+	if len(attrs) > 0 {
+		a = normalizeAttrs(attrs[0])
+	}
+	parent, name, err := fs.lookupParent(ctx, path)
+	if err != nil {
+		return nil, err
+	}
+	if err := fs.addEntry(ctx, parent, name, false, a); err != nil {
+		return nil, err
+	}
+	return fs.Open(ctx, path)
+}
+
+// Mkdir creates a directory.
+func (fs *FS) Mkdir(ctx context.Context, path string) error {
+	parent, name, err := fs.lookupParent(ctx, path)
+	if err != nil {
+		return err
+	}
+	return fs.addEntry(ctx, parent, name, true, fs.attrs)
+}
+
+// addEntry allocates an inode and links it into the parent directory.
+func (fs *FS) addEntry(ctx context.Context, parent khazana.Addr, name string, dir bool, attrs khazana.Attrs) error {
+	// Serialize directory mutations with a write lock on the parent
+	// inode region.
+	lk, err := fs.node.Lock(ctx, khazana.Range{Start: parent, Size: BlockSize}, khazana.LockWrite, fs.principal)
+	if err != nil {
+		return err
+	}
+	defer lk.Unlock(ctx)
+
+	pino, err := fs.readInodeLocked(lk, parent)
+	if err != nil {
+		return err
+	}
+	entries, err := fs.readDirEntries(ctx, parent, pino)
+	if err != nil {
+		return err
+	}
+	if _, exists := findEntry(entries, name); exists {
+		return fmt.Errorf("%w: %s", ErrExist, name)
+	}
+	inodeAddr, err := fs.allocRegionAttrs(ctx, BlockSize, attrs)
+	if err != nil {
+		return err
+	}
+	var mode uint32
+	if dir {
+		mode = ModeDir
+	}
+	if err := fs.writeInode(ctx, inodeAddr, &inode{Mode: mode}); err != nil {
+		return err
+	}
+	entries = append(entries, DirEntry{Name: name, Inode: inodeAddr, IsDir: dir})
+	if err := fs.writeDirEntries(ctx, parent, pino, entries); err != nil {
+		return err
+	}
+	return fs.writeInodeLocked(lk, parent, pino)
+}
+
+// readInodeLocked reads an inode through an already-held lock.
+func (fs *FS) readInodeLocked(lk *khazana.Lock, addr khazana.Addr) (*inode, error) {
+	buf, err := lk.Read(addr, inodeEncodedLen)
+	if err != nil {
+		return nil, err
+	}
+	return decodeInode(buf)
+}
+
+func (fs *FS) writeInodeLocked(lk *khazana.Lock, addr khazana.Addr, ino *inode) error {
+	return lk.Write(addr, encodeInode(ino))
+}
+
+// Open opens an existing file (§4.1: "opening a file is as simple as
+// finding the inode address for the file by a recursive descent ... and
+// caching that address").
+func (fs *FS) Open(ctx context.Context, path string) (*File, error) {
+	addr, ino, err := fs.lookupPath(ctx, path)
+	if err != nil {
+		return nil, err
+	}
+	if ino.isDir() {
+		return nil, ErrIsDir
+	}
+	return &File{fs: fs, inodeAddr: addr, name: path}, nil
+}
+
+// ReadDir lists a directory.
+func (fs *FS) ReadDir(ctx context.Context, path string) ([]DirEntry, error) {
+	addr, ino, err := fs.lookupPath(ctx, path)
+	if err != nil {
+		return nil, err
+	}
+	if !ino.isDir() {
+		return nil, ErrNotDir
+	}
+	return fs.readDirEntries(ctx, addr, ino)
+}
+
+// Stat describes a path.
+func (fs *FS) Stat(ctx context.Context, path string) (FileInfo, error) {
+	addr, ino, err := fs.lookupPath(ctx, path)
+	if err != nil {
+		return FileInfo{}, err
+	}
+	parts, _ := splitPath(path)
+	name := "/"
+	if len(parts) > 0 {
+		name = parts[len(parts)-1]
+	}
+	return FileInfo{Name: name, Size: ino.Size, IsDir: ino.isDir(), Inode: addr}, nil
+}
+
+// Remove unlinks a file or empty directory, unreserving its regions
+// (§4.1: "to truncate a file, the system deallocates regions no longer
+// needed").
+func (fs *FS) Remove(ctx context.Context, path string) error {
+	parent, name, err := fs.lookupParent(ctx, path)
+	if err != nil {
+		return err
+	}
+	lk, err := fs.node.Lock(ctx, khazana.Range{Start: parent, Size: BlockSize}, khazana.LockWrite, fs.principal)
+	if err != nil {
+		return err
+	}
+	defer lk.Unlock(ctx)
+
+	pino, err := fs.readInodeLocked(lk, parent)
+	if err != nil {
+		return err
+	}
+	entries, err := fs.readDirEntries(ctx, parent, pino)
+	if err != nil {
+		return err
+	}
+	target, ok := findEntry(entries, name)
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotExist, path)
+	}
+	ino, err := fs.readInode(ctx, target.Inode)
+	if err != nil {
+		return err
+	}
+	if ino.isDir() && ino.Size > 0 {
+		sub, err := fs.readDirEntries(ctx, target.Inode, ino)
+		if err != nil {
+			return err
+		}
+		if len(sub) > 0 {
+			return ErrNotEmpty
+		}
+	}
+	// Release the file's block regions and inode region.
+	f := &File{fs: fs, inodeAddr: target.Inode}
+	if err := f.truncateWithInode(ctx, ino, 0); err != nil {
+		return err
+	}
+	if err := fs.node.Unreserve(ctx, target.Inode, fs.principal); err != nil {
+		return err
+	}
+	out := entries[:0]
+	for _, e := range entries {
+		if e.Name != name {
+			out = append(out, e)
+		}
+	}
+	if err := fs.writeDirEntries(ctx, parent, pino, out); err != nil {
+		return err
+	}
+	return fs.writeInodeLocked(lk, parent, pino)
+}

@@ -1,0 +1,194 @@
+package kfs
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+
+	"khazana"
+)
+
+func TestManyFilesManyMounts(t *testing.T) {
+	c, fs1 := newFS(t, 3)
+	ctx := context.Background()
+	mounts := []*FS{fs1}
+	for i := 2; i <= 3; i++ {
+		m, err := Mount(ctx, c.Node(i), fs1.Super(), "fsadmin")
+		if err != nil {
+			t.Fatal(err)
+		}
+		mounts = append(mounts, m)
+	}
+	// Each mount creates files in its own directory concurrently.
+	var wg sync.WaitGroup
+	errs := make([]error, len(mounts))
+	for i, m := range mounts {
+		wg.Add(1)
+		go func(i int, m *FS) {
+			defer wg.Done()
+			dir := fmt.Sprintf("/m%d", i)
+			if err := m.Mkdir(ctx, dir); err != nil {
+				errs[i] = err
+				return
+			}
+			for j := 0; j < 8; j++ {
+				f, err := m.Create(ctx, fmt.Sprintf("%s/f%d", dir, j))
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				payload := []byte(fmt.Sprintf("mount %d file %d", i, j))
+				if _, err := f.WriteAt(ctx, payload, 0); err != nil {
+					errs[i] = err
+					return
+				}
+			}
+		}(i, m)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("mount %d: %v", i, err)
+		}
+	}
+	// Every mount sees everything.
+	for vi, viewer := range mounts {
+		root, err := viewer.ReadDir(ctx, "/")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(root) != 3 {
+			t.Fatalf("mount %d sees %d root entries", vi, len(root))
+		}
+		for i := range mounts {
+			for j := 0; j < 8; j++ {
+				f, err := viewer.Open(ctx, fmt.Sprintf("/m%d/f%d", i, j))
+				if err != nil {
+					t.Fatalf("mount %d open m%d/f%d: %v", vi, i, j, err)
+				}
+				got, err := f.ReadAll(ctx)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := fmt.Sprintf("mount %d file %d", i, j)
+				if string(got) != want {
+					t.Fatalf("mount %d read %q, want %q", vi, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestDeepDirectoryTree(t *testing.T) {
+	_, fs := newFS(t, 1)
+	ctx := context.Background()
+	path := ""
+	for depth := 0; depth < 12; depth++ {
+		path += fmt.Sprintf("/d%d", depth)
+		if err := fs.Mkdir(ctx, path); err != nil {
+			t.Fatalf("depth %d: %v", depth, err)
+		}
+	}
+	leaf := path + "/leaf.txt"
+	f, err := fs.Create(ctx, leaf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt(ctx, []byte("deep"), 0); err != nil {
+		t.Fatal(err)
+	}
+	info, err := fs.Stat(ctx, leaf)
+	if err != nil || info.Size != 4 {
+		t.Fatalf("stat deep leaf = %+v, %v", info, err)
+	}
+}
+
+func TestReadModifyWriteCycles(t *testing.T) {
+	c, fs1 := newFS(t, 2)
+	ctx := context.Background()
+	fs2, err := Mount(ctx, c.Node(2), fs1.Super(), "fsadmin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs1.Create(ctx, "/ledger"); err != nil {
+		t.Fatal(err)
+	}
+	f1, _ := fs1.Open(ctx, "/ledger")
+	f2, _ := fs2.Open(ctx, "/ledger")
+
+	// Alternate read-modify-write between the two mounts; each round
+	// must observe the other's latest write (CREW inode + block locks).
+	data := make([]byte, 8)
+	files := []*File{f1, f2}
+	for round := 0; round < 12; round++ {
+		f := files[round%2]
+		n, err := f.ReadAt(ctx, data, 0)
+		if err != nil && err != io.EOF {
+			t.Fatal(err)
+		}
+		if round > 0 && n != 8 {
+			t.Fatalf("round %d read %d bytes", round, n)
+		}
+		if round > 0 && int(data[0]) != round-1 {
+			t.Fatalf("round %d observed %d, want %d", round, data[0], round-1)
+		}
+		out := bytes.Repeat([]byte{byte(round)}, 8)
+		if _, err := f.WriteAt(ctx, out, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestFilesystemSurvivesRestartOfHome(t *testing.T) {
+	// kfs does nothing special for durability — persistence falls out of
+	// Khazana's persistent store. Close and restart the entire (single
+	// node) cluster directory... here we exercise the path through the
+	// public API: write, Close the cluster node, reopen over the same
+	// store dir.
+	dir := t.TempDir()
+	c, err := khazana.NewCluster(1, khazana.WithStoreDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	super, err := Mkfs(ctx, c.Node(1), "fsadmin", khazana.Attrs{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := Mount(ctx, c.Node(1), super, "fsadmin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := fs.Create(ctx, "/persistent.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt(ctx, []byte("outlives the daemon"), 0); err != nil {
+		t.Fatal(err)
+	}
+	c.Close() // clean shutdown persists everything
+
+	c2, err := khazana.NewCluster(1, khazana.WithStoreDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	fs2, err := Mount(ctx, c2.Node(1), super, "fsadmin")
+	if err != nil {
+		t.Fatalf("mount after restart: %v", err)
+	}
+	g, err := fs2.Open(ctx, "/persistent.txt")
+	if err != nil {
+		t.Fatalf("open after restart: %v", err)
+	}
+	got, err := g.ReadAll(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "outlives the daemon" {
+		t.Fatalf("after restart read %q", got)
+	}
+}

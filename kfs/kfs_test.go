@@ -1,0 +1,395 @@
+package kfs
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"testing"
+
+	"khazana"
+)
+
+func newFS(t *testing.T, nodes int) (*khazana.Cluster, *FS) {
+	t.Helper()
+	c, err := khazana.NewCluster(nodes, khazana.WithStoreDir(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	ctx := context.Background()
+	super, err := Mkfs(ctx, c.Node(1), "fsadmin", khazana.Attrs{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := Mount(ctx, c.Node(1), super, "fsadmin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, fs
+}
+
+func TestCreateWriteReadFile(t *testing.T) {
+	_, fs := newFS(t, 1)
+	ctx := context.Background()
+
+	f, err := fs.Create(ctx, "/hello.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("hello, khazana filesystem")
+	if _, err := f.WriteAt(ctx, msg, 0); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := f.ReadAt(ctx, got, 0); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("read %q", got)
+	}
+	size, err := f.Size(ctx)
+	if err != nil || size != uint64(len(msg)) {
+		t.Fatalf("size = %d, %v", size, err)
+	}
+}
+
+func TestDirectoryTree(t *testing.T) {
+	_, fs := newFS(t, 1)
+	ctx := context.Background()
+
+	if err := fs.Mkdir(ctx, "/a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Mkdir(ctx, "/a/b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Create(ctx, "/a/b/f1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Create(ctx, "/a/f2"); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := fs.ReadDir(ctx, "/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 || entries[0].Name != "b" || !entries[0].IsDir || entries[1].Name != "f2" {
+		t.Fatalf("entries = %+v", entries)
+	}
+	info, err := fs.Stat(ctx, "/a/b")
+	if err != nil || !info.IsDir {
+		t.Fatalf("stat = %+v, %v", info, err)
+	}
+	info, err = fs.Stat(ctx, "/a/b/f1")
+	if err != nil || info.IsDir {
+		t.Fatalf("stat = %+v, %v", info, err)
+	}
+	// Root listing.
+	entries, err = fs.ReadDir(ctx, "/")
+	if err != nil || len(entries) != 1 || entries[0].Name != "a" {
+		t.Fatalf("root = %+v, %v", entries, err)
+	}
+}
+
+func TestPathErrors(t *testing.T) {
+	_, fs := newFS(t, 1)
+	ctx := context.Background()
+	if _, err := fs.Open(ctx, "/missing"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("open missing: %v", err)
+	}
+	if _, err := fs.Create(ctx, "/no/such/dir/f"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("create in missing dir: %v", err)
+	}
+	if _, err := fs.Create(ctx, "/f"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Create(ctx, "/f"); !errors.Is(err, ErrExist) {
+		t.Fatalf("duplicate create: %v", err)
+	}
+	if _, err := fs.Open(ctx, "/f/x"); !errors.Is(err, ErrNotDir) {
+		t.Fatalf("descend through file: %v", err)
+	}
+	if err := fs.Mkdir(ctx, "/d"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Open(ctx, "/d"); !errors.Is(err, ErrIsDir) {
+		t.Fatalf("open dir as file: %v", err)
+	}
+	if _, err := fs.Open(ctx, "/../etc"); err == nil {
+		t.Fatal("dot-dot path accepted")
+	}
+}
+
+func TestRemove(t *testing.T) {
+	_, fs := newFS(t, 1)
+	ctx := context.Background()
+	f, _ := fs.Create(ctx, "/doomed")
+	_, _ = f.WriteAt(ctx, bytes.Repeat([]byte("x"), 3*BlockSize), 0)
+	if err := fs.Remove(ctx, "/doomed"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Open(ctx, "/doomed"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("open removed: %v", err)
+	}
+	// Directory removal: only when empty.
+	_ = fs.Mkdir(ctx, "/dir")
+	_, _ = fs.Create(ctx, "/dir/child")
+	if err := fs.Remove(ctx, "/dir"); !errors.Is(err, ErrNotEmpty) {
+		t.Fatalf("remove non-empty: %v", err)
+	}
+	if err := fs.Remove(ctx, "/dir/child"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove(ctx, "/dir"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove(ctx, "/never"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("remove missing: %v", err)
+	}
+}
+
+func TestLargeFileIndirectBlocks(t *testing.T) {
+	_, fs := newFS(t, 1)
+	ctx := context.Background()
+	f, err := fs.Create(ctx, "/big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Write past the direct blocks into indirect territory.
+	data := make([]byte, (DirectBlocks+3)*BlockSize)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	if _, err := f.WriteAt(ctx, data, 0); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if _, err := f.ReadAt(ctx, got, 0); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("indirect block data corrupted")
+	}
+	// Sparse read of a middle slice.
+	mid := make([]byte, 1000)
+	if _, err := f.ReadAt(ctx, mid, uint64(DirectBlocks)*BlockSize+500); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(mid, data[uint64(DirectBlocks)*BlockSize+500:uint64(DirectBlocks)*BlockSize+1500]) {
+		t.Fatal("mid-file read corrupted")
+	}
+}
+
+func TestFileSizeLimit(t *testing.T) {
+	_, fs := newFS(t, 1)
+	ctx := context.Background()
+	f, _ := fs.Create(ctx, "/limit")
+	if _, err := f.WriteAt(ctx, []byte("x"), MaxFileSize); !errors.Is(err, ErrFileTooLarge) {
+		t.Fatalf("write past limit: %v", err)
+	}
+	if err := f.Truncate(ctx, MaxFileSize+1); !errors.Is(err, ErrFileTooLarge) {
+		t.Fatalf("truncate past limit: %v", err)
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	_, fs := newFS(t, 1)
+	ctx := context.Background()
+	f, _ := fs.Create(ctx, "/t")
+	data := bytes.Repeat([]byte("abcd"), 2*BlockSize/4)
+	_, _ = f.WriteAt(ctx, data, 0)
+
+	if err := f.Truncate(ctx, 100); err != nil {
+		t.Fatal(err)
+	}
+	size, _ := f.Size(ctx)
+	if size != 100 {
+		t.Fatalf("size = %d", size)
+	}
+	got := make([]byte, 100)
+	if _, err := f.ReadAt(ctx, got, 0); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data[:100]) {
+		t.Fatal("data lost on truncate")
+	}
+	// Reads past EOF hit io.EOF.
+	if _, err := f.ReadAt(ctx, make([]byte, 10), 100); err != io.EOF {
+		t.Fatalf("read past EOF: %v", err)
+	}
+	// Truncate to zero then regrow.
+	if err := f.Truncate(ctx, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt(ctx, []byte("fresh"), 0); err != nil {
+		t.Fatal(err)
+	}
+	buf, _ := f.ReadAll(ctx)
+	if string(buf) != "fresh" {
+		t.Fatalf("after regrow: %q", buf)
+	}
+}
+
+func TestSparseHolesReadZero(t *testing.T) {
+	_, fs := newFS(t, 1)
+	ctx := context.Background()
+	f, _ := fs.Create(ctx, "/sparse")
+	// Write only block 2.
+	if _, err := f.WriteAt(ctx, []byte("tail"), 2*BlockSize); err != nil {
+		t.Fatal(err)
+	}
+	hole := make([]byte, 16)
+	if _, err := f.ReadAt(ctx, hole, BlockSize); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	for _, b := range hole {
+		if b != 0 {
+			t.Fatal("hole not zero")
+		}
+	}
+}
+
+func TestAppend(t *testing.T) {
+	_, fs := newFS(t, 1)
+	ctx := context.Background()
+	f, _ := fs.Create(ctx, "/log")
+	for i := 0; i < 5; i++ {
+		if _, err := f.Append(ctx, []byte(fmt.Sprintf("line %d\n", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	all, err := f.ReadAll(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "line 0\nline 1\nline 2\nline 3\nline 4\n"
+	if string(all) != want {
+		t.Fatalf("log = %q", all)
+	}
+}
+
+func TestDistributedSharedMount(t *testing.T) {
+	// The paper's headline property: the same filesystem runs
+	// distributed without being aware of it. One node writes, another
+	// mounts the same superblock and reads.
+	c, fs1 := newFS(t, 3)
+	ctx := context.Background()
+
+	f, err := fs1.Create(ctx, "/shared.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt(ctx, []byte("written on node 1"), 0); err != nil {
+		t.Fatal(err)
+	}
+
+	fs3, err := Mount(ctx, c.Node(3), fs1.Super(), "fsadmin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := fs3.Open(ctx, "/shared.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := g.ReadAll(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "written on node 1" {
+		t.Fatalf("node 3 read %q", got)
+	}
+
+	// And writes flow the other way.
+	if _, err := g.WriteAt(ctx, []byte("updated on node 3"), 0); err != nil {
+		t.Fatal(err)
+	}
+	back, err := f.ReadAll(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(back) != "updated on node 3" {
+		t.Fatalf("node 1 reread %q", back)
+	}
+}
+
+func TestConcurrentAppendsFromTwoMounts(t *testing.T) {
+	c, fs1 := newFS(t, 2)
+	ctx := context.Background()
+	if _, err := fs1.Create(ctx, "/counter"); err != nil {
+		t.Fatal(err)
+	}
+	fs2, err := Mount(ctx, c.Node(2), fs1.Super(), "fsadmin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1, _ := fs1.Open(ctx, "/counter")
+	f2, _ := fs2.Open(ctx, "/counter")
+
+	done := make(chan error, 2)
+	appendN := func(f *File, tag byte, n int) {
+		for i := 0; i < n; i++ {
+			if _, err := f.Append(ctx, []byte{tag}); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}
+	go appendN(f1, 'a', 20)
+	go appendN(f2, 'b', 20)
+	for i := 0; i < 2; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	all, err := f1.ReadAll(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 40 {
+		t.Fatalf("appends lost: %d bytes (CREW inode lock must serialize)", len(all))
+	}
+	var as, bs int
+	for _, ch := range all {
+		switch ch {
+		case 'a':
+			as++
+		case 'b':
+			bs++
+		}
+	}
+	if as != 20 || bs != 20 {
+		t.Fatalf("a=%d b=%d", as, bs)
+	}
+}
+
+func TestMountBadSuperblock(t *testing.T) {
+	c, fs := newFS(t, 1)
+	ctx := context.Background()
+	// The root inode address is a valid region but not a superblock.
+	if _, err := Mount(ctx, c.Node(1), fs.Root(), "x"); !errors.Is(err, ErrBadSuperblock) {
+		t.Fatalf("mount non-superblock: %v", err)
+	}
+}
+
+func TestPerFileAttrs(t *testing.T) {
+	c, fs := newFS(t, 2)
+	ctx := context.Background()
+	attrs := khazana.Attrs{MinReplicas: 2, Level: khazana.Weak}
+	f, err := fs.Create(ctx, "/replicated", attrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := c.Node(1).GetAttr(ctx, f.InodeAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Attrs.MinReplicas != 2 {
+		t.Fatalf("MinReplicas = %d", d.Attrs.MinReplicas)
+	}
+	if d.Attrs.Protocol != khazana.Eventual {
+		t.Fatalf("protocol = %v", d.Attrs.Protocol)
+	}
+}

@@ -1,0 +1,325 @@
+package khazana
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"khazana/internal/transport"
+)
+
+func newTestCluster(t *testing.T, n int, opts ...ClusterOption) *Cluster {
+	t.Helper()
+	opts = append([]ClusterOption{WithStoreDir(t.TempDir())}, opts...)
+	c, err := NewCluster(n, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func TestQuickstartFlow(t *testing.T) {
+	c := newTestCluster(t, 3)
+	ctx := context.Background()
+	n1 := c.Node(1)
+
+	start, err := n1.Reserve(ctx, 8192, Attrs{}, "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n1.Allocate(ctx, start, "alice"); err != nil {
+		t.Fatal(err)
+	}
+	lk, err := n1.Lock(ctx, Range{Start: start, Size: 8192}, LockWrite, "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lk.Write(start, []byte("global memory")); err != nil {
+		t.Fatal(err)
+	}
+	if err := lk.Unlock(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Any node can read it (location transparency).
+	for i := 2; i <= 3; i++ {
+		rl, err := c.Node(i).Lock(ctx, Range{Start: start, Size: 8192}, LockRead, "bob")
+		if err != nil {
+			t.Fatalf("node %d lock: %v", i, err)
+		}
+		got, err := rl.Read(start, 13)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != "global memory" {
+			t.Fatalf("node %d read %q", i, got)
+		}
+		_ = rl.Unlock(ctx)
+	}
+}
+
+func TestLockAccessors(t *testing.T) {
+	c := newTestCluster(t, 1)
+	ctx := context.Background()
+	n := c.Node(1)
+	start, _ := n.Reserve(ctx, 4096, Attrs{}, "")
+	_ = n.Allocate(ctx, start, "")
+	lk, err := n.Lock(ctx, Range{Start: start, Size: 4096}, LockWrite, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lk.Unlock(ctx)
+	if lk.ID() == 0 {
+		t.Error("lock ID should be nonzero")
+	}
+	if lk.Mode() != LockWrite {
+		t.Errorf("mode = %v", lk.Mode())
+	}
+	if lk.Range().Start != start {
+		t.Errorf("range = %v", lk.Range())
+	}
+}
+
+func TestAddNodeDynamically(t *testing.T) {
+	c := newTestCluster(t, 2)
+	ctx := context.Background()
+	start, _ := c.Node(1).Reserve(ctx, 4096, Attrs{}, "")
+	_ = c.Node(1).Allocate(ctx, start, "")
+	lk, _ := c.Node(1).Lock(ctx, Range{Start: start, Size: 4096}, LockWrite, "")
+	_ = lk.Write(start, []byte("pre-join"))
+	_ = lk.Unlock(ctx)
+
+	// A node that joins later can read existing state.
+	n3, err := c.AddNode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl, err := n3.Lock(ctx, Range{Start: start, Size: 4096}, LockRead, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := rl.Read(start, 8)
+	_ = rl.Unlock(ctx)
+	if string(got) != "pre-join" {
+		t.Fatalf("late joiner read %q", got)
+	}
+}
+
+func TestClusterCrashRestartHelpers(t *testing.T) {
+	c := newTestCluster(t, 3)
+	ctx := context.Background()
+	start, _ := c.Node(2).Reserve(ctx, 4096, Attrs{}, "")
+	_ = c.Node(2).Allocate(ctx, start, "")
+
+	c.Crash(2)
+	_, err := c.Node(3).Lock(ctx, Range{Start: start, Size: 4096}, LockRead, "")
+	if err == nil {
+		t.Fatal("lock against crashed single home should fail")
+	}
+	c.Restart(2)
+	lk, err := c.Node(3).Lock(ctx, Range{Start: start, Size: 4096}, LockRead, "")
+	if err != nil {
+		t.Fatalf("after restart: %v", err)
+	}
+	_ = lk.Unlock(ctx)
+}
+
+func TestInprocClientSessions(t *testing.T) {
+	c := newTestCluster(t, 2)
+	ctx := context.Background()
+	tr, err := c.Network.Attach(ClientID(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli := NewClient(tr, 2, "carol")
+	start, err := cli.Reserve(ctx, 4096, Attrs{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Allocate(ctx, start); err != nil {
+		t.Fatal(err)
+	}
+	lk, err := cli.Lock(ctx, Range{Start: start, Size: 4096}, LockWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lk.Write(ctx, start, []byte("client data")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := lk.Read(ctx, start, 11)
+	if err != nil || string(got) != "client data" {
+		t.Fatalf("read %q, %v", got, err)
+	}
+	if err := lk.Unlock(ctx); err != nil {
+		t.Fatal(err)
+	}
+	d, err := cli.GetAttr(ctx, start)
+	if err != nil || d.Attrs.ACL.Owner != "carol" {
+		t.Fatalf("attr = %+v, %v", d, err)
+	}
+	attrs := d.Attrs
+	attrs.MinReplicas = 2
+	if err := cli.SetAttr(ctx, start, attrs); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Free(ctx, start); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Unreserve(ctx, start); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTCPDeploymentEndToEnd(t *testing.T) {
+	// A real two-daemon TCP deployment plus a TCP client, proving the
+	// full wire path. This is the standalone khazanad configuration.
+	ctx := context.Background()
+	dir := t.TempDir()
+
+	n1, err := StartNode(ctx, NodeConfig{
+		ID:         1,
+		ListenAddr: "127.0.0.1:0",
+		StoreDir:   filepath.Join(dir, "n1"),
+		Genesis:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n1.Close()
+
+	// Transport first so node 1's address can be registered before the
+	// daemon joins the cluster.
+	tr2, err := transport.NewTCP(2, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr2.AddPeer(1, n1.Addr())
+	n2, err := StartNode(ctx, NodeConfig{
+		ID:             2,
+		Transport:      tr2,
+		StoreDir:       filepath.Join(dir, "n2"),
+		ClusterManager: 1,
+		MapHome:        1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n2.Close()
+	n1.AddPeer(2, tr2.Addr())
+
+	start, err := n2.Reserve(ctx, 4096, Attrs{}, "tcp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n2.Allocate(ctx, start, "tcp"); err != nil {
+		t.Fatal(err)
+	}
+	lk, err := n2.Lock(ctx, Range{Start: start, Size: 4096}, LockWrite, "tcp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = lk.Write(start, []byte("over tcp"))
+	_ = lk.Unlock(ctx)
+
+	// Remote TCP client reads via node 1.
+	cli, err := Dial(ClientID(7), 1, n1.Addr(), "tcp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	rl, err := cli.Lock(ctx, Range{Start: start, Size: 4096}, LockRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := rl.Read(ctx, start, 8)
+	if err != nil || string(got) != "over tcp" {
+		t.Fatalf("tcp client read %q, %v", got, err)
+	}
+	_ = rl.Unlock(ctx)
+}
+
+func TestParseAddrRoundTrip(t *testing.T) {
+	c := newTestCluster(t, 1)
+	ctx := context.Background()
+	start, _ := c.Node(1).Reserve(ctx, 4096, Attrs{}, "")
+	parsed, err := ParseAddr(start.String())
+	if err != nil || parsed != start {
+		t.Fatalf("ParseAddr(%q) = %v, %v", start.String(), parsed, err)
+	}
+}
+
+func TestBackgroundLoopsRun(t *testing.T) {
+	c := newTestCluster(t, 3, WithBackground(20*time.Millisecond, 20*time.Millisecond, 20*time.Millisecond))
+	ctx := context.Background()
+	start, err := c.Node(2).Reserve(ctx, 4096, Attrs{MinReplicas: 2}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Node(2).Allocate(ctx, start, ""); err != nil {
+		t.Fatal(err)
+	}
+	lk, err := c.Node(2).Lock(ctx, Range{Start: start, Size: 4096}, LockWrite, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = lk.Write(start, []byte("bg"))
+	_ = lk.Unlock(ctx)
+
+	// Replica maintenance should recruit a second home automatically.
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		d, err := c.Node(2).GetAttr(ctx, start)
+		if err == nil && len(d.Home) >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replica maintenance never recruited a second home: %+v", d)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func TestManyRegionsManyNodes(t *testing.T) {
+	c := newTestCluster(t, 4)
+	ctx := context.Background()
+	type reg struct {
+		start Addr
+		owner int
+	}
+	var regs []reg
+	for i := 0; i < 40; i++ {
+		owner := i%c.Len() + 1
+		start, err := c.Node(owner).Reserve(ctx, 4096, Attrs{}, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Node(owner).Allocate(ctx, start, ""); err != nil {
+			t.Fatal(err)
+		}
+		lk, err := c.Node(owner).Lock(ctx, Range{Start: start, Size: 4096}, LockWrite, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = lk.Write(start, []byte(fmt.Sprintf("region-%03d", i)))
+		_ = lk.Unlock(ctx)
+		regs = append(regs, reg{start, owner})
+	}
+	// Every region is readable from every node.
+	for i, r := range regs {
+		reader := (r.owner % c.Len()) + 1 // a different node
+		lk, err := c.Node(reader).Lock(ctx, Range{Start: r.start, Size: 4096}, LockRead, "")
+		if err != nil {
+			t.Fatalf("region %d from node %d: %v", i, reader, err)
+		}
+		got, _ := lk.Read(r.start, 10)
+		_ = lk.Unlock(ctx)
+		want := fmt.Sprintf("region-%03d", i)
+		if !bytes.Equal(got, []byte(want)) {
+			t.Fatalf("region %d = %q, want %q", i, got, want)
+		}
+	}
+}

@@ -1,0 +1,414 @@
+// Package kobj is a distributed object runtime built on Khazana,
+// reproducing §4.2 of the paper: Khazana is the repository for object data
+// and location information; the runtime layer decides the degree of
+// consistency for each object, inserts locking and data access operations
+// transparently around method invocations, and determines "when to create
+// a local replica of an object rather than using RPC to invoke a remote
+// instance of the object".
+//
+// Methods are "invoked by downloading the code to be executed along with
+// the object instance, and invoking the code locally" — modeled here by a
+// type registry every runtime shares (the Go functions stand in for
+// downloadable code). Khazana provides location transparency (each object
+// has a unique identifying Khazana address), keeps replicas consistent,
+// and caches objects to speed access.
+package kobj
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"khazana"
+	"khazana/internal/enc"
+	"khazana/internal/gaddr"
+	"khazana/internal/ktypes"
+	"khazana/internal/wire"
+)
+
+const (
+	objMagic = 0x4B4F424A // "KOBJ"
+	// headerSize is the fixed prefix of an object region before state.
+	headerPages = 1
+)
+
+// Errors returned by the runtime.
+var (
+	// ErrUnknownType reports an object whose type has no registration.
+	ErrUnknownType = errors.New("kobj: unknown object type")
+	// ErrUnknownMethod reports an invocation of an unregistered method.
+	ErrUnknownMethod = errors.New("kobj: unknown method")
+	// ErrNotObject reports a reference that is not an object region.
+	ErrNotObject = errors.New("kobj: not an object")
+	// ErrStateTooLarge reports state growth past the object's capacity.
+	ErrStateTooLarge = errors.New("kobj: state exceeds object capacity")
+)
+
+// Method is object code: it receives the object's current state and the
+// call arguments, returning the new state and a result. Read-only methods
+// must return state unchanged.
+type Method func(state []byte, args []byte) (newState []byte, result []byte, err error)
+
+// MethodSpec describes one method of a type.
+type MethodSpec struct {
+	Fn Method
+	// ReadOnly methods run under a read lock and may execute against a
+	// cached replica.
+	ReadOnly bool
+}
+
+// Type defines an object type: its name and method table.
+type Type struct {
+	Name    string
+	Methods map[string]MethodSpec
+}
+
+// Ref is an object reference: the Khazana address of the object's region
+// (§4.2: "Khazana provides location transparency for the object by
+// associating with each object a unique identifying Khazana address").
+type Ref = khazana.Addr
+
+// Policy selects how invocations execute.
+type Policy int
+
+const (
+	// PolicyAuto replicates objects that are invoked repeatedly and
+	// uses RPC for objects touched rarely, using Khazana location
+	// information (§4.2).
+	PolicyAuto Policy = iota
+	// PolicyLocal always loads a local replica.
+	PolicyLocal
+	// PolicyRemote always performs remote invocation at the object's
+	// home.
+	PolicyRemote
+)
+
+// Runtime is one node's object runtime, layered on a Khazana daemon.
+type Runtime struct {
+	node      *khazana.Node
+	principal khazana.Principal
+
+	mu    sync.Mutex
+	types map[string]Type
+	// hits counts invocations per object, driving PolicyAuto's
+	// replicate-vs-RPC decision.
+	hits map[Ref]int
+
+	// ReplicateAfter is the invocation count at which PolicyAuto starts
+	// using a local replica instead of RPC.
+	ReplicateAfter int
+	policy         Policy
+
+	stats RuntimeStats
+}
+
+// RuntimeStats counts invocation routing decisions.
+type RuntimeStats struct {
+	LocalInvokes  int
+	RemoteInvokes int
+}
+
+// NewRuntime attaches an object runtime to a node. The runtime registers
+// itself as the daemon's application handler so peers can route remote
+// invocations to it.
+func NewRuntime(node *khazana.Node, principal khazana.Principal) *Runtime {
+	r := &Runtime{
+		node:           node,
+		principal:      principal,
+		types:          make(map[string]Type),
+		hits:           make(map[Ref]int),
+		ReplicateAfter: 2,
+		policy:         PolicyAuto,
+	}
+	node.Core().SetAppHandler(r.handleApp)
+	return r
+}
+
+// SetPolicy selects the invocation policy.
+func (r *Runtime) SetPolicy(p Policy) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.policy = p
+}
+
+// Stats returns a snapshot of routing counters.
+func (r *Runtime) Stats() RuntimeStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+// RegisterType installs a type's method table ("downloading the code").
+// Every runtime that will execute this type's methods must register it.
+func (r *Runtime) RegisterType(t Type) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.types[t.Name] = t
+}
+
+func (r *Runtime) typeOf(name string) (Type, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t, ok := r.types[name]
+	return t, ok
+}
+
+// --- object layout -------------------------------------------------------
+
+// header is page 0 of the object region.
+type header struct {
+	TypeName string
+	StateLen uint64
+	StateCap uint64
+}
+
+func encodeHeader(h *header) []byte {
+	e := enc.NewEncoder(64)
+	e.U32(objMagic)
+	e.String(h.TypeName)
+	e.U64(h.StateLen)
+	e.U64(h.StateCap)
+	return e.Bytes()
+}
+
+func decodeHeader(buf []byte) (*header, error) {
+	d := enc.NewDecoder(buf)
+	if magic := d.U32(); magic != objMagic {
+		return nil, fmt.Errorf("%w: magic %#x", ErrNotObject, magic)
+	}
+	h := &header{}
+	h.TypeName = d.String()
+	h.StateLen = d.U64()
+	h.StateCap = d.U64()
+	if d.Err() != nil {
+		return nil, fmt.Errorf("%w: %v", ErrNotObject, d.Err())
+	}
+	return h, nil
+}
+
+// New creates an object of the given registered type with initial state.
+// stateCap bounds future state growth (0 = len(initial) rounded up to a
+// page). Attrs select the object's consistency and replication (§4.2:
+// individual programmers specify sharing and replication semantics per
+// object).
+func (r *Runtime) New(ctx context.Context, typeName string, initial []byte, stateCap uint64, attrs ...khazana.Attrs) (Ref, error) {
+	if _, ok := r.typeOf(typeName); !ok {
+		return Ref{}, fmt.Errorf("%w: %s", ErrUnknownType, typeName)
+	}
+	a := khazana.Attrs{}
+	if len(attrs) > 0 {
+		a = attrs[0]
+	}
+	a = a.Normalize()
+	ps := uint64(a.PageSize)
+	if stateCap == 0 {
+		stateCap = (uint64(len(initial))/ps + 1) * ps
+	}
+	if uint64(len(initial)) > stateCap {
+		return Ref{}, ErrStateTooLarge
+	}
+	size := uint64(headerPages)*ps + stateCap
+	start, err := r.node.Reserve(ctx, size, a, r.principal)
+	if err != nil {
+		return Ref{}, err
+	}
+	if err := r.node.Allocate(ctx, start, r.principal); err != nil {
+		return Ref{}, err
+	}
+	lk, err := r.node.Lock(ctx, khazana.Range{Start: start, Size: size}, khazana.LockWrite, r.principal)
+	if err != nil {
+		return Ref{}, err
+	}
+	defer lk.Unlock(ctx)
+	h := &header{TypeName: typeName, StateLen: uint64(len(initial)), StateCap: stateCap}
+	if err := lk.Write(start, encodeHeader(h)); err != nil {
+		return Ref{}, err
+	}
+	if len(initial) > 0 {
+		if err := lk.Write(start.MustAdd(uint64(headerPages)*ps), initial); err != nil {
+			return Ref{}, err
+		}
+	}
+	return start, nil
+}
+
+// Invoke calls a method on the object, routing per the policy.
+func (r *Runtime) Invoke(ctx context.Context, ref Ref, method string, args []byte) ([]byte, error) {
+	desc, err := r.node.GetAttr(ctx, ref)
+	if err != nil {
+		return nil, err
+	}
+	remote := r.routeRemote(ctx, ref, desc)
+	if remote != ktypes.NilNode {
+		r.mu.Lock()
+		r.stats.RemoteInvokes++
+		r.mu.Unlock()
+		return r.invokeRemote(ctx, remote, ref, method, args)
+	}
+	r.mu.Lock()
+	r.stats.LocalInvokes++
+	r.mu.Unlock()
+	return r.invokeLocal(ctx, ref, desc, method, args)
+}
+
+// routeRemote decides whether (and where) to invoke remotely; NilNode
+// means invoke locally.
+func (r *Runtime) routeRemote(ctx context.Context, ref Ref, desc *khazana.Descriptor) ktypes.NodeID {
+	home, err := desc.PrimaryHome()
+	if err != nil || home == r.node.ID() {
+		return ktypes.NilNode // we are the home: local is free
+	}
+	r.mu.Lock()
+	policy := r.policy
+	r.hits[ref]++
+	hits := r.hits[ref]
+	r.mu.Unlock()
+	switch policy {
+	case PolicyLocal:
+		return ktypes.NilNode
+	case PolicyRemote:
+		return home
+	default:
+		// PolicyAuto: use RPC for cold objects; replicate once the
+		// object proves hot. Khazana location information (is the
+		// object already instantiated here?) short-circuits the
+		// decision.
+		if r.node.Core().Store().Contains(desc.PageBase(ref)) {
+			return ktypes.NilNode
+		}
+		if hits <= r.ReplicateAfter {
+			return home
+		}
+		return ktypes.NilNode
+	}
+}
+
+// invokeLocal runs the method against the local replica (transparently
+// locking, accessing, and unlocking the object's region, §2).
+func (r *Runtime) invokeLocal(ctx context.Context, ref Ref, desc *khazana.Descriptor, method string, args []byte) ([]byte, error) {
+	hdr, err := r.readHeader(ctx, ref, desc)
+	if err != nil {
+		return nil, err
+	}
+	t, ok := r.typeOf(hdr.TypeName)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownType, hdr.TypeName)
+	}
+	spec, ok := t.Methods[method]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s.%s", ErrUnknownMethod, hdr.TypeName, method)
+	}
+	mode := khazana.LockWrite
+	if spec.ReadOnly {
+		mode = khazana.LockRead
+	}
+	size := desc.Range.Size
+	lk, err := r.node.Lock(ctx, khazana.Range{Start: ref, Size: size}, mode, r.principal)
+	if err != nil {
+		return nil, err
+	}
+	defer lk.Unlock(ctx)
+
+	ps := uint64(desc.Attrs.PageSize)
+	// Re-read the header under the lock (StateLen may have changed).
+	rawHdr, err := lk.Read(ref, ps)
+	if err != nil {
+		return nil, err
+	}
+	hdr, err = decodeHeader(rawHdr)
+	if err != nil {
+		return nil, err
+	}
+	stateBase := ref.MustAdd(uint64(headerPages) * ps)
+	state, err := lk.Read(stateBase, hdr.StateLen)
+	if err != nil {
+		return nil, err
+	}
+	newState, result, err := spec.Fn(state, args)
+	if err != nil {
+		return nil, err
+	}
+	if !spec.ReadOnly {
+		if uint64(len(newState)) > hdr.StateCap {
+			return nil, ErrStateTooLarge
+		}
+		if err := lk.Write(stateBase, newState); err != nil {
+			return nil, err
+		}
+		hdr.StateLen = uint64(len(newState))
+		if err := lk.Write(ref, encodeHeader(hdr)); err != nil {
+			return nil, err
+		}
+	}
+	return result, nil
+}
+
+// readHeader fetches the object header (read lock on the header page).
+func (r *Runtime) readHeader(ctx context.Context, ref Ref, desc *khazana.Descriptor) (*header, error) {
+	ps := uint64(desc.Attrs.PageSize)
+	lk, err := r.node.Lock(ctx, khazana.Range{Start: ref, Size: ps}, khazana.LockRead, r.principal)
+	if err != nil {
+		return nil, err
+	}
+	defer lk.Unlock(ctx)
+	raw, err := lk.Read(ref, ps)
+	if err != nil {
+		return nil, err
+	}
+	return decodeHeader(raw)
+}
+
+// invokeRemote performs the RPC path of §4.2.
+func (r *Runtime) invokeRemote(ctx context.Context, node ktypes.NodeID, ref Ref, method string, args []byte) ([]byte, error) {
+	resp, err := r.node.Core().Request(ctx, node, &wire.ObjInvoke{Ref: gaddr.Addr(ref), Method: method, Args: args})
+	if err != nil {
+		return nil, fmt.Errorf("kobj: remote invoke at %v: %w", node, err)
+	}
+	res, ok := resp.(*wire.ObjResult)
+	if !ok {
+		return nil, fmt.Errorf("kobj: unexpected reply %T", resp)
+	}
+	if res.Err != "" {
+		return nil, errors.New(res.Err)
+	}
+	return res.Result, nil
+}
+
+// handleApp serves ObjInvoke requests arriving at this node's daemon.
+func (r *Runtime) handleApp(ctx context.Context, _ ktypes.NodeID, m wire.Msg) (wire.Msg, bool, error) {
+	inv, ok := m.(*wire.ObjInvoke)
+	if !ok {
+		return nil, false, nil
+	}
+	desc, err := r.node.GetAttr(ctx, inv.Ref)
+	if err != nil {
+		return &wire.ObjResult{Err: err.Error()}, true, nil
+	}
+	result, err := r.invokeLocal(ctx, inv.Ref, desc, inv.Method, inv.Args)
+	if err != nil {
+		return &wire.ObjResult{Err: err.Error()}, true, nil
+	}
+	r.mu.Lock()
+	r.stats.LocalInvokes++
+	r.mu.Unlock()
+	return &wire.ObjResult{Result: result}, true, nil
+}
+
+// Destroy unreserves an object's region.
+func (r *Runtime) Destroy(ctx context.Context, ref Ref) error {
+	return r.node.Unreserve(ctx, ref, r.principal)
+}
+
+// TypeName returns an object's registered type name.
+func (r *Runtime) TypeName(ctx context.Context, ref Ref) (string, error) {
+	desc, err := r.node.GetAttr(ctx, ref)
+	if err != nil {
+		return "", err
+	}
+	hdr, err := r.readHeader(ctx, ref, desc)
+	if err != nil {
+		return "", err
+	}
+	return hdr.TypeName, nil
+}

@@ -1,0 +1,279 @@
+package kobj
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"khazana"
+)
+
+// counterType is a simple shared counter object.
+func counterType() Type {
+	return Type{
+		Name: "counter",
+		Methods: map[string]MethodSpec{
+			"get": {
+				ReadOnly: true,
+				Fn: func(state, _ []byte) ([]byte, []byte, error) {
+					return state, append([]byte(nil), state...), nil
+				},
+			},
+			"add": {
+				Fn: func(state, args []byte) ([]byte, []byte, error) {
+					v := binary.LittleEndian.Uint64(state)
+					v += binary.LittleEndian.Uint64(args)
+					out := make([]byte, 8)
+					binary.LittleEndian.PutUint64(out, v)
+					return out, append([]byte(nil), out...), nil
+				},
+			},
+			"boom": {
+				Fn: func(state, _ []byte) ([]byte, []byte, error) {
+					return nil, nil, fmt.Errorf("method exploded")
+				},
+			},
+		},
+	}
+}
+
+func u64(v uint64) []byte {
+	out := make([]byte, 8)
+	binary.LittleEndian.PutUint64(out, v)
+	return out
+}
+
+func newRuntimes(t *testing.T, nodes int) (*khazana.Cluster, []*Runtime) {
+	t.Helper()
+	c, err := khazana.NewCluster(nodes, khazana.WithStoreDir(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	rts := make([]*Runtime, nodes)
+	for i := 1; i <= nodes; i++ {
+		rts[i-1] = NewRuntime(c.Node(i), "objadmin")
+		rts[i-1].RegisterType(counterType())
+	}
+	return c, rts
+}
+
+func TestNewAndInvokeLocal(t *testing.T) {
+	_, rts := newRuntimes(t, 1)
+	ctx := context.Background()
+	ref, err := rts[0].New(ctx, "counter", u64(10), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rts[0].Invoke(ctx, ref, "add", u64(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if binary.LittleEndian.Uint64(res) != 15 {
+		t.Fatalf("add = %d", binary.LittleEndian.Uint64(res))
+	}
+	res, err = rts[0].Invoke(ctx, ref, "get", nil)
+	if err != nil || binary.LittleEndian.Uint64(res) != 15 {
+		t.Fatalf("get = %v, %v", res, err)
+	}
+}
+
+func TestUnknownTypeAndMethod(t *testing.T) {
+	_, rts := newRuntimes(t, 1)
+	ctx := context.Background()
+	if _, err := rts[0].New(ctx, "nosuch", nil, 0); !errors.Is(err, ErrUnknownType) {
+		t.Fatalf("new unknown type: %v", err)
+	}
+	ref, _ := rts[0].New(ctx, "counter", u64(0), 0)
+	if _, err := rts[0].Invoke(ctx, ref, "fly", nil); !errors.Is(err, ErrUnknownMethod) {
+		t.Fatalf("unknown method: %v", err)
+	}
+	// Method errors propagate.
+	if _, err := rts[0].Invoke(ctx, ref, "boom", nil); err == nil {
+		t.Fatal("method error swallowed")
+	}
+}
+
+func TestRemoteInvocation(t *testing.T) {
+	_, rts := newRuntimes(t, 3)
+	ctx := context.Background()
+	// Object homed on node 1; node 3 invokes with PolicyRemote.
+	ref, err := rts[0].New(ctx, "counter", u64(100), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rts[2].SetPolicy(PolicyRemote)
+	res, err := rts[2].Invoke(ctx, ref, "add", u64(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if binary.LittleEndian.Uint64(res) != 101 {
+		t.Fatalf("remote add = %d", binary.LittleEndian.Uint64(res))
+	}
+	if rts[2].Stats().RemoteInvokes != 1 {
+		t.Fatalf("stats = %+v", rts[2].Stats())
+	}
+	// The mutation is visible from the home.
+	res, _ = rts[0].Invoke(ctx, ref, "get", nil)
+	if binary.LittleEndian.Uint64(res) != 101 {
+		t.Fatalf("home get = %d", binary.LittleEndian.Uint64(res))
+	}
+}
+
+func TestPolicyAutoCrossover(t *testing.T) {
+	_, rts := newRuntimes(t, 2)
+	ctx := context.Background()
+	ref, err := rts[0].New(ctx, "counter", u64(0), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2 := rts[1]
+	// Cold invocations go remote; after ReplicateAfter the runtime
+	// switches to a local replica (§4.2's decision procedure).
+	for i := 0; i < 5; i++ {
+		if _, err := r2.Invoke(ctx, ref, "get", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := r2.Stats()
+	if st.RemoteInvokes == 0 {
+		t.Fatalf("expected early remote invokes: %+v", st)
+	}
+	if st.LocalInvokes == 0 {
+		t.Fatalf("expected later local invokes after replication: %+v", st)
+	}
+}
+
+func TestPolicyLocalReplicates(t *testing.T) {
+	_, rts := newRuntimes(t, 2)
+	ctx := context.Background()
+	ref, _ := rts[0].New(ctx, "counter", u64(7), 0)
+	rts[1].SetPolicy(PolicyLocal)
+	res, err := rts[1].Invoke(ctx, ref, "get", nil)
+	if err != nil || binary.LittleEndian.Uint64(res) != 7 {
+		t.Fatalf("local get = %v, %v", res, err)
+	}
+	if rts[1].Stats().RemoteInvokes != 0 {
+		t.Fatalf("stats = %+v", rts[1].Stats())
+	}
+}
+
+func TestConcurrentAddsFromAllNodes(t *testing.T) {
+	// Strictly consistent object: concurrent increments from every node
+	// must all survive (the CREW region lock serializes them).
+	_, rts := newRuntimes(t, 3)
+	ctx := context.Background()
+	ref, err := rts[0].New(ctx, "counter", u64(0), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rts {
+		r.SetPolicy(PolicyLocal)
+	}
+	const perNode = 10
+	var wg sync.WaitGroup
+	errs := make([]error, len(rts))
+	for i, r := range rts {
+		wg.Add(1)
+		go func(i int, r *Runtime) {
+			defer wg.Done()
+			for j := 0; j < perNode; j++ {
+				if _, err := r.Invoke(ctx, ref, "add", u64(1)); err != nil {
+					errs[i] = err
+					return
+				}
+			}
+		}(i, r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := rts[0].Invoke(ctx, ref, "get", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := binary.LittleEndian.Uint64(res); got != uint64(len(rts)*perNode) {
+		t.Fatalf("counter = %d, want %d", got, len(rts)*perNode)
+	}
+}
+
+func TestStateGrowthAndCapacity(t *testing.T) {
+	_, rts := newRuntimes(t, 1)
+	ctx := context.Background()
+	appendType := Type{
+		Name: "blob",
+		Methods: map[string]MethodSpec{
+			"append": {Fn: func(state, args []byte) ([]byte, []byte, error) {
+				out := append(append([]byte(nil), state...), args...)
+				return out, nil, nil
+			}},
+			"len": {ReadOnly: true, Fn: func(state, _ []byte) ([]byte, []byte, error) {
+				return state, u64(uint64(len(state))), nil
+			}},
+		},
+	}
+	rts[0].RegisterType(appendType)
+	ref, err := rts[0].New(ctx, "blob", nil, 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunk := make([]byte, 3000)
+	if _, err := rts[0].Invoke(ctx, ref, "append", chunk); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rts[0].Invoke(ctx, ref, "append", chunk); err != nil {
+		t.Fatal(err)
+	}
+	res, _ := rts[0].Invoke(ctx, ref, "len", nil)
+	if binary.LittleEndian.Uint64(res) != 6000 {
+		t.Fatalf("len = %d", binary.LittleEndian.Uint64(res))
+	}
+	// A third append exceeds the 8 KiB capacity.
+	if _, err := rts[0].Invoke(ctx, ref, "append", chunk); !errors.Is(err, ErrStateTooLarge) {
+		t.Fatalf("over-capacity append: %v", err)
+	}
+}
+
+func TestTypeNameAndDestroy(t *testing.T) {
+	_, rts := newRuntimes(t, 1)
+	ctx := context.Background()
+	ref, _ := rts[0].New(ctx, "counter", u64(1), 0)
+	name, err := rts[0].TypeName(ctx, ref)
+	if err != nil || name != "counter" {
+		t.Fatalf("type = %q, %v", name, err)
+	}
+	if err := rts[0].Destroy(ctx, ref); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rts[0].Invoke(ctx, ref, "get", nil); err == nil {
+		t.Fatal("invoke after destroy should fail")
+	}
+}
+
+func TestWeakObjectsConverge(t *testing.T) {
+	// Per-object consistency choice (§4.2): an eventually consistent
+	// object trades strictness for latency.
+	_, rts := newRuntimes(t, 2)
+	ctx := context.Background()
+	ref, err := rts[0].New(ctx, "counter", u64(0), 0, khazana.Attrs{Level: khazana.Weak})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rts[1].SetPolicy(PolicyLocal)
+	if _, err := rts[1].Invoke(ctx, ref, "add", u64(9)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := rts[0].Invoke(ctx, ref, "get", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if binary.LittleEndian.Uint64(res) != 9 {
+		t.Fatalf("home value = %d", binary.LittleEndian.Uint64(res))
+	}
+}
