@@ -1,0 +1,38 @@
+GO ?= go
+BIN := bin/khazlint
+
+.PHONY: all build test race vet lint fmt-check clean
+
+all: build lint test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# vet runs the standard suite plus khazlint as a vettool, so findings
+# carry package context and benefit from the go command's vet cache.
+vet: $(BIN)
+	$(GO) vet ./...
+	$(GO) vet -vettool=$(CURDIR)/$(BIN) ./...
+
+# lint runs khazlint standalone (faster feedback than vettool mode).
+lint:
+	$(GO) run ./cmd/khazlint ./...
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+$(BIN): FORCE
+	$(GO) build -o $(BIN) ./cmd/khazlint
+
+.PHONY: FORCE
+FORCE:
+
+clean:
+	rm -rf bin

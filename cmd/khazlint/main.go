@@ -1,0 +1,121 @@
+// Command khazlint runs Khazana's custom static-analysis suite: four
+// analyzers enforcing the concurrency and error-handling invariants the
+// daemon's correctness depends on (see README "Static analysis & CI").
+//
+// Standalone:
+//
+//	go run ./cmd/khazlint ./...
+//	khazlint -list
+//	khazlint -only lockorder,erricheck ./...
+//
+// As a go vet tool (the unitchecker protocol):
+//
+//	go build -o bin/khazlint ./cmd/khazlint
+//	go vet -vettool=$PWD/bin/khazlint ./...
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load errors.
+package main
+
+import (
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"khazana/internal/lint"
+	"khazana/internal/lint/analysis"
+)
+
+func main() {
+	// go vet handshake: `tool -V=full` must print a stable identity line
+	// the build system can cache against.
+	if len(os.Args) == 2 && (os.Args[1] == "-V=full" || os.Args[1] == "--V=full") {
+		printVersion()
+		return
+	}
+	// go vet handshake: `tool -flags` must print a JSON description of the
+	// tool's flags so the go command knows what it may pass through.
+	// khazlint accepts none in vettool mode.
+	if len(os.Args) == 2 && (os.Args[1] == "-flags" || os.Args[1] == "--flags") {
+		fmt.Println("[]")
+		return
+	}
+
+	listFlag := flag.Bool("list", false, "list analyzers and exit")
+	onlyFlag := flag.String("only", "", "comma-separated subset of analyzers to run")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: khazlint [flags] [packages]\n       khazlint <file>.cfg   (go vet -vettool mode)\n\nAnalyzers:\n")
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, firstLine(a.Doc))
+		}
+		fmt.Fprintf(os.Stderr, "\nFlags:\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *listFlag {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-12s %s\n", a.Name, firstLine(a.Doc))
+		}
+		return
+	}
+
+	analyzers, err := selectAnalyzers(*onlyFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "khazlint:", err)
+		os.Exit(2)
+	}
+
+	args := flag.Args()
+	// go vet mode: a single argument naming a JSON config file.
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(unitcheck(args[0], analyzers))
+	}
+
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	os.Exit(standalone(args, analyzers))
+}
+
+func selectAnalyzers(only string) ([]*analysis.Analyzer, error) {
+	all := lint.Analyzers()
+	if only == "" {
+		return all, nil
+	}
+	byName := make(map[string]*analysis.Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*analysis.Analyzer
+	for _, name := range strings.Split(only, ",") {
+		a, ok := byName[strings.TrimSpace(name)]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+// printVersion emits the `-V=full` identity line: name, version, and a
+// content hash of the executable so the go command's vet cache is
+// invalidated when the tool changes.
+func printVersion() {
+	name := "khazlint"
+	id := "unknown"
+	if exe, err := os.Executable(); err == nil {
+		if data, err := os.ReadFile(exe); err == nil {
+			id = fmt.Sprintf("%x", sha256.Sum256(data))[:32]
+		}
+	}
+	fmt.Printf("%s version devel buildID=%s\n", name, id)
+}

@@ -1,0 +1,33 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"khazana/internal/lint"
+	"khazana/internal/lint/analysis"
+	"khazana/internal/lint/loader"
+)
+
+// standalone loads the packages matching the patterns and runs the suite,
+// printing findings in the conventional file:line:col format.
+func standalone(patterns []string, analyzers []*analysis.Analyzer) int {
+	pkgs, err := loader.Load("", patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "khazlint:", err)
+		return 2
+	}
+	findings, err := lint.Check(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "khazlint:", err)
+		return 2
+	}
+	for _, f := range findings {
+		fmt.Printf("%s: [%s] %s\n", f.Pos, f.Analyzer, f.Message)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "khazlint: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}

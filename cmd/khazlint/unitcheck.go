@@ -1,0 +1,159 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+
+	"khazana/internal/lint"
+	"khazana/internal/lint/analysis"
+	"khazana/internal/lint/loader"
+)
+
+// vetConfig is the JSON configuration the go command passes to a vet tool
+// for each package, mirroring x/tools' unitchecker protocol. Only the
+// fields khazlint consumes are declared.
+type vetConfig struct {
+	ID                        string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// unitcheck implements the go vet -vettool protocol: read the package
+// config, type-check against the supplied export data, run the suite, and
+// print findings to stderr. The go command treats a nonzero exit as a vet
+// failure and relays stderr.
+func unitcheck(cfgFile string, analyzers []*analysis.Analyzer) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "khazlint:", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "khazlint: parsing %s: %v\n", cfgFile, err)
+		return 2
+	}
+	// khazlint exports no facts, but the go command expects the output
+	// file to exist after a successful run.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "khazlint:", err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	pkg, err := typeCheckUnit(&cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, "khazlint:", err)
+		return 2
+	}
+	findings, err := lint.Check([]*loader.Package{pkg}, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "khazlint:", err)
+		return 2
+	}
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", f.Pos, f.Analyzer, f.Message)
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// typeCheckUnit parses and type-checks the unit described by cfg, using
+// the export data files the go command already built for its imports.
+func typeCheckUnit(cfg *vetConfig) (*loader.Package, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	var typeErrs []error
+	tcfg := &types.Config{
+		Importer:  &mappedImporter{imp: imp, importMap: cfg.ImportMap},
+		GoVersion: goVersion(cfg.GoVersion),
+		Error:     func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, _ := tcfg.Check(cfg.ImportPath, fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("type errors in %s: %v", cfg.ImportPath, typeErrs[0])
+	}
+	// khazlint checks production code only, matching the standalone
+	// loader: the go command also hands vet the test variants of each
+	// package, so drop _test.go files after type-checking (they are still
+	// needed above for the package to type-check as a unit).
+	prod := files[:0]
+	for _, f := range files {
+		if !strings.HasSuffix(fset.Position(f.Pos()).Filename, "_test.go") {
+			prod = append(prod, f)
+		}
+	}
+	return &loader.Package{PkgPath: cfg.ImportPath, Fset: fset, Files: prod, Types: tpkg, Info: info}, nil
+}
+
+// mappedImporter applies the config's ImportMap (vendoring, test
+// variants) before consulting export data.
+type mappedImporter struct {
+	imp       types.Importer
+	importMap map[string]string
+}
+
+func (m *mappedImporter) Import(path string) (*types.Package, error) {
+	if mapped, ok := m.importMap[path]; ok {
+		path = mapped
+	}
+	return m.imp.Import(path)
+}
+
+// goVersion normalizes the config's language version ("1.22" or "go1.22")
+// to the form go/types expects, dropping anything unparseable.
+func goVersion(v string) string {
+	if v == "" {
+		return ""
+	}
+	if !strings.HasPrefix(v, "go") {
+		v = "go" + v
+	}
+	return v
+}

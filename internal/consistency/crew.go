@@ -146,8 +146,7 @@ func (c *CrewCM) Release(ctx context.Context, desc *region.Descriptor, page gadd
 		mode = ktypes.LockWrite
 	}
 	if isHome(c.h, desc) {
-		c.homeRelease(desc, page, mode, dirty, c.h.Self(), nil)
-		return nil
+		return c.homeRelease(desc, page, mode, dirty, c.h.Self(), nil)
 	}
 	home, err := homeOf(desc)
 	if err != nil {
@@ -167,32 +166,41 @@ func (c *CrewCM) Release(ctx context.Context, desc *region.Descriptor, page gadd
 	return nil
 }
 
-// homeRelease applies a release at the manager.
-func (c *CrewCM) homeRelease(desc *region.Descriptor, page gaddr.Addr, mode ktypes.LockMode, dirty bool, from ktypes.NodeID, data []byte) {
+// homeRelease applies a release at the manager. A failed write-through is
+// reported to the releaser — losing it would silently drop the only
+// current copy of the page's contents at the home — but the global lock
+// is released regardless so the page does not wedge.
+func (c *CrewCM) homeRelease(desc *region.Descriptor, page gaddr.Addr, mode ktypes.LockMode, dirty bool, from ktypes.NodeID, data []byte) error {
+	var storeErr error
 	if mode.Writes() && dirty {
 		// Write-through: the home stores the new contents so later
 		// grants are served locally (and replica maintenance has a
 		// current copy).
 		if data != nil {
-			_ = c.h.StorePage(page, data)
-		}
-		self := c.h.Self()
-		c.h.Dir().Update(page, func(e *pagedir.Entry) {
-			e.Version++
-			e.AddSharer(self)
-			// The write-through makes the home's copy current again;
-			// the ownership hint returns home with it.
-			e.Owner = self
-			if from == self {
-				e.State = pagedir.Owned
-			} else {
-				e.State = pagedir.Shared
+			if err := c.h.StorePage(page, data); err != nil {
+				storeErr = fmt.Errorf("consistency: crew write-through %v: %w", page, err)
 			}
-		})
+		}
+		if storeErr == nil {
+			self := c.h.Self()
+			c.h.Dir().Update(page, func(e *pagedir.Entry) {
+				e.Version++
+				e.AddSharer(self)
+				// The write-through makes the home's copy current again;
+				// the ownership hint returns home with it.
+				e.Owner = self
+				if from == self {
+					e.State = pagedir.Owned
+				} else {
+					e.State = pagedir.Shared
+				}
+			})
+		}
 	}
 	// TryRelease: after a failover this home may receive a (retried)
 	// release for a grant the failed primary issued; tolerate it.
 	c.glocks.TryRelease(page, mode)
+	return storeErr
 }
 
 // Handle implements CM.
@@ -204,7 +212,12 @@ func (c *CrewCM) Handle(ctx context.Context, desc *region.Descriptor, from ktype
 		if !isHome(c.h, desc) {
 			return nil, ErrNotHome
 		}
-		c.homeRelease(desc, msg.Page, msg.Mode, msg.Dirty, msg.From, msg.Data)
+		// A write-through failure travels back to the releaser, whose
+		// release path queues a background retry (§3.5) so the update
+		// is not lost.
+		if err := c.homeRelease(desc, msg.Page, msg.Mode, msg.Dirty, msg.From, msg.Data); err != nil {
+			return nil, err
+		}
 		return &wire.Ack{}, nil
 	case *wire.Invalidate:
 		c.h.DropPage(msg.Page)

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"khazana/internal/gaddr"
 	"khazana/internal/ktypes"
@@ -32,12 +33,30 @@ import (
 type EventualCM struct {
 	h Host
 
+	// pushFailures counts update propagations (gossip rounds) that
+	// failed to reach a replica site; the anti-entropy / replica
+	// maintenance path uses it to observe divergence pressure instead
+	// of the failures vanishing silently.
+	pushFailures atomic.Uint64
+	// applyFailures counts parked updates that could not be applied at
+	// lock release (e.g. local store errors) — each one means a replica
+	// is still a version behind.
+	applyFailures atomic.Uint64
+
 	mu sync.Mutex
 	// auth shadows the LWW-winning contents per page.
 	auth map[gaddr.Addr][]byte
 	// pending parks updates that arrived under a local write lock.
 	pending map[gaddr.Addr]*wire.UpdatePush
 }
+
+// PushFailures reports how many best-effort update propagations to
+// replica sites have failed so far.
+func (c *EventualCM) PushFailures() uint64 { return c.pushFailures.Load() }
+
+// ApplyFailures reports how many parked updates failed to apply at
+// release time.
+func (c *EventualCM) ApplyFailures() uint64 { return c.applyFailures.Load() }
 
 // NewEventual creates the eventual-consistency manager for a node.
 func NewEventual(h Host) *EventualCM {
@@ -206,7 +225,14 @@ func (c *EventualCM) applyPending(ctx context.Context, desc *region.Descriptor, 
 	var applied bool
 	if ok {
 		delete(c.pending, page)
-		applied, _ = c.applyLocked(page, upd.Data, upd.Stamp, upd.Origin)
+		var err error
+		applied, err = c.applyLocked(page, upd.Data, upd.Stamp, upd.Origin)
+		if err != nil {
+			// The local replica stays a version old; it converges on the
+			// next accepted update. Count the miss so operators can see
+			// replicas failing to keep up.
+			c.applyFailures.Add(1)
+		}
 	}
 	c.mu.Unlock()
 	if applied && isHome(c.h, desc) {
@@ -227,7 +253,13 @@ func (c *EventualCM) gossip(ctx context.Context, page gaddr.Addr, data []byte, s
 		if n == c.h.Self() || n == origin {
 			continue
 		}
-		_, _ = c.h.Request(ctx, n, msg)
+		if _, err := c.h.Request(ctx, n, msg); err != nil {
+			// A site that misses an update converges on the next
+			// accepted one (or stays a version old, which this protocol
+			// permits) — but the failure must be observable, not
+			// swallowed: replica maintenance and tests watch this count.
+			c.pushFailures.Add(1)
+		}
 	}
 }
 

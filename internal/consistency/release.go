@@ -37,15 +37,17 @@ func (c *ReleaseCM) Acquire(ctx context.Context, desc *region.Descriptor, page g
 	if err := c.h.Locks().Acquire(ctx, page, mode); err != nil {
 		return fmt.Errorf("%w: %v", ErrConflict, err)
 	}
-	if err := c.validate(ctx, desc, page, mode); err != nil {
+	if err := c.validate(ctx, desc, page); err != nil {
 		c.h.Locks().Release(page, mode)
 		return err
 	}
 	return nil
 }
 
-// validate brings the local copy up to date with the home at acquire time.
-func (c *ReleaseCM) validate(ctx context.Context, desc *region.Descriptor, page gaddr.Addr, mode ktypes.LockMode) error {
+// validate brings the local copy up to date with the home at acquire
+// time. Validation is mode-independent: readers and writers alike need a
+// current copy before the lock is usable.
+func (c *ReleaseCM) validate(ctx context.Context, desc *region.Descriptor, page gaddr.Addr) error {
 	if isHome(c.h, desc) {
 		c.h.Dir().Update(page, func(e *pagedir.Entry) {
 			e.HomedLocal = true
@@ -94,7 +96,6 @@ func (c *ReleaseCM) validate(ctx context.Context, desc *region.Descriptor, page 
 		e.State = pagedir.Shared
 		e.Version = pd.Version
 	})
-	_ = mode
 	return nil
 }
 

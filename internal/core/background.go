@@ -303,6 +303,7 @@ func (n *Node) ensureHomes(ctx context.Context, desc *region.Descriptor) (*regio
 		if h == n.cfg.ID {
 			continue
 		}
+		//khazana:ignore-err descriptor shipping repeats on the next replica-maintenance round; an unreachable secondary just lags
 		_, _ = n.tr.Request(ctx, h, &wire.AttrSet{Desc: out, Principal: out.Attrs.ACL.Owner})
 	}
 	return out, true

@@ -42,7 +42,7 @@ func (n *Node) handle(ctx context.Context, from ktypes.NodeID, m wire.Msg) (wire
 		n.rdir.Insert(msg.Desc)
 		return &wire.Ack{}, nil
 	case *wire.Promote:
-		if d := n.promoteLocal(msg.Start); d != nil {
+		if d := n.promoteLocal(ctx, msg.Start); d != nil {
 			return &wire.RegionInfo{Found: true, Desc: d}, nil
 		}
 		return &wire.RegionInfo{Found: false, Err: "not a secondary home"}, nil

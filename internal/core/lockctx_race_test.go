@@ -1,0 +1,84 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"khazana/internal/gaddr"
+	"khazana/internal/ktypes"
+	"khazana/internal/region"
+)
+
+// TestConcurrentLockContexts hammers the lock-context table from many
+// goroutines across several regions and nodes at once. The interesting
+// failures here are races between the Lock/Unlock bookkeeping (lockMu,
+// appMu) and the consistency managers rather than wrong bytes, so this
+// test earns its keep under `go test -race`.
+func TestConcurrentLockContexts(t *testing.T) {
+	_, nodes := testCluster(t, 3)
+	ctx := context.Background()
+
+	const regions = 4
+	starts := make([]gaddr.Addr, regions)
+	for i := range starts {
+		starts[i] = mkRegion(t, nodes[i%len(nodes)], 4096, region.Attrs{}, "alice")
+	}
+
+	const workers = 8
+	const iters = 15
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			n := nodes[w%len(nodes)]
+			start := starts[w%regions]
+			for i := 0; i < iters; i++ {
+				mode := ktypes.LockWrite
+				if (w+i)%3 == 0 {
+					mode = ktypes.LockRead
+				}
+				lc, err := n.Lock(ctx, gaddr.Range{Start: start, Size: 4096}, mode, "alice")
+				if err != nil {
+					errs <- fmt.Errorf("worker %d iter %d: lock: %w", w, i, err)
+					return
+				}
+				if mode.Writes() {
+					if err := n.Write(lc, start, []byte{byte(w), byte(i)}); err != nil {
+						errs <- fmt.Errorf("worker %d iter %d: write: %w", w, i, err)
+						return
+					}
+				} else {
+					if _, err := n.Read(lc, start, 2); err != nil {
+						errs <- fmt.Errorf("worker %d iter %d: read: %w", w, i, err)
+						return
+					}
+				}
+				if err := n.Unlock(ctx, lc); err != nil {
+					errs <- fmt.Errorf("worker %d iter %d: unlock: %w", w, i, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// The lock table must be fully drained afterwards: a final exclusive
+	// lock on every region succeeds.
+	for i, start := range starts {
+		lc, err := nodes[0].Lock(ctx, gaddr.Range{Start: start, Size: 4096}, ktypes.LockWrite, "alice")
+		if err != nil {
+			t.Fatalf("final lock region %d: %v", i, err)
+		}
+		if err := nodes[0].Unlock(ctx, lc); err != nil {
+			t.Fatalf("final unlock region %d: %v", i, err)
+		}
+	}
+}

@@ -183,7 +183,7 @@ func (n *Node) refreshDescriptor(ctx context.Context, d *region.Descriptor) (*re
 func (n *Node) promoteHome(ctx context.Context, d *region.Descriptor) (*region.Descriptor, error) {
 	for _, candidate := range d.Home[1:] {
 		if candidate == n.cfg.ID {
-			promoted := n.promoteLocal(d.Range.Start)
+			promoted := n.promoteLocal(ctx, d.Range.Start)
 			if promoted != nil {
 				return promoted, nil
 			}
@@ -205,8 +205,10 @@ func (n *Node) promoteHome(ctx context.Context, d *region.Descriptor) (*region.D
 }
 
 // promoteLocal makes this node the primary home for a region it already
-// holds a secondary descriptor for.
-func (n *Node) promoteLocal(start gaddr.Addr) *region.Descriptor {
+// holds a secondary descriptor for. Promotion must finish even if the
+// triggering request is canceled — a half-promoted home would strand the
+// region — so the map update detaches from the caller's cancellation.
+func (n *Node) promoteLocal(ctx context.Context, start gaddr.Addr) *region.Descriptor {
 	n.descMu.Lock()
 	d, ok := n.authDescs[start]
 	if !ok || !d.HasHome(n.cfg.ID) {
@@ -228,8 +230,8 @@ func (n *Node) promoteLocal(start gaddr.Addr) *region.Descriptor {
 	n.stats.Promotions.Add(1)
 	n.rdir.Insert(out)
 	// Best-effort map update so tree walkers find the new home.
-	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	mapCtx, cancel := context.WithTimeout(context.WithoutCancel(ctx), 2*time.Second)
 	defer cancel()
-	_ = n.mapSetHomes(ctx, start, homes)
+	_ = n.mapSetHomes(mapCtx, start, homes)
 	return out
 }

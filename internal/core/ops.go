@@ -139,7 +139,7 @@ func (n *Node) Unreserve(ctx context.Context, start gaddr.Addr, principal ktypes
 		return nil
 	}
 	// Home-side teardown: drop pages, descriptor, and the map entry.
-	n.dropRegionPages(desc)
+	n.dropRegionPages(ctx, desc)
 	n.dropAuthDesc(start)
 	n.access.forget(start)
 	n.rdir.Remove(start)
@@ -206,22 +206,26 @@ func (n *Node) setAllocated(ctx context.Context, start gaddr.Addr, principal kty
 	n.descMu.Unlock()
 	n.rdir.Insert(out)
 	if !alloc {
-		n.dropRegionPages(out)
+		n.dropRegionPages(ctx, out)
 	}
 	return nil
 }
 
 // dropRegionPages discards local storage and invalidates remote copies for
-// every page of a region.
-func (n *Node) dropRegionPages(desc *region.Descriptor) {
+// every page of a region. Teardown completes even if the requesting
+// client goes away mid-operation, so the per-sharer invalidation deadline
+// derives from the caller's values but not its cancellation.
+func (n *Node) dropRegionPages(ctx context.Context, desc *region.Descriptor) {
+	base := context.WithoutCancel(ctx)
 	for _, page := range desc.Pages(0, desc.Range.Size) {
 		if entry, ok := n.dir.Lookup(page); ok {
 			for _, sharer := range entry.Copyset {
 				if sharer == n.cfg.ID {
 					continue
 				}
-				ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
-				_, _ = n.tr.Request(ctx, sharer, &wire.Invalidate{Page: page, NewOwner: n.cfg.ID, Version: entry.Version})
+				reqCtx, cancel := context.WithTimeout(base, 2*time.Second)
+				//khazana:ignore-err best-effort invalidation during teardown; an unreachable sharer cannot serve the region after the map entry is gone
+				_, _ = n.tr.Request(reqCtx, sharer, &wire.Invalidate{Page: page, NewOwner: n.cfg.ID, Version: entry.Version})
 				cancel()
 			}
 		}
@@ -322,8 +326,13 @@ func (n *Node) Lock(ctx context.Context, rng gaddr.Range, mode ktypes.LockMode, 
 	}
 	acquired := make([]gaddr.Addr, 0, len(pages))
 	rollback := func() {
+		// Rollback must run even when the caller's ctx is already
+		// canceled — holding half-acquired page locks would wedge the
+		// region — so detach from cancellation but keep request values.
+		rbCtx := context.WithoutCancel(ctx)
 		for _, p := range acquired {
-			_ = cm.Release(context.Background(), desc, p, mode, false)
+			//khazana:ignore-err clean-dirty=false release of a just-acquired page cannot lose data; the lock dies with us either way
+			_ = cm.Release(rbCtx, desc, p, mode, false)
 			_ = n.store.Unpin(p)
 		}
 	}

@@ -164,7 +164,9 @@ func E2Figure2(cfg Config) (Result, error) {
 	if err != nil {
 		return res, err
 	}
-	_ = lk2.Unlock(ctx)
+	if err := lk2.Unlock(ctx); err != nil {
+		return res, err
+	}
 	mu.Lock()
 	warmOptional := false
 	for _, e := range events {

@@ -1,0 +1,77 @@
+// Package analysis is a deliberately small, dependency-free workalike of
+// golang.org/x/tools/go/analysis: just enough driver-independent structure
+// to write the khazlint analyzers against the standard library's go/ast
+// and go/types. Keeping the shape of the upstream API (Analyzer, Pass,
+// Diagnostic) means the analyzers port to the real framework mechanically
+// if x/tools ever becomes a dependency.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and on the command
+	// line. By convention it is a single lowercase word.
+	Name string
+	// Doc is the analyzer's documentation: a one-line summary, a blank
+	// line, then details.
+	Doc string
+	// Run applies the analyzer to a package.
+	Run func(*Pass) error
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// Pass presents one type-checked package to an analyzer's Run function.
+type Pass struct {
+	// Analyzer is the check being applied.
+	Analyzer *Analyzer
+	// Fset maps token positions for Files.
+	Fset *token.FileSet
+	// Files is the package's parsed syntax (comments included).
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo records type and object resolution for Files.
+	TypesInfo *types.Info
+	// Report delivers one diagnostic to the driver.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// TypeOf returns the type of e, or nil if unresolved.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	return p.TypesInfo.TypeOf(e)
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// MethodCall resolves a call expression to the *types.Func it invokes, or
+// nil when the callee is not a statically known function or method. It is
+// shared by the analyzers, which all key on specific API names.
+func MethodCall(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}

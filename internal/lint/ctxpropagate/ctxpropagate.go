@@ -1,0 +1,120 @@
+// Package ctxpropagate flags context.Background() and context.TODO()
+// calls made on Khazana's request paths where a caller-supplied context
+// is lexically in scope.
+//
+// The daemon's core, consistency, and transport layers carry a
+// context.Context through every RPC so that cancellation, deadlines, and
+// request-scoped values propagate end to end (the release-side retry
+// queue of §3.5 is the one sanctioned place a request detaches from its
+// caller). Minting a fresh Background() inside a function that already
+// has a ctx parameter silently severs that chain. Detached work that must
+// outlive the caller should use context.WithoutCancel(ctx), which keeps
+// the request's values while dropping cancellation.
+//
+// Functions without a context parameter (background loops, callbacks with
+// fixed signatures) are exempt: there is nothing to propagate.
+package ctxpropagate
+
+import (
+	"go/ast"
+	"go/types"
+
+	"khazana/internal/lint/analysis"
+)
+
+// Analyzer is the ctxpropagate check.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxpropagate",
+	Doc:  "check that request-path code derives contexts from the caller instead of context.Background()/TODO()",
+	Run:  run,
+}
+
+// Packages lists the import paths whose request paths are checked.
+var Packages = []string{
+	"khazana/internal/core",
+	"khazana/internal/consistency",
+	"khazana/internal/transport",
+}
+
+func run(pass *analysis.Pass) error {
+	checked := false
+	for _, p := range Packages {
+		if pass.Pkg.Path() == p {
+			checked = true
+			break
+		}
+	}
+	if !checked {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			check(pass, fn.Body, ctxParamName(pass, fn.Type))
+		}
+	}
+	return nil
+}
+
+// check walks a function body with the innermost in-scope context
+// parameter name (or "" when none). Function literals nest lexically: a
+// closure sees its enclosing function's ctx unless it declares its own.
+func check(pass *analysis.Pass, body *ast.BlockStmt, ctxName string) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			inner := ctxParamName(pass, n.Type)
+			if inner == "" {
+				inner = ctxName
+			}
+			check(pass, n.Body, inner)
+			return false
+		case *ast.CallExpr:
+			if ctxName == "" {
+				return true
+			}
+			fn := analysis.MethodCall(pass.TypesInfo, n)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+				return true
+			}
+			if fn.Name() == "Background" || fn.Name() == "TODO" {
+				pass.Reportf(n.Pos(),
+					"context.%s() on a request path where %q is in scope: pass %s (or context.WithoutCancel(%s) for detached work)",
+					fn.Name(), ctxName, ctxName, ctxName)
+			}
+		}
+		return true
+	})
+}
+
+// ctxParamName returns the name of the first usable context.Context
+// parameter of a function signature, or "".
+func ctxParamName(pass *analysis.Pass, ft *ast.FuncType) string {
+	if ft.Params == nil {
+		return ""
+	}
+	for _, field := range ft.Params.List {
+		t := pass.TypeOf(field.Type)
+		if t == nil || !isContext(t) {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name != "_" {
+				return name.Name
+			}
+		}
+	}
+	return ""
+}
+
+func isContext(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

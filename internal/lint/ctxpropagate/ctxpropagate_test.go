@@ -1,0 +1,13 @@
+package ctxpropagate_test
+
+import (
+	"testing"
+
+	"khazana/internal/lint/ctxpropagate"
+	"khazana/internal/lint/linttest"
+)
+
+func TestCtxPropagate(t *testing.T) {
+	linttest.Run(t, "testdata", ctxpropagate.Analyzer,
+		"khazana/internal/core", "other/pkg")
+}

@@ -1,0 +1,26 @@
+// Package core is a stub at one of the checked import paths; the
+// ctxpropagate analyzer keys on the package path alone.
+package core
+
+import "context"
+
+func request(ctx context.Context) error {
+	c := context.Background() // want `context\.Background\(\) on a request path`
+	_ = c
+	return nil
+}
+
+func todoOnPath(ctx context.Context) {
+	c := context.TODO() // want `context\.TODO\(\) on a request path`
+	_ = c
+}
+
+// closureInherits: a literal without its own ctx parameter sees the
+// enclosing function's.
+func closureInherits(ctx context.Context) {
+	f := func() {
+		c := context.Background() // want `context\.Background\(\) on a request path`
+		_ = c
+	}
+	f()
+}

@@ -1,0 +1,31 @@
+package core
+
+import "context"
+
+// backgroundLoop has no caller context to propagate: exempt.
+func backgroundLoop() {
+	ctx := context.Background()
+	_ = ctx
+}
+
+// detached is the blessed pattern for work outliving the request.
+func detached(ctx context.Context) {
+	c := context.WithoutCancel(ctx)
+	_ = c
+}
+
+// derived contexts are fine.
+func derived(ctx context.Context) {
+	c, cancel := context.WithCancel(ctx)
+	defer cancel()
+	_ = c
+}
+
+// ownCtx: the literal declares its own context parameter, which shadows
+// the outer one; it uses it, so nothing to report.
+func ownCtx(ctx context.Context) {
+	f := func(inner context.Context) {
+		_ = inner
+	}
+	f(ctx)
+}

@@ -1,0 +1,10 @@
+// Package pkg is outside the checked import paths: Background() with a
+// ctx in scope is allowed here.
+package pkg
+
+import "context"
+
+func notChecked(ctx context.Context) {
+	c := context.Background()
+	_ = c
+}

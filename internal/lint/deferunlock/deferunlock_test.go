@@ -1,0 +1,12 @@
+package deferunlock_test
+
+import (
+	"testing"
+
+	"khazana/internal/lint/deferunlock"
+	"khazana/internal/lint/linttest"
+)
+
+func TestDeferUnlock(t *testing.T) {
+	linttest.Run(t, "testdata", deferunlock.Analyzer, "a")
+}

@@ -1,0 +1,40 @@
+package a
+
+import "sync"
+
+type S struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+}
+
+// leaky unlocks on the fallthrough path but not on the early return.
+func (s *S) leaky(b bool) error {
+	s.mu.Lock() // want `not released on the return path`
+	if b {
+		return nil
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// leakyRead holds a read lock across a return with no RUnlock at all.
+func (s *S) leakyRead() int {
+	s.rw.RLock() // want `not released on the return path`
+	return 1
+}
+
+// neverReleased falls off the end of the function still holding the lock.
+func (s *S) neverReleased() {
+	s.mu.Lock() // want `never released`
+}
+
+// closurePair defers a closure whose Unlock pairs with the closure's own
+// Lock — it must not count as releasing the outer acquisition.
+func (s *S) closurePair() error {
+	s.mu.Lock() // want `not released on the return path`
+	defer func() {
+		s.mu.Lock()
+		s.mu.Unlock()
+	}()
+	return nil
+}

@@ -1,0 +1,52 @@
+package a
+
+import "sync"
+
+type T struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+}
+
+// deferred is the robust idiom.
+func (t *T) deferred() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return nil
+}
+
+// explicit unlocks on every return path.
+func (t *T) explicit(b bool) error {
+	t.mu.Lock()
+	if b {
+		t.mu.Unlock()
+		return nil
+	}
+	t.mu.Unlock()
+	return nil
+}
+
+// deferredClosure releases inside a directly deferred closure, which runs
+// on every exit path just like a plain defer.
+func (t *T) deferredClosure() error {
+	t.mu.Lock()
+	defer func() {
+		t.mu.Unlock()
+	}()
+	return nil
+}
+
+// readers balances the read-lock pair explicitly.
+func (t *T) readers() int {
+	t.rw.RLock()
+	v := 1
+	t.rw.RUnlock()
+	return v
+}
+
+// separateScopes: the closure is its own lock scope and balances itself.
+func (t *T) separateScopes() func() {
+	return func() {
+		t.mu.Lock()
+		defer t.mu.Unlock()
+	}
+}

@@ -1,0 +1,12 @@
+package erricheck_test
+
+import (
+	"testing"
+
+	"khazana/internal/lint/erricheck"
+	"khazana/internal/lint/linttest"
+)
+
+func TestErrICheck(t *testing.T) {
+	linttest.Run(t, "testdata", erricheck.Analyzer, "a")
+}

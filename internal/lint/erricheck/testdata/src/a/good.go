@@ -1,0 +1,29 @@
+package a
+
+import "khazana/internal/fakeapi"
+
+// checked handles every error.
+func checked(h fakeapi.Host) error {
+	if err := h.StorePage(1, nil); err != nil {
+		return err
+	}
+	v, err := h.Request(1)
+	_ = v
+	return err
+}
+
+// annotated discards are fine when justified.
+func annotated(h fakeapi.Host) {
+	//khazana:ignore-err best-effort push; repeated next anti-entropy round
+	_ = h.StorePage(1, nil)
+	_, _ = h.Request(1) //khazana:ignore-err same-line justification works too
+}
+
+// notKhazana shares a checked name but lives outside the module: exempt.
+type notKhazana struct{}
+
+func (notKhazana) Put(page int) error { return nil }
+
+func exempt(n notKhazana) {
+	_ = n.Put(1)
+}

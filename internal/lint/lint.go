@@ -1,0 +1,71 @@
+// Package lint assembles the khazlint analyzer suite and provides the
+// driver shared by the standalone runner and the go vet -vettool mode.
+package lint
+
+import (
+	"go/token"
+	"sort"
+
+	"khazana/internal/lint/analysis"
+	"khazana/internal/lint/ctxpropagate"
+	"khazana/internal/lint/deferunlock"
+	"khazana/internal/lint/erricheck"
+	"khazana/internal/lint/loader"
+	"khazana/internal/lint/lockorder"
+)
+
+// Analyzers returns the suite in stable order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		lockorder.Analyzer,
+		deferunlock.Analyzer,
+		ctxpropagate.Analyzer,
+		erricheck.Analyzer,
+	}
+}
+
+// Finding is one resolved diagnostic.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// Check runs every analyzer over every package and returns the findings
+// sorted by position.
+func Check(pkgs []*loader.Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+			}
+			name := a.Name
+			pass.Report = func(d analysis.Diagnostic) {
+				findings = append(findings, Finding{
+					Analyzer: name,
+					Pos:      pkg.Fset.Position(d.Pos),
+					Message:  d.Message,
+				})
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, err
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i].Pos, findings[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return findings[i].Analyzer < findings[j].Analyzer
+	})
+	return findings, nil
+}

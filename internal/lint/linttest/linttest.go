@@ -1,0 +1,188 @@
+// Package linttest runs khazlint analyzers against testdata packages and
+// checks their diagnostics against `// want "regex"` comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest without the dependency.
+//
+// Layout: <testdata>/src/<importPath>/*.go. A comment of the form
+//
+//	mu.Lock() // want `re-entry`
+//	mu.Lock() // want "re-entry" "second diagnostic"
+//
+// asserts that the analyzer reports, on that line, one diagnostic whose
+// message matches each quoted regular expression. Lines without a want
+// comment must produce no diagnostics.
+package linttest
+
+import (
+	"fmt"
+	"go/token"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"khazana/internal/lint/analysis"
+	"khazana/internal/lint/loader"
+)
+
+// Run loads each import path from testdata/src, runs the analyzer over it,
+// and reports mismatches between diagnostics and want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, importPaths ...string) {
+	t.Helper()
+	root := testdata + "/src"
+	for _, ip := range importPaths {
+		pkg, err := loader.LoadSource(ip, []string{root})
+		if err != nil {
+			t.Errorf("loading %s: %v", ip, err)
+			continue
+		}
+		checkPackage(t, a, pkg)
+	}
+}
+
+// diag is one reported diagnostic, resolved to a position.
+type diag struct {
+	pos token.Position
+	msg string
+}
+
+// want is one expectation parsed from a comment.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	met  bool
+}
+
+func checkPackage(t *testing.T, a *analysis.Analyzer, pkg *loader.Package) {
+	t.Helper()
+	var diags []diag
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+		Report: func(d analysis.Diagnostic) {
+			diags = append(diags, diag{pos: pkg.Fset.Position(d.Pos), msg: d.Message})
+		},
+	}
+	if err := a.Run(pass); err != nil {
+		t.Errorf("%s: analyzer error: %v", pkg.PkgPath, err)
+		return
+	}
+
+	wants := collectWants(t, pkg)
+
+	sort.Slice(diags, func(i, j int) bool {
+		if diags[i].pos.Filename != diags[j].pos.Filename {
+			return diags[i].pos.Filename < diags[j].pos.Filename
+		}
+		return diags[i].pos.Line < diags[j].pos.Line
+	})
+	for _, d := range diags {
+		if !claim(wants, d) {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", d.pos.Filename, d.pos.Line, d.msg)
+		}
+	}
+	for _, w := range wants {
+		if !w.met {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// claim marks the first unmet want on the diagnostic's line whose pattern
+// matches, and reports whether one was found.
+func claim(wants []*want, d diag) bool {
+	for _, w := range wants {
+		if w.met || w.file != d.pos.Filename || w.line != d.pos.Line {
+			continue
+		}
+		if w.re.MatchString(d.msg) {
+			w.met = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants parses every `// want ...` comment in the package.
+func collectWants(t *testing.T, pkg *loader.Package) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				pats, err := parsePatterns(text)
+				if err != nil {
+					t.Errorf("%s:%d: bad want comment: %v", pos.Filename, pos.Line, err)
+					continue
+				}
+				for _, p := range pats {
+					re, err := regexp.Compile(p)
+					if err != nil {
+						t.Errorf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, p, err)
+						continue
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re, raw: p})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// parsePatterns splits a want comment body into its quoted patterns.
+// Both "double-quoted" (with escapes) and `backquoted` forms are accepted.
+func parsePatterns(s string) ([]string, error) {
+	var pats []string
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			break
+		}
+		switch s[0] {
+		case '"':
+			end := -1
+			for i := 1; i < len(s); i++ {
+				if s[i] == '\\' {
+					i++
+					continue
+				}
+				if s[i] == '"' {
+					end = i
+					break
+				}
+			}
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated %q", s)
+			}
+			unq, err := strconv.Unquote(s[:end+1])
+			if err != nil {
+				return nil, err
+			}
+			pats = append(pats, unq)
+			s = s[end+1:]
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated %q", s)
+			}
+			pats = append(pats, s[1:end+1])
+			s = s[end+2:]
+		default:
+			return nil, fmt.Errorf("expected quoted pattern at %q", s)
+		}
+	}
+	if len(pats) == 0 {
+		return nil, fmt.Errorf("no patterns")
+	}
+	return pats, nil
+}

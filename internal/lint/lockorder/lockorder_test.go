@@ -1,0 +1,12 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"khazana/internal/lint/linttest"
+	"khazana/internal/lint/lockorder"
+)
+
+func TestLockOrder(t *testing.T) {
+	linttest.Run(t, "testdata", lockorder.Analyzer, "khazana/internal/core")
+}

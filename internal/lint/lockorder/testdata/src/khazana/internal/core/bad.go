@@ -1,0 +1,29 @@
+package core
+
+// inverted acquires descMu while lockMu is held — backwards relative to
+// the canonical descMu → chunkMu → lockMu → appMu order.
+func (n *Node) inverted() {
+	n.lockMu.Lock()
+	defer n.lockMu.Unlock()
+	n.descMu.Lock() // want `canonical order`
+	n.descMu.Unlock()
+}
+
+// reenter takes the same mutex twice on one path.
+func (n *Node) reenter() {
+	n.descMu.Lock()
+	defer n.descMu.Unlock()
+	n.descMu.Lock() // want `re-entrant acquisition`
+	n.descMu.Unlock()
+}
+
+// invertedBranch only misorders on one branch; the clone-per-branch
+// tracking must still see it.
+func (n *Node) invertedBranch(b bool) {
+	n.appMu.Lock()
+	if b {
+		n.chunkMu.Lock() // want `canonical order`
+		n.chunkMu.Unlock()
+	}
+	n.appMu.Unlock()
+}

@@ -53,6 +53,7 @@ func (t *Tiered) Get(page gaddr.Addr) ([]byte, bool) {
 		return nil, false
 	}
 	// Promote; a failure to promote is not fatal — the data is valid.
+	//khazana:ignore-err promotion to RAM is a cache optimization; the disk copy remains authoritative
 	_ = t.mem.Put(page, data)
 	return data, true
 }
