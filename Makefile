@@ -1,7 +1,7 @@
 GO ?= go
 BIN := bin/khazlint
 
-.PHONY: all build test race vet lint fmt-check clean
+.PHONY: all build test race vet lint fmt-check bench-smoke clean
 
 all: build lint test
 
@@ -27,6 +27,11 @@ lint:
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# bench-smoke runs every benchmark for a single iteration so bit-rotted
+# benchmark code fails CI instead of lingering until someone profiles.
+bench-smoke:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 
 $(BIN): FORCE
 	$(GO) build -o $(BIN) ./cmd/khazlint

@@ -37,6 +37,7 @@ type clusterConfig struct {
 	retry     time.Duration
 	replica   time.Duration
 	migration time.Duration
+	perPage   bool
 	tracer    func(NodeID, string)
 }
 
@@ -73,6 +74,13 @@ func WithBackground(heartbeat, retry, replica time.Duration) ClusterOption {
 // interval on every node.
 func WithAutoMigration(interval time.Duration) ClusterOption {
 	return func(c *clusterConfig) { c.migration = interval }
+}
+
+// WithPerPageTransfers disables the batched multi-page lock/fetch and
+// release pipeline on every node, issuing one RPC per page instead.
+// Benchmarks use it to compare the two transfer paths.
+func WithPerPageTransfers() ClusterOption {
+	return func(c *clusterConfig) { c.perPage = true }
 }
 
 // WithTracer installs a Figure-2 step tracer on every node.
@@ -130,6 +138,7 @@ func NewCluster(count int, opts ...ClusterOption) (*Cluster, error) {
 			RetryInterval:     cfg.retry,
 			ReplicaInterval:   cfg.replica,
 			MigrationInterval: cfg.migration,
+			PerPageTransfers:  cfg.perPage,
 			Tracer:            tracer,
 		})
 		if err != nil {

@@ -61,6 +61,7 @@ func (s *Server) handle(_ context.Context, _ ktypes.NodeID, m wire.Msg) (wire.Ms
 		return &wire.Ack{}, nil
 	case *wire.Ping:
 		return &wire.Pong{From: s.tr.Self()}, nil
+	//khazana:wire-default the baseline serves only the NFS-style client kinds; daemon traffic never reaches it
 	default:
 		return nil, fmt.Errorf("baseline: unhandled %T", m)
 	}

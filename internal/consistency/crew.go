@@ -3,12 +3,22 @@ package consistency
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"khazana/internal/gaddr"
 	"khazana/internal/ktypes"
 	"khazana/internal/pagedir"
 	"khazana/internal/region"
 	"khazana/internal/wire"
+)
+
+// Fan-out bounds for the batched paths: enough parallelism to hide link
+// latency without letting one grant or acquire monopolize the transport.
+const (
+	// maxInvalidateFanout bounds concurrent Invalidate RPCs per grant.
+	maxInvalidateFanout = 8
+	// maxHomeFanout bounds concurrent per-home batch RPCs per acquire.
+	maxHomeFanout = 8
 )
 
 // CrewCM implements the Concurrent Read Exclusive Write protocol (paper
@@ -85,6 +95,118 @@ func (c *CrewCM) Acquire(ctx context.Context, desc *region.Descriptor, page gadd
 	return nil
 }
 
+// AcquireBatch implements CM natively: pages homed locally take the global
+// lock table page by page with no wire traffic, and remote pages are
+// grouped by home node so each home answers its whole group in a single
+// PageReqBatch round trip, with bounded-concurrency fan-out across homes.
+// On error the returned slice holds every page whose lock is held and must
+// be rolled back by the caller.
+func (c *CrewCM) AcquireBatch(ctx context.Context, desc *region.Descriptor, pages []gaddr.Addr, mode ktypes.LockMode) ([]gaddr.Addr, error) {
+	if len(pages) == 0 {
+		return nil, nil
+	}
+	if mode == ktypes.LockWriteShared {
+		mode = ktypes.LockWrite
+	}
+	if isHome(c.h, desc) {
+		// Manager-local: take the global table in the caller's ascending
+		// page order, the same order every batch uses, so concurrent
+		// batches cannot deadlock.
+		acquired := make([]gaddr.Addr, 0, len(pages))
+		for _, p := range pages {
+			if err := c.homeAcquire(ctx, desc, p, mode, c.h.Self()); err != nil {
+				return acquired, err
+			}
+			acquired = append(acquired, p)
+		}
+		return acquired, nil
+	}
+	home, err := homeOf(desc)
+	if err != nil {
+		return nil, err
+	}
+	// One RPC per home. A region has a single primary home today, so this
+	// is normally one group; the bounded fan-out keeps multi-home
+	// placements pipelined without monopolizing the transport.
+	groups := map[ktypes.NodeID][]gaddr.Addr{home: pages}
+	var (
+		mu       sync.Mutex
+		acquired []gaddr.Addr
+		firstErr error
+	)
+	sem := make(chan struct{}, maxHomeFanout)
+	var wg sync.WaitGroup
+	for node, group := range groups {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(node ktypes.NodeID, group []gaddr.Addr) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			got, err := c.acquireFromHome(ctx, desc, node, group, mode)
+			mu.Lock()
+			acquired = append(acquired, got...)
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			mu.Unlock()
+		}(node, group)
+	}
+	wg.Wait()
+	return acquired, firstErr
+}
+
+// acquireFromHome issues one PageReqBatch covering group to home and
+// applies the per-page grants, returning the pages whose locks are now
+// held (including pages granted remotely but failing the local store, so
+// the caller's rollback frees them at the home).
+func (c *CrewCM) acquireFromHome(ctx context.Context, desc *region.Descriptor, home ktypes.NodeID, group []gaddr.Addr, mode ktypes.LockMode) ([]gaddr.Addr, error) {
+	modes := make([]ktypes.LockMode, len(group))
+	for i := range modes {
+		modes[i] = mode
+	}
+	resp, err := c.h.Request(ctx, home, &wire.PageReqBatch{Pages: group, Modes: modes, Requester: c.h.Self()})
+	if err != nil {
+		return nil, fmt.Errorf("consistency: crew acquire batch (%d pages) from %v: %w", len(group), home, err)
+	}
+	batch, ok := resp.(*wire.PageGrantBatch)
+	if !ok {
+		return nil, fmt.Errorf("consistency: crew acquire batch: unexpected reply %T", resp)
+	}
+	if len(batch.Grants) != len(group) {
+		return nil, fmt.Errorf("consistency: crew acquire batch: %d grants for %d pages", len(batch.Grants), len(group))
+	}
+	acquired := make([]gaddr.Addr, 0, len(group))
+	var firstErr error
+	for i, g := range batch.Grants {
+		page := group[i]
+		if !g.OK {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("consistency: crew acquire %v: %s", page, g.Err)
+			}
+			continue
+		}
+		acquired = append(acquired, page)
+		if g.Data != nil {
+			if err := c.h.StorePage(page, g.Data); err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("consistency: crew acquire %v: store: %w", page, err)
+				}
+				continue
+			}
+		}
+		c.h.Dir().Update(page, func(e *pagedir.Entry) {
+			e.Version = g.Version
+			e.Owner = g.Owner
+			if mode.Writes() {
+				e.State = pagedir.Owned
+			} else if e.State != pagedir.Owned {
+				e.State = pagedir.Shared
+			}
+		})
+	}
+	return acquired, firstErr
+}
+
 // homeAcquire is the manager-side grant path, shared by local clients and
 // the PageReq handler.
 func (c *CrewCM) homeAcquire(ctx context.Context, desc *region.Descriptor, page gaddr.Addr, mode ktypes.LockMode, requester ktypes.NodeID) error {
@@ -128,16 +250,39 @@ func (c *CrewCM) homeGrantLocked(ctx context.Context, desc *region.Descriptor, p
 	})
 	// Invalidation happens while the global write lock is held, so no new
 	// readers can slip in with stale data.
-	for _, n := range invalidate {
-		entry, _ := c.h.Dir().Lookup(page)
-		if _, err := c.h.Request(ctx, n, &wire.Invalidate{Page: page, NewOwner: requester, Version: entry.Version}); err != nil {
-			// A dead sharer cannot serve stale reads either; log-free
-			// best effort matches the prototype's tolerance of stale
-			// hints. The copyset no longer lists it.
-			continue
-		}
-	}
+	c.invalidateAll(ctx, page, requester, invalidate)
 	return nil
+}
+
+// invalidateAll fans Invalidate RPCs out to the former sharers with a
+// bounded worker pool instead of one serial round trip per sharer. A
+// sharer that fails invalidation may still hold a stale copy, so its
+// copyset entry is pruned: the reset in homeGrantLocked already dropped
+// it, but a concurrent re-add (e.g. a replica push racing the fan-out)
+// must not leave an unreachable node listed as a valid copy holder.
+func (c *CrewCM) invalidateAll(ctx context.Context, page gaddr.Addr, newOwner ktypes.NodeID, targets []ktypes.NodeID) {
+	if len(targets) == 0 {
+		return
+	}
+	entry, _ := c.h.Dir().Lookup(page)
+	version := entry.Version
+	sem := make(chan struct{}, maxInvalidateFanout)
+	var wg sync.WaitGroup
+	for _, n := range targets {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(n ktypes.NodeID) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if _, err := c.h.Request(ctx, n, &wire.Invalidate{Page: page, NewOwner: newOwner, Version: version}); err != nil {
+				// A dead sharer cannot serve stale reads either; log-free
+				// best effort matches the prototype's tolerance of stale
+				// hints. Prune so nothing re-trusts it as a copy holder.
+				c.h.Dir().Update(page, func(e *pagedir.Entry) { e.RemoveSharer(n) })
+			}
+		}(n)
+	}
+	wg.Wait()
 }
 
 // Release implements CM.
@@ -164,6 +309,68 @@ func (c *CrewCM) Release(ctx context.Context, desc *region.Descriptor, page gadd
 		c.h.Dir().Update(page, func(e *pagedir.Entry) { e.Version++ })
 	}
 	return nil
+}
+
+// ReleaseBatch implements CM natively: local releases hit the global lock
+// table directly, and remote releases for a home travel in one
+// ReleaseBatch RPC whose reply carries per-page status, so a single failed
+// write-through queues one background retry instead of sinking the batch.
+func (c *CrewCM) ReleaseBatch(ctx context.Context, desc *region.Descriptor, pages []gaddr.Addr, mode ktypes.LockMode, dirty map[gaddr.Addr]bool) []error {
+	if len(pages) == 0 {
+		return nil
+	}
+	if mode == ktypes.LockWriteShared {
+		mode = ktypes.LockWrite
+	}
+	if isHome(c.h, desc) {
+		var errs []error
+		for i, p := range pages {
+			if err := c.homeRelease(desc, p, mode, dirty[p], c.h.Self(), nil); err != nil {
+				if errs == nil {
+					errs = make([]error, len(pages))
+				}
+				errs[i] = err
+			}
+		}
+		return errs
+	}
+	home, err := homeOf(desc)
+	if err != nil {
+		return batchErrs(len(pages), err)
+	}
+	items := make([]wire.ReleaseItem, len(pages))
+	for i, p := range pages {
+		items[i] = wire.ReleaseItem{Page: p, Mode: mode, Dirty: dirty[p]}
+		if mode.Writes() && dirty[p] {
+			items[i].Data = loadOrZero(c.h, desc, p)
+		}
+	}
+	resp, err := c.h.Request(ctx, home, &wire.ReleaseBatch{From: c.h.Self(), Items: items})
+	if err != nil {
+		return batchErrs(len(pages), fmt.Errorf("consistency: crew release batch (%d pages) to %v: %w", len(pages), home, err))
+	}
+	rb, ok := resp.(*wire.ReleaseBatchResp)
+	if !ok {
+		return batchErrs(len(pages), fmt.Errorf("consistency: crew release batch: unexpected reply %T", resp))
+	}
+	var errs []error
+	for i, p := range pages {
+		var remote string
+		if i < len(rb.Errs) {
+			remote = rb.Errs[i]
+		}
+		if remote != "" {
+			if errs == nil {
+				errs = make([]error, len(pages))
+			}
+			errs[i] = fmt.Errorf("consistency: crew release %v to %v: %s", p, home, remote)
+			continue
+		}
+		if mode.Writes() && dirty[p] {
+			c.h.Dir().Update(p, func(e *pagedir.Entry) { e.Version++ })
+		}
+	}
+	return errs
 }
 
 // homeRelease applies a release at the manager. A failed write-through is
@@ -208,6 +415,10 @@ func (c *CrewCM) Handle(ctx context.Context, desc *region.Descriptor, from ktype
 	switch msg := m.(type) {
 	case *wire.PageReq:
 		return c.handlePageReq(ctx, desc, msg)
+	case *wire.PageReqBatch:
+		return c.handlePageReqBatch(ctx, desc, msg)
+	case *wire.ReleaseBatch:
+		return c.handleReleaseBatch(desc, msg)
 	case *wire.ReleaseNotify:
 		if !isHome(c.h, desc) {
 			return nil, ErrNotHome
@@ -228,6 +439,7 @@ func (c *CrewCM) Handle(ctx context.Context, desc *region.Descriptor, from ktype
 		return &wire.Ack{}, nil
 	case *wire.PageFetch:
 		return handlePageFetch(c.h, msg), nil
+	//khazana:wire-default non-CM kinds are unroutable here by design
 	default:
 		return nil, fmt.Errorf("%w: crew got %T", ErrUnknownMsg, m)
 	}
@@ -253,6 +465,69 @@ func (c *CrewCM) handlePageReq(ctx context.Context, desc *region.Descriptor, msg
 		Version: entry.Version,
 		Owner:   entry.Owner,
 	}, nil
+}
+
+// handlePageReqBatch is the manager side of AcquireBatch: every page of
+// the request is answered in one reply with per-page status. Grants stop
+// at the first failure — the requester will roll the batch back anyway, so
+// acquiring the remaining locks would only be churn.
+func (c *CrewCM) handlePageReqBatch(ctx context.Context, desc *region.Descriptor, msg *wire.PageReqBatch) (wire.Msg, error) {
+	resp := &wire.PageGrantBatch{Grants: make([]wire.PageGrantItem, len(msg.Pages))}
+	if len(msg.Modes) != len(msg.Pages) {
+		return nil, fmt.Errorf("consistency: crew batch: %d pages with %d modes", len(msg.Pages), len(msg.Modes))
+	}
+	if !isHome(c.h, desc) {
+		// Stale descriptor at the requester (§3.2): tell it so it can
+		// fall back to a fresh lookup.
+		for i := range resp.Grants {
+			resp.Grants[i] = wire.PageGrantItem{Err: ErrNotHome.Error()}
+		}
+		return resp, nil
+	}
+	failed := false
+	for i, page := range msg.Pages {
+		if failed {
+			resp.Grants[i] = wire.PageGrantItem{Err: "not attempted: earlier page in batch failed"}
+			continue
+		}
+		mode := msg.Modes[i]
+		if mode == ktypes.LockWriteShared {
+			mode = ktypes.LockWrite
+		}
+		if err := c.homeAcquire(ctx, desc, page, mode, msg.Requester); err != nil {
+			resp.Grants[i] = wire.PageGrantItem{Err: err.Error()}
+			failed = true
+			continue
+		}
+		entry, _ := c.h.Dir().Lookup(page)
+		resp.Grants[i] = wire.PageGrantItem{
+			OK:      true,
+			Data:    loadOrZero(c.h, desc, page),
+			Version: entry.Version,
+			Owner:   entry.Owner,
+		}
+	}
+	return resp, nil
+}
+
+// handleReleaseBatch applies a batch of releases at the manager,
+// reporting per-item status so the releaser retries only the pages whose
+// write-through failed (§3.5).
+func (c *CrewCM) handleReleaseBatch(desc *region.Descriptor, msg *wire.ReleaseBatch) (wire.Msg, error) {
+	if !isHome(c.h, desc) {
+		return nil, ErrNotHome
+	}
+	resp := &wire.ReleaseBatchResp{Errs: make([]string, len(msg.Items))}
+	for i, it := range msg.Items {
+		mode := it.Mode
+		if mode == ktypes.LockWriteShared {
+			mode = ktypes.LockWrite
+		}
+		if err := c.homeRelease(desc, it.Page, mode, it.Dirty, msg.From, it.Data); err != nil {
+			resp.Errs[i] = err.Error()
+		}
+	}
+	return resp, nil
 }
 
 // handlePageFetch serves a copy of a locally resident page; it is shared

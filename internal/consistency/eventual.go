@@ -263,6 +263,18 @@ func (c *EventualCM) gossip(ctx context.Context, page gaddr.Addr, data []byte, s
 	}
 }
 
+// AcquireBatch implements CM via the sequential per-page adapter: the
+// eventual protocol serves acquires from the local replica, so batching
+// buys nothing beyond the rare initial fetches.
+func (c *EventualCM) AcquireBatch(ctx context.Context, desc *region.Descriptor, pages []gaddr.Addr, mode ktypes.LockMode) ([]gaddr.Addr, error) {
+	return acquireSeq(ctx, c, desc, pages, mode)
+}
+
+// ReleaseBatch implements CM via the sequential per-page adapter.
+func (c *EventualCM) ReleaseBatch(ctx context.Context, desc *region.Descriptor, pages []gaddr.Addr, mode ktypes.LockMode, dirty map[gaddr.Addr]bool) []error {
+	return releaseSeq(ctx, c, desc, pages, mode, dirty)
+}
+
 // Handle implements CM.
 func (c *EventualCM) Handle(ctx context.Context, desc *region.Descriptor, from ktypes.NodeID, m wire.Msg) (wire.Msg, error) {
 	switch msg := m.(type) {
@@ -306,6 +318,7 @@ func (c *EventualCM) Handle(ctx context.Context, desc *region.Descriptor, from k
 			c.gossip(ctx, msg.Page, msg.Data, msg.Stamp, msg.Origin)
 		}
 		return resp, nil
+	//khazana:wire-default non-CM kinds are unroutable here by design
 	default:
 		return nil, fmt.Errorf("%w: eventual got %T", ErrUnknownMsg, m)
 	}

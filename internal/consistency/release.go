@@ -128,6 +128,18 @@ func (c *ReleaseCM) Release(ctx context.Context, desc *region.Descriptor, page g
 	return nil
 }
 
+// AcquireBatch implements CM via the sequential per-page adapter: release
+// consistency has no home-side batch grant, and its acquire path is one
+// version check per page.
+func (c *ReleaseCM) AcquireBatch(ctx context.Context, desc *region.Descriptor, pages []gaddr.Addr, mode ktypes.LockMode) ([]gaddr.Addr, error) {
+	return acquireSeq(ctx, c, desc, pages, mode)
+}
+
+// ReleaseBatch implements CM via the sequential per-page adapter.
+func (c *ReleaseCM) ReleaseBatch(ctx context.Context, desc *region.Descriptor, pages []gaddr.Addr, mode ktypes.LockMode, dirty map[gaddr.Addr]bool) []error {
+	return releaseSeq(ctx, c, desc, pages, mode, dirty)
+}
+
 // Handle implements CM.
 func (c *ReleaseCM) Handle(ctx context.Context, desc *region.Descriptor, from ktypes.NodeID, m wire.Msg) (wire.Msg, error) {
 	switch msg := m.(type) {
@@ -166,6 +178,7 @@ func (c *ReleaseCM) Handle(ctx context.Context, desc *region.Descriptor, from kt
 			newVersion = e.Version
 		})
 		return &wire.VersionInfo{Found: true, Version: newVersion}, nil
+	//khazana:wire-default non-CM kinds are unroutable here by design
 	default:
 		return nil, fmt.Errorf("%w: release got %T", ErrUnknownMsg, m)
 	}

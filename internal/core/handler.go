@@ -33,6 +33,18 @@ func (n *Node) handle(ctx context.Context, from ktypes.NodeID, m wire.Msg) (wire
 		return n.handleCM(ctx, from, msg.Page, m)
 	case *wire.UpdatePush:
 		return n.handleCM(ctx, from, msg.Page, m)
+	case *wire.PageReqBatch:
+		if len(msg.Pages) == 0 {
+			return nil, fmt.Errorf("core: %v got empty page request batch", n.cfg.ID)
+		}
+		// All pages of a batch belong to one region (the sender groups
+		// them by home); route by the first.
+		return n.handleCM(ctx, from, msg.Pages[0], m)
+	case *wire.ReleaseBatch:
+		if len(msg.Items) == 0 {
+			return nil, fmt.Errorf("core: %v got empty release batch", n.cfg.ID)
+		}
+		return n.handleCM(ctx, from, msg.Items[0].Page, m)
 
 	// --- region descriptors ----------------------------------------------
 	case *wire.RegionLookup:
@@ -161,6 +173,7 @@ func (n *Node) handle(ctx context.Context, from ktypes.NodeID, m wire.Msg) (wire
 	case *wire.StatsReq:
 		return n.statsResp(), nil
 
+	//khazana:wire-default middleware kinds route through the app-handler hook; truly unknown kinds error below
 	default:
 		if h := n.appHandler(); h != nil {
 			if resp, handled, err := h(ctx, from, m); handled {

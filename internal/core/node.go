@@ -73,6 +73,11 @@ type Config struct {
 	MigrationInterval time.Duration
 	// Migration tunes the policy; the zero value selects defaults.
 	Migration MigrationPolicy
+	// PerPageTransfers disables the batched multi-page lock/fetch and
+	// release pipeline, falling back to one RPC per page. It exists for
+	// benchmarks comparing the two paths (E13) and as an escape hatch;
+	// the default (false) batches.
+	PerPageTransfers bool
 	// Registry supplies consistency protocols; nil uses the built-ins.
 	Registry *consistency.Registry
 	// Clock supplies last-writer-wins stamps; nil uses wall time.

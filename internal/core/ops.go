@@ -324,25 +324,44 @@ func (n *Node) Lock(ctx context.Context, rng gaddr.Range, mode ktypes.LockMode, 
 	if !ok {
 		return nil, fmt.Errorf("core: no CM for protocol %v", desc.Attrs.Protocol)
 	}
-	acquired := make([]gaddr.Addr, 0, len(pages))
-	rollback := func() {
-		// Rollback must run even when the caller's ctx is already
-		// canceled — holding half-acquired page locks would wedge the
-		// region — so detach from cancellation but keep request values.
-		rbCtx := context.WithoutCancel(ctx)
-		for _, p := range acquired {
-			//khazana:ignore-err clean-dirty=false release of a just-acquired page cannot lose data; the lock dies with us either way
-			_ = cm.Release(rbCtx, desc, p, mode, false)
-			_ = n.store.Unpin(p)
+	if n.cfg.PerPageTransfers {
+		acquired := make([]gaddr.Addr, 0, len(pages))
+		rollback := func() {
+			// Rollback must run even when the caller's ctx is already
+			// canceled — holding half-acquired page locks would wedge the
+			// region — so detach from cancellation but keep request values.
+			rbCtx := context.WithoutCancel(ctx)
+			for _, p := range acquired {
+				//khazana:ignore-err clean-dirty=false release of a just-acquired page cannot lose data; the lock dies with us either way
+				_ = cm.Release(rbCtx, desc, p, mode, false)
+				_ = n.store.Unpin(p)
+			}
 		}
-	}
-	for _, page := range pages {
-		if err := n.acquireWithFailover(ctx, &desc, cm, page, mode); err != nil {
-			rollback()
+		for _, page := range pages {
+			if err := n.acquireWithFailover(ctx, &desc, cm, page, mode); err != nil {
+				rollback()
+				return nil, err
+			}
+			n.store.Pin(page)
+			acquired = append(acquired, page)
+		}
+	} else {
+		// Batched path: the whole page set goes through the CM's batch
+		// API — one pipelined exchange per home instead of one round
+		// trip per page.
+		acquired, err := n.acquireBatchWithFailover(ctx, &desc, cm, pages, mode)
+		if err != nil {
+			// Roll back whatever subset the batch left held. Pages are
+			// not pinned yet, so only the locks need releasing; detach
+			// from cancellation as above.
+			rbCtx := context.WithoutCancel(ctx)
+			//khazana:ignore-err clean-dirty=false release of just-acquired pages cannot lose data; the locks die with us either way
+			_ = cm.ReleaseBatch(rbCtx, desc, acquired, mode, nil)
 			return nil, err
 		}
-		n.store.Pin(page)
-		acquired = append(acquired, page)
+		for _, page := range pages {
+			n.store.Pin(page)
+		}
 	}
 	n.trace("11:lock-granted")
 
@@ -395,6 +414,65 @@ func (n *Node) acquireWithFailover(ctx context.Context, desc **region.Descriptor
 		}
 	}
 	return err
+}
+
+// acquireBatchWithFailover acquires a page set through the CM batch path,
+// refreshing stale descriptors and promoting a secondary home if the
+// primary is unreachable (§3.5), retrying only the pages not yet held. It
+// returns every page that ended up acquired; on error the caller must
+// release them to roll back.
+func (n *Node) acquireBatchWithFailover(ctx context.Context, desc **region.Descriptor, cm consistency.CM, pages []gaddr.Addr, mode ktypes.LockMode) ([]gaddr.Addr, error) {
+	n.trace("6:request-credentials")
+	acquired, err := cm.AcquireBatch(ctx, *desc, pages, mode)
+	if err == nil {
+		n.trace("10:ownership-granted")
+		return acquired, nil
+	}
+	remaining := missingPages(pages, acquired)
+	// Stale home pointer: refresh the descriptor and retry once (§3.2).
+	if fresh, ferr := n.refreshDescriptor(ctx, *desc); ferr == nil && fresh.Epoch > (*desc).Epoch {
+		*desc = fresh
+		more, retryErr := cm.AcquireBatch(ctx, *desc, remaining, mode)
+		acquired = append(acquired, more...)
+		if retryErr == nil {
+			n.trace("10:ownership-granted")
+			return acquired, nil
+		}
+		err = retryErr
+		remaining = missingPages(remaining, more)
+	}
+	// Unreachable home: try promoting a secondary (§3.5).
+	if errors.Is(err, transport.ErrUnreachable) || isUnreachable(err) {
+		if promoted, perr := n.promoteHome(ctx, *desc); perr == nil {
+			*desc = promoted
+			more, retryErr := cm.AcquireBatch(ctx, *desc, remaining, mode)
+			acquired = append(acquired, more...)
+			if retryErr == nil {
+				n.trace("10:ownership-granted")
+				return acquired, nil
+			}
+			err = retryErr
+		}
+	}
+	return acquired, err
+}
+
+// missingPages returns the pages (in order) absent from held.
+func missingPages(pages, held []gaddr.Addr) []gaddr.Addr {
+	if len(held) == 0 {
+		return pages
+	}
+	heldSet := make(map[gaddr.Addr]bool, len(held))
+	for _, p := range held {
+		heldSet[p] = true
+	}
+	out := make([]gaddr.Addr, 0, len(pages)-len(held))
+	for _, p := range pages {
+		if !heldSet[p] {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // isUnreachable matches unreachable errors that crossed a process
@@ -515,14 +593,36 @@ func (n *Node) Unlock(ctx context.Context, lc *LockContext) error {
 	n.lockMu.Unlock()
 
 	cm := n.cms[lc.desc.Attrs.Protocol]
-	for _, page := range lc.pages {
+	if n.cfg.PerPageTransfers {
+		for _, page := range lc.pages {
+			dirty := lc.dirty[page]
+			if err := cm.Release(ctx, lc.desc, page, lc.Mode, dirty); err != nil {
+				// §3.5: errors while releasing resources are not
+				// reflected to the client; keep trying in the
+				// background. The page stays marked dirty so the local
+				// storage system will not discard it before the retried
+				// release delivers it (§3.4).
+				n.queueRetry(retryOp{desc: lc.desc, page: page, mode: lc.Mode, dirty: dirty})
+			} else if dirty {
+				n.dir.Update(page, func(e *pagedir.Entry) { e.Dirty = false })
+			}
+			_ = n.store.Unpin(page)
+		}
+		return nil
+	}
+	// Batched path: one release pipeline for the whole page set, with
+	// per-page status back. Only the pages whose release failed go to the
+	// §3.5 background-retry queue; their Dirty mark stays so the storage
+	// system will not discard them before the retried release delivers
+	// them (§3.4).
+	errs := cm.ReleaseBatch(ctx, lc.desc, lc.pages, lc.Mode, lc.dirty)
+	for i, page := range lc.pages {
 		dirty := lc.dirty[page]
-		if err := cm.Release(ctx, lc.desc, page, lc.Mode, dirty); err != nil {
-			// §3.5: errors while releasing resources are not
-			// reflected to the client; keep trying in the
-			// background. The page stays marked dirty so the local
-			// storage system will not discard it before the retried
-			// release delivers it (§3.4).
+		var rerr error
+		if errs != nil {
+			rerr = errs[i]
+		}
+		if rerr != nil {
 			n.queueRetry(retryOp{desc: lc.desc, page: page, mode: lc.Mode, dirty: dirty})
 		} else if dirty {
 			n.dir.Update(page, func(e *pagedir.Entry) { e.Dirty = false })

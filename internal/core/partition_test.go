@@ -81,6 +81,75 @@ func TestPartitionDuringInvalidationStaysConsistent(t *testing.T) {
 	}
 }
 
+func TestPartitionedSharerPrunedFromCopyset(t *testing.T) {
+	// When the parallel invalidation fan-out cannot reach a sharer, the
+	// home must not keep (or regain) that sharer's copyset entry: an
+	// unreachable node still holding a stale copy is not a valid replica
+	// source until it re-fetches through the home.
+	net, nodes := testCluster(t, 4)
+	ctx := context.Background()
+	start := mkRegion(t, nodes[0], 4096, region.Attrs{}, "")
+
+	// Seed v1 and cache it on n3 and n4, putting both in the copyset.
+	lc, err := nodes[0].Lock(ctx, gaddr.Range{Start: start, Size: 4096}, ktypes.LockWrite, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = nodes[0].Write(lc, start, []byte("v1"))
+	_ = nodes[0].Unlock(ctx, lc)
+	for _, n := range nodes[2:] {
+		rlc, err := n.Lock(ctx, gaddr.Range{Start: start, Size: 4096}, ktypes.LockRead, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = n.Unlock(ctx, rlc)
+	}
+	entry, _ := nodes[0].PageDir().Lookup(start)
+	if !entry.InCopyset(3) || !entry.InCopyset(4) {
+		t.Fatalf("sharers missing from copyset before the cut: %v", entry.Copyset)
+	}
+
+	// Cut home<->n3 and write from n2. The write grant fans invalidations
+	// out to n3 (fails: pruned) and n4 (succeeds: dropped by the reset).
+	net.Partition(1, 3)
+	wlc, err := nodes[1].Lock(ctx, gaddr.Range{Start: start, Size: 4096}, ktypes.LockWrite, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	entry, _ = nodes[0].PageDir().Lookup(start)
+	if entry.InCopyset(3) || entry.InCopyset(4) {
+		t.Fatalf("stale sharers survived the write grant: %v", entry.Copyset)
+	}
+	if !entry.InCopyset(2) {
+		t.Fatalf("writer should hold the only valid copy: %v", entry.Copyset)
+	}
+	_ = nodes[1].Write(wlc, start, []byte("v2"))
+	if err := nodes[1].Unlock(ctx, wlc); err != nil {
+		t.Fatal(err)
+	}
+	entry, _ = nodes[0].PageDir().Lookup(start)
+	if entry.InCopyset(3) {
+		t.Fatalf("partitioned sharer crept back into the copyset: %v", entry.Copyset)
+	}
+
+	// After the heal, n3's next locked read goes through the home: it
+	// observes v2 and legitimately rejoins the copyset.
+	net.Heal(1, 3)
+	rlc, err := nodes[2].Lock(ctx, gaddr.Range{Start: start, Size: 4096}, ktypes.LockRead, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := nodes[2].Read(rlc, start, 2)
+	_ = nodes[2].Unlock(ctx, rlc)
+	if string(got) != "v2" {
+		t.Fatalf("read after heal = %q, want v2", got)
+	}
+	entry, _ = nodes[0].PageDir().Lookup(start)
+	if !entry.InCopyset(3) {
+		t.Fatalf("healed sharer should rejoin the copyset: %v", entry.Copyset)
+	}
+}
+
 func TestPartitionEventualDivergesThenConverges(t *testing.T) {
 	net, nodes := testCluster(t, 3)
 	ctx := context.Background()

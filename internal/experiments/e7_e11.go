@@ -328,7 +328,11 @@ func E10PageSize(cfg Config) (Result, error) {
 	scan := make(map[uint32]time.Duration)
 	sharing := make(map[uint32]float64)
 	for _, ps := range []uint32{4096, 16384, 65536} {
-		c, err := newCluster(cfg, 3)
+		// Per-page transfer mode: this experiment isolates how page size
+		// amortizes per-page fetch round trips, which the batched
+		// multi-page pipeline (measured separately in E13) collapses
+		// into one RPC regardless of page size.
+		c, err := newCluster(cfg, 3, khazana.WithPerPageTransfers())
 		if err != nil {
 			return res, err
 		}

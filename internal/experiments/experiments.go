@@ -1,6 +1,6 @@
 // Package experiments implements the reproduction harness for every
 // figure and qualitative claim in the paper's evaluation (see DESIGN.md §4
-// for the experiment index E1–E11). Each experiment builds its own
+// for the experiment index). Each experiment builds its own
 // in-process cluster, runs the workload, and returns structured rows that
 // cmd/kbench renders as tables and EXPERIMENTS.md records.
 //
@@ -63,7 +63,7 @@ func All(cfg Config) ([]Result, error) {
 	runs := []func(Config) (Result, error){
 		E1Figure1, E2Figure2, E3LookupPath, E4Scalability, E5Consistency,
 		E6Replication, E7Filesystem, E8Objects, E9Failure, E10PageSize,
-		E11StaleMap, E12Migration,
+		E11StaleMap, E12Migration, E13BatchedTransfers,
 	}
 	out := make([]Result, 0, len(runs))
 	for _, run := range runs {

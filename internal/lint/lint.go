@@ -12,6 +12,7 @@ import (
 	"khazana/internal/lint/erricheck"
 	"khazana/internal/lint/loader"
 	"khazana/internal/lint/lockorder"
+	"khazana/internal/lint/wireexhaustive"
 )
 
 // Analyzers returns the suite in stable order.
@@ -21,6 +22,7 @@ func Analyzers() []*analysis.Analyzer {
 		deferunlock.Analyzer,
 		ctxpropagate.Analyzer,
 		erricheck.Analyzer,
+		wireexhaustive.Analyzer,
 	}
 }
 

@@ -1,0 +1,36 @@
+package a
+
+import "khazana/internal/wire"
+
+// missingNoDefault covers a subset of the catalog with no default.
+func missingNoDefault(m wire.Msg) int {
+	switch m.(type) { // want `covers 2 of 4 message kinds and has no default: handle PageGrant, ReleaseNotify`
+	case *wire.PageReq:
+		return 1
+	case *wire.Ack:
+		return 2
+	}
+	return 0
+}
+
+// missingUnannotatedDefault has a default but no justification.
+func missingUnannotatedDefault(m wire.Msg) int {
+	switch msg := m.(type) {
+	case *wire.PageReq:
+		_ = msg
+		return 1
+	default: // want `default case of a khazana/internal/wire\.Msg type switch missing Ack, PageGrant, ReleaseNotify must be annotated`
+		return 0
+	}
+}
+
+// emptyReason annotates the default without saying why.
+func emptyReason(m wire.Msg) int {
+	switch m.(type) {
+	case *wire.PageReq:
+		return 1
+	//khazana:wire-default
+	default: // want `annotation requires a reason`
+		return 0
+	}
+}

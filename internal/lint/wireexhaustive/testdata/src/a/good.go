@@ -1,0 +1,41 @@
+package a
+
+import "khazana/internal/wire"
+
+// exhaustive names every kind; no default needed.
+func exhaustive(m wire.Msg) int {
+	switch m.(type) {
+	case *wire.PageReq:
+		return 1
+	case *wire.PageGrant:
+		return 2
+	case *wire.ReleaseNotify:
+		return 3
+	case *wire.Ack:
+		return 4
+	}
+	return 0
+}
+
+// annotatedDefault justifies routing the rest elsewhere.
+func annotatedDefault(m wire.Msg) int {
+	switch msg := m.(type) {
+	case *wire.PageReq, *wire.PageGrant:
+		_ = msg
+		return 1
+	//khazana:wire-default remaining kinds route through the fallback handler
+	default:
+		return 0
+	}
+}
+
+// otherInterface is not the wire.Msg interface; ignored.
+type otherInterface interface{ Kind() uint16 }
+
+func notWireMsg(m otherInterface) int {
+	switch m.(type) {
+	case *wire.PageReq:
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,12 @@
+package wireexhaustive_test
+
+import (
+	"testing"
+
+	"khazana/internal/lint/linttest"
+	"khazana/internal/lint/wireexhaustive"
+)
+
+func TestWireExhaustive(t *testing.T) {
+	linttest.Run(t, "testdata", wireexhaustive.Analyzer, "a")
+}

@@ -25,7 +25,33 @@ const (
 	tcpStatusErr = 1
 	// maxFrame bounds a frame to guard against corrupt length prefixes.
 	maxFrame = 1 << 26
+	// maxPooledFrame caps the buffers kept in frameBufs; anything larger
+	// (a batch grant can reach megabytes) is returned to the allocator so
+	// one giant transfer does not pin memory for the connection's life.
+	maxPooledFrame = 4 << 20
 )
+
+// frameBufs recycles frame buffers for both directions of the protocol.
+// Pooling is safe because enc's Decoder copies byte and string fields out
+// of the input, so a decoded wire.Msg never aliases the frame it came
+// from. Entries are *[]byte so Put does not allocate.
+var frameBufs = sync.Pool{New: func() any { return new([]byte) }}
+
+func getFrameBuf(n int) *[]byte {
+	bp := frameBufs.Get().(*[]byte)
+	if cap(*bp) < n {
+		*bp = make([]byte, n)
+	}
+	*bp = (*bp)[:n]
+	return bp
+}
+
+func putFrameBuf(bp *[]byte) {
+	if cap(*bp) > maxPooledFrame {
+		return
+	}
+	frameBufs.Put(bp)
+}
 
 // TCP is a socket transport for standalone Khazana daemons. Peers are
 // registered with AddPeer; connections are pooled and used serially (one
@@ -171,19 +197,22 @@ func (t *TCP) roundTrip(ctx context.Context, conn net.Conn, m wire.Msg) (wire.Ms
 		_ = conn.SetDeadline(time.Time{})
 	}
 	payload := wire.Marshal(m)
-	hdr := make([]byte, 8)
-	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)+4))
-	binary.LittleEndian.PutUint32(hdr[4:8], uint32(t.self))
-	if _, err := conn.Write(hdr); err != nil {
-		return nil, fmt.Errorf("transport: write header: %w", err)
+	wp := getFrameBuf(8 + len(payload))
+	req := *wp
+	binary.LittleEndian.PutUint32(req[0:4], uint32(len(payload)+4))
+	binary.LittleEndian.PutUint32(req[4:8], uint32(t.self))
+	copy(req[8:], payload)
+	_, err := conn.Write(req)
+	putFrameBuf(wp)
+	if err != nil {
+		return nil, fmt.Errorf("transport: write request: %w", err)
 	}
-	if _, err := conn.Write(payload); err != nil {
-		return nil, fmt.Errorf("transport: write payload: %w", err)
-	}
-	frame, err := readFrame(conn)
+	rp, err := readFrame(conn)
 	if err != nil {
 		return nil, fmt.Errorf("transport: read response: %w", err)
 	}
+	defer putFrameBuf(rp)
+	frame := *rp
 	if len(frame) < 1 {
 		return nil, fmt.Errorf("transport: empty response frame")
 	}
@@ -268,15 +297,18 @@ func (t *TCP) serveConn(conn net.Conn) {
 			return
 		default:
 		}
-		frame, err := readFrame(conn)
+		bp, err := readFrame(conn)
 		if err != nil {
 			return
 		}
+		frame := *bp
 		if len(frame) < 4 {
+			putFrameBuf(bp)
 			return
 		}
 		from := ktypes.NodeID(binary.LittleEndian.Uint32(frame[0:4]))
 		msg, err := wire.Unmarshal(frame[4:])
+		putFrameBuf(bp)
 		if err != nil {
 			writeResponse(conn, tcpStatusErr, []byte(err.Error()))
 			continue
@@ -296,16 +328,19 @@ func (t *TCP) serveConn(conn net.Conn) {
 }
 
 func writeResponse(conn net.Conn, status byte, payload []byte) {
-	hdr := make([]byte, 5)
-	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)+1))
-	hdr[4] = status
-	if _, err := conn.Write(hdr); err != nil {
-		return
-	}
-	_, _ = conn.Write(payload)
+	bp := getFrameBuf(5 + len(payload))
+	buf := *bp
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)+1))
+	buf[4] = status
+	copy(buf[5:], payload)
+	_, _ = conn.Write(buf)
+	putFrameBuf(bp)
 }
 
-func readFrame(r io.Reader) ([]byte, error) {
+// readFrame reads one length-prefixed frame into a pooled buffer. The
+// caller must release it with putFrameBuf once finished with the slice;
+// messages decoded from it may be retained because enc copies.
+func readFrame(r io.Reader) (*[]byte, error) {
 	var lenBuf [4]byte
 	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
 		return nil, err
@@ -314,9 +349,10 @@ func readFrame(r io.Reader) ([]byte, error) {
 	if n == 0 || n > maxFrame {
 		return nil, fmt.Errorf("transport: bad frame length %d", n)
 	}
-	frame := make([]byte, n)
-	if _, err := io.ReadFull(r, frame); err != nil {
+	bp := getFrameBuf(int(n))
+	if _, err := io.ReadFull(r, *bp); err != nil {
+		putFrameBuf(bp)
 		return nil, err
 	}
-	return frame, nil
+	return bp, nil
 }

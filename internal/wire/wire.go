@@ -82,6 +82,11 @@ const (
 	KindMigrate
 	KindStatsReq
 	KindStatsResp
+
+	KindPageReqBatch
+	KindPageGrantBatch
+	KindReleaseBatch
+	KindReleaseBatchResp
 )
 
 // Msg is a wire message.
@@ -138,39 +143,43 @@ var factories = map[Kind]func() Msg{
 	KindReleaseNotify: func() Msg {
 		return &ReleaseNotify{}
 	},
-	KindReplicaPut:   func() Msg { return &ReplicaPut{} },
-	KindCopysetQuery: func() Msg { return &CopysetQuery{} },
-	KindCopysetInfo:  func() Msg { return &CopysetInfo{} },
-	KindJoin:         func() Msg { return &Join{} },
-	KindClusterView:  func() Msg { return &ClusterView{} },
-	KindHeartbeat:    func() Msg { return &Heartbeat{} },
-	KindClusterQuery: func() Msg { return &ClusterQuery{} },
-	KindClusterHint:  func() Msg { return &ClusterHint{} },
-	KindLeave:        func() Msg { return &Leave{} },
-	KindCReserve:     func() Msg { return &CReserve{} },
-	KindCReserveResp: func() Msg { return &CReserveResp{} },
-	KindCUnreserve:   func() Msg { return &CUnreserve{} },
-	KindCAllocate:    func() Msg { return &CAllocate{} },
-	KindCFree:        func() Msg { return &CFree{} },
-	KindCLock:        func() Msg { return &CLock{} },
-	KindCLockResp:    func() Msg { return &CLockResp{} },
-	KindCUnlock:      func() Msg { return &CUnlock{} },
-	KindCRead:        func() Msg { return &CRead{} },
-	KindCData:        func() Msg { return &CData{} },
-	KindCWrite:       func() Msg { return &CWrite{} },
-	KindCGetAttr:     func() Msg { return &CGetAttr{} },
-	KindCSetAttr:     func() Msg { return &CSetAttr{} },
-	KindKVGet:        func() Msg { return &KVGet{} },
-	KindKVPut:        func() Msg { return &KVPut{} },
-	KindMapInsert:    func() Msg { return &MapInsert{} },
-	KindMapRemove:    func() Msg { return &MapRemove{} },
-	KindMapSetHomes:  func() Msg { return &MapSetHomes{} },
-	KindPromote:      func() Msg { return &Promote{} },
-	KindObjInvoke:    func() Msg { return &ObjInvoke{} },
-	KindObjResult:    func() Msg { return &ObjResult{} },
-	KindMigrate:      func() Msg { return &Migrate{} },
-	KindStatsReq:     func() Msg { return &StatsReq{} },
-	KindStatsResp:    func() Msg { return &StatsResp{} },
+	KindReplicaPut:       func() Msg { return &ReplicaPut{} },
+	KindCopysetQuery:     func() Msg { return &CopysetQuery{} },
+	KindCopysetInfo:      func() Msg { return &CopysetInfo{} },
+	KindJoin:             func() Msg { return &Join{} },
+	KindClusterView:      func() Msg { return &ClusterView{} },
+	KindHeartbeat:        func() Msg { return &Heartbeat{} },
+	KindClusterQuery:     func() Msg { return &ClusterQuery{} },
+	KindClusterHint:      func() Msg { return &ClusterHint{} },
+	KindLeave:            func() Msg { return &Leave{} },
+	KindCReserve:         func() Msg { return &CReserve{} },
+	KindCReserveResp:     func() Msg { return &CReserveResp{} },
+	KindCUnreserve:       func() Msg { return &CUnreserve{} },
+	KindCAllocate:        func() Msg { return &CAllocate{} },
+	KindCFree:            func() Msg { return &CFree{} },
+	KindCLock:            func() Msg { return &CLock{} },
+	KindCLockResp:        func() Msg { return &CLockResp{} },
+	KindCUnlock:          func() Msg { return &CUnlock{} },
+	KindCRead:            func() Msg { return &CRead{} },
+	KindCData:            func() Msg { return &CData{} },
+	KindCWrite:           func() Msg { return &CWrite{} },
+	KindCGetAttr:         func() Msg { return &CGetAttr{} },
+	KindCSetAttr:         func() Msg { return &CSetAttr{} },
+	KindKVGet:            func() Msg { return &KVGet{} },
+	KindKVPut:            func() Msg { return &KVPut{} },
+	KindMapInsert:        func() Msg { return &MapInsert{} },
+	KindMapRemove:        func() Msg { return &MapRemove{} },
+	KindMapSetHomes:      func() Msg { return &MapSetHomes{} },
+	KindPromote:          func() Msg { return &Promote{} },
+	KindObjInvoke:        func() Msg { return &ObjInvoke{} },
+	KindObjResult:        func() Msg { return &ObjResult{} },
+	KindMigrate:          func() Msg { return &Migrate{} },
+	KindStatsReq:         func() Msg { return &StatsReq{} },
+	KindStatsResp:        func() Msg { return &StatsResp{} },
+	KindPageReqBatch:     func() Msg { return &PageReqBatch{} },
+	KindPageGrantBatch:   func() Msg { return &PageGrantBatch{} },
+	KindReleaseBatch:     func() Msg { return &ReleaseBatch{} },
+	KindReleaseBatchResp: func() Msg { return &ReleaseBatchResp{} },
 }
 
 // --- infrastructure -----------------------------------------------------
@@ -1124,4 +1133,173 @@ func (m *StatsResp) decode(d *enc.Decoder) {
 	m.DiskPages = d.U64()
 	m.HomedRegions = d.U64()
 	m.Members = d.NodeIDs()
+}
+
+// --- batched consistency traffic ------------------------------------------
+
+// PageReqBatch asks a home node for lock credentials on several pages in a
+// single round trip: the batched form of PageReq (Figure 2, step 6,
+// amortized over a page set). Pages and Modes are parallel vectors; the
+// home answers every page in one PageGrantBatch.
+type PageReqBatch struct {
+	Pages     []gaddr.Addr
+	Modes     []ktypes.LockMode
+	Requester ktypes.NodeID
+}
+
+// Kind implements Msg.
+func (*PageReqBatch) Kind() Kind { return KindPageReqBatch }
+func (m *PageReqBatch) encode(e *enc.Encoder) {
+	e.U16(uint16(len(m.Pages)))
+	for i, p := range m.Pages {
+		e.Addr(p)
+		e.U8(uint8(m.Modes[i]))
+	}
+	e.NodeID(m.Requester)
+}
+func (m *PageReqBatch) decode(d *enc.Decoder) {
+	n := int(d.U16())
+	if d.Err() == nil && n > 0 {
+		m.Pages = make([]gaddr.Addr, 0, n)
+		m.Modes = make([]ktypes.LockMode, 0, n)
+		for i := 0; i < n; i++ {
+			p := d.Addr()
+			mode := ktypes.LockMode(d.U8())
+			if d.Err() != nil {
+				return
+			}
+			m.Pages = append(m.Pages, p)
+			m.Modes = append(m.Modes, mode)
+		}
+	}
+	m.Requester = d.NodeID()
+}
+
+// PageGrantItem is the per-page status inside a PageGrantBatch: the same
+// fields a standalone PageGrant carries.
+type PageGrantItem struct {
+	OK      bool
+	Data    []byte
+	Version uint64
+	// Owner is the page's owner after the grant.
+	Owner ktypes.NodeID
+	Err   string
+}
+
+// PageGrantBatch answers PageReqBatch with one grant per requested page,
+// in request order.
+type PageGrantBatch struct {
+	Grants []PageGrantItem
+}
+
+// Kind implements Msg.
+func (*PageGrantBatch) Kind() Kind { return KindPageGrantBatch }
+func (m *PageGrantBatch) encode(e *enc.Encoder) {
+	e.U16(uint16(len(m.Grants)))
+	for _, g := range m.Grants {
+		e.Bool(g.OK)
+		e.Bytes32(g.Data)
+		e.U64(g.Version)
+		e.NodeID(g.Owner)
+		e.String(g.Err)
+	}
+}
+func (m *PageGrantBatch) decode(d *enc.Decoder) {
+	n := int(d.U16())
+	if d.Err() != nil || n == 0 {
+		return
+	}
+	m.Grants = make([]PageGrantItem, 0, n)
+	for i := 0; i < n; i++ {
+		var g PageGrantItem
+		g.OK = d.Bool()
+		g.Data = d.Bytes32()
+		g.Version = d.U64()
+		g.Owner = d.NodeID()
+		g.Err = d.String()
+		if d.Err() != nil {
+			return
+		}
+		m.Grants = append(m.Grants, g)
+	}
+}
+
+// ReleaseItem is one page release inside a ReleaseBatch: the same fields a
+// standalone ReleaseNotify carries, minus the shared sender.
+type ReleaseItem struct {
+	Page    gaddr.Addr
+	Mode    ktypes.LockMode
+	Dirty   bool
+	Data    []byte
+	Version uint64
+}
+
+// ReleaseBatch pushes several lock releases (with dirty contents where the
+// protocol defers propagation to release time) to a home node in one RPC.
+type ReleaseBatch struct {
+	From  ktypes.NodeID
+	Items []ReleaseItem
+}
+
+// Kind implements Msg.
+func (*ReleaseBatch) Kind() Kind { return KindReleaseBatch }
+func (m *ReleaseBatch) encode(e *enc.Encoder) {
+	e.NodeID(m.From)
+	e.U16(uint16(len(m.Items)))
+	for _, it := range m.Items {
+		e.Addr(it.Page)
+		e.U8(uint8(it.Mode))
+		e.Bool(it.Dirty)
+		e.Bytes32(it.Data)
+		e.U64(it.Version)
+	}
+}
+func (m *ReleaseBatch) decode(d *enc.Decoder) {
+	m.From = d.NodeID()
+	n := int(d.U16())
+	if d.Err() != nil || n == 0 {
+		return
+	}
+	m.Items = make([]ReleaseItem, 0, n)
+	for i := 0; i < n; i++ {
+		var it ReleaseItem
+		it.Page = d.Addr()
+		it.Mode = ktypes.LockMode(d.U8())
+		it.Dirty = d.Bool()
+		it.Data = d.Bytes32()
+		it.Version = d.U64()
+		if d.Err() != nil {
+			return
+		}
+		m.Items = append(m.Items, it)
+	}
+}
+
+// ReleaseBatchResp answers ReleaseBatch with a per-item error string in
+// request order; "" means that release was applied.
+type ReleaseBatchResp struct {
+	Errs []string
+}
+
+// Kind implements Msg.
+func (*ReleaseBatchResp) Kind() Kind { return KindReleaseBatchResp }
+func (m *ReleaseBatchResp) encode(e *enc.Encoder) {
+	e.U16(uint16(len(m.Errs)))
+	for _, s := range m.Errs {
+		e.String(s)
+	}
+}
+func (m *ReleaseBatchResp) decode(d *enc.Decoder) {
+	n := int(d.U16())
+	if d.Err() != nil || n == 0 {
+		return
+	}
+	m.Errs = make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		s := d.String()
+		if d.Err() != nil {
+			return
+		}
+		m.Errs = append(m.Errs, s)
+	}
 }

@@ -83,6 +83,20 @@ func sampleMessages() []Msg {
 		&StatsReq{},
 		&StatsResp{Node: 2, Lookups: 10, DirHits: 8, TreeWalks: 1, MemPages: 5,
 			HomedRegions: 3, Members: []ktypes.NodeID{1, 2}},
+		&PageReqBatch{
+			Pages:     []gaddr.Addr{gaddr.New(0, 0x3000), gaddr.New(0, 0x4000)},
+			Modes:     []ktypes.LockMode{ktypes.LockRead, ktypes.LockWrite},
+			Requester: 2,
+		},
+		&PageGrantBatch{Grants: []PageGrantItem{
+			{OK: true, Data: []byte("page"), Version: 3, Owner: 1},
+			{Err: "conflict"},
+		}},
+		&ReleaseBatch{From: 2, Items: []ReleaseItem{
+			{Page: gaddr.New(0, 0x3000), Mode: ktypes.LockWrite, Dirty: true, Data: []byte("d"), Version: 4},
+			{Page: gaddr.New(0, 0x4000), Mode: ktypes.LockRead},
+		}},
+		&ReleaseBatchResp{Errs: []string{"", "store failed"}},
 	}
 }
 
@@ -116,6 +130,66 @@ func TestEveryKindRegistered(t *testing.T) {
 	for _, m := range sampleMessages() {
 		if _, ok := factories[m.Kind()]; !ok {
 			t.Errorf("%T kind %d not registered", m, m.Kind())
+		}
+	}
+}
+
+// TestBatchMessageRoundTrips exercises the batched page-transfer messages
+// across their edge shapes: empty batches, single-page batches, a batch at
+// the u16 count limit, and nil data vectors.
+func TestBatchMessageRoundTrips(t *testing.T) {
+	const maxFanout = 65535
+	bigPages := make([]gaddr.Addr, maxFanout)
+	bigModes := make([]ktypes.LockMode, maxFanout)
+	bigGrants := make([]PageGrantItem, maxFanout)
+	bigItems := make([]ReleaseItem, maxFanout)
+	bigErrs := make([]string, maxFanout)
+	for i := 0; i < maxFanout; i++ {
+		bigPages[i] = gaddr.New(0, uint64(i)*4096)
+		bigModes[i] = ktypes.LockRead
+		// Nil Data throughout: credential-only grants and clean releases
+		// carry no page bytes.
+		bigGrants[i] = PageGrantItem{OK: true, Version: uint64(i), Owner: 1}
+		bigItems[i] = ReleaseItem{Page: bigPages[i], Mode: ktypes.LockRead}
+		bigErrs[i] = ""
+	}
+	cases := []Msg{
+		// Empty vectors.
+		&PageReqBatch{Requester: 3},
+		&PageGrantBatch{},
+		&ReleaseBatch{From: 3},
+		&ReleaseBatchResp{},
+		// Single page.
+		&PageReqBatch{Pages: []gaddr.Addr{gaddr.New(1, 0x1000)}, Modes: []ktypes.LockMode{ktypes.LockWrite}, Requester: 9},
+		&PageGrantBatch{Grants: []PageGrantItem{{OK: true, Data: []byte("contents"), Version: 12, Owner: 7}}},
+		&ReleaseBatch{From: 9, Items: []ReleaseItem{{Page: gaddr.New(1, 0x1000), Mode: ktypes.LockWrite, Dirty: true, Data: []byte("dirty"), Version: 13}}},
+		&ReleaseBatchResp{Errs: []string{"conflict"}},
+		// Max fan-out at the u16 count limit, nil data vectors.
+		&PageReqBatch{Pages: bigPages, Modes: bigModes, Requester: 1},
+		&PageGrantBatch{Grants: bigGrants},
+		&ReleaseBatch{From: 1, Items: bigItems},
+		&ReleaseBatchResp{Errs: bigErrs},
+	}
+	for _, m := range cases {
+		b := Marshal(m)
+		got, err := Unmarshal(b)
+		if err != nil {
+			t.Fatalf("%T: unmarshal: %v", m, err)
+		}
+		if !reflect.DeepEqual(got, m) {
+			t.Errorf("%T round trip mismatch", m)
+		}
+	}
+
+	// Truncations of a populated batch must fail cleanly, never yield a
+	// partially-filled message.
+	full := Marshal(&ReleaseBatch{From: 2, Items: []ReleaseItem{
+		{Page: gaddr.New(0, 0x1000), Mode: ktypes.LockWrite, Dirty: true, Data: []byte("abc"), Version: 1},
+		{Page: gaddr.New(0, 0x2000), Mode: ktypes.LockRead},
+	}})
+	for cut := 2; cut < len(full); cut++ {
+		if _, err := Unmarshal(full[:cut]); err == nil {
+			t.Errorf("ReleaseBatch cut=%d should fail", cut)
 		}
 	}
 }

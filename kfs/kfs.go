@@ -270,15 +270,8 @@ func (fs *FS) lookupPath(ctx context.Context, path string) (khazana.Addr, *inode
 		return khazana.Addr{}, nil, err
 	}
 	cur := fs.root
-	ino, err := fs.readInode(ctx, cur)
-	if err != nil {
-		return khazana.Addr{}, nil, err
-	}
 	for _, name := range parts {
-		if !ino.isDir() {
-			return khazana.Addr{}, nil, ErrNotDir
-		}
-		entries, err := fs.readDirEntries(ctx, cur, ino)
+		_, entries, err := fs.readDirAtomic(ctx, cur)
 		if err != nil {
 			return khazana.Addr{}, nil, err
 		}
@@ -287,9 +280,10 @@ func (fs *FS) lookupPath(ctx context.Context, path string) (khazana.Addr, *inode
 			return khazana.Addr{}, nil, fmt.Errorf("%w: %s", ErrNotExist, path)
 		}
 		cur = next.Inode
-		if ino, err = fs.readInode(ctx, cur); err != nil {
-			return khazana.Addr{}, nil, err
-		}
+	}
+	ino, err := fs.readInode(ctx, cur)
+	if err != nil {
+		return khazana.Addr{}, nil, err
 	}
 	return cur, ino, nil
 }
@@ -369,6 +363,36 @@ func (fs *FS) readDirEntries(ctx context.Context, addr khazana.Addr, ino *inode)
 		return nil, err
 	}
 	return decodeDirEntries(buf)
+}
+
+// readDirAtomic reads a directory's inode and entry list while holding a
+// read lock on the inode region for the whole sequence. A directory
+// mutation (addEntry, Remove) updates the entry block and then the inode
+// under one held write lock on that region, so reading the two with
+// separate lock acquisitions can observe the mutation half-applied: a new
+// entry block against the old inode's Size truncates the decode mid-entry.
+// Holding the inode-region read lock across both reads excludes the
+// writer's whole critical section. Lock order (dir inode region, then
+// entry block regions) matches the mutators', so the nesting cannot
+// deadlock.
+func (fs *FS) readDirAtomic(ctx context.Context, addr khazana.Addr) (*inode, []DirEntry, error) {
+	lk, err := fs.node.Lock(ctx, khazana.Range{Start: addr, Size: BlockSize}, khazana.LockRead, fs.principal)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer lk.Unlock(ctx)
+	ino, err := fs.readInodeLocked(lk, addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !ino.isDir() {
+		return ino, nil, ErrNotDir
+	}
+	entries, err := fs.readDirEntries(ctx, addr, ino)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ino, entries, nil
 }
 
 // writeDirEntries replaces a directory's entry list and updates ino.Size
@@ -484,14 +508,12 @@ func (fs *FS) Open(ctx context.Context, path string) (*File, error) {
 
 // ReadDir lists a directory.
 func (fs *FS) ReadDir(ctx context.Context, path string) ([]DirEntry, error) {
-	addr, ino, err := fs.lookupPath(ctx, path)
+	addr, _, err := fs.lookupPath(ctx, path)
 	if err != nil {
 		return nil, err
 	}
-	if !ino.isDir() {
-		return nil, ErrNotDir
-	}
-	return fs.readDirEntries(ctx, addr, ino)
+	_, entries, err := fs.readDirAtomic(ctx, addr)
+	return entries, err
 }
 
 // Stat describes a path.
@@ -539,7 +561,7 @@ func (fs *FS) Remove(ctx context.Context, path string) error {
 		return err
 	}
 	if ino.isDir() && ino.Size > 0 {
-		sub, err := fs.readDirEntries(ctx, target.Inode, ino)
+		_, sub, err := fs.readDirAtomic(ctx, target.Inode)
 		if err != nil {
 			return err
 		}

@@ -139,6 +139,10 @@ type NodeConfig struct {
 	MigrationInterval time.Duration
 	// Registry supplies custom consistency protocols (nil = built-ins).
 	Registry *consistency.Registry
+	// PerPageTransfers disables the batched multi-page lock/fetch and
+	// release pipeline, issuing one RPC per page instead. Benchmarks use
+	// it to compare the two paths; the default (false) batches.
+	PerPageTransfers bool
 	// Tracer observes Figure-2 protocol steps (diagnostics).
 	Tracer func(step string)
 }
@@ -180,6 +184,7 @@ func StartNode(ctx context.Context, cfg NodeConfig) (*Node, error) {
 		ReplicaInterval:   cfg.ReplicaInterval,
 		MigrationInterval: cfg.MigrationInterval,
 		Registry:          cfg.Registry,
+		PerPageTransfers:  cfg.PerPageTransfers,
 		Tracer:            cfg.Tracer,
 	})
 	if err != nil {
