@@ -30,8 +30,10 @@ fmt-check:
 
 # bench-smoke runs every benchmark for a single iteration so bit-rotted
 # benchmark code fails CI instead of lingering until someone profiles.
+# -benchmem keeps allocation figures visible in CI logs; the hard
+# allocation gate for cached zero-copy reads is TestCachedReadAllocGate.
 bench-smoke:
-	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+	$(GO) test -run=NONE -bench=. -benchtime=1x -benchmem ./...
 
 $(BIN): FORCE
 	$(GO) build -o $(BIN) ./cmd/khazlint

@@ -1,0 +1,60 @@
+package khazana_test
+
+import (
+	"context"
+	"testing"
+
+	"khazana"
+)
+
+// TestCachedReadAllocGate is the allocation regression gate for the
+// zero-copy frame pipeline: a cached full-page read through the view path
+// must not allocate page data — the returned slice aliases the pooled
+// frame pinned in the lock context. The budget of 1 alloc/op absorbs
+// bookkeeping amortization (the view pin list growing); a regression that
+// reintroduces a per-read page copy jumps to 2+ and fails.
+func TestCachedReadAllocGate(t *testing.T) {
+	c, err := khazana.NewCluster(1, khazana.WithStoreDir(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+	const ps = 4096
+	n := c.Node(1)
+	start, err := n.Reserve(ctx, ps, khazana.Attrs{}, "bench")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Allocate(ctx, start, "bench"); err != nil {
+		t.Fatal(err)
+	}
+	lk, err := n.Lock(ctx, khazana.Range{Start: start, Size: ps}, khazana.LockWrite, "bench")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lk.Write(start, make([]byte, ps)); err != nil {
+		t.Fatal(err)
+	}
+	if err := lk.Unlock(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	rlk, err := n.Lock(ctx, khazana.Range{Start: start, Size: ps}, khazana.LockRead, "bench")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rlk.Unlock(ctx)
+	avg := testing.AllocsPerRun(500, func() {
+		view, err := rlk.ReadView(start, ps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(view) != ps {
+			t.Fatalf("view length %d", len(view))
+		}
+	})
+	if avg > 1 {
+		t.Fatalf("cached zero-copy read allocates %.2f objects/op, budget is 1", avg)
+	}
+}

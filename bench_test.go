@@ -489,6 +489,72 @@ func BenchmarkE13Batching(b *testing.B) {
 	}
 }
 
+// --- E14: zero-copy frame pipeline -------------------------------------------
+
+// BenchmarkE14ZeroCopy measures the allocation cost of cached reads
+// through the zero-copy view path against the copying Read path, and the
+// steady-state cost of a cold remote fetch. Run with -benchmem: the view
+// should report ~0 B/op while the copy pays the page buffer every call,
+// and the fetch's page data should ride pooled frames (no per-op
+// page-sized allocation beyond the protocol's fixed costs).
+func BenchmarkE14ZeroCopy(b *testing.B) {
+	c := benchCluster(b, 2)
+	ctx := context.Background()
+	const ps = 4096
+	start := benchRegion(b, c.Node(1), ps, khazana.Attrs{})
+	benchWrite(b, c.Node(1), start, bytes.Repeat([]byte("z"), ps))
+
+	b.Run("cached-view", func(b *testing.B) {
+		lk, err := c.Node(1).Lock(ctx, khazana.Range{Start: start, Size: ps}, khazana.LockRead, "bench")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.SetBytes(ps)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := lk.ReadView(start, ps); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		if err := lk.Unlock(ctx); err != nil {
+			b.Fatal(err)
+		}
+	})
+	b.Run("cached-copy", func(b *testing.B) {
+		lk, err := c.Node(1).Lock(ctx, khazana.Range{Start: start, Size: ps}, khazana.LockRead, "bench")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.SetBytes(ps)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := lk.Read(start, ps); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		if err := lk.Unlock(ctx); err != nil {
+			b.Fatal(err)
+		}
+	})
+	b.Run("remote-fetch", func(b *testing.B) {
+		benchRead(b, c.Node(2), start, ps) // warm descriptors and pools
+		b.ReportAllocs()
+		b.SetBytes(ps)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			c.Node(2).Core().Store().Delete(start)
+			c.Node(2).Core().PageDir().Delete(start)
+			b.StartTimer()
+			benchRead(b, c.Node(2), start, ps)
+		}
+	})
+}
+
 // BenchmarkExperimentHarness runs one fast harness pass end to end, so the
 // full experiment pipeline is exercised by `go test -bench`.
 func BenchmarkExperimentHarness(b *testing.B) {

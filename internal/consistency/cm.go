@@ -7,6 +7,7 @@ import (
 	"sort"
 	"sync"
 
+	"khazana/internal/frame"
 	"khazana/internal/gaddr"
 	"khazana/internal/ktypes"
 	"khazana/internal/pagedir"
@@ -22,10 +23,13 @@ type Host interface {
 	Self() ktypes.NodeID
 	// Request performs an RPC to a peer daemon.
 	Request(ctx context.Context, to ktypes.NodeID, m wire.Msg) (wire.Msg, error)
-	// LoadPage returns the local copy of a page, if resident.
-	LoadPage(page gaddr.Addr) ([]byte, bool)
-	// StorePage replaces the local copy of a page.
-	StorePage(page gaddr.Addr, data []byte) error
+	// LoadPage returns the local copy of a page, if resident. The caller
+	// owns the returned frame (one reference) and must Release it; the
+	// frame is shared, so its contents are immutable.
+	LoadPage(page gaddr.Addr) (*frame.Frame, bool)
+	// StorePage replaces the local copy of a page. The frame is
+	// borrowed: the host takes its own reference.
+	StorePage(page gaddr.Addr, f *frame.Frame) error
 	// DropPage discards the local copy of a page.
 	DropPage(page gaddr.Addr)
 	// Dir returns the node's page directory.
@@ -165,19 +169,30 @@ func batchErrs(n int, err error) []error {
 	return errs
 }
 
-// zeroFill returns a page-sized zero buffer, the contents of an allocated
-// but never-written page.
-func zeroFill(desc *region.Descriptor) []byte {
-	return make([]byte, desc.Attrs.PageSize)
+// zeroFill returns a page-sized zero frame, the contents of an allocated
+// but never-written page. The caller owns the frame and must Release it.
+func zeroFill(desc *region.Descriptor) *frame.Frame {
+	return frame.AllocZero(int(desc.Attrs.PageSize))
 }
 
-// loadOrZero returns the local page copy, zero-filling for allocated pages
-// never written.
-func loadOrZero(h Host, desc *region.Descriptor, page gaddr.Addr) []byte {
-	if data, ok := h.LoadPage(page); ok {
-		return data
+// loadOrZero returns the local page frame, zero-filling for allocated
+// pages never written. The caller owns the returned frame (one
+// reference) and must Release it.
+func loadOrZero(h Host, desc *region.Descriptor, page gaddr.Addr) *frame.Frame {
+	//khazana:frame-owner returned to the caller when the page is resident
+	if f, ok := h.LoadPage(page); ok {
+		return f
 	}
 	return zeroFill(desc)
+}
+
+// storeBytes copies plain bytes into the host's page store via a
+// transient frame, for decode paths that hold no frame.
+func storeBytes(h Host, page gaddr.Addr, data []byte) error {
+	f := frame.Copy(data)
+	err := h.StorePage(page, f)
+	f.Release()
+	return err
 }
 
 // isHome reports whether the local node is the region's primary home.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 
+	"khazana/internal/frame"
 	"khazana/internal/gaddr"
 	"khazana/internal/ktypes"
 	"khazana/internal/pagedir"
@@ -79,7 +80,10 @@ func (c *CrewCM) Acquire(ctx context.Context, desc *region.Descriptor, page gadd
 		return fmt.Errorf("consistency: crew acquire %v: %s", page, grant.Err)
 	}
 	if grant.Data != nil {
-		if err := c.h.StorePage(page, grant.Data); err != nil {
+		f := grant.TakeFrame()
+		err := c.h.StorePage(page, f)
+		f.Release()
+		if err != nil {
 			return fmt.Errorf("consistency: crew acquire %v: store: %w", page, err)
 		}
 	}
@@ -177,7 +181,8 @@ func (c *CrewCM) acquireFromHome(ctx context.Context, desc *region.Descriptor, h
 	}
 	acquired := make([]gaddr.Addr, 0, len(group))
 	var firstErr error
-	for i, g := range batch.Grants {
+	for i := range batch.Grants {
+		g := &batch.Grants[i]
 		page := group[i]
 		if !g.OK {
 			if firstErr == nil {
@@ -187,7 +192,10 @@ func (c *CrewCM) acquireFromHome(ctx context.Context, desc *region.Descriptor, h
 		}
 		acquired = append(acquired, page)
 		if g.Data != nil {
-			if err := c.h.StorePage(page, g.Data); err != nil {
+			f := g.TakeFrame()
+			err := c.h.StorePage(page, f)
+			f.Release()
+			if err != nil {
 				if firstErr == nil {
 					firstErr = fmt.Errorf("consistency: crew acquire %v: store: %w", page, err)
 				}
@@ -297,11 +305,14 @@ func (c *CrewCM) Release(ctx context.Context, desc *region.Descriptor, page gadd
 	if err != nil {
 		return err
 	}
-	var data []byte
+	msg := &wire.ReleaseNotify{Page: page, Mode: mode, Dirty: dirty, From: c.h.Self()}
 	if mode.Writes() && dirty {
-		data = loadOrZero(c.h, desc, page)
+		// The frame stays referenced until the request (and its marshal)
+		// completes, so the view in Data never dangles.
+		f := loadOrZero(c.h, desc, page)
+		msg.Data = f.Bytes()
+		defer f.Release()
 	}
-	msg := &wire.ReleaseNotify{Page: page, Mode: mode, Dirty: dirty, Data: data, From: c.h.Self()}
 	if _, err := c.h.Request(ctx, home, msg); err != nil {
 		return fmt.Errorf("consistency: crew release %v to %v: %w", page, home, err)
 	}
@@ -339,12 +350,23 @@ func (c *CrewCM) ReleaseBatch(ctx context.Context, desc *region.Descriptor, page
 		return batchErrs(len(pages), err)
 	}
 	items := make([]wire.ReleaseItem, len(pages))
+	var frames []*frame.Frame
 	for i, p := range pages {
 		items[i] = wire.ReleaseItem{Page: p, Mode: mode, Dirty: dirty[p]}
 		if mode.Writes() && dirty[p] {
-			items[i].Data = loadOrZero(c.h, desc, p)
+			// Frames stay referenced until the request (and its marshal)
+			// completes, so the views in Data never dangle.
+			f := loadOrZero(c.h, desc, p)
+			items[i].Data = f.Bytes()
+			//khazana:frame-owner released after the batch RPC below
+			frames = append(frames, f)
 		}
 	}
+	defer func() {
+		for _, f := range frames {
+			f.Release()
+		}
+	}()
 	resp, err := c.h.Request(ctx, home, &wire.ReleaseBatch{From: c.h.Self(), Items: items})
 	if err != nil {
 		return batchErrs(len(pages), fmt.Errorf("consistency: crew release batch (%d pages) to %v: %w", len(pages), home, err))
@@ -377,14 +399,14 @@ func (c *CrewCM) ReleaseBatch(ctx context.Context, desc *region.Descriptor, page
 // reported to the releaser — losing it would silently drop the only
 // current copy of the page's contents at the home — but the global lock
 // is released regardless so the page does not wedge.
-func (c *CrewCM) homeRelease(desc *region.Descriptor, page gaddr.Addr, mode ktypes.LockMode, dirty bool, from ktypes.NodeID, data []byte) error {
+func (c *CrewCM) homeRelease(desc *region.Descriptor, page gaddr.Addr, mode ktypes.LockMode, dirty bool, from ktypes.NodeID, f *frame.Frame) error {
 	var storeErr error
 	if mode.Writes() && dirty {
 		// Write-through: the home stores the new contents so later
 		// grants are served locally (and replica maintenance has a
-		// current copy).
-		if data != nil {
-			if err := c.h.StorePage(page, data); err != nil {
+		// current copy). The frame is borrowed from the caller.
+		if f != nil {
+			if err := c.h.StorePage(page, f); err != nil {
 				storeErr = fmt.Errorf("consistency: crew write-through %v: %w", page, err)
 			}
 		}
@@ -426,7 +448,15 @@ func (c *CrewCM) Handle(ctx context.Context, desc *region.Descriptor, from ktype
 		// A write-through failure travels back to the releaser, whose
 		// release path queues a background retry (§3.5) so the update
 		// is not lost.
-		if err := c.homeRelease(desc, msg.Page, msg.Mode, msg.Dirty, msg.From, msg.Data); err != nil {
+		var f *frame.Frame
+		if msg.Data != nil {
+			f = msg.TakeFrame()
+		}
+		err := c.homeRelease(desc, msg.Page, msg.Mode, msg.Dirty, msg.From, f)
+		if f != nil {
+			f.Release()
+		}
+		if err != nil {
 			return nil, err
 		}
 		return &wire.Ack{}, nil
@@ -459,12 +489,15 @@ func (c *CrewCM) handlePageReq(ctx context.Context, desc *region.Descriptor, msg
 		return &wire.PageGrant{OK: false, Err: err.Error()}, nil
 	}
 	entry, _ := c.h.Dir().Lookup(msg.Page)
-	return &wire.PageGrant{
+	g := &wire.PageGrant{
 		OK:      true,
-		Data:    loadOrZero(c.h, desc, msg.Page),
 		Version: entry.Version,
 		Owner:   entry.Owner,
-	}, nil
+	}
+	f := loadOrZero(c.h, desc, msg.Page)
+	g.SetFrame(f)
+	f.Release()
+	return g, nil
 }
 
 // handlePageReqBatch is the manager side of AcquireBatch: every page of
@@ -502,10 +535,12 @@ func (c *CrewCM) handlePageReqBatch(ctx context.Context, desc *region.Descriptor
 		entry, _ := c.h.Dir().Lookup(page)
 		resp.Grants[i] = wire.PageGrantItem{
 			OK:      true,
-			Data:    loadOrZero(c.h, desc, page),
 			Version: entry.Version,
 			Owner:   entry.Owner,
 		}
+		f := loadOrZero(c.h, desc, page)
+		resp.Grants[i].SetFrame(f)
+		f.Release()
 	}
 	return resp, nil
 }
@@ -518,12 +553,21 @@ func (c *CrewCM) handleReleaseBatch(desc *region.Descriptor, msg *wire.ReleaseBa
 		return nil, ErrNotHome
 	}
 	resp := &wire.ReleaseBatchResp{Errs: make([]string, len(msg.Items))}
-	for i, it := range msg.Items {
+	for i := range msg.Items {
+		it := &msg.Items[i]
 		mode := it.Mode
 		if mode == ktypes.LockWriteShared {
 			mode = ktypes.LockWrite
 		}
-		if err := c.homeRelease(desc, it.Page, mode, it.Dirty, msg.From, it.Data); err != nil {
+		var f *frame.Frame
+		if it.Data != nil {
+			f = it.TakeFrame()
+		}
+		err := c.homeRelease(desc, it.Page, mode, it.Dirty, msg.From, f)
+		if f != nil {
+			f.Release()
+		}
+		if err != nil {
 			resp.Errs[i] = err.Error()
 		}
 	}
@@ -534,10 +578,13 @@ func (c *CrewCM) handleReleaseBatch(desc *region.Descriptor, msg *wire.ReleaseBa
 // by all protocols (Figure 2 steps 7-9: the daemon supplies a copy out of
 // local storage).
 func handlePageFetch(h Host, msg *wire.PageFetch) wire.Msg {
-	data, ok := h.LoadPage(msg.Page)
+	f, ok := h.LoadPage(msg.Page)
 	if !ok {
 		return &wire.PageData{Found: false}
 	}
 	entry, _ := h.Dir().Lookup(msg.Page)
-	return &wire.PageData{Found: true, Data: data, Version: entry.Version}
+	pd := &wire.PageData{Found: true, Version: entry.Version}
+	pd.SetFrame(f)
+	f.Release()
+	return pd
 }

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"khazana/internal/frame"
 	"khazana/internal/gaddr"
 	"khazana/internal/ktypes"
 	"khazana/internal/pagedir"
@@ -44,10 +45,23 @@ type EventualCM struct {
 	applyFailures atomic.Uint64
 
 	mu sync.Mutex
-	// auth shadows the LWW-winning contents per page.
-	auth map[gaddr.Addr][]byte
+	// auth shadows the LWW-winning contents per page; each entry holds
+	// one frame reference, released when the entry is replaced. The
+	// frames are shared (responses alias them), so their contents are
+	// immutable.
+	auth map[gaddr.Addr]*frame.Frame
 	// pending parks updates that arrived under a local write lock.
-	pending map[gaddr.Addr]*wire.UpdatePush
+	pending map[gaddr.Addr]*parkedUpdate
+}
+
+// parkedUpdate is an inbound update held until the local write lock
+// releases. It owns one reference on f (taken off the inbound message,
+// whose buffer the transport may recycle after the handler returns).
+type parkedUpdate struct {
+	//khazana:frame-owner released when the parked update is applied or superseded
+	f      *frame.Frame
+	stamp  int64
+	origin ktypes.NodeID
 }
 
 // PushFailures reports how many best-effort update propagations to
@@ -62,8 +76,8 @@ func (c *EventualCM) ApplyFailures() uint64 { return c.applyFailures.Load() }
 func NewEventual(h Host) *EventualCM {
 	return &EventualCM{
 		h:       h,
-		auth:    make(map[gaddr.Addr][]byte),
-		pending: make(map[gaddr.Addr]*wire.UpdatePush),
+		auth:    make(map[gaddr.Addr]*frame.Frame),
+		pending: make(map[gaddr.Addr]*parkedUpdate),
 	}
 }
 
@@ -78,7 +92,12 @@ func (c *EventualCM) Acquire(ctx context.Context, desc *region.Descriptor, page 
 	if err := c.h.Locks().Acquire(ctx, page, mode); err != nil {
 		return fmt.Errorf("%w: %v", ErrConflict, err)
 	}
-	if _, ok := c.h.LoadPage(page); ok || isHome(c.h, desc) {
+	resident := false
+	if lf, ok := c.h.LoadPage(page); ok {
+		resident = true
+		lf.Release()
+	}
+	if resident || isHome(c.h, desc) {
 		if isHome(c.h, desc) {
 			c.h.Dir().Update(page, func(e *pagedir.Entry) { e.HomedLocal = true })
 		}
@@ -105,19 +124,24 @@ func (c *EventualCM) fetchInitial(ctx context.Context, desc *region.Descriptor, 
 	if !ok {
 		return fmt.Errorf("consistency: eventual fetch %v: unexpected reply %T", page, resp)
 	}
-	data := pd.Data
-	if !pd.Found {
-		data = zeroFill(desc)
+	var f *frame.Frame
+	if pd.Found {
+		f = pd.TakeFrame()
 	}
+	if f == nil {
+		f = zeroFill(desc)
+	}
+	defer f.Release()
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if _, already := c.h.LoadPage(page); already {
+	if lf, already := c.h.LoadPage(page); already {
+		lf.Release()
 		return nil // a concurrent update beat us to it
 	}
-	if err := c.h.StorePage(page, data); err != nil {
+	if err := c.h.StorePage(page, f); err != nil {
 		return err
 	}
-	c.auth[page] = append([]byte(nil), data...)
+	c.setAuthLocked(page, f)
 	c.h.Dir().Update(page, func(e *pagedir.Entry) {
 		e.State = pagedir.Shared
 		e.Version = pd.Version
@@ -125,26 +149,45 @@ func (c *EventualCM) fetchInitial(ctx context.Context, desc *region.Descriptor, 
 	return nil
 }
 
-// applyLocked installs (data, stamp, origin) iff it supersedes the local
-// state under last-writer-wins. data == nil means "the bytes already in
-// the local store" (a local write claiming its stamp). Caller holds c.mu.
-func (c *EventualCM) applyLocked(page gaddr.Addr, data []byte, stamp int64, origin ktypes.NodeID) (bool, error) {
+// setAuthLocked replaces the auth shadow for page with f (borrowed; the
+// map takes its own reference). Caller holds c.mu.
+func (c *EventualCM) setAuthLocked(page gaddr.Addr, f *frame.Frame) {
+	old := c.auth[page]
+	//khazana:frame-owner auth map holds one reference per entry
+	c.auth[page] = f.Retain()
+	if old != nil {
+		old.Release()
+	}
+}
+
+// applyLocked installs (f, stamp, origin) iff it supersedes the local
+// state under last-writer-wins. f is borrowed; f == nil means "the bytes
+// already in the local store" (a local write claiming its stamp). Caller
+// holds c.mu.
+func (c *EventualCM) applyLocked(page gaddr.Addr, f *frame.Frame, stamp int64, origin ktypes.NodeID) (bool, error) {
 	entry, _ := c.h.Dir().Lookup(page)
 	if !newerStamp(stamp, origin, &entry) {
 		return false, nil
 	}
-	if data == nil {
+	if f == nil {
+		//khazana:frame-owner the loaded reference transfers into the auth map below
 		stored, ok := c.h.LoadPage(page)
 		if !ok {
 			return false, fmt.Errorf("consistency: eventual claim %v: no local data", page)
 		}
-		data = stored
+		// Transfer the loaded reference straight into the auth map.
+		old := c.auth[page]
+		//khazana:frame-owner auth map holds one reference per entry
+		c.auth[page] = stored
+		if old != nil {
+			old.Release()
+		}
 	} else {
-		if err := c.h.StorePage(page, data); err != nil {
+		if err := c.h.StorePage(page, f); err != nil {
 			return false, err
 		}
+		c.setAuthLocked(page, f)
 	}
-	c.auth[page] = append([]byte(nil), data...)
 	c.h.Dir().Update(page, func(e *pagedir.Entry) {
 		e.Stamp = stamp
 		e.StampNode = origin
@@ -184,34 +227,39 @@ func (c *EventualCM) Release(ctx context.Context, desc *region.Descriptor, page 
 			err = c.h.StorePage(page, auth)
 		}
 	}
-	var data []byte
+	var f *frame.Frame
 	if claimed {
-		data = append([]byte(nil), c.auth[page]...)
+		// Pin the claimed bytes for the push; the auth entry may be
+		// replaced concurrently once the mutex drops.
+		f = c.auth[page].Retain()
 	}
 	c.mu.Unlock()
 	if err != nil || !claimed {
 		return err
 	}
+	defer f.Release()
 
 	if isHome(c.h, desc) {
 		c.h.Dir().Update(page, func(e *pagedir.Entry) { e.HomedLocal = true })
-		c.gossip(ctx, page, data, stamp, self)
+		c.gossip(ctx, page, f, stamp, self)
 		return nil
 	}
 	home, err := homeOf(desc)
 	if err != nil {
 		return err
 	}
-	resp, err := c.h.Request(ctx, home, &wire.UpdatePush{Page: page, Data: data, Stamp: stamp, Origin: self})
+	resp, err := c.h.Request(ctx, home, &wire.UpdatePush{Page: page, Data: f.Bytes(), Stamp: stamp, Origin: self})
 	if err != nil {
 		return fmt.Errorf("consistency: eventual push %v: %w", page, err)
 	}
 	// The home answers with its authoritative state; reconcile in case
 	// our push lost to a newer update.
 	if auth, ok := resp.(*wire.UpdatePush); ok && auth.Data != nil {
+		af := auth.TakeFrame()
 		c.mu.Lock()
-		_, err = c.applyLocked(page, auth.Data, auth.Stamp, auth.Origin)
+		_, err = c.applyLocked(page, af, auth.Stamp, auth.Origin)
 		c.mu.Unlock()
+		af.Release()
 	}
 	return err
 }
@@ -226,7 +274,7 @@ func (c *EventualCM) applyPending(ctx context.Context, desc *region.Descriptor, 
 	if ok {
 		delete(c.pending, page)
 		var err error
-		applied, err = c.applyLocked(page, upd.Data, upd.Stamp, upd.Origin)
+		applied, err = c.applyLocked(page, upd.f, upd.stamp, upd.origin)
 		if err != nil {
 			// The local replica stays a version old; it converges on the
 			// next accepted update. Count the miss so operators can see
@@ -236,19 +284,27 @@ func (c *EventualCM) applyPending(ctx context.Context, desc *region.Descriptor, 
 	}
 	c.mu.Unlock()
 	if applied && isHome(c.h, desc) {
-		c.gossip(ctx, page, upd.Data, upd.Stamp, upd.Origin)
+		c.gossip(ctx, page, upd.f, upd.stamp, upd.origin)
+	}
+	if ok && upd.f != nil {
+		upd.f.Release()
 	}
 }
 
 // gossip forwards an accepted update to every other replica site,
 // best-effort: a site that misses an update converges on the next
 // accepted one (or stays a version old, which this protocol permits).
-func (c *EventualCM) gossip(ctx context.Context, page gaddr.Addr, data []byte, stamp int64, origin ktypes.NodeID) {
+func (c *EventualCM) gossip(ctx context.Context, page gaddr.Addr, f *frame.Frame, stamp int64, origin ktypes.NodeID) {
 	entry, ok := c.h.Dir().Lookup(page)
 	if !ok {
 		return
 	}
-	msg := &wire.UpdatePush{Page: page, Data: data, Stamp: stamp, Origin: origin}
+	// One frame reference (held by the caller for the duration of this
+	// call) backs every send; the message carries only a byte view.
+	msg := &wire.UpdatePush{Page: page, Stamp: stamp, Origin: origin}
+	if f != nil {
+		msg.Data = f.Bytes()
+	}
 	for _, n := range entry.Copyset {
 		if n == c.h.Self() || n == origin {
 			continue
@@ -294,28 +350,54 @@ func (c *EventualCM) Handle(ctx context.Context, desc *region.Descriptor, from k
 				e.AddSharer(msg.Origin)
 			})
 		}
+		// Take ownership of the inbound bytes up front: the transport
+		// recycles the message's buffer after this handler returns.
+		uf := msg.TakeFrame()
 		c.mu.Lock()
 		var applied bool
 		var err error
 		if c.h.Locks().WriteLocked(msg.Page) {
 			// A local writer is active: park the update; it is
 			// applied (LWW) when the lock releases.
-			if prev, ok := c.pending[msg.Page]; !ok || msg.Stamp > prev.Stamp ||
-				(msg.Stamp == prev.Stamp && msg.Origin > prev.Origin) {
-				c.pending[msg.Page] = msg
+			if prev, ok := c.pending[msg.Page]; !ok || msg.Stamp > prev.stamp ||
+				(msg.Stamp == prev.stamp && msg.Origin > prev.origin) {
+				if ok && prev.f != nil {
+					prev.f.Release()
+				}
+				//khazana:frame-owner ownership moves to the parked update
+				c.pending[msg.Page] = &parkedUpdate{f: uf, stamp: msg.Stamp, origin: msg.Origin}
+				uf = nil
 			}
 		} else {
-			applied, err = c.applyLocked(msg.Page, msg.Data, msg.Stamp, msg.Origin)
+			applied, err = c.applyLocked(msg.Page, uf, msg.Stamp, msg.Origin)
 		}
 		entry, _ := c.h.Dir().Lookup(msg.Page)
-		authData := append([]byte(nil), c.auth[msg.Page]...)
+		var af *frame.Frame
+		if a, ok := c.auth[msg.Page]; ok {
+			// Pin the authoritative bytes for the reply while the mutex
+			// is still held; no copy is made.
+			af = a.Retain()
+		}
 		c.mu.Unlock()
 		if err != nil {
+			if uf != nil {
+				uf.Release()
+			}
+			if af != nil {
+				af.Release()
+			}
 			return nil, err
 		}
-		resp := &wire.UpdatePush{Page: msg.Page, Data: authData, Stamp: entry.Stamp, Origin: entry.StampNode}
+		resp := &wire.UpdatePush{Page: msg.Page, Stamp: entry.Stamp, Origin: entry.StampNode}
+		if af != nil {
+			resp.SetFrame(af)
+			af.Release()
+		}
 		if home && applied {
-			c.gossip(ctx, msg.Page, msg.Data, msg.Stamp, msg.Origin)
+			c.gossip(ctx, msg.Page, uf, msg.Stamp, msg.Origin)
+		}
+		if uf != nil {
+			uf.Release()
 		}
 		return resp, nil
 	//khazana:wire-default non-CM kinds are unroutable here by design

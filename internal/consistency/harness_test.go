@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"khazana/internal/frame"
 	"khazana/internal/gaddr"
 	"khazana/internal/ktypes"
 	"khazana/internal/pagedir"
@@ -25,8 +26,9 @@ type testHost struct {
 	locks *LockTable
 	cms   map[region.Protocol]CM
 
-	mu    sync.Mutex
-	pages map[gaddr.Addr][]byte
+	mu sync.Mutex
+	// pages holds one frame reference per entry.
+	pages map[gaddr.Addr]*frame.Frame
 
 	clock atomic.Int64
 
@@ -42,27 +44,35 @@ func (h *testHost) Request(ctx context.Context, to ktypes.NodeID, m wire.Msg) (w
 	return h.tr.Request(ctx, to, m)
 }
 
-func (h *testHost) LoadPage(page gaddr.Addr) ([]byte, bool) {
+func (h *testHost) LoadPage(page gaddr.Addr) (*frame.Frame, bool) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	data, ok := h.pages[page]
+	f, ok := h.pages[page]
 	if !ok {
 		return nil, false
 	}
-	return append([]byte(nil), data...), true
+	return f.Retain(), true
 }
 
-func (h *testHost) StorePage(page gaddr.Addr, data []byte) error {
+func (h *testHost) StorePage(page gaddr.Addr, f *frame.Frame) error {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	h.pages[page] = append([]byte(nil), data...)
+	old := h.pages[page]
+	//khazana:frame-owner the page map holds one reference per entry
+	h.pages[page] = f.Retain()
+	if old != nil {
+		old.Release()
+	}
 	return nil
 }
 
 func (h *testHost) DropPage(page gaddr.Addr) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	delete(h.pages, page)
+	if f, ok := h.pages[page]; ok {
+		f.Release()
+		delete(h.pages, page)
+	}
 }
 
 func (h *testHost) Dir() *pagedir.Dir { return h.dir }
@@ -118,7 +128,7 @@ func cluster(t *testing.T, n int, descs ...*region.Descriptor) []*testHost {
 			tr:    tr,
 			dir:   pagedir.New(),
 			locks: NewLockTable(),
-			pages: make(map[gaddr.Addr][]byte),
+			pages: make(map[gaddr.Addr]*frame.Frame),
 			descs: descs,
 		}
 		h.cms = reg.Build(h)
@@ -144,6 +154,23 @@ func testDesc(protocol region.Protocol) *region.Descriptor {
 // cm returns the host's CM for the descriptor's protocol.
 func (h *testHost) cm(d *region.Descriptor) CM { return h.cms[d.Attrs.Protocol] }
 
+// snapshot returns a private copy of the page's current (or zero) bytes.
+func snapshot(h *testHost, d *region.Descriptor, page gaddr.Addr) []byte {
+	f := loadOrZero(h, d, page)
+	data := append([]byte(nil), f.Bytes()...)
+	f.Release()
+	return data
+}
+
+// resident reports whether the host holds a local copy of the page.
+func resident(h *testHost, page gaddr.Addr) bool {
+	f, ok := h.LoadPage(page)
+	if ok {
+		f.Release()
+	}
+	return ok
+}
+
 // lockWrite acquires, mutates, and releases a page under a write lock.
 func lockWrite(t *testing.T, h *testHost, d *region.Descriptor, page gaddr.Addr, mutate func(data []byte)) {
 	t.Helper()
@@ -151,9 +178,9 @@ func lockWrite(t *testing.T, h *testHost, d *region.Descriptor, page gaddr.Addr,
 	if err := h.cm(d).Acquire(ctx, d, page, ktypes.LockWrite); err != nil {
 		t.Fatalf("%v acquire write: %v", h.id, err)
 	}
-	data := loadOrZero(h, d, page)
+	data := snapshot(h, d, page)
 	mutate(data)
-	if err := h.StorePage(page, data); err != nil {
+	if err := storeBytes(h, page, data); err != nil {
 		t.Fatal(err)
 	}
 	if err := h.cm(d).Release(ctx, d, page, ktypes.LockWrite, true); err != nil {
@@ -168,7 +195,7 @@ func lockRead(t *testing.T, h *testHost, d *region.Descriptor, page gaddr.Addr) 
 	if err := h.cm(d).Acquire(ctx, d, page, ktypes.LockRead); err != nil {
 		t.Fatalf("%v acquire read: %v", h.id, err)
 	}
-	data := loadOrZero(h, d, page)
+	data := snapshot(h, d, page)
 	if err := h.cm(d).Release(ctx, d, page, ktypes.LockRead, false); err != nil {
 		t.Fatalf("%v release read: %v", h.id, err)
 	}

@@ -47,10 +47,10 @@ func TestCREWSequentialCounter(t *testing.T) {
 					t.Error(err)
 					return
 				}
-				data := loadOrZero(h, d, page)
+				data := snapshot(h, d, page)
 				v := binary.LittleEndian.Uint64(data)
 				binary.LittleEndian.PutUint64(data, v+1)
-				_ = h.StorePage(page, data)
+				_ = storeBytes(h, page, data)
 				if err := h.cm(d).Release(ctx, d, page, ktypes.LockWrite, true); err != nil {
 					t.Error(err)
 					return
@@ -127,12 +127,12 @@ func TestCREWInvalidationDropsStaleCopies(t *testing.T) {
 
 	lockWrite(t, hosts[0], d, page, func(data []byte) { copy(data, "v1") })
 	_ = lockRead(t, hosts[2], d, page) // n3 caches v1
-	if _, ok := hosts[2].LoadPage(page); !ok {
+	if !resident(hosts[2], page) {
 		t.Fatal("n3 should hold a copy")
 	}
 	lockWrite(t, hosts[1], d, page, func(data []byte) { copy(data, "v2") })
 	// n3's copy must have been invalidated (it held no lock).
-	if _, ok := hosts[2].LoadPage(page); ok {
+	if resident(hosts[2], page) {
 		t.Fatal("stale copy survived invalidation")
 	}
 	if got := lockRead(t, hosts[2], d, page); string(got[:2]) != "v2" {
@@ -233,9 +233,9 @@ func TestReleaseConcurrentWritersLastPushWins(t *testing.T) {
 		}
 	}
 	write := func(h *testHost, val byte) {
-		data := loadOrZero(h, d, page)
+		data := snapshot(h, d, page)
 		data[0] = val
-		_ = h.StorePage(page, data)
+		_ = storeBytes(h, page, data)
 		if err := h.cm(d).Release(ctx, d, page, ktypes.LockWriteShared, true); err != nil {
 			t.Fatal(err)
 		}
@@ -368,9 +368,9 @@ func TestEventualConcurrentWritersConverge(t *testing.T) {
 					t.Error(err)
 					return
 				}
-				data := loadOrZero(h, d, page)
+				data := snapshot(h, d, page)
 				data[0] = byte('a' + i)
-				_ = h.StorePage(page, data)
+				_ = storeBytes(h, page, data)
 				if err := h.cm(d).Release(ctx, d, page, ktypes.LockWrite, true); err != nil {
 					t.Error(err)
 					return
@@ -443,8 +443,12 @@ func TestHandlerPathThroughTransport(t *testing.T) {
 	hosts := cluster(t, 2, d)
 	page := d.Range.Start
 	lockWrite(t, hosts[1], d, page, func(data []byte) { copy(data, "thru") })
-	got, ok := hosts[0].LoadPage(page)
-	if !ok || string(got[:4]) != "thru" {
-		t.Fatalf("home store = %q, %v", got[:4], ok)
+	f, ok := hosts[0].LoadPage(page)
+	if !ok {
+		t.Fatal("home store missing page")
+	}
+	defer f.Release()
+	if string(f.Bytes()[:4]) != "thru" {
+		t.Fatalf("home store = %q", f.Bytes()[:4])
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"khazana/internal/frame"
 	"khazana/internal/gaddr"
 	"khazana/internal/ktypes"
 	"khazana/internal/pagedir"
@@ -62,7 +63,11 @@ func (c *ReleaseCM) validate(ctx context.Context, desc *region.Descriptor, page 
 		return err
 	}
 	entry, haveEntry := c.h.Dir().Lookup(page)
-	_, haveData := c.h.LoadPage(page)
+	haveData := false
+	if lf, ok := c.h.LoadPage(page); ok {
+		haveData = true
+		lf.Release()
+	}
 
 	resp, err := c.h.Request(ctx, home, &wire.VersionQuery{Page: page})
 	if err != nil {
@@ -84,12 +89,17 @@ func (c *ReleaseCM) validate(ctx context.Context, desc *region.Descriptor, page 
 	if !ok {
 		return fmt.Errorf("consistency: release fetch %v: unexpected reply %T", page, fetchResp)
 	}
-	data := pd.Data
-	if !pd.Found {
-		// Never written: an allocated page reads as zeroes.
-		data = zeroFill(desc)
+	var f *frame.Frame
+	if pd.Found {
+		f = pd.TakeFrame()
 	}
-	if err := c.h.StorePage(page, data); err != nil {
+	if f == nil {
+		// Never written: an allocated page reads as zeroes.
+		f = zeroFill(desc)
+	}
+	err = c.h.StorePage(page, f)
+	f.Release()
+	if err != nil {
 		return fmt.Errorf("consistency: release store %v: %w", page, err)
 	}
 	c.h.Dir().Update(page, func(e *pagedir.Entry) {
@@ -117,8 +127,10 @@ func (c *ReleaseCM) Release(ctx context.Context, desc *region.Descriptor, page g
 	if err != nil {
 		return err
 	}
-	data := loadOrZero(c.h, desc, page)
-	resp, err := c.h.Request(ctx, home, &wire.UpdatePush{Page: page, Data: data, Origin: c.h.Self()})
+	// The frame stays alive (and its Data view valid) across the RPC.
+	f := loadOrZero(c.h, desc, page)
+	defer f.Release()
+	resp, err := c.h.Request(ctx, home, &wire.UpdatePush{Page: page, Data: f.Bytes(), Origin: c.h.Self()})
 	if err != nil {
 		return fmt.Errorf("consistency: release push %v: %w", page, err)
 	}
@@ -166,8 +178,12 @@ func (c *ReleaseCM) Handle(ctx context.Context, desc *region.Descriptor, from kt
 		if !isHome(c.h, desc) {
 			return nil, ErrNotHome
 		}
-		if err := c.h.StorePage(msg.Page, msg.Data); err != nil {
-			return nil, err
+		if f := msg.TakeFrame(); f != nil {
+			err := c.h.StorePage(msg.Page, f)
+			f.Release()
+			if err != nil {
+				return nil, err
+			}
 		}
 		var newVersion uint64
 		c.h.Dir().Update(msg.Page, func(e *pagedir.Entry) {

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"khazana/internal/addrmap"
+	"khazana/internal/frame"
 	"khazana/internal/gaddr"
 	"khazana/internal/ktypes"
 	"khazana/internal/pagedir"
@@ -162,73 +163,148 @@ func (n *Node) PendingRetries() int {
 }
 
 // RunRetries attempts every queued release once (also callable by tests).
+// CREW retries bound for the same (home, region) pair ride one batched
+// ReleaseBatch RPC — the same pipeline the foreground release path uses —
+// instead of one round trip per page; the other protocols notify the home
+// per page.
 func (n *Node) RunRetries() {
 	n.retryMu.Lock()
 	ops := n.retries
 	n.retries = nil
 	n.retryMu.Unlock()
+	if len(ops) == 0 {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+	type groupKey struct {
+		home  ktypes.NodeID
+		start gaddr.Addr
+	}
+	// Batches group by region as well as home: the receiver routes the
+	// whole batch by its first page's region.
+	crew := make(map[groupKey][]retryOp)
+	var crewOrder []groupKey
 	for _, op := range ops {
-		if err := n.retryRelease(op); err != nil {
+		desc, err := n.lookupRegion(ctx, op.page)
+		if err != nil {
 			n.queueRetry(op)
-		} else {
+			continue
+		}
+		home, err := desc.PrimaryHome()
+		if err != nil {
+			n.queueRetry(op)
+			continue
+		}
+		if home == n.cfg.ID {
+			// We became the home; nothing to notify.
+			n.stats.ReleaseRetries.Add(1)
+			continue
+		}
+		switch desc.Attrs.Protocol {
+		case region.CREW:
+			key := groupKey{home: home, start: desc.Range.Start}
+			if _, seen := crew[key]; !seen {
+				crewOrder = append(crewOrder, key)
+			}
+			crew[key] = append(crew[key], op)
+		case region.Release, region.Eventual:
+			if !op.dirty {
+				n.stats.ReleaseRetries.Add(1)
+				continue
+			}
+			if err := n.retryPush(ctx, op, home, desc.Attrs.Protocol); err != nil {
+				n.queueRetry(op)
+			} else {
+				n.stats.ReleaseRetries.Add(1)
+			}
+		default:
 			n.stats.ReleaseRetries.Add(1)
 		}
 	}
+	for _, key := range crewOrder {
+		n.retryCrewBatch(ctx, key.home, crew[key])
+	}
 }
 
-// retryRelease redoes the network half of a failed release. The local
-// lock state was already torn down when the release first ran, so only
-// the home-side notification is repeated.
-func (n *Node) retryRelease(op retryOp) error {
-	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
-	defer cancel()
-	desc, err := n.lookupRegion(ctx, op.page)
-	if err != nil {
-		return err
-	}
-	home, err := desc.PrimaryHome()
-	if err != nil {
-		return err
-	}
-	if home == n.cfg.ID {
-		return nil // we became the home; nothing to notify
-	}
-	var data []byte
-	if op.dirty {
-		d, ok := n.store.Get(op.page)
-		if !ok {
-			// The page left the node since the release failed; the
-			// disk-eviction path only lets a dirty page go after
-			// pushing it home (§3.4), so the update has already been
-			// delivered. Pushing nil here would clobber it.
-			return nil
-		}
-		data = d
-	}
-	var msg wire.Msg
-	switch desc.Attrs.Protocol {
-	case region.CREW:
-		msg = &wire.ReleaseNotify{Page: op.page, Mode: op.mode, Dirty: op.dirty, Data: data, From: n.cfg.ID}
-	case region.Release:
-		if !op.dirty {
-			return nil
-		}
-		msg = &wire.UpdatePush{Page: op.page, Data: data, Origin: n.cfg.ID}
-	case region.Eventual:
-		if !op.dirty {
-			return nil
-		}
-		msg = &wire.UpdatePush{Page: op.page, Data: data, Stamp: n.now(), Origin: n.cfg.ID}
-	default:
+// retryPush redoes the network half of a failed dirty release under the
+// release or eventual protocol: one UpdatePush to the home.
+func (n *Node) retryPush(ctx context.Context, op retryOp, home ktypes.NodeID, proto region.Protocol) error {
+	f, ok := n.store.Get(op.page)
+	if !ok {
+		// The page left the node since the release failed; the
+		// disk-eviction path only lets a dirty page go after pushing it
+		// home (§3.4), so the update has already been delivered.
+		// Pushing nil here would clobber it.
 		return nil
 	}
-	if _, err = n.tr.Request(ctx, home, msg); err != nil {
+	// The frame stays alive (and its Data view valid) across the RPC.
+	defer f.Release()
+	msg := &wire.UpdatePush{Page: op.page, Data: f.Bytes(), Origin: n.cfg.ID}
+	if proto == region.Eventual {
+		msg.Stamp = n.now()
+	}
+	if _, err := n.tr.Request(ctx, home, msg); err != nil {
 		return err
 	}
 	// Delivered: the local copy is no longer the only holder of the
 	// update, so it may be victimized again.
 	n.dir.Update(op.page, func(e *pagedir.Entry) { e.Dirty = false })
 	return nil
+}
+
+// retryCrewBatch redoes the network half of failed CREW releases bound
+// for one home as a single ReleaseBatch RPC (§3.5). The local lock state
+// was already torn down when the releases first ran, so the batch is
+// assembled raw rather than through the CM (whose ReleaseBatch would try
+// to release local locks again); the home's lock table tolerates
+// re-releasing a lock the requester no longer holds.
+func (n *Node) retryCrewBatch(ctx context.Context, home ktypes.NodeID, ops []retryOp) {
+	batch := &wire.ReleaseBatch{From: n.cfg.ID, Items: make([]wire.ReleaseItem, 0, len(ops))}
+	live := make([]retryOp, 0, len(ops))
+	//khazana:frame-owner released after the batch RPC below
+	frames := make([]*frame.Frame, 0, len(ops))
+	defer func() {
+		for _, f := range frames {
+			f.Release()
+		}
+	}()
+	for _, op := range ops {
+		item := wire.ReleaseItem{Page: op.page, Mode: op.mode, Dirty: op.dirty}
+		if op.dirty {
+			f, ok := n.store.Get(op.page)
+			if !ok {
+				// Already delivered by the disk-eviction path (§3.4).
+				n.stats.ReleaseRetries.Add(1)
+				continue
+			}
+			item.Data = f.Bytes()
+			frames = append(frames, f)
+		}
+		batch.Items = append(batch.Items, item)
+		live = append(live, op)
+	}
+	if len(batch.Items) == 0 {
+		return
+	}
+	resp, err := n.tr.Request(ctx, home, batch)
+	if err != nil {
+		for _, op := range live {
+			n.queueRetry(op)
+		}
+		return
+	}
+	br, ok := resp.(*wire.ReleaseBatchResp)
+	for i, op := range live {
+		if ok && i < len(br.Errs) && br.Errs[i] != "" {
+			n.queueRetry(op)
+			continue
+		}
+		if op.dirty {
+			n.dir.Update(op.page, func(e *pagedir.Entry) { e.Dirty = false })
+		}
+		n.stats.ReleaseRetries.Add(1)
+	}
 }
 
 // replicaLoop maintains each homed region's minimum replica count (§3.5).
@@ -316,19 +392,22 @@ func (n *Node) pushReplicas(ctx context.Context, desc *region.Descriptor) {
 		return
 	}
 	for _, page := range desc.Pages(0, desc.Range.Size) {
-		data, ok := n.store.Get(page)
+		f, ok := n.store.Get(page)
 		if !ok {
 			continue // never written; zero-fills everywhere
 		}
+		// One frame reference backs the sends to every secondary home;
+		// the messages carry only byte views.
 		entry, _ := n.dir.Lookup(page)
 		for _, h := range desc.Home[1:] {
 			if h == n.cfg.ID || entry.InCopyset(h) {
 				continue
 			}
-			if _, err := n.tr.Request(ctx, h, &wire.ReplicaPut{Page: page, Data: data, Version: entry.Version, From: n.cfg.ID}); err == nil {
+			if _, err := n.tr.Request(ctx, h, &wire.ReplicaPut{Page: page, Data: f.Bytes(), Version: entry.Version, From: n.cfg.ID}); err == nil {
 				n.dir.Update(page, func(e *pagedir.Entry) { e.AddSharer(h) })
 			}
 		}
+		f.Release()
 	}
 }
 

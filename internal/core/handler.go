@@ -254,9 +254,17 @@ func (n *Node) handleRegionLookup(msg *wire.RegionLookup) *wire.RegionInfo {
 	return &wire.RegionInfo{Found: false}
 }
 
-// handleReplicaPut installs a pushed replica page.
+// handleReplicaPut installs a pushed replica page. The inbound frame is
+// taken off the message (zero-copy when the transport decoded into a
+// frame) and handed to the store.
 func (n *Node) handleReplicaPut(msg *wire.ReplicaPut) (wire.Msg, error) {
-	if err := n.store.Put(msg.Page, msg.Data); err != nil {
+	f := msg.TakeFrame()
+	if f == nil {
+		return nil, fmt.Errorf("core: replica put %v: no data", msg.Page)
+	}
+	err := n.store.Put(msg.Page, f)
+	f.Release()
+	if err != nil {
 		return nil, err
 	}
 	n.dir.Update(msg.Page, func(e *pagedir.Entry) {

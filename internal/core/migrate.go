@@ -82,14 +82,16 @@ func (n *Node) migrateLocal(ctx context.Context, start gaddr.Addr, newHome ktype
 			return ErrBusyRegion
 		}
 	}
-	// Ship every locally stored page.
+	// Ship every locally stored page. The frame stays alive (and its
+	// Data view valid) across the RPC.
 	for _, page := range pages {
-		data, ok := n.store.Get(page)
+		f, ok := n.store.Get(page)
 		if !ok {
 			continue // never written; zero-fills at the new home too
 		}
 		entry, _ := n.dir.Lookup(page)
-		resp, err := n.tr.Request(ctx, newHome, &wire.ReplicaPut{Page: page, Data: data, Version: entry.Version, From: n.cfg.ID})
+		resp, err := n.tr.Request(ctx, newHome, &wire.ReplicaPut{Page: page, Data: f.Bytes(), Version: entry.Version, From: n.cfg.ID})
+		f.Release()
 		if err != nil {
 			return fmt.Errorf("core: migrate page %v: %w", page, err)
 		}

@@ -63,7 +63,7 @@ func TestMigrateRegionHandoff(t *testing.T) {
 	}
 	_ = nodes[1].Write(wlc, start, []byte("after move"))
 	_ = nodes[1].Unlock(ctx, wlc)
-	if data, ok := nodes[2].Store().Get(start); !ok || string(data[:10]) != "after move" {
+	if data, ok := nodes[2].Store().GetCopy(start); !ok || string(data[:10]) != "after move" {
 		t.Fatalf("new home store = %q, %v", data[:10], ok)
 	}
 }

@@ -23,6 +23,7 @@ import (
 	"khazana/internal/addrmap"
 	"khazana/internal/cluster"
 	"khazana/internal/consistency"
+	"khazana/internal/frame"
 	"khazana/internal/gaddr"
 	"khazana/internal/ktypes"
 	"khazana/internal/pagedir"
@@ -180,6 +181,9 @@ type LockContext struct {
 	desc  *region.Descriptor
 	pages []gaddr.Addr
 	dirty map[gaddr.Addr]bool
+	// views pins the frames backing outstanding ReadView results; each
+	// entry holds one reference, released at Unlock.
+	views []*frame.Frame
 	mu    sync.Mutex
 	node  *Node
 	freed bool
@@ -386,7 +390,8 @@ func (n *Node) now() int64 {
 
 // onDiskEvict runs when a page leaves the node entirely (§3.4: the disk
 // cache must invoke the consistency protocol before victimizing a page).
-func (n *Node) onDiskEvict(page gaddr.Addr, data []byte) error {
+// The frame is borrowed for the duration of the call.
+func (n *Node) onDiskEvict(page gaddr.Addr, f *frame.Frame) error {
 	entry, ok := n.dir.Lookup(page)
 	if !ok || !entry.Dirty {
 		n.dir.Delete(page)
@@ -405,7 +410,7 @@ func (n *Node) onDiskEvict(page gaddr.Addr, data []byte) error {
 		return fmt.Errorf("core: refusing to evict dirty home page %v", page)
 	}
 	_, err = n.tr.Request(context.Background(), home,
-		&wire.UpdatePush{Page: page, Data: data, Stamp: n.now(), Origin: n.cfg.ID})
+		&wire.UpdatePush{Page: page, Data: f.Bytes(), Stamp: n.now(), Origin: n.cfg.ID})
 	if err != nil {
 		return err
 	}
@@ -428,14 +433,16 @@ func (h hostView) Request(ctx context.Context, to ktypes.NodeID, m wire.Msg) (wi
 	return h.n.tr.Request(ctx, to, m)
 }
 
-// LoadPage implements consistency.Host.
-func (h hostView) LoadPage(page gaddr.Addr) ([]byte, bool) {
+// LoadPage implements consistency.Host. The returned frame carries one
+// reference owned by the caller.
+func (h hostView) LoadPage(page gaddr.Addr) (*frame.Frame, bool) {
 	return h.n.store.Get(page)
 }
 
-// StorePage implements consistency.Host.
-func (h hostView) StorePage(page gaddr.Addr, data []byte) error {
-	return h.n.store.Put(page, data)
+// StorePage implements consistency.Host. The frame is borrowed; the
+// store takes its own reference.
+func (h hostView) StorePage(page gaddr.Addr, f *frame.Frame) error {
+	return h.n.store.Put(page, f)
 }
 
 // DropPage implements consistency.Host.
@@ -460,14 +467,15 @@ type mapIO struct{ n *Node }
 
 var _ addrmap.PageIO = mapIO{}
 
-// ReadPage implements addrmap.PageIO.
+// ReadPage implements addrmap.PageIO. The map layer retains and mutates
+// returned pages, so this cold path copies out of the shared frame.
 func (io mapIO) ReadPage(ctx context.Context, page gaddr.Addr) ([]byte, error) {
 	cm := io.n.cms[region.Release]
 	if err := cm.Acquire(ctx, io.n.mapDesc, page, ktypes.LockRead); err != nil {
 		return nil, err
 	}
 	defer func() { _ = cm.Release(ctx, io.n.mapDesc, page, ktypes.LockRead, false) }()
-	data, ok := io.n.store.Get(page)
+	data, ok := io.n.store.GetCopy(page)
 	if !ok {
 		data = make([]byte, addrmap.PageSize)
 	}
@@ -486,14 +494,19 @@ func (io mapIO) MutatePage(ctx context.Context, page gaddr.Addr, fn func([]byte)
 	}
 	dirty := false
 	defer func() { _ = cm.Release(ctx, io.n.mapDesc, page, ktypes.LockWrite, dirty) }()
-	data, ok := io.n.store.Get(page)
-	if !ok {
-		data = make([]byte, addrmap.PageSize)
+	var f *frame.Frame
+	if got, ok := io.n.store.Get(page); ok {
+		// Copy-on-write: the store (and possibly remote readers) share
+		// the frame, so take a private copy before mutating.
+		f = got.Exclusive()
+	} else {
+		f = frame.AllocZero(addrmap.PageSize)
 	}
-	if err := fn(data); err != nil {
+	defer f.Release()
+	if err := fn(f.Bytes()); err != nil {
 		return err
 	}
-	if err := io.n.store.Put(page, data); err != nil {
+	if err := io.n.store.Put(page, f); err != nil {
 		return err
 	}
 	dirty = true

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"khazana/internal/consistency"
+	"khazana/internal/frame"
 	"khazana/internal/gaddr"
 	"khazana/internal/ktypes"
 	"khazana/internal/pagedir"
@@ -494,7 +495,8 @@ func (n *Node) lockByID(id uint64) (*LockContext, error) {
 }
 
 // Read copies n bytes starting at addr out of a locked range (§2: read
-// subparts of a region by presenting its lock context).
+// subparts of a region by presenting its lock context). The result is a
+// private copy; ReadView serves the same bytes without copying.
 func (n *Node) Read(lc *LockContext, addr gaddr.Addr, count uint64) ([]byte, error) {
 	if lc == nil || lc.node != n {
 		return nil, ErrBadLock
@@ -510,6 +512,12 @@ func (n *Node) Read(lc *LockContext, addr gaddr.Addr, count uint64) ([]byte, err
 	if !lc.Range.ContainsRange(gaddr.Range{Start: addr, Size: count}) {
 		return nil, ErrOutOfRange
 	}
+	return n.readLocked(lc, addr, count)
+}
+
+// readLocked copies count bytes at addr into a fresh buffer. Caller
+// holds lc.mu and has validated the range.
+func (n *Node) readLocked(lc *LockContext, addr gaddr.Addr, count uint64) ([]byte, error) {
 	out := make([]byte, count)
 	ps := uint64(lc.desc.Attrs.PageSize)
 	for covered := uint64(0); covered < count; {
@@ -520,15 +528,61 @@ func (n *Node) Read(lc *LockContext, addr gaddr.Addr, count uint64) ([]byte, err
 		if chunk > count-covered {
 			chunk = count - covered
 		}
-		data, ok := n.store.Get(page)
+		f, ok := n.store.Get(page)
 		if ok {
-			copy(out[covered:covered+chunk], data[pageOff:])
+			copy(out[covered:covered+chunk], f.Bytes()[pageOff:])
+			f.Release()
 		}
 		// Missing page: never written; reads as zeroes (already zero).
 		covered += chunk
 	}
 	n.trace("12-13:data-supplied")
 	return out, nil
+}
+
+// ReadView returns count bytes at addr as a view aliasing the locally
+// cached page frame — no copy is made. The view stays valid until the
+// lock context is unlocked (the context pins the frame) and must be
+// treated as read-only; callers that need the bytes past Unlock must
+// copy them or use Read. Requests that span a page boundary fall back
+// to the copying path, since the cache is page-granular and a
+// contiguous multi-page view would require stitching.
+func (n *Node) ReadView(lc *LockContext, addr gaddr.Addr, count uint64) ([]byte, error) {
+	if lc == nil || lc.node != n {
+		return nil, ErrBadLock
+	}
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	if lc.freed {
+		return nil, ErrBadLock
+	}
+	if count == 0 {
+		return nil, nil
+	}
+	if !lc.Range.ContainsRange(gaddr.Range{Start: addr, Size: count}) {
+		return nil, ErrOutOfRange
+	}
+	ps := uint64(lc.desc.Attrs.PageSize)
+	pageOff := addr.Offset(ps)
+	if pageOff+count > ps {
+		return n.readLocked(lc, addr, count)
+	}
+	page := addr.AlignDown(ps)
+	f, ok := n.store.Get(page)
+	if !ok {
+		// Never written: an allocated page reads as zeroes.
+		f = frame.AllocZero(int(ps))
+	}
+	// Repeated views of the same hot page pin one reference, not one per
+	// call, so a read loop does not grow the context without bound.
+	if k := len(lc.views); k > 0 && lc.views[k-1] == f {
+		f.Release()
+	} else {
+		//khazana:frame-owner pinned in the lock context, released at Unlock
+		lc.views = append(lc.views, f)
+	}
+	n.trace("12-13:data-supplied")
+	return f.Bytes()[pageOff : pageOff+count : pageOff+count], nil
 }
 
 // Write copies data into a locked range at addr (§2).
@@ -559,12 +613,25 @@ func (n *Node) Write(lc *LockContext, addr gaddr.Addr, data []byte) error {
 		if chunk > uint64(len(data))-covered {
 			chunk = uint64(len(data)) - covered
 		}
-		buf, ok := n.store.Get(page)
-		if !ok {
-			buf = make([]byte, ps)
+		var f *frame.Frame
+		switch got, ok := n.store.Get(page); {
+		case chunk == ps:
+			// Full-page overwrite: no need to read the old contents.
+			if ok {
+				got.Release()
+			}
+			f = frame.Alloc(int(ps))
+		case ok:
+			// Copy-on-write: the store (and any concurrent readers)
+			// share the frame, so mutate a private copy.
+			f = got.Exclusive()
+		default:
+			f = frame.AllocZero(int(ps))
 		}
-		copy(buf[pageOff:], data[covered:covered+chunk])
-		if err := n.store.Put(page, buf); err != nil {
+		copy(f.Bytes()[pageOff:], data[covered:covered+chunk])
+		err := n.store.Put(page, f)
+		f.Release()
+		if err != nil {
 			return err
 		}
 		lc.dirty[page] = true
@@ -586,7 +653,14 @@ func (n *Node) Unlock(ctx context.Context, lc *LockContext) error {
 		return ErrBadLock
 	}
 	lc.freed = true
+	views := lc.views
+	lc.views = nil
 	lc.mu.Unlock()
+	// Unpin the frames backing outstanding ReadView results; the views
+	// become invalid here by contract.
+	for _, f := range views {
+		f.Release()
+	}
 
 	n.lockMu.Lock()
 	delete(n.lockCtx, lc.ID)

@@ -64,7 +64,7 @@ func TestPartitionDuringInvalidationStaysConsistent(t *testing.T) {
 		t.Fatal(err)
 	}
 	// n3 still holds the stale bytes locally...
-	if data, ok := nodes[2].Store().Get(start); !ok || string(data[:2]) != "v1" {
+	if data, ok := nodes[2].Store().GetCopy(start); !ok || string(data[:2]) != "v1" {
 		t.Fatalf("expected stale local copy at n3, got %q, %v", data[:2], ok)
 	}
 	// ...but a locked read after the heal observes v2 (the lock goes

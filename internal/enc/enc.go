@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math"
 
+	"khazana/internal/frame"
 	"khazana/internal/gaddr"
 	"khazana/internal/ktypes"
 )
@@ -32,6 +33,13 @@ type Encoder struct {
 // NewEncoder returns an encoder with the given initial capacity.
 func NewEncoder(capacity int) *Encoder {
 	return &Encoder{buf: make([]byte, 0, capacity)}
+}
+
+// NewEncoderWith returns an encoder that appends to buf, so callers can
+// serialize straight into a pooled or pre-sized buffer (growing it only
+// when capacity runs out). Existing contents of buf are preserved.
+func NewEncoderWith(buf []byte) *Encoder {
+	return &Encoder{buf: buf}
 }
 
 // Bytes returns the encoded buffer. The caller must not modify it while
@@ -215,6 +223,31 @@ func (d *Decoder) Bytes32() []byte {
 	out := make([]byte, n)
 	copy(out, b)
 	return out
+}
+
+// Bytes32Frame reads a length-prefixed byte string into a pooled page
+// frame. The caller owns the returned frame (one reference) and must
+// Release it; a zero-length field yields nil. Compared to Bytes32 the
+// copy still happens, but the destination comes from the frame pool
+// instead of the GC heap, and downstream layers can share the frame by
+// reference instead of copying again.
+func (d *Decoder) Bytes32Frame() *frame.Frame {
+	n := d.U32()
+	if d.err != nil {
+		return nil
+	}
+	if n > maxBytesLen {
+		d.err = fmt.Errorf("enc: byte string length %d exceeds limit", n)
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	b := d.take(int(n))
+	if b == nil {
+		return nil
+	}
+	return frame.Copy(b)
 }
 
 // String reads a length-prefixed string.

@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+
+	"khazana"
+)
+
+// E14ZeroCopy measures the allocation cost of the refcounted page-frame
+// pipeline. The paper's design keeps hot-path data movement cheap —
+// "Kore caches the fetched pages locally" (§3.2) — and the zero-copy
+// refactor makes a cached access serve the pooled frame itself rather
+// than copy it: a locked ReadView pins the frame in the lock context and
+// returns an aliasing slice, and a remote fetch moves the page from the
+// wire decoder to the store through pooled frames without intermediate
+// copies. The experiment compares bytes and allocations per operation for
+// the view path against the copying Read path on a cached page, and
+// reports the steady-state cost of a cold remote fetch.
+func E14ZeroCopy(cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	res := Result{
+		ID:        "E14",
+		Title:     "zero-copy frame pipeline — allocation cost of cached reads and remote fetches",
+		Predicted: "a cached zero-copy view allocates nothing (the frame is pinned, not copied), the copying read pays at least one page-sized buffer per call, and a cold remote fetch's page data rides pooled frames end to end",
+	}
+	ctx := context.Background()
+	c, err := newCluster(cfg, 2)
+	if err != nil {
+		return res, err
+	}
+	defer c.Close()
+	const ps = 4096
+	start, err := mkRegion(ctx, c.Node(1), ps, khazana.Attrs{})
+	if err != nil {
+		return res, err
+	}
+	if err := writeOnce(ctx, c.Node(1), start, make([]byte, ps)); err != nil {
+		return res, err
+	}
+
+	// Cached reads, measured under one held read lock so the numbers are
+	// the per-access cost, not lock machinery.
+	lk, err := c.Node(1).Lock(ctx, khazana.Range{Start: start, Size: ps}, khazana.LockRead, "bench")
+	if err != nil {
+		return res, err
+	}
+	viewAllocs, viewBytes, err := measureAllocs(2000, func() error {
+		_, err := lk.ReadView(start, ps)
+		return err
+	})
+	if err != nil {
+		return res, err
+	}
+	copyAllocs, copyBytes, err := measureAllocs(2000, func() error {
+		_, err := lk.Read(start, ps)
+		return err
+	})
+	if err != nil {
+		return res, err
+	}
+	if err := lk.Unlock(ctx); err != nil {
+		return res, err
+	}
+
+	// Cold remote fetch: drop node 2's copy each iteration so every cycle
+	// pulls the page from the home through the wire path.
+	fetch := func() error {
+		c.Node(2).Core().Store().Delete(start)
+		c.Node(2).Core().PageDir().Delete(start)
+		_, err := readOnce(ctx, c.Node(2), start, ps)
+		return err
+	}
+	if err := fetch(); err != nil { // warm descriptor cache and pools
+		return res, err
+	}
+	fetchAllocs, fetchBytes, err := measureAllocs(300, fetch)
+	if err != nil {
+		return res, err
+	}
+
+	reduction := 100 * (1 - viewBytes/copyBytes)
+	res.Rows = []Row{
+		{Name: "cached read 4KiB, zero-copy view", Value: fmt.Sprintf("%.1f allocs/op, %.0f B/op", viewAllocs, viewBytes),
+			Detail: "frame pinned in the lock context; the slice aliases it"},
+		{Name: "cached read 4KiB, copying Read", Value: fmt.Sprintf("%.1f allocs/op, %.0f B/op", copyAllocs, copyBytes),
+			Detail: "private buffer per call"},
+		{Name: "view vs copy, bytes allocated", Value: fmt.Sprintf("%.1f%% reduction", reduction),
+			Detail: "acceptance floor 75%"},
+		{Name: "cold remote fetch 4KiB", Value: fmt.Sprintf("%.1f allocs/op, %.0f B/op", fetchAllocs, fetchBytes),
+			Detail: "full lock/fetch/unlock cycle; page data rides pooled frames"},
+	}
+	// The view must be at least 75% cheaper in allocated bytes than the
+	// copy, and must not itself allocate page-sized data (the copying
+	// path's floor is the page buffer; allow generous noise headroom from
+	// background goroutines).
+	res.Pass = reduction >= 75 && viewBytes < ps/4 && copyBytes >= ps
+	return res, nil
+}
+
+// measureAllocs reports the mean heap allocations and bytes per call of
+// fn over runs calls. Background goroutines (heartbeats, gossip) can add
+// noise; callers use enough runs to drown it and assert with headroom.
+func measureAllocs(runs int, fn func() error) (allocsPerOp, bytesPerOp float64, err error) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	for i := 0; i < runs; i++ {
+		if err := fn(); err != nil {
+			return 0, 0, err
+		}
+	}
+	runtime.ReadMemStats(&m1)
+	return float64(m1.Mallocs-m0.Mallocs) / float64(runs),
+		float64(m1.TotalAlloc-m0.TotalAlloc) / float64(runs), nil
+}

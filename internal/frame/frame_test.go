@@ -1,0 +1,210 @@
+package frame
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+func TestAllocReleaseReuse(t *testing.T) {
+	f := Alloc(4096)
+	if f.Len() != 4096 {
+		t.Fatalf("Len = %d, want 4096", f.Len())
+	}
+	if f.Refs() != 1 {
+		t.Fatalf("Refs = %d, want 1", f.Refs())
+	}
+	f.Bytes()[0] = 0xAB
+	f.Release()
+
+	// The next Alloc of the same class should be able to reuse the
+	// frame; either way, the contents are unspecified and the refcount
+	// fresh.
+	g := Alloc(4096)
+	if g.Refs() != 1 {
+		t.Fatalf("reused Refs = %d, want 1", g.Refs())
+	}
+	g.Release()
+}
+
+func TestAllocZero(t *testing.T) {
+	f := Alloc(1024)
+	for i := range f.Bytes() {
+		f.Bytes()[i] = 0xFF
+	}
+	f.Release()
+	g := AllocZero(1024)
+	defer g.Release()
+	if !bytes.Equal(g.Bytes(), make([]byte, 1024)) {
+		t.Fatal("AllocZero returned dirty memory")
+	}
+}
+
+func TestCopy(t *testing.T) {
+	src := []byte("hello khazana")
+	f := Copy(src)
+	defer f.Release()
+	if !bytes.Equal(f.Bytes(), src) {
+		t.Fatalf("Copy = %q, want %q", f.Bytes(), src)
+	}
+	src[0] = 'X'
+	if f.Bytes()[0] != 'h' {
+		t.Fatal("Copy aliases its source")
+	}
+}
+
+func TestClassFor(t *testing.T) {
+	cases := []struct{ n, class int }{
+		{1, 0}, {512, 0}, {513, 1}, {4096, 3}, {4097, 4},
+		{1 << 20, maxShift - minShift}, {1<<20 + 1, -1}, {0, -1},
+	}
+	for _, c := range cases {
+		if got := classFor(c.n); got != c.class {
+			t.Errorf("classFor(%d) = %d, want %d", c.n, got, c.class)
+		}
+	}
+}
+
+func TestOversizeFrame(t *testing.T) {
+	f := Alloc(2 << 20)
+	if f.Len() != 2<<20 {
+		t.Fatalf("Len = %d", f.Len())
+	}
+	f.Release() // not pooled; must not panic
+}
+
+func TestRetainRelease(t *testing.T) {
+	f := Alloc(100)
+	f.Retain()
+	if f.Refs() != 2 {
+		t.Fatalf("Refs = %d, want 2", f.Refs())
+	}
+	f.Release()
+	if f.Refs() != 1 {
+		t.Fatalf("Refs = %d, want 1", f.Refs())
+	}
+	f.Release()
+}
+
+func TestDoubleReleasePanics(t *testing.T) {
+	f := &Frame{data: make([]byte, 8), class: -1}
+	f.refs.Store(1)
+	f.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Release did not panic")
+		}
+	}()
+	f.Release()
+}
+
+func TestVersion(t *testing.T) {
+	f := Alloc(64)
+	defer f.Release()
+	f.SetVersion(42)
+	if f.Version() != 42 {
+		t.Fatalf("Version = %d, want 42", f.Version())
+	}
+}
+
+func TestExclusiveSoleOwner(t *testing.T) {
+	f := Copy([]byte("data"))
+	g := f.Exclusive()
+	if g != f {
+		t.Fatal("Exclusive copied despite sole ownership")
+	}
+	g.Release()
+}
+
+func TestExclusiveCopyOnWrite(t *testing.T) {
+	f := Copy([]byte("original"))
+	f.SetVersion(7)
+	shared := f.Retain() // a concurrent reader's reference
+
+	g := f.Exclusive()
+	if g == shared {
+		t.Fatal("Exclusive returned the shared frame")
+	}
+	if g.Version() != 7 {
+		t.Fatalf("COW clone lost version: %d", g.Version())
+	}
+	copy(g.Bytes(), []byte("mutated!"))
+	if string(shared.Bytes()) != "original" {
+		t.Fatalf("mutation leaked into shared frame: %q", shared.Bytes())
+	}
+	g.Release()
+	shared.Release()
+}
+
+// TestConcurrentRetainRelease hammers the refcount from many goroutines
+// under -race: readers retain/inspect/release a shared frame while a
+// writer repeatedly takes an exclusive (COW) clone and mutates it.
+func TestConcurrentRetainRelease(t *testing.T) {
+	base := AllocZero(4096)
+	for i := range base.Bytes() {
+		base.Bytes()[i] = 1
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 8; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				f := base.Retain()
+				b := f.Bytes()
+				v := b[0]
+				for _, x := range b {
+					if x != v {
+						t.Error("torn read through shared frame")
+						f.Release()
+						return
+					}
+				}
+				f.Release()
+			}
+		}()
+	}
+	for i := 0; i < 200; i++ {
+		// Writer path: take a private clone, mutate, release. The
+		// shared frame is never written in place because base always
+		// holds a reference.
+		w := base.Retain().Exclusive()
+		if w == base {
+			t.Fatal("Exclusive returned shared base")
+		}
+		fill := byte(i % 251)
+		b := w.Bytes()
+		for j := range b {
+			b[j] = fill
+		}
+		w.Release()
+	}
+	close(stop)
+	wg.Wait()
+	base.Release()
+}
+
+func BenchmarkAllocRelease(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f := Alloc(4096)
+		f.Release()
+	}
+}
+
+func BenchmarkRetainRelease(b *testing.B) {
+	f := Alloc(4096)
+	defer f.Release()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.Retain()
+		f.Release()
+	}
+}

@@ -1,0 +1,431 @@
+// Package framerelease flags page-frame acquisitions that are not
+// reliably released on every return path.
+//
+// Every call returning a *frame.Frame confers a release obligation on the
+// caller (the frame package's ownership contract): the frame must reach
+// f.Release() — or f.Exclusive(), which consumes the receiver — on every
+// path, be returned to the caller (transferring the obligation), or be
+// released by a defer. A frame that escapes into longer-lived storage (a
+// struct field, map, or slice) is a deliberate ownership transfer and must
+// be annotated at the acquisition site:
+//
+//	//khazana:frame-owner <reason>
+//
+// on the same line or the line above. The annotation requires a reason; an
+// empty one is itself reported. A leaked frame only costs a pool miss, but
+// a steady leak on a hot path defeats the zero-copy pipeline's pooling, so
+// the check keeps the obligation visible.
+//
+// The check is intra-procedural and positional, mirroring deferunlock: for
+// an acquisition at position L with no matching defer, each return after L
+// must either mention the variable (transfer) or have a release between L
+// and the return. Returns inside a guard that proves the acquisition
+// yielded no frame — `if !ok`, `if f == nil`, `if err != nil` — are
+// exempt. The frame package itself is exempt — it implements the
+// refcount, it does not consume it.
+package framerelease
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"khazana/internal/lint/analysis"
+)
+
+// Analyzer is the framerelease check.
+var Analyzer = &analysis.Analyzer{
+	Name: "framerelease",
+	Doc:  "check that acquired *frame.Frame values are released on every return path",
+	Run:  run,
+}
+
+// FramePkg is the package whose *Frame values carry release obligations.
+const FramePkg = "khazana/internal/frame"
+
+// Directive is the annotation that transfers ownership out of the
+// function's hands, followed by a required reason.
+const Directive = "//khazana:frame-owner"
+
+// events gathers the frame-relevant occurrences of one function body.
+type events struct {
+	acquisitions []acquisition
+	releases     []releaseEvent
+	defers       map[string]bool // var name -> deferred release present
+	returns      []*ast.ReturnStmt
+	guards       []guard
+}
+
+type acquisition struct {
+	name string
+	ok   string // comma-ok variable for f, ok := ... acquisitions
+	errv string // error variable for f, err := ... acquisitions
+	pos  token.Pos
+}
+
+// guard is the body extent of an if statement whose condition proves the
+// acquisition yielded no frame — `!ok`, `f == nil`, or `err != nil` —
+// so returns inside it carry no release obligation.
+type guard struct {
+	kind       guardKind
+	name       string
+	start, end token.Pos
+}
+
+type guardKind int
+
+const (
+	guardNotOK  guardKind = iota // if !ok      — name is the comma-ok bool
+	guardIsNil                   // if f == nil — name is the frame variable
+	guardNonNil                  // if err != nil — name is the error variable
+)
+
+type releaseEvent struct {
+	name string
+	pos  token.Pos
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg != nil && pass.Pkg.Path() == FramePkg {
+		return nil
+	}
+	for _, file := range pass.Files {
+		annotated := directiveLines(pass.Fset, file)
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, fn.Body, annotated)
+		}
+	}
+	return nil
+}
+
+// checkFunc analyzes one function body, recursing into nested function
+// literals as independent ownership scopes.
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt, annotated map[int]string) {
+	ev := &events{defers: make(map[string]bool)}
+	collect(pass, body, ev, annotated)
+	report(pass, ev, annotated)
+}
+
+// collect gathers events in source order. Nested function literals are
+// separate scopes: a closure may run on another goroutine or after the
+// function returns, so its acquisitions must balance on their own.
+func collect(pass *analysis.Pass, n ast.Node, ev *events, annotated map[int]string) {
+	ast.Inspect(n, func(node ast.Node) bool {
+		switch node := node.(type) {
+		case *ast.FuncLit:
+			checkFunc(pass, node.Body, annotated)
+			return false
+		case *ast.DeferStmt:
+			if name, ok := releaseCall(pass, node.Call); ok {
+				ev.defers[name] = true
+				return false
+			}
+			// A directly deferred closure runs on every exit path, so
+			// releases inside it count as defers for their variables.
+			if lit, ok := node.Call.Fun.(*ast.FuncLit); ok {
+				markDeferredClosureReleases(pass, lit, ev, annotated)
+				return false
+			}
+			return true
+		case *ast.ReturnStmt:
+			ev.returns = append(ev.returns, node)
+		case *ast.IfStmt:
+			if g, ok := classifyGuard(node); ok {
+				ev.guards = append(ev.guards, g)
+			}
+		case *ast.AssignStmt:
+			collectAcquisitions(pass, node, ev)
+		case *ast.CallExpr:
+			if name, ok := releaseCall(pass, node); ok {
+				ev.releases = append(ev.releases, releaseEvent{name: name, pos: node.Pos()})
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// collectAcquisitions records frame-typed variables bound by an
+// assignment whose right-hand side is a call. Only plain identifiers are
+// tracked; a frame stored straight into a field, map, or slice element is
+// an ownership transfer the annotation convention covers.
+func collectAcquisitions(pass *analysis.Pass, assign *ast.AssignStmt, ev *events) {
+	if len(assign.Rhs) == 1 && len(assign.Lhs) > 1 {
+		// Tuple form: f, ok := store.Get(page).
+		call, ok := ast.Unparen(assign.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		tuple, ok := pass.TypeOf(call).(*types.Tuple)
+		if !ok || tuple.Len() != len(assign.Lhs) {
+			return
+		}
+		okName, errName := "", ""
+		if len(assign.Lhs) == 2 {
+			second := tuple.At(1).Type()
+			if t, isBool := second.(*types.Basic); isBool && t.Kind() == types.Bool {
+				okName, _ = identName(assign.Lhs[1])
+			} else if isErrorType(second) {
+				errName, _ = identName(assign.Lhs[1])
+			}
+		}
+		for i, lhs := range assign.Lhs {
+			if name, ok := identName(lhs); ok && isFrameType(tuple.At(i).Type()) {
+				ev.acquisitions = append(ev.acquisitions, acquisition{name: name, ok: okName, errv: errName, pos: assign.Pos()})
+			}
+		}
+		return
+	}
+	for i, rhs := range assign.Rhs {
+		if i >= len(assign.Lhs) {
+			break
+		}
+		name, ok := identName(assign.Lhs[i])
+		if !ok {
+			continue
+		}
+		call, isCall := ast.Unparen(rhs).(*ast.CallExpr)
+		if !isCall {
+			continue
+		}
+		if isFrameType(pass.TypeOf(call)) {
+			ev.acquisitions = append(ev.acquisitions, acquisition{name: name, pos: assign.Pos()})
+		}
+	}
+}
+
+// markDeferredClosureReleases records Release calls made directly inside a
+// deferred closure, which run on every exit path just like a plain defer.
+func markDeferredClosureReleases(pass *analysis.Pass, lit *ast.FuncLit, ev *events, annotated map[int]string) {
+	ast.Inspect(lit.Body, func(node ast.Node) bool {
+		if inner, ok := node.(*ast.FuncLit); ok && inner != lit {
+			checkFunc(pass, inner.Body, annotated)
+			return false
+		}
+		if call, ok := node.(*ast.CallExpr); ok {
+			if name, ok := releaseCall(pass, call); ok {
+				ev.defers[name] = true
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// releaseCall reports whether call discharges a release obligation on a
+// plain identifier receiver: v.Release() or v.Exclusive() (which consumes
+// its receiver) on a *frame.Frame.
+func releaseCall(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	if sel.Sel.Name != "Release" && sel.Sel.Name != "Exclusive" {
+		return "", false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != FramePkg {
+		return "", false
+	}
+	return exprString(pass.Fset, sel.X), true
+}
+
+// classifyGuard recognizes the acquisition-failure guard shapes.
+func classifyGuard(stmt *ast.IfStmt) (guard, bool) {
+	g := guard{start: stmt.Body.Pos(), end: stmt.Body.End()}
+	switch cond := ast.Unparen(stmt.Cond).(type) {
+	case *ast.UnaryExpr:
+		if cond.Op != token.NOT {
+			return g, false
+		}
+		name, ok := identName(cond.X)
+		if !ok {
+			return g, false
+		}
+		g.kind, g.name = guardNotOK, name
+		return g, true
+	case *ast.BinaryExpr:
+		if cond.Op != token.EQL && cond.Op != token.NEQ {
+			return g, false
+		}
+		x, y := ast.Unparen(cond.X), ast.Unparen(cond.Y)
+		if isNilIdent(x) {
+			x, y = y, x
+		}
+		name, ok := identName(x)
+		if !ok || !isNilIdent(y) {
+			return g, false
+		}
+		if cond.Op == token.EQL {
+			g.kind = guardIsNil
+		} else {
+			g.kind = guardNonNil
+		}
+		g.name = name
+		return g, true
+	}
+	return g, false
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj() != nil && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// identName returns the name of a plain non-blank identifier expression.
+func identName(e ast.Expr) (string, bool) {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return "", false
+	}
+	return id.Name, true
+}
+
+// isFrameType reports whether t is *frame.Frame.
+func isFrameType(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Name() == "Frame" && obj.Pkg() != nil && obj.Pkg().Path() == FramePkg
+}
+
+func exprString(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	_ = printer.Fprint(&buf, fset, e)
+	return buf.String()
+}
+
+// mentions reports whether the return statement's results reference the
+// variable, transferring its obligation to the caller.
+func mentions(ret *ast.ReturnStmt, name string) bool {
+	found := false
+	for _, res := range ret.Results {
+		ast.Inspect(res, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && id.Name == name {
+				found = true
+				return false
+			}
+			return !found
+		})
+	}
+	return found
+}
+
+// report checks every acquisition against the defers, releases, returns,
+// and annotations of its function.
+func report(pass *analysis.Pass, ev *events, annotated map[int]string) {
+	for _, a := range ev.acquisitions {
+		if ev.defers[a.name] {
+			continue
+		}
+		line := pass.Fset.Position(a.pos).Line
+		if suppressed(pass, a.pos, line, annotated) {
+			continue
+		}
+		covered := func(ret token.Pos) bool {
+			for _, r := range ev.releases {
+				if r.name == a.name && r.pos > a.pos && r.pos < ret {
+					return true
+				}
+			}
+			return false
+		}
+		// A return inside a guard proving the acquisition failed (`!ok`,
+		// `f == nil`, `err != nil`) holds no frame and carries no obligation.
+		guarded := func(ret token.Pos) bool {
+			for _, g := range ev.guards {
+				if g.start <= a.pos || ret <= g.start || ret >= g.end {
+					continue
+				}
+				switch g.kind {
+				case guardNotOK:
+					if a.ok != "" && g.name == a.ok {
+						return true
+					}
+				case guardIsNil:
+					if g.name == a.name {
+						return true
+					}
+				case guardNonNil:
+					if a.errv != "" && g.name == a.errv {
+						return true
+					}
+				}
+			}
+			return false
+		}
+		leaked := false
+		for _, ret := range ev.returns {
+			if ret.Pos() > a.pos && !guarded(ret.Pos()) && !mentions(ret, a.name) && !covered(ret.Pos()) {
+				pass.Reportf(a.pos,
+					"frame %s is not released on the return path at line %d: add defer %s.Release(), release before returning, or annotate with %s <reason>",
+					a.name, pass.Fset.Position(ret.Pos()).Line, a.name, Directive)
+				leaked = true
+				break
+			}
+		}
+		if leaked {
+			continue
+		}
+		// Fall-off-the-end path: a function body that can end without a
+		// return still needs some release after the acquisition.
+		anyReleaseAfter := false
+		for _, r := range ev.releases {
+			if r.name == a.name && r.pos > a.pos {
+				anyReleaseAfter = true
+				break
+			}
+		}
+		if !anyReleaseAfter && len(ev.returns) == 0 {
+			pass.Reportf(a.pos, "frame %s is never released: add defer %s.Release() or annotate with %s <reason>",
+				a.name, a.name, Directive)
+		}
+	}
+}
+
+// suppressed reports whether an acquisition carries the frame-owner
+// directive on its line or the line above, reporting an empty reason.
+func suppressed(pass *analysis.Pass, pos token.Pos, line int, annotated map[int]string) bool {
+	for _, l := range []int{line, line - 1} {
+		if reason, ok := annotated[l]; ok {
+			if strings.TrimSpace(reason) == "" {
+				pass.Reportf(pos, "%s annotation requires a reason", Directive)
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// directiveLines maps line numbers carrying the frame-owner directive to
+// the annotation's reason text.
+func directiveLines(fset *token.FileSet, file *ast.File) map[int]string {
+	out := make(map[int]string)
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if rest, ok := strings.CutPrefix(c.Text, Directive); ok {
+				out[fset.Position(c.Pos()).Line] = rest
+			}
+		}
+	}
+	return out
+}

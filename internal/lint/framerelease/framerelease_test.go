@@ -1,0 +1,12 @@
+package framerelease_test
+
+import (
+	"testing"
+
+	"khazana/internal/lint/framerelease"
+	"khazana/internal/lint/linttest"
+)
+
+func TestFrameRelease(t *testing.T) {
+	linttest.Run(t, "testdata", framerelease.Analyzer, "a")
+}

@@ -1,0 +1,47 @@
+package a
+
+import "khazana/internal/frame"
+
+func leakNoRelease() {
+	f := frame.AllocZero(64) // want `frame f is never released`
+	f.Bytes()[0] = 1
+}
+
+func leakOnBranch(cond bool) *frame.Frame {
+	f := frame.Alloc(32) // want `frame f is not released on the return path at line 13`
+	if cond {
+		return nil
+	}
+	return f
+}
+
+func leakOnError(s *store, check func() error) error {
+	f, ok := s.Get(1) // want `frame f is not released on the return path at line 24`
+	if !ok {
+		return nil
+	}
+	if err := check(); err != nil {
+		return err
+	}
+	f.Release()
+	return nil
+}
+
+func leakedRetain(s *store) {
+	f, ok := s.Get(2)
+	if !ok {
+		return
+	}
+	defer f.Release()
+	g := f.Retain() // want `frame g is not released on the return path at line 38`
+	if len(g.Bytes()) == 0 {
+		return
+	}
+	g.Bytes()[0] = 1
+}
+
+func emptyReason(s *store) {
+	//khazana:frame-owner
+	f := frame.Copy(nil) // want `annotation requires a reason`
+	s.m[2] = f
+}

@@ -1,0 +1,113 @@
+package a
+
+import "khazana/internal/frame"
+
+type store struct{ m map[int]*frame.Frame }
+
+func (s *store) Get(page int) (*frame.Frame, bool) {
+	f, ok := s.m[page]
+	return f, ok
+}
+
+func deferred(s *store) []byte {
+	f, ok := s.Get(1)
+	if !ok {
+		return nil
+	}
+	defer f.Release()
+	return append([]byte(nil), f.Bytes()...)
+}
+
+func releasedOnEveryPath(dirty bool) int {
+	f := frame.AllocZero(64)
+	if dirty {
+		f.Release()
+		return 1
+	}
+	f.Release()
+	return 0
+}
+
+func transferred(s *store) (*frame.Frame, bool) {
+	f, ok := s.Get(2)
+	if !ok {
+		return nil, false
+	}
+	return f, true
+}
+
+func consumedByExclusive(s *store) {
+	got, ok := s.Get(3)
+	var f *frame.Frame
+	if ok {
+		f = got.Exclusive()
+	} else {
+		f = frame.AllocZero(64)
+	}
+	f.Bytes()[0] = 1
+	f.Release()
+}
+
+func storedWithOwner(s *store) {
+	//khazana:frame-owner retained by the store map for the page's lifetime
+	f := frame.Copy([]byte("seed"))
+	s.m[1] = f
+}
+
+func deferredClosure(s *store) {
+	var frames []*frame.Frame
+	defer func() {
+		for _, f := range frames {
+			f.Release()
+		}
+	}()
+	for i := 0; i < 4; i++ {
+		f, ok := s.Get(i)
+		if !ok {
+			continue
+		}
+		frames = append(frames, f)
+	}
+}
+
+func take() *frame.Frame { return nil }
+
+func nilGuarded(check func() error) error {
+	f := take()
+	if f == nil {
+		return nil
+	}
+	defer f.Release()
+	return check()
+}
+
+func read() (*frame.Frame, error) { return nil, nil }
+
+func errGuarded() ([]byte, error) {
+	f, err := read()
+	if err != nil {
+		return nil, err
+	}
+	defer f.Release()
+	return append([]byte(nil), f.Bytes()...), nil
+}
+
+func errGuardedExplicitRelease(sink func([]byte) error) error {
+	f, err := read()
+	if err != nil {
+		return err
+	}
+	err = sink(f.Bytes())
+	f.Release()
+	return err
+}
+
+func closureScopesSeparately(s *store) func() {
+	return func() {
+		f, ok := s.Get(9)
+		if !ok {
+			return
+		}
+		f.Release()
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"khazana/internal/lint/ctxpropagate"
 	"khazana/internal/lint/deferunlock"
 	"khazana/internal/lint/erricheck"
+	"khazana/internal/lint/framerelease"
 	"khazana/internal/lint/loader"
 	"khazana/internal/lint/lockorder"
 	"khazana/internal/lint/wireexhaustive"
@@ -22,6 +23,7 @@ func Analyzers() []*analysis.Analyzer {
 		deferunlock.Analyzer,
 		ctxpropagate.Analyzer,
 		erricheck.Analyzer,
+		framerelease.Analyzer,
 		wireexhaustive.Analyzer,
 	}
 }

@@ -2,11 +2,13 @@ package store
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
 	"sync"
 
+	"khazana/internal/frame"
 	"khazana/internal/gaddr"
 )
 
@@ -70,8 +72,9 @@ func (s *DiskStore) path(page gaddr.Addr) string {
 	return filepath.Join(s.dir, page.String()+".page")
 }
 
-// Get reads a page from disk.
-func (s *DiskStore) Get(page gaddr.Addr) ([]byte, bool) {
+// Get reads a page from disk into a pooled frame. The caller owns the
+// returned frame (one reference) and must Release it.
+func (s *DiskStore) Get(page gaddr.Addr) (*frame.Frame, bool) {
 	s.mu.Lock()
 	if _, ok := s.index[page]; !ok {
 		s.mu.Unlock()
@@ -80,15 +83,40 @@ func (s *DiskStore) Get(page gaddr.Addr) ([]byte, bool) {
 	s.clock++
 	s.index[page] = s.clock
 	s.mu.Unlock()
-	data, err := os.ReadFile(s.path(page))
+	f, err := s.readFrame(page)
 	if err != nil {
 		return nil, false
 	}
-	return data, true
+	return f, true
 }
 
-// Put writes a page to disk, victimizing the LRU page when bounded.
-func (s *DiskStore) Put(page gaddr.Addr, data []byte) error {
+// readFrame reads the page file into a pooled frame sized to the file.
+func (s *DiskStore) readFrame(page gaddr.Addr) (*frame.Frame, error) {
+	fh, err := os.Open(s.path(page))
+	if err != nil {
+		return nil, err
+	}
+	defer fh.Close()
+	st, err := fh.Stat()
+	if err != nil {
+		return nil, err
+	}
+	f := frame.Alloc(int(st.Size()))
+	if _, err := io.ReadFull(fh, f.Bytes()); err != nil {
+		f.Release()
+		return nil, err
+	}
+	return f, nil
+}
+
+// Put writes the frame's contents to disk, victimizing the LRU page when
+// bounded. The frame is borrowed for the duration of the call.
+func (s *DiskStore) Put(page gaddr.Addr, f *frame.Frame) error {
+	return s.PutBytes(page, f.Bytes())
+}
+
+// PutBytes writes a page to disk, victimizing the LRU page when bounded.
+func (s *DiskStore) PutBytes(page gaddr.Addr, data []byte) error {
 	s.mu.Lock()
 	_, resident := s.index[page]
 	if !resident && s.cap > 0 && len(s.index) >= s.cap {
@@ -126,11 +154,13 @@ func (s *DiskStore) evictLocked() error {
 		return ErrFull
 	}
 	if s.onEvict != nil {
-		data, err := os.ReadFile(s.path(victim))
+		f, err := s.readFrame(victim)
 		if err != nil {
 			return fmt.Errorf("store: read victim %v: %w", victim, err)
 		}
-		if err := s.onEvict(victim, data); err != nil {
+		err = s.onEvict(victim, f)
+		f.Release()
+		if err != nil {
 			return fmt.Errorf("store: evict %v: %w", victim, err)
 		}
 	}

@@ -4,6 +4,12 @@
 // matches the paper's two levels — main memory and on-disk — with LRU
 // victimization from RAM to disk and an eviction callback so the
 // consistency protocol can push dirty data before a page leaves the node.
+//
+// The RAM tier holds refcounted page frames (internal/frame), so a cache
+// hit is a Retain rather than an allocation + copy. Frames handed out by
+// Get are shared and immutable; a caller that wants to mutate takes an
+// exclusive copy-on-write clone via frame.Exclusive and Puts the result
+// back.
 package store
 
 import (
@@ -11,6 +17,7 @@ import (
 	"fmt"
 	"sync"
 
+	"khazana/internal/frame"
 	"khazana/internal/gaddr"
 )
 
@@ -23,13 +30,14 @@ var (
 	ErrNotPinned = errors.New("store: page not pinned")
 )
 
-// EvictFunc receives pages victimized from a tier. Returning an error
-// aborts the eviction (and the Put that triggered it).
-type EvictFunc func(page gaddr.Addr, data []byte) error
+// EvictFunc receives pages victimized from a tier. The frame is borrowed
+// for the duration of the call: retain it to keep it longer. Returning an
+// error aborts the eviction (and the Put that triggered it).
+type EvictFunc func(page gaddr.Addr, f *frame.Frame) error
 
 // MemStore is the main-memory tier: a bounded page cache with LRU
 // victimization. Pinned pages (pages under an active lock context) are
-// never victimized.
+// never victimized. Each resident page holds one frame reference.
 type MemStore struct {
 	mu      sync.Mutex
 	pages   map[gaddr.Addr]*memPage
@@ -39,7 +47,7 @@ type MemStore struct {
 }
 
 type memPage struct {
-	data   []byte
+	f      *frame.Frame
 	used   uint64
 	pinned int
 }
@@ -61,8 +69,9 @@ func NewMemStore(capacity int, onEvict EvictFunc) *MemStore {
 	}
 }
 
-// Get returns a copy of the page's contents.
-func (s *MemStore) Get(page gaddr.Addr) ([]byte, bool) {
+// Get returns the page's frame with a reference the caller must Release.
+// The frame is shared: treat its contents as immutable.
+func (s *MemStore) Get(page gaddr.Addr) (*frame.Frame, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	p, ok := s.pages[page]
@@ -71,20 +80,34 @@ func (s *MemStore) Get(page gaddr.Addr) ([]byte, bool) {
 	}
 	s.clock++
 	p.used = s.clock
-	out := make([]byte, len(p.data))
-	copy(out, p.data)
+	return p.f.Retain(), true
+}
+
+// GetCopy returns a private copy of the page's contents, for callers
+// that want plain bytes free of the frame lifetime rules.
+func (s *MemStore) GetCopy(page gaddr.Addr) ([]byte, bool) {
+	f, ok := s.Get(page)
+	if !ok {
+		return nil, false
+	}
+	out := append([]byte(nil), f.Bytes()...)
+	f.Release()
 	return out, true
 }
 
-// Put stores a copy of data for the page, victimizing the LRU unpinned
-// page if the store is full.
-func (s *MemStore) Put(page gaddr.Addr, data []byte) error {
+// Put stores the frame for the page, victimizing the LRU unpinned page
+// if the store is full. The frame is borrowed: the store takes its own
+// reference and the caller keeps (and still owns) its reference.
+func (s *MemStore) Put(page gaddr.Addr, f *frame.Frame) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.clock++
 	if p, ok := s.pages[page]; ok {
-		p.data = append(p.data[:0], data...)
+		old := p.f
+		//khazana:frame-owner the resident memPage holds the store's reference
+		p.f = f.Retain()
 		p.used = s.clock
+		old.Release()
 		return nil
 	}
 	if len(s.pages) >= s.cap {
@@ -92,8 +115,18 @@ func (s *MemStore) Put(page gaddr.Addr, data []byte) error {
 			return err
 		}
 	}
-	s.pages[page] = &memPage{data: append([]byte(nil), data...), used: s.clock}
+	//khazana:frame-owner the resident memPage holds the store's reference
+	s.pages[page] = &memPage{f: f.Retain(), used: s.clock}
 	return nil
+}
+
+// PutBytes stores a copy of data for the page (convenience wrapper over
+// Put for callers holding plain bytes).
+func (s *MemStore) PutBytes(page gaddr.Addr, data []byte) error {
+	f := frame.Copy(data)
+	err := s.Put(page, f)
+	f.Release()
+	return err
 }
 
 // evictLocked victimizes the least recently used unpinned page.
@@ -112,11 +145,12 @@ func (s *MemStore) evictLocked() error {
 		return ErrFull
 	}
 	if s.onEvict != nil {
-		if err := s.onEvict(victim, vp.data); err != nil {
+		if err := s.onEvict(victim, vp.f); err != nil {
 			return fmt.Errorf("store: evict %v: %w", victim, err)
 		}
 	}
 	delete(s.pages, victim)
+	vp.f.Release()
 	return nil
 }
 
@@ -124,7 +158,12 @@ func (s *MemStore) evictLocked() error {
 func (s *MemStore) Delete(page gaddr.Addr) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	p, ok := s.pages[page]
+	if !ok {
+		return
+	}
 	delete(s.pages, page)
+	p.f.Release()
 }
 
 // Pin marks the page non-victimizable. Pins nest.

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"khazana/internal/frame"
 	"khazana/internal/gaddr"
 )
 
@@ -13,54 +14,98 @@ func page(n uint64) gaddr.Addr { return gaddr.FromUint64(n * 0x1000) }
 
 func TestMemPutGet(t *testing.T) {
 	s := NewMemStore(10, nil)
-	if err := s.Put(page(1), []byte("hello")); err != nil {
+	if err := s.PutBytes(page(1), []byte("hello")); err != nil {
 		t.Fatal(err)
 	}
-	got, ok := s.Get(page(1))
+	got, ok := s.GetCopy(page(1))
 	if !ok || string(got) != "hello" {
 		t.Fatalf("Get = %q, %v", got, ok)
 	}
-	if _, ok := s.Get(page(2)); ok {
+	if _, ok := s.GetCopy(page(2)); ok {
 		t.Fatal("absent page found")
 	}
 	// Overwrite.
-	if err := s.Put(page(1), []byte("world")); err != nil {
+	if err := s.PutBytes(page(1), []byte("world")); err != nil {
 		t.Fatal(err)
 	}
-	got, _ = s.Get(page(1))
+	got, _ = s.GetCopy(page(1))
 	if string(got) != "world" {
 		t.Fatalf("after overwrite = %q", got)
 	}
 }
 
-func TestMemGetReturnsCopy(t *testing.T) {
+func TestMemGetSharesFrame(t *testing.T) {
 	s := NewMemStore(10, nil)
-	orig := []byte("data")
-	_ = s.Put(page(1), orig)
-	orig[0] = 'X' // caller's buffer must not alias the store
-	got, _ := s.Get(page(1))
-	if string(got) != "data" {
-		t.Fatal("Put aliased the caller's buffer")
+	f := frame.Copy([]byte("data"))
+	if err := s.Put(page(1), f); err != nil {
+		t.Fatal(err)
 	}
-	got[0] = 'Y'
-	again, _ := s.Get(page(1))
+	// Put borrows: the caller's reference plus the store's.
+	if f.Refs() != 2 {
+		t.Fatalf("after Put Refs = %d, want 2", f.Refs())
+	}
+	g, ok := s.Get(page(1))
+	if !ok {
+		t.Fatal("resident page not found")
+	}
+	if g != f {
+		t.Fatal("cache hit did not share the stored frame")
+	}
+	if g.Refs() != 3 {
+		t.Fatalf("after Get Refs = %d, want 3", g.Refs())
+	}
+	g.Release()
+	f.Release()
+	// A caller that wants private bytes copies explicitly.
+	c, _ := s.GetCopy(page(1))
+	c[0] = 'X'
+	again, _ := s.GetCopy(page(1))
 	if string(again) != "data" {
-		t.Fatal("Get aliased the store's buffer")
+		t.Fatal("GetCopy aliased the store's frame")
 	}
+}
+
+func TestMemPutReleasesOverwrittenFrame(t *testing.T) {
+	s := NewMemStore(10, nil)
+	f1 := frame.Copy([]byte("one"))
+	_ = s.Put(page(1), f1)
+	f2 := frame.Copy([]byte("two"))
+	_ = s.Put(page(1), f2)
+	if f1.Refs() != 1 {
+		t.Fatalf("overwritten frame Refs = %d, want 1 (caller only)", f1.Refs())
+	}
+	f1.Release()
+	f2.Release()
+	if got, _ := s.GetCopy(page(1)); string(got) != "two" {
+		t.Fatalf("after overwrite = %q", got)
+	}
+}
+
+func TestMemDeleteReleasesFrame(t *testing.T) {
+	s := NewMemStore(10, nil)
+	f := frame.Copy([]byte{1})
+	_ = s.Put(page(1), f)
+	s.Delete(page(1))
+	if f.Refs() != 1 {
+		t.Fatalf("after Delete Refs = %d, want 1 (caller only)", f.Refs())
+	}
+	f.Release()
 }
 
 func TestMemLRUEviction(t *testing.T) {
 	var evicted []gaddr.Addr
-	s := NewMemStore(3, func(p gaddr.Addr, _ []byte) error {
+	s := NewMemStore(3, func(p gaddr.Addr, _ *frame.Frame) error {
 		evicted = append(evicted, p)
 		return nil
 	})
 	for i := uint64(1); i <= 3; i++ {
-		_ = s.Put(page(i), []byte{byte(i)})
+		_ = s.PutBytes(page(i), []byte{byte(i)})
 	}
 	// Touch page 1 so page 2 is LRU.
-	s.Get(page(1))
-	if err := s.Put(page(4), []byte{4}); err != nil {
+	if f, ok := s.Get(page(1)); ok {
+		f.Release()
+	}
+	if err := s.PutBytes(page(4), []byte{4}); err != nil {
 		t.Fatal(err)
 	}
 	if len(evicted) != 1 || evicted[0] != page(2) {
@@ -76,18 +121,18 @@ func TestMemLRUEviction(t *testing.T) {
 
 func TestMemPinPreventsEviction(t *testing.T) {
 	s := NewMemStore(2, nil)
-	_ = s.Put(page(1), []byte{1})
-	_ = s.Put(page(2), []byte{2})
+	_ = s.PutBytes(page(1), []byte{1})
+	_ = s.PutBytes(page(2), []byte{2})
 	if !s.Pin(page(1)) || !s.Pin(page(2)) {
 		t.Fatal("pin failed")
 	}
-	if err := s.Put(page(3), []byte{3}); !errors.Is(err, ErrFull) {
+	if err := s.PutBytes(page(3), []byte{3}); !errors.Is(err, ErrFull) {
 		t.Fatalf("err = %v, want ErrFull", err)
 	}
 	if err := s.Unpin(page(1)); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Put(page(3), []byte{3}); err != nil {
+	if err := s.PutBytes(page(3), []byte{3}); err != nil {
 		t.Fatalf("after unpin: %v", err)
 	}
 	if s.Contains(page(1)) {
@@ -100,12 +145,12 @@ func TestMemPinPreventsEviction(t *testing.T) {
 
 func TestMemPinNesting(t *testing.T) {
 	s := NewMemStore(1, nil)
-	_ = s.Put(page(1), []byte{1})
+	_ = s.PutBytes(page(1), []byte{1})
 	s.Pin(page(1))
 	s.Pin(page(1))
 	_ = s.Unpin(page(1))
 	// Still pinned once.
-	if err := s.Put(page(2), nil); !errors.Is(err, ErrFull) {
+	if err := s.PutBytes(page(2), nil); !errors.Is(err, ErrFull) {
 		t.Fatalf("err = %v", err)
 	}
 	_ = s.Unpin(page(1))
@@ -118,11 +163,11 @@ func TestMemPinNesting(t *testing.T) {
 }
 
 func TestMemEvictCallbackErrorAborts(t *testing.T) {
-	s := NewMemStore(1, func(gaddr.Addr, []byte) error {
+	s := NewMemStore(1, func(gaddr.Addr, *frame.Frame) error {
 		return fmt.Errorf("push failed")
 	})
-	_ = s.Put(page(1), []byte{1})
-	if err := s.Put(page(2), []byte{2}); err == nil {
+	_ = s.PutBytes(page(1), []byte{1})
+	if err := s.PutBytes(page(2), []byte{2}); err == nil {
 		t.Fatal("Put should fail when eviction callback fails")
 	}
 	if !s.Contains(page(1)) {
@@ -132,7 +177,7 @@ func TestMemEvictCallbackErrorAborts(t *testing.T) {
 
 func TestMemDelete(t *testing.T) {
 	s := NewMemStore(10, nil)
-	_ = s.Put(page(1), []byte{1})
+	_ = s.PutBytes(page(1), []byte{1})
 	s.Delete(page(1))
 	if s.Contains(page(1)) {
 		t.Fatal("deleted page still resident")
@@ -145,13 +190,14 @@ func TestDiskPutGetDelete(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Put(page(1), []byte("persistent")); err != nil {
+	if err := s.PutBytes(page(1), []byte("persistent")); err != nil {
 		t.Fatal(err)
 	}
 	got, ok := s.Get(page(1))
-	if !ok || string(got) != "persistent" {
-		t.Fatalf("Get = %q, %v", got, ok)
+	if !ok || string(got.Bytes()) != "persistent" {
+		t.Fatalf("Get = %v, %v", got, ok)
 	}
+	got.Release()
 	if _, ok := s.Get(page(2)); ok {
 		t.Fatal("absent page found")
 	}
@@ -167,8 +213,8 @@ func TestDiskSurvivesReopen(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_ = s1.Put(page(7), []byte("durable"))
-	_ = s1.Put(gaddr.New(5, 0x3000), []byte("high half"))
+	_ = s1.PutBytes(page(7), []byte("durable"))
+	_ = s1.PutBytes(gaddr.New(5, 0x3000), []byte("high half"))
 
 	s2, err := NewDiskStore(dir, 0, nil)
 	if err != nil {
@@ -178,28 +224,32 @@ func TestDiskSurvivesReopen(t *testing.T) {
 		t.Fatalf("reopened Len = %d", s2.Len())
 	}
 	got, ok := s2.Get(page(7))
-	if !ok || string(got) != "durable" {
-		t.Fatalf("reopened Get = %q, %v", got, ok)
+	if !ok || string(got.Bytes()) != "durable" {
+		t.Fatalf("reopened Get = %v, %v", got, ok)
 	}
+	got.Release()
 	got, ok = s2.Get(gaddr.New(5, 0x3000))
-	if !ok || string(got) != "high half" {
-		t.Fatalf("reopened high Get = %q, %v", got, ok)
+	if !ok || string(got.Bytes()) != "high half" {
+		t.Fatalf("reopened high Get = %v, %v", got, ok)
 	}
+	got.Release()
 }
 
 func TestDiskBoundedEviction(t *testing.T) {
 	var evicted []gaddr.Addr
-	s, err := NewDiskStore(t.TempDir(), 2, func(p gaddr.Addr, data []byte) error {
+	s, err := NewDiskStore(t.TempDir(), 2, func(p gaddr.Addr, _ *frame.Frame) error {
 		evicted = append(evicted, p)
 		return nil
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	_ = s.Put(page(1), []byte{1})
-	_ = s.Put(page(2), []byte{2})
-	s.Get(page(1)) // page 2 becomes LRU
-	if err := s.Put(page(3), []byte{3}); err != nil {
+	_ = s.PutBytes(page(1), []byte{1})
+	_ = s.PutBytes(page(2), []byte{2})
+	if f, ok := s.Get(page(1)); ok { // page 2 becomes LRU
+		f.Release()
+	}
+	if err := s.PutBytes(page(3), []byte{3}); err != nil {
 		t.Fatal(err)
 	}
 	if len(evicted) != 1 || evicted[0] != page(2) {
@@ -212,15 +262,15 @@ func TestDiskBoundedEviction(t *testing.T) {
 
 func TestDiskEvictionCallbackSeesData(t *testing.T) {
 	var got []byte
-	s, err := NewDiskStore(t.TempDir(), 1, func(_ gaddr.Addr, data []byte) error {
-		got = append([]byte(nil), data...)
+	s, err := NewDiskStore(t.TempDir(), 1, func(_ gaddr.Addr, f *frame.Frame) error {
+		got = append([]byte(nil), f.Bytes()...)
 		return nil
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	_ = s.Put(page(1), []byte("precious"))
-	_ = s.Put(page(2), []byte{2})
+	_ = s.PutBytes(page(1), []byte("precious"))
+	_ = s.PutBytes(page(2), []byte{2})
 	if string(got) != "precious" {
 		t.Fatalf("callback data = %q", got)
 	}
@@ -231,10 +281,10 @@ func TestTieredPromoteDemote(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_ = tiered.Put(page(1), []byte{1})
-	_ = tiered.Put(page(2), []byte{2})
+	_ = tiered.PutBytes(page(1), []byte{1})
+	_ = tiered.PutBytes(page(2), []byte{2})
 	// Page 1 is LRU; putting page 3 demotes it to disk.
-	if err := tiered.Put(page(3), []byte{3}); err != nil {
+	if err := tiered.PutBytes(page(3), []byte{3}); err != nil {
 		t.Fatal(err)
 	}
 	if tiered.Mem().Contains(page(1)) {
@@ -245,9 +295,10 @@ func TestTieredPromoteDemote(t *testing.T) {
 	}
 	// Get promotes it back.
 	got, ok := tiered.Get(page(1))
-	if !ok || got[0] != 1 {
+	if !ok || got.Bytes()[0] != 1 {
 		t.Fatalf("Get = %v, %v", got, ok)
 	}
+	got.Release()
 	if !tiered.Mem().Contains(page(1)) {
 		t.Fatal("page 1 should be promoted to RAM")
 	}
@@ -258,7 +309,7 @@ func TestTieredFlush(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_ = tiered.Put(page(1), []byte("flushed"))
+	_ = tiered.PutBytes(page(1), []byte("flushed"))
 	if err := tiered.Flush(page(1)); err != nil {
 		t.Fatal(err)
 	}
@@ -275,7 +326,7 @@ func TestTieredDelete(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_ = tiered.Put(page(1), []byte{1})
+	_ = tiered.PutBytes(page(1), []byte{1})
 	_ = tiered.Flush(page(1))
 	tiered.Delete(page(1))
 	if tiered.Contains(page(1)) {
@@ -292,7 +343,7 @@ func TestTieredDiskEvictionCallback(t *testing.T) {
 		MemPages:  1,
 		DiskPages: 1,
 		Dir:       t.TempDir(),
-		OnDiskEvict: func(p gaddr.Addr, _ []byte) error {
+		OnDiskEvict: func(p gaddr.Addr, _ *frame.Frame) error {
 			lost = append(lost, p)
 			return nil
 		},
@@ -300,9 +351,9 @@ func TestTieredDiskEvictionCallback(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_ = tiered.Put(page(1), []byte{1})
-	_ = tiered.Put(page(2), []byte{2}) // 1 demoted to disk
-	_ = tiered.Put(page(3), []byte{3}) // 2 demoted; disk full; 1 leaves node
+	_ = tiered.PutBytes(page(1), []byte{1})
+	_ = tiered.PutBytes(page(2), []byte{2}) // 1 demoted to disk
+	_ = tiered.PutBytes(page(3), []byte{3}) // 2 demoted; disk full; 1 leaves node
 	if len(lost) != 1 || lost[0] != page(1) {
 		t.Fatalf("lost = %v", lost)
 	}
@@ -313,9 +364,9 @@ func TestTieredLen(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_ = tiered.Put(page(1), []byte{1})
+	_ = tiered.PutBytes(page(1), []byte{1})
 	_ = tiered.Flush(page(1)) // resident in both tiers, counts once
-	_ = tiered.Put(page(2), []byte{2})
+	_ = tiered.PutBytes(page(2), []byte{2})
 	if got := tiered.Len(); got != 2 {
 		t.Fatalf("Len = %d", got)
 	}
@@ -331,13 +382,13 @@ func TestQuickMemStoreFidelity(t *testing.T) {
 		expect := make(map[gaddr.Addr][]byte)
 		for _, w := range writes {
 			p := page(uint64(w.Page))
-			if err := s.Put(p, w.Data); err != nil {
+			if err := s.PutBytes(p, w.Data); err != nil {
 				return false
 			}
 			expect[p] = w.Data
 		}
 		for p, want := range expect {
-			got, ok := s.Get(p)
+			got, ok := s.GetCopy(p)
 			if !ok || string(got) != string(want) {
 				return false
 			}
@@ -358,11 +409,16 @@ func TestQuickDiskRoundTrip(t *testing.T) {
 	}
 	f := func(n uint16, data []byte) bool {
 		p := page(uint64(n))
-		if err := s.Put(p, data); err != nil {
+		if err := s.PutBytes(p, data); err != nil {
 			return false
 		}
 		got, ok := s.Get(p)
-		return ok && string(got) == string(data)
+		if !ok {
+			return false
+		}
+		match := string(got.Bytes()) == string(data)
+		got.Release()
+		return match
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Fatal(err)

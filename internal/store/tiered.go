@@ -3,6 +3,7 @@ package store
 import (
 	"fmt"
 
+	"khazana/internal/frame"
 	"khazana/internal/gaddr"
 )
 
@@ -37,54 +38,77 @@ func NewTiered(cfg Config) (*Tiered, error) {
 	}
 	t := &Tiered{disk: disk}
 	// RAM victimization demotes to disk.
-	t.mem = NewMemStore(cfg.MemPages, func(page gaddr.Addr, data []byte) error {
-		return t.disk.Put(page, data)
+	t.mem = NewMemStore(cfg.MemPages, func(page gaddr.Addr, f *frame.Frame) error {
+		return t.disk.Put(page, f)
 	})
 	return t, nil
 }
 
-// Get returns a copy of the page, promoting disk-resident pages to RAM.
-func (t *Tiered) Get(page gaddr.Addr) ([]byte, bool) {
-	if data, ok := t.mem.Get(page); ok {
-		return data, true
+// Get returns the page's frame (caller must Release), promoting
+// disk-resident pages to RAM. The frame is shared: treat its contents as
+// immutable.
+func (t *Tiered) Get(page gaddr.Addr) (*frame.Frame, bool) {
+	if f, ok := t.mem.Get(page); ok {
+		return f, true
 	}
-	data, ok := t.disk.Get(page)
+	f, ok := t.disk.Get(page)
 	if !ok {
 		return nil, false
 	}
 	// Promote; a failure to promote is not fatal — the data is valid.
 	//khazana:ignore-err promotion to RAM is a cache optimization; the disk copy remains authoritative
-	_ = t.mem.Put(page, data)
-	return data, true
+	_ = t.mem.Put(page, f)
+	return f, true
 }
 
-// Put stores the page in RAM (victimizing to disk as needed).
-func (t *Tiered) Put(page gaddr.Addr, data []byte) error {
-	return t.mem.Put(page, data)
+// GetCopy returns a private copy of the page's contents.
+func (t *Tiered) GetCopy(page gaddr.Addr) ([]byte, bool) {
+	f, ok := t.Get(page)
+	if !ok {
+		return nil, false
+	}
+	out := append([]byte(nil), f.Bytes()...)
+	f.Release()
+	return out, true
+}
+
+// Put stores the page's frame in RAM (victimizing to disk as needed).
+// The frame is borrowed: the RAM tier takes its own reference.
+func (t *Tiered) Put(page gaddr.Addr, f *frame.Frame) error {
+	return t.mem.Put(page, f)
+}
+
+// PutBytes stores a copy of data for the page.
+func (t *Tiered) PutBytes(page gaddr.Addr, data []byte) error {
+	return t.mem.PutBytes(page, data)
 }
 
 // Flush forces the page to the persistent tier (used for locally homed
 // pages whose directory information must survive restarts, §3.4).
 func (t *Tiered) Flush(page gaddr.Addr) error {
-	data, ok := t.mem.Get(page)
+	f, ok := t.mem.Get(page)
 	if !ok {
 		if t.disk.Contains(page) {
 			return nil
 		}
 		return fmt.Errorf("store: flush %v: not resident", page)
 	}
-	return t.disk.Put(page, data)
+	err := t.disk.Put(page, f)
+	f.Release()
+	return err
 }
 
 // FlushAll forces every RAM-resident page to the persistent tier, used
 // when a daemon shuts down cleanly so its state survives restart.
 func (t *Tiered) FlushAll() error {
 	for _, page := range t.mem.Pages() {
-		data, ok := t.mem.Get(page)
+		f, ok := t.mem.Get(page)
 		if !ok {
 			continue
 		}
-		if err := t.disk.Put(page, data); err != nil {
+		err := t.disk.Put(page, f)
+		f.Release()
+		if err != nil {
 			return err
 		}
 	}

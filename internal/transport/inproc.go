@@ -243,6 +243,11 @@ func (ep *inprocEndpoint) Request(ctx context.Context, to ktypes.NodeID, m wire.
 		return nil, &RemoteError{Msg: err.Error()}
 	}
 	respBytes := wire.Marshal(resp)
+	// Both messages are fully serialized; frames they still hold can go
+	// back to the pool. The order matters: the response may alias the
+	// inbound message's frame, so it is marshaled before either recycles.
+	wire.Recycle(resp)
+	wire.Recycle(inbound)
 	ep.net.bytes.Add(uint64(len(respBytes)))
 	if err := sleepCtx(ctx, delay); err != nil {
 		return nil, err

@@ -31,10 +31,11 @@ const (
 	maxPooledFrame = 4 << 20
 )
 
-// frameBufs recycles frame buffers for both directions of the protocol.
-// Pooling is safe because enc's Decoder copies byte and string fields out
-// of the input, so a decoded wire.Msg never aliases the frame it came
-// from. Entries are *[]byte so Put does not allocate.
+// frameBufs recycles transport frame buffers for both directions of the
+// protocol. Pooling is safe because enc's Decoder moves byte and string
+// fields out of the input (page payloads land in their own pooled
+// refcounted frames), so a decoded wire.Msg never aliases the transport
+// buffer it came from. Entries are *[]byte so Put does not allocate.
 var frameBufs = sync.Pool{New: func() any { return new([]byte) }}
 
 func getFrameBuf(n int) *[]byte {
@@ -196,13 +197,15 @@ func (t *TCP) roundTrip(ctx context.Context, conn net.Conn, m wire.Msg) (wire.Ms
 	} else {
 		_ = conn.SetDeadline(time.Time{})
 	}
-	payload := wire.Marshal(m)
-	wp := getFrameBuf(8 + len(payload))
-	req := *wp
-	binary.LittleEndian.PutUint32(req[0:4], uint32(len(payload)+4))
+	// Marshal directly into a pooled buffer after the 8-byte header —
+	// no intermediate payload allocation. The buffer (possibly grown by
+	// the append) goes back to the pool for the next request.
+	wp := getFrameBuf(8)
+	req := wire.MarshalAppend((*wp)[:8], m)
+	binary.LittleEndian.PutUint32(req[0:4], uint32(len(req)-8+4))
 	binary.LittleEndian.PutUint32(req[4:8], uint32(t.self))
-	copy(req[8:], payload)
 	_, err := conn.Write(req)
+	*wp = req
 	putFrameBuf(wp)
 	if err != nil {
 		return nil, fmt.Errorf("transport: write request: %w", err)
@@ -315,15 +318,29 @@ func (t *TCP) serveConn(conn net.Conn) {
 		}
 		h := t.getHandler()
 		if h == nil {
+			wire.Recycle(msg)
 			writeResponse(conn, tcpStatusErr, []byte(ErrNoHandler.Error()))
 			continue
 		}
 		resp, err := h(context.Background(), from, msg)
 		if err != nil {
+			wire.Recycle(msg)
 			writeResponse(conn, tcpStatusErr, []byte(err.Error()))
 			continue
 		}
-		writeResponse(conn, tcpStatusOK, wire.Marshal(resp))
+		// Marshal the response straight into a pooled frame buffer, then
+		// recycle both messages' frames. The order matters: the response
+		// may alias the inbound message's frame, so serialization
+		// completes before either recycles.
+		rp := getFrameBuf(5)
+		out := wire.MarshalAppend((*rp)[:5], resp)
+		binary.LittleEndian.PutUint32(out[0:4], uint32(len(out)-5+1))
+		out[4] = tcpStatusOK
+		wire.Recycle(resp)
+		wire.Recycle(msg)
+		_, _ = conn.Write(out)
+		*rp = out
+		putFrameBuf(rp)
 	}
 }
 
@@ -339,7 +356,8 @@ func writeResponse(conn net.Conn, status byte, payload []byte) {
 
 // readFrame reads one length-prefixed frame into a pooled buffer. The
 // caller must release it with putFrameBuf once finished with the slice;
-// messages decoded from it may be retained because enc copies.
+// messages decoded from it may be retained because the decoder moves
+// payloads into their own pooled frames.
 func readFrame(r io.Reader) (*[]byte, error) {
 	var lenBuf [4]byte
 	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {

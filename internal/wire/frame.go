@@ -1,0 +1,189 @@
+package wire
+
+import (
+	"khazana/internal/frame"
+)
+
+// Frame-backed payloads.
+//
+// Messages that carry page contents (PageGrant, PageData, UpdatePush,
+// ReleaseNotify, ReplicaPut, and their batched items) can attach a
+// refcounted frame behind their Data field:
+//
+//   - Send side: SetFrame(f) points Data at f's bytes and takes the
+//     message's own reference, so the payload stays valid until the
+//     transport has marshaled it; the transport calls Recycle on
+//     responses after writing them out.
+//   - Receive side: decode backs Data with a pooled frame. A consumer
+//     that wants to keep the payload calls TakeFrame() to assume
+//     ownership (zero-copy); otherwise the transport's Recycle returns
+//     the frame to the pool once the handler is done.
+//
+// The Data []byte field remains the encoded representation, so the wire
+// format is byte-identical to the pre-frame codec. An unreleased frame
+// degrades to ordinary garbage (a pool miss), never a use-after-free.
+
+// FrameCarrier is implemented by messages that may hold references to
+// page frames. ReleaseFrames drops every reference the message holds;
+// after the call the message's Data views must no longer be used.
+type FrameCarrier interface {
+	ReleaseFrames()
+}
+
+// Recycle releases any frames attached to m. It is safe to call with a
+// nil message or one that carries no frames, and transports call it on
+// every message they have finished marshaling or dispatching.
+func Recycle(m Msg) {
+	if fc, ok := m.(FrameCarrier); ok {
+		fc.ReleaseFrames()
+	}
+}
+
+// setFrame implements the shared SetFrame logic: retain f, release any
+// prior attachment, and alias the Data view. f may be nil to detach.
+func setFrame(slot **frame.Frame, data *[]byte, f *frame.Frame) {
+	if f != nil {
+		f.Retain()
+		*data = f.Bytes()
+	}
+	if *slot != nil {
+		(*slot).Release()
+	}
+	*slot = f
+}
+
+// takeFrame implements the shared TakeFrame logic: hand the attached
+// frame (and its reference) to the caller, falling back to a copy of the
+// Data view when the message was built without one.
+func takeFrame(slot **frame.Frame, data []byte) *frame.Frame {
+	if f := *slot; f != nil {
+		*slot = nil
+		return f
+	}
+	if data == nil {
+		return nil
+	}
+	return frame.Copy(data)
+}
+
+// --- PageGrant --------------------------------------------------------------
+
+// SetFrame attaches f as the grant's payload; the message takes its own
+// reference and the caller keeps (and still owns) its reference.
+func (m *PageGrant) SetFrame(f *frame.Frame) { setFrame(&m.dataFrame, &m.Data, f) }
+
+// TakeFrame transfers ownership of the payload frame to the caller, who
+// must Release it. Without an attached frame the payload is copied.
+func (m *PageGrant) TakeFrame() *frame.Frame { return takeFrame(&m.dataFrame, m.Data) }
+
+// ReleaseFrames implements FrameCarrier.
+func (m *PageGrant) ReleaseFrames() {
+	if m == nil {
+		return
+	}
+	setFrame(&m.dataFrame, &m.Data, nil)
+}
+
+// --- PageData ---------------------------------------------------------------
+
+// SetFrame attaches f as the fetched page contents.
+func (m *PageData) SetFrame(f *frame.Frame) { setFrame(&m.dataFrame, &m.Data, f) }
+
+// TakeFrame transfers ownership of the payload frame to the caller.
+func (m *PageData) TakeFrame() *frame.Frame { return takeFrame(&m.dataFrame, m.Data) }
+
+// ReleaseFrames implements FrameCarrier.
+func (m *PageData) ReleaseFrames() {
+	if m == nil {
+		return
+	}
+	setFrame(&m.dataFrame, &m.Data, nil)
+}
+
+// --- UpdatePush -------------------------------------------------------------
+
+// SetFrame attaches f as the pushed page contents.
+func (m *UpdatePush) SetFrame(f *frame.Frame) { setFrame(&m.dataFrame, &m.Data, f) }
+
+// TakeFrame transfers ownership of the payload frame to the caller.
+func (m *UpdatePush) TakeFrame() *frame.Frame { return takeFrame(&m.dataFrame, m.Data) }
+
+// ReleaseFrames implements FrameCarrier.
+func (m *UpdatePush) ReleaseFrames() {
+	if m == nil {
+		return
+	}
+	setFrame(&m.dataFrame, &m.Data, nil)
+}
+
+// --- ReleaseNotify ----------------------------------------------------------
+
+// SetFrame attaches f as the released page contents.
+func (m *ReleaseNotify) SetFrame(f *frame.Frame) { setFrame(&m.dataFrame, &m.Data, f) }
+
+// TakeFrame transfers ownership of the payload frame to the caller.
+func (m *ReleaseNotify) TakeFrame() *frame.Frame { return takeFrame(&m.dataFrame, m.Data) }
+
+// ReleaseFrames implements FrameCarrier.
+func (m *ReleaseNotify) ReleaseFrames() {
+	if m == nil {
+		return
+	}
+	setFrame(&m.dataFrame, &m.Data, nil)
+}
+
+// --- ReplicaPut -------------------------------------------------------------
+
+// SetFrame attaches f as the replicated page contents.
+func (m *ReplicaPut) SetFrame(f *frame.Frame) { setFrame(&m.dataFrame, &m.Data, f) }
+
+// TakeFrame transfers ownership of the payload frame to the caller.
+func (m *ReplicaPut) TakeFrame() *frame.Frame { return takeFrame(&m.dataFrame, m.Data) }
+
+// ReleaseFrames implements FrameCarrier.
+func (m *ReplicaPut) ReleaseFrames() {
+	if m == nil {
+		return
+	}
+	setFrame(&m.dataFrame, &m.Data, nil)
+}
+
+// --- batched items ----------------------------------------------------------
+
+// SetFrame attaches f as this grant item's payload. Use via
+// &batch.Grants[i] so the slice element itself holds the reference.
+func (g *PageGrantItem) SetFrame(f *frame.Frame) { setFrame(&g.dataFrame, &g.Data, f) }
+
+// TakeFrame transfers ownership of the item's payload frame to the
+// caller.
+func (g *PageGrantItem) TakeFrame() *frame.Frame { return takeFrame(&g.dataFrame, g.Data) }
+
+// ReleaseFrames implements FrameCarrier: releases every grant's frame.
+func (m *PageGrantBatch) ReleaseFrames() {
+	if m == nil {
+		return
+	}
+	for i := range m.Grants {
+		g := &m.Grants[i]
+		setFrame(&g.dataFrame, &g.Data, nil)
+	}
+}
+
+// SetFrame attaches f as this release item's dirty payload. Use via
+// &batch.Items[i].
+func (it *ReleaseItem) SetFrame(f *frame.Frame) { setFrame(&it.dataFrame, &it.Data, f) }
+
+// TakeFrame transfers ownership of the item's payload frame to the
+// caller.
+func (it *ReleaseItem) TakeFrame() *frame.Frame { return takeFrame(&it.dataFrame, it.Data) }
+
+// ReleaseFrames implements FrameCarrier: releases every item's frame.
+func (m *ReleaseBatch) ReleaseFrames() {
+	if m == nil {
+		return
+	}
+	for i := range m.Items {
+		it := &m.Items[i]
+		setFrame(&it.dataFrame, &it.Data, nil)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"khazana/internal/enc"
+	"khazana/internal/frame"
 	"khazana/internal/gaddr"
 	"khazana/internal/ktypes"
 	"khazana/internal/region"
@@ -98,7 +99,14 @@ type Msg interface {
 
 // Marshal serializes a message with its kind prefix.
 func Marshal(m Msg) []byte {
-	e := enc.NewEncoder(64)
+	return MarshalAppend(make([]byte, 0, 64), m)
+}
+
+// MarshalAppend serializes a message with its kind prefix, appending to
+// dst (which may be a pooled transport buffer), and returns the extended
+// slice. The encoding is identical to Marshal's.
+func MarshalAppend(dst []byte, m Msg) []byte {
+	e := enc.NewEncoderWith(dst)
 	e.U16(uint16(m.Kind()))
 	m.encode(e)
 	return e.Bytes()
@@ -337,6 +345,10 @@ type PageGrant struct {
 	// Owner is the page's owner after the grant.
 	Owner ktypes.NodeID
 	Err   string
+
+	// dataFrame, when non-nil, backs Data with a refcounted page frame
+	// (see frame.go); it is never encoded.
+	dataFrame *frame.Frame
 }
 
 // Kind implements Msg.
@@ -350,10 +362,16 @@ func (m *PageGrant) encode(e *enc.Encoder) {
 }
 func (m *PageGrant) decode(d *enc.Decoder) {
 	m.OK = d.Bool()
-	m.Data = d.Bytes32()
+	m.dataFrame = d.Bytes32Frame()
+	if m.dataFrame != nil {
+		m.Data = m.dataFrame.Bytes()
+	}
 	m.Version = d.U64()
 	m.Owner = d.NodeID()
 	m.Err = d.String()
+	if m.dataFrame != nil {
+		m.dataFrame.SetVersion(m.Version)
+	}
 }
 
 // Invalidate tells a node to drop its copy of a page because NewOwner is
@@ -400,6 +418,10 @@ type PageData struct {
 	Found   bool
 	Data    []byte
 	Version uint64
+
+	// dataFrame, when non-nil, backs Data with a refcounted page frame
+	// (see frame.go); it is never encoded.
+	dataFrame *frame.Frame
 }
 
 // Kind implements Msg.
@@ -411,8 +433,14 @@ func (m *PageData) encode(e *enc.Encoder) {
 }
 func (m *PageData) decode(d *enc.Decoder) {
 	m.Found = d.Bool()
-	m.Data = d.Bytes32()
+	m.dataFrame = d.Bytes32Frame()
+	if m.dataFrame != nil {
+		m.Data = m.dataFrame.Bytes()
+	}
 	m.Version = d.U64()
+	if m.dataFrame != nil {
+		m.dataFrame.SetVersion(m.Version)
+	}
 }
 
 // UpdatePush propagates new page contents under the release and eventual
@@ -426,6 +454,10 @@ type UpdatePush struct {
 	// wins); ties break on Origin.
 	Stamp  int64
 	Origin ktypes.NodeID
+
+	// dataFrame, when non-nil, backs Data with a refcounted page frame
+	// (see frame.go); it is never encoded.
+	dataFrame *frame.Frame
 }
 
 // Kind implements Msg.
@@ -439,10 +471,16 @@ func (m *UpdatePush) encode(e *enc.Encoder) {
 }
 func (m *UpdatePush) decode(d *enc.Decoder) {
 	m.Page = d.Addr()
-	m.Data = d.Bytes32()
+	m.dataFrame = d.Bytes32Frame()
+	if m.dataFrame != nil {
+		m.Data = m.dataFrame.Bytes()
+	}
 	m.Version = d.U64()
 	m.Stamp = d.I64()
 	m.Origin = d.NodeID()
+	if m.dataFrame != nil {
+		m.dataFrame.SetVersion(m.Version)
+	}
 }
 
 // VersionQuery asks a page's home for its current version, used by the
@@ -483,6 +521,10 @@ type ReleaseNotify struct {
 	Data    []byte
 	Version uint64
 	From    ktypes.NodeID
+
+	// dataFrame, when non-nil, backs Data with a refcounted page frame
+	// (see frame.go); it is never encoded.
+	dataFrame *frame.Frame
 }
 
 // Kind implements Msg.
@@ -499,9 +541,15 @@ func (m *ReleaseNotify) decode(d *enc.Decoder) {
 	m.Page = d.Addr()
 	m.Mode = ktypes.LockMode(d.U8())
 	m.Dirty = d.Bool()
-	m.Data = d.Bytes32()
+	m.dataFrame = d.Bytes32Frame()
+	if m.dataFrame != nil {
+		m.Data = m.dataFrame.Bytes()
+	}
 	m.Version = d.U64()
 	m.From = d.NodeID()
+	if m.dataFrame != nil {
+		m.dataFrame.SetVersion(m.Version)
+	}
 }
 
 // --- replication ------------------------------------------------------------
@@ -513,6 +561,10 @@ type ReplicaPut struct {
 	Data    []byte
 	Version uint64
 	From    ktypes.NodeID
+
+	// dataFrame, when non-nil, backs Data with a refcounted page frame
+	// (see frame.go); it is never encoded.
+	dataFrame *frame.Frame
 }
 
 // Kind implements Msg.
@@ -525,9 +577,15 @@ func (m *ReplicaPut) encode(e *enc.Encoder) {
 }
 func (m *ReplicaPut) decode(d *enc.Decoder) {
 	m.Page = d.Addr()
-	m.Data = d.Bytes32()
+	m.dataFrame = d.Bytes32Frame()
+	if m.dataFrame != nil {
+		m.Data = m.dataFrame.Bytes()
+	}
 	m.Version = d.U64()
 	m.From = d.NodeID()
+	if m.dataFrame != nil {
+		m.dataFrame.SetVersion(m.Version)
+	}
 }
 
 // CopysetQuery asks a page's home which nodes hold copies.
@@ -1184,6 +1242,10 @@ type PageGrantItem struct {
 	// Owner is the page's owner after the grant.
 	Owner ktypes.NodeID
 	Err   string
+
+	// dataFrame, when non-nil, backs Data with a refcounted page frame
+	// (see frame.go); it is never encoded.
+	dataFrame *frame.Frame
 }
 
 // PageGrantBatch answers PageReqBatch with one grant per requested page,
@@ -1213,12 +1275,21 @@ func (m *PageGrantBatch) decode(d *enc.Decoder) {
 	for i := 0; i < n; i++ {
 		var g PageGrantItem
 		g.OK = d.Bool()
-		g.Data = d.Bytes32()
+		g.dataFrame = d.Bytes32Frame()
+		if g.dataFrame != nil {
+			g.Data = g.dataFrame.Bytes()
+		}
 		g.Version = d.U64()
 		g.Owner = d.NodeID()
 		g.Err = d.String()
 		if d.Err() != nil {
+			if g.dataFrame != nil {
+				g.dataFrame.Release()
+			}
 			return
+		}
+		if g.dataFrame != nil {
+			g.dataFrame.SetVersion(g.Version)
 		}
 		m.Grants = append(m.Grants, g)
 	}
@@ -1232,6 +1303,10 @@ type ReleaseItem struct {
 	Dirty   bool
 	Data    []byte
 	Version uint64
+
+	// dataFrame, when non-nil, backs Data with a refcounted page frame
+	// (see frame.go); it is never encoded.
+	dataFrame *frame.Frame
 }
 
 // ReleaseBatch pushes several lock releases (with dirty contents where the
@@ -1266,10 +1341,19 @@ func (m *ReleaseBatch) decode(d *enc.Decoder) {
 		it.Page = d.Addr()
 		it.Mode = ktypes.LockMode(d.U8())
 		it.Dirty = d.Bool()
-		it.Data = d.Bytes32()
+		it.dataFrame = d.Bytes32Frame()
+		if it.dataFrame != nil {
+			it.Data = it.dataFrame.Bytes()
+		}
 		it.Version = d.U64()
 		if d.Err() != nil {
+			if it.dataFrame != nil {
+				it.dataFrame.Release()
+			}
 			return
+		}
+		if it.dataFrame != nil {
+			it.dataFrame.SetVersion(it.Version)
 		}
 		m.Items = append(m.Items, it)
 	}

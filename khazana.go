@@ -302,6 +302,15 @@ func (l *Lock) Read(addr Addr, count uint64) ([]byte, error) {
 	return l.node.core.Read(l.lc, addr, count)
 }
 
+// ReadView returns count bytes starting at addr as a zero-copy view
+// aliasing the locally cached page frame. The view must be treated as
+// read-only and stays valid only until Unlock, which unpins the backing
+// frame; callers needing the bytes longer must copy them or use Read.
+// Requests spanning a page boundary fall back to the copying path.
+func (l *Lock) ReadView(addr Addr, count uint64) ([]byte, error) {
+	return l.node.core.ReadView(l.lc, addr, count)
+}
+
 // Write copies data into the locked range at addr.
 func (l *Lock) Write(addr Addr, data []byte) error {
 	return l.node.core.Write(l.lc, addr, data)
