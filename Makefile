@@ -1,7 +1,7 @@
 GO ?= go
 BIN := bin/khazlint
 
-.PHONY: all build test race vet lint fmt-check bench-smoke clean
+.PHONY: all build test race vet lint fmt-check bench-smoke telemetry-smoke clean
 
 all: build lint test
 
@@ -32,8 +32,31 @@ fmt-check:
 # benchmark code fails CI instead of lingering until someone profiles.
 # -benchmem keeps allocation figures visible in CI logs; the hard
 # allocation gate for cached zero-copy reads is TestCachedReadAllocGate.
+# The armed E15 gate then fails the leg if telemetry slows the cached
+# read path by more than 5% against the telemetry.Nop() baseline.
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x -benchmem ./...
+	KHAZANA_E15_GATE=1 $(GO) test -run TestE15TelemetryOverheadGate -count=1 -v ./internal/experiments/
+
+# telemetry-smoke boots a real khazanad with the HTTP debug listener and
+# curls the export surface: /metrics must serve Prometheus text and JSON,
+# /traces must serve the span ring.
+telemetry-smoke:
+	@set -e; \
+	dir=$$(mktemp -d); \
+	$(GO) build -o $$dir/khazanad ./cmd/khazanad; \
+	$$dir/khazanad -id 1 -listen 127.0.0.1:17450 -store $$dir/store \
+		-genesis -debug-addr 127.0.0.1:17460 & \
+	pid=$$!; \
+	trap "kill $$pid 2>/dev/null; wait $$pid 2>/dev/null; rm -rf $$dir" EXIT; \
+	for i in $$(seq 1 50); do \
+		curl -fsS http://127.0.0.1:17460/metrics >/dev/null 2>&1 && break; \
+		sleep 0.1; \
+	done; \
+	curl -fsS http://127.0.0.1:17460/metrics | grep -q '^# TYPE khazana_'; \
+	curl -fsS 'http://127.0.0.1:17460/metrics?format=json' | grep -q '"counters"'; \
+	curl -fsS http://127.0.0.1:17460/traces >/dev/null; \
+	echo "telemetry-smoke: OK"
 
 $(BIN): FORCE
 	$(GO) build -o $(BIN) ./cmd/khazlint

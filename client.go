@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"khazana/internal/ktypes"
 	"khazana/internal/transport"
@@ -216,6 +217,113 @@ func (c *Client) Stats(ctx context.Context) (*Stats, error) {
 		HomedRegions:   sr.HomedRegions,
 		Members:        sr.Members,
 	}, nil
+}
+
+// MetricValue is one named counter or gauge from a daemon's registry.
+type MetricValue struct {
+	Name  string
+	Value int64
+}
+
+// HistogramValue summarizes one latency/size histogram from a daemon's
+// registry. Buckets[i] counts observations in [2^(i-1), 2^i); see
+// telemetry.BucketBound.
+type HistogramValue struct {
+	Name    string
+	Count   uint64
+	Sum     uint64
+	Buckets []uint64
+}
+
+// Metrics is a daemon's full telemetry snapshot: every registered
+// counter, gauge, and histogram, by name.
+type Metrics struct {
+	Node       NodeID
+	Counters   []MetricValue
+	Gauges     []MetricValue
+	Histograms []HistogramValue
+}
+
+// Span is one recorded trace span from a daemon's ring buffer.
+type Span struct {
+	Trace         uint64
+	Span          uint64
+	Parent        uint64
+	Node          NodeID
+	Name          string
+	StartUnixNano int64
+	DurationNs    int64
+}
+
+func (c *Client) statsQuery(ctx context.Context, includeSpans bool) (*wire.StatsReply, error) {
+	resp, err := c.call(ctx, &wire.StatsQuery{IncludeSpans: includeSpans})
+	if err != nil {
+		return nil, err
+	}
+	sr, ok := resp.(*wire.StatsReply)
+	if !ok {
+		return nil, fmt.Errorf("khazana: unexpected reply %T", resp)
+	}
+	return sr, nil
+}
+
+// Metrics fetches the daemon's full telemetry snapshot.
+func (c *Client) Metrics(ctx context.Context) (*Metrics, error) {
+	sr, err := c.statsQuery(ctx, false)
+	if err != nil {
+		return nil, err
+	}
+	m := &Metrics{Node: sr.Node}
+	for _, cc := range sr.Counters {
+		m.Counters = append(m.Counters, MetricValue{Name: cc.Name, Value: int64(cc.Value)})
+	}
+	for _, g := range sr.Gauges {
+		m.Gauges = append(m.Gauges, MetricValue{Name: g.Name, Value: g.Value})
+	}
+	for _, h := range sr.Hists {
+		m.Histograms = append(m.Histograms, HistogramValue{
+			Name: h.Name, Count: h.Count, Sum: h.Sum, Buckets: h.Buckets,
+		})
+	}
+	return m, nil
+}
+
+// Traces fetches the daemon's recorded trace spans, oldest first.
+func (c *Client) Traces(ctx context.Context) ([]Span, error) {
+	sr, err := c.statsQuery(ctx, true)
+	if err != nil {
+		return nil, err
+	}
+	spans := make([]Span, 0, len(sr.Spans))
+	for _, s := range sr.Spans {
+		spans = append(spans, Span{
+			Trace:         s.Trace,
+			Span:          s.Span,
+			Parent:        s.Parent,
+			Node:          s.Node,
+			Name:          s.Name,
+			StartUnixNano: s.StartUnixNano,
+			DurationNs:    s.DurationNs,
+		})
+	}
+	return spans, nil
+}
+
+// Ping measures one round trip to the daemon with a timestamped ping.
+func (c *Client) Ping(ctx context.Context) (time.Duration, error) {
+	start := time.Now()
+	resp, err := c.call(ctx, &wire.Ping{From: c.tr.Self(), SentUnixNano: start.UnixNano()})
+	if err != nil {
+		return 0, err
+	}
+	pong, ok := resp.(*wire.Pong)
+	if !ok {
+		return 0, fmt.Errorf("khazana: unexpected reply %T", resp)
+	}
+	if pong.EchoUnixNano != start.UnixNano() {
+		return 0, fmt.Errorf("khazana: ping echo mismatch")
+	}
+	return time.Since(start), nil
 }
 
 // Migrate moves a region's primary home to another node (§7 migration

@@ -29,16 +29,17 @@ type Cluster struct {
 type ClusterOption func(*clusterConfig)
 
 type clusterConfig struct {
-	dir       string
-	memPages  int
-	diskPages int
-	latency   time.Duration
-	heartbeat time.Duration
-	retry     time.Duration
-	replica   time.Duration
-	migration time.Duration
-	perPage   bool
-	tracer    func(NodeID, string)
+	dir         string
+	memPages    int
+	diskPages   int
+	latency     time.Duration
+	heartbeat   time.Duration
+	retry       time.Duration
+	replica     time.Duration
+	migration   time.Duration
+	perPage     bool
+	noTelemetry bool
+	tracer      func(NodeID, string)
 }
 
 // WithStoreDir roots every node's disk tier under dir (default: a temp
@@ -81,6 +82,12 @@ func WithAutoMigration(interval time.Duration) ClusterOption {
 // Benchmarks use it to compare the two transfer paths.
 func WithPerPageTransfers() ClusterOption {
 	return func(c *clusterConfig) { c.perPage = true }
+}
+
+// WithNoTelemetry disables the metrics registry and trace recorder on
+// every node. The telemetry-overhead benchmarks use it as the baseline.
+func WithNoTelemetry() ClusterOption {
+	return func(c *clusterConfig) { c.noTelemetry = true }
 }
 
 // WithTracer installs a Figure-2 step tracer on every node.
@@ -139,6 +146,7 @@ func NewCluster(count int, opts ...ClusterOption) (*Cluster, error) {
 			ReplicaInterval:   cfg.replica,
 			MigrationInterval: cfg.migration,
 			PerPageTransfers:  cfg.perPage,
+			NoTelemetry:       cfg.noTelemetry,
 			Tracer:            tracer,
 		})
 		if err != nil {

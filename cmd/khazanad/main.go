@@ -13,9 +13,13 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -25,6 +29,7 @@ import (
 
 	"khazana"
 	"khazana/internal/ktypes"
+	"khazana/internal/telemetry"
 	"khazana/internal/transport"
 )
 
@@ -47,6 +52,7 @@ func run(args []string) error {
 	heartbeat := fs.Duration("heartbeat", time.Second, "heartbeat interval (0 disables)")
 	retry := fs.Duration("retry", time.Second, "release retry interval (0 disables)")
 	replica := fs.Duration("replica", 2*time.Second, "replica maintenance interval (0 disables)")
+	debugAddr := fs.String("debug-addr", "", "HTTP debug listener (/metrics, /traces, /debug/pprof); empty disables")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -94,13 +100,71 @@ func run(args []string) error {
 	log.Printf("khazanad node %d listening on %s (store %s, genesis=%v)",
 		*id, tcp.Addr(), *store, *genesis)
 
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		ln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			_ = node.Close()
+			_ = tcp.Close()
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		debugSrv = &http.Server{Handler: debugMux(node)}
+		go func() {
+			if serr := debugSrv.Serve(ln); serr != nil && serr != http.ErrServerClosed {
+				log.Printf("khazanad debug listener: %v", serr)
+			}
+		}()
+		log.Printf("khazanad node %d debug listener on http://%s", *id, ln.Addr())
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	log.Printf("khazanad node %d shutting down", *id)
+	if debugSrv != nil {
+		shutCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		_ = debugSrv.Shutdown(shutCtx)
+		cancel()
+	}
 	err = node.Close()
 	if cerr := tcp.Close(); err == nil {
 		err = cerr
 	}
 	return err
+}
+
+// debugMux builds the daemon's debug/export surface: metrics in Prometheus
+// text (default) or JSON (?format=json), the trace-span ring, and pprof.
+func debugMux(node *khazana.Node) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		snap := node.Core().MetricsSnapshot()
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			if err := json.NewEncoder(w).Encode(snap); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		if err := telemetry.WritePrometheus(w, snap); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/traces", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		spans := node.Core().TraceSpans()
+		if spans == nil {
+			spans = []telemetry.SpanRecord{}
+		}
+		if err := json.NewEncoder(w).Encode(spans); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }

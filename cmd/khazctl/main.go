@@ -6,6 +6,8 @@
 //	khazctl -daemon 127.0.0.1:7451 get <addr> 0 5
 //	khazctl -daemon 127.0.0.1:7451 attr <addr>
 //	khazctl -daemon 127.0.0.1:7451 stats
+//	khazctl -daemon 127.0.0.1:7451 trace
+//	khazctl -daemon 127.0.0.1:7451 ping [count]
 //	khazctl -daemon 127.0.0.1:7451 migrate <addr> <node-id>
 //	khazctl -daemon 127.0.0.1:7451 free <addr>
 //	khazctl -daemon 127.0.0.1:7451 unreserve <addr>
@@ -44,7 +46,7 @@ func run(args []string) error {
 	}
 	rest := fs.Args()
 	if len(rest) == 0 {
-		return fmt.Errorf("usage: khazctl [flags] <reserve|alloc|free|unreserve|put|get|attr|stats|migrate> ...")
+		return fmt.Errorf("usage: khazctl [flags] <reserve|alloc|free|unreserve|put|get|attr|stats|trace|ping|migrate> ...")
 	}
 	cid := khazana.NodeID(*clientID)
 	if cid == 0 {
@@ -179,6 +181,66 @@ func run(args []string) error {
 		fmt.Printf("locks       %d granted\n", st.LocksGranted)
 		fmt.Printf("recovery    %d release retries, %d promotions\n",
 			st.ReleaseRetries, st.Promotions)
+		m, err := cli.Metrics(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Println("metrics")
+		for _, c := range m.Counters {
+			fmt.Printf("  %-40s %d\n", c.Name, c.Value)
+		}
+		for _, g := range m.Gauges {
+			fmt.Printf("  %-40s %d\n", g.Name, g.Value)
+		}
+		for _, h := range m.Histograms {
+			mean := uint64(0)
+			if h.Count > 0 {
+				mean = h.Sum / h.Count
+			}
+			fmt.Printf("  %-40s count=%d mean=%d\n", h.Name, h.Count, mean)
+		}
+		return nil
+	case "trace":
+		spans, err := cli.Traces(ctx)
+		if err != nil {
+			return err
+		}
+		if len(spans) == 0 {
+			fmt.Println("no spans recorded")
+			return nil
+		}
+		fmt.Printf("%-16s %-8s %-8s %-5s %-10s %s\n", "TRACE", "SPAN", "PARENT", "NODE", "DURATION", "NAME")
+		for _, s := range spans {
+			parent := "-"
+			if s.Parent != 0 {
+				parent = fmt.Sprintf("%08x", s.Parent)
+			}
+			fmt.Printf("%016x %08x %-8s %-5d %-10v %s\n",
+				s.Trace, s.Span, parent, s.Node, time.Duration(s.DurationNs), s.Name)
+		}
+		return nil
+	case "ping":
+		count := 3
+		if len(rest) == 1 {
+			c, err := strconv.Atoi(rest[0])
+			if err != nil || c < 1 {
+				return fmt.Errorf("usage: ping [count]")
+			}
+			count = c
+		} else if len(rest) > 1 {
+			return fmt.Errorf("usage: ping [count]")
+		}
+		fmt.Printf("%-5s %-6s %s\n", "SEQ", "NODE", "RTT")
+		var total time.Duration
+		for i := 0; i < count; i++ {
+			rtt, err := cli.Ping(ctx)
+			if err != nil {
+				return err
+			}
+			total += rtt
+			fmt.Printf("%-5d %-6d %v\n", i+1, *daemonID, rtt)
+		}
+		fmt.Printf("avg %v over %d pings\n", total/time.Duration(count), count)
 		return nil
 	case "migrate":
 		if len(rest) != 2 {

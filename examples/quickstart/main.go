@@ -87,5 +87,13 @@ func run() error {
 	}
 	fmt.Printf("region attrs: pagesize=%d protocol=%v minreplicas=%d home=%v\n",
 		d.Attrs.PageSize, d.Attrs.Protocol, d.Attrs.MinReplicas, d.Home)
+
+	// Every daemon carries a metrics registry; the snapshot shows what
+	// the workload above actually cost (khazanad exports the same data
+	// on its -debug-addr HTTP listener and via `khazctl stats`).
+	fmt.Println("node 2 telemetry:")
+	for _, c := range n2.Core().MetricsSnapshot().Counters {
+		fmt.Printf("  %-28s %d\n", c.Name, c.Value)
+	}
 	return nil
 }

@@ -12,6 +12,7 @@ import (
 	"khazana/internal/ktypes"
 	"khazana/internal/pagedir"
 	"khazana/internal/region"
+	"khazana/internal/telemetry"
 	"khazana/internal/wire"
 )
 
@@ -39,6 +40,9 @@ type Host interface {
 	// Clock returns a monotonic-enough timestamp for last-writer-wins
 	// ordering in the eventual protocol.
 	Clock() int64
+	// Telemetry returns the node's metrics registry; nil disables
+	// instrumentation (instruments resolved from nil are no-ops).
+	Telemetry() *telemetry.Registry
 }
 
 // CM is a consistency manager: the per-protocol module that mediates lock

@@ -10,6 +10,7 @@ import (
 	"khazana/internal/ktypes"
 	"khazana/internal/pagedir"
 	"khazana/internal/region"
+	"khazana/internal/telemetry"
 	"khazana/internal/wire"
 )
 
@@ -36,12 +37,23 @@ type CrewCM struct {
 	h Host
 	// glocks is the manager-side global lock table for pages homed here.
 	glocks *LockTable
+	// invalFailures counts invalidations that failed and pruned the
+	// sharer — each one is a node that may still hold a stale copy.
+	invalFailures *telemetry.Counter
 }
 
 // NewCREW creates the CREW consistency manager for a node.
 func NewCREW(h Host) *CrewCM {
-	return &CrewCM{h: h, glocks: NewLockTable()}
+	return &CrewCM{
+		h:             h,
+		glocks:        NewLockTable(),
+		invalFailures: h.Telemetry().Counter(telemetry.MetricCrewInvalidateFailures),
+	}
 }
+
+// InvalidateFailures reports how many invalidation RPCs have failed (and
+// pruned their sharer) so far.
+func (c *CrewCM) InvalidateFailures() uint64 { return c.invalFailures.Load() }
 
 var _ CM = (*CrewCM)(nil)
 
@@ -285,7 +297,9 @@ func (c *CrewCM) invalidateAll(ctx context.Context, page gaddr.Addr, newOwner kt
 			if _, err := c.h.Request(ctx, n, &wire.Invalidate{Page: page, NewOwner: newOwner, Version: version}); err != nil {
 				// A dead sharer cannot serve stale reads either; log-free
 				// best effort matches the prototype's tolerance of stale
-				// hints. Prune so nothing re-trusts it as a copy holder.
+				// hints. Prune so nothing re-trusts it as a copy holder,
+				// and count the miss so operators see stale-copy risk.
+				c.invalFailures.Add(1)
 				c.h.Dir().Update(page, func(e *pagedir.Entry) { e.RemoveSharer(n) })
 			}
 		}(n)

@@ -4,13 +4,13 @@ import (
 	"context"
 	"fmt"
 	"sync"
-	"sync/atomic"
 
 	"khazana/internal/frame"
 	"khazana/internal/gaddr"
 	"khazana/internal/ktypes"
 	"khazana/internal/pagedir"
 	"khazana/internal/region"
+	"khazana/internal/telemetry"
 	"khazana/internal/wire"
 )
 
@@ -37,12 +37,13 @@ type EventualCM struct {
 	// pushFailures counts update propagations (gossip rounds) that
 	// failed to reach a replica site; the anti-entropy / replica
 	// maintenance path uses it to observe divergence pressure instead
-	// of the failures vanishing silently.
-	pushFailures atomic.Uint64
+	// of the failures vanishing silently. Registry-backed, so it also
+	// surfaces through `khazctl stats` and /metrics.
+	pushFailures *telemetry.Counter
 	// applyFailures counts parked updates that could not be applied at
 	// lock release (e.g. local store errors) — each one means a replica
-	// is still a version behind.
-	applyFailures atomic.Uint64
+	// is still a version behind. Registry-backed like pushFailures.
+	applyFailures *telemetry.Counter
 
 	mu sync.Mutex
 	// auth shadows the LWW-winning contents per page; each entry holds
@@ -74,10 +75,13 @@ func (c *EventualCM) ApplyFailures() uint64 { return c.applyFailures.Load() }
 
 // NewEventual creates the eventual-consistency manager for a node.
 func NewEventual(h Host) *EventualCM {
+	tel := h.Telemetry()
 	return &EventualCM{
-		h:       h,
-		auth:    make(map[gaddr.Addr]*frame.Frame),
-		pending: make(map[gaddr.Addr]*parkedUpdate),
+		h:             h,
+		pushFailures:  tel.Counter(telemetry.MetricEventualPushFailures),
+		applyFailures: tel.Counter(telemetry.MetricEventualApplyFailures),
+		auth:          make(map[gaddr.Addr]*frame.Frame),
+		pending:       make(map[gaddr.Addr]*parkedUpdate),
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"khazana/internal/ktypes"
 	"khazana/internal/pagedir"
 	"khazana/internal/region"
+	"khazana/internal/telemetry"
 	"khazana/internal/transport"
 	"khazana/internal/wire"
 )
@@ -24,6 +25,7 @@ type testHost struct {
 	tr    transport.Transport
 	dir   *pagedir.Dir
 	locks *LockTable
+	tel   *telemetry.Registry
 	cms   map[region.Protocol]CM
 
 	mu sync.Mutex
@@ -75,9 +77,10 @@ func (h *testHost) DropPage(page gaddr.Addr) {
 	}
 }
 
-func (h *testHost) Dir() *pagedir.Dir { return h.dir }
-func (h *testHost) Locks() *LockTable { return h.locks }
-func (h *testHost) Clock() int64      { return h.clock.Add(1) }
+func (h *testHost) Dir() *pagedir.Dir              { return h.dir }
+func (h *testHost) Locks() *LockTable              { return h.locks }
+func (h *testHost) Clock() int64                   { return h.clock.Add(1) }
+func (h *testHost) Telemetry() *telemetry.Registry { return h.tel }
 
 // pageOf extracts the page address from CM traffic.
 func pageOf(m wire.Msg) (gaddr.Addr, bool) {
@@ -128,6 +131,7 @@ func cluster(t *testing.T, n int, descs ...*region.Descriptor) []*testHost {
 			tr:    tr,
 			dir:   pagedir.New(),
 			locks: NewLockTable(),
+			tel:   telemetry.New(),
 			pages: make(map[gaddr.Addr]*frame.Frame),
 			descs: descs,
 		}

@@ -110,6 +110,14 @@ func (n *Node) SendHeartbeat() {
 	if n.manager != nil {
 		return // the manager's own liveness is implicit
 	}
+	// Fold a timestamped ping into the heartbeat tick so the RTT
+	// histogram tracks the manager link without extra background load.
+	if n.mPingRTT != nil {
+		pingCtx, pingCancel := context.WithTimeout(context.Background(), 2*time.Second)
+		//khazana:ignore-err an unreachable manager shows up as heartbeat failure below; the RTT sample is best effort
+		_, _ = n.PingPeer(pingCtx, n.cfg.ClusterManager)
+		pingCancel()
+	}
 	total, max := n.FreeSpace()
 	regions := n.authStarts()
 	if len(regions) > 32 {

@@ -8,6 +8,7 @@ import (
 	"khazana/internal/ktypes"
 	"khazana/internal/pagedir"
 	"khazana/internal/region"
+	"khazana/internal/telemetry"
 	"khazana/internal/wire"
 )
 
@@ -16,9 +17,16 @@ import (
 // routes to the manager; client operations execute on behalf of remote
 // clients (and of peers forwarding home-side operations).
 func (n *Node) handle(ctx context.Context, from ktypes.NodeID, m wire.Msg) (wire.Msg, error) {
+	// Requests that arrived with a trace envelope get a handler-side span;
+	// untraced traffic pays one context lookup and skips the name format.
+	if _, traced := telemetry.FromContext(ctx); traced {
+		var fl telemetry.Flight
+		ctx, fl = telemetry.ContinueSpan(ctx, n.rec, uint32(n.cfg.ID), fmt.Sprintf("handle:%T", m))
+		defer fl.Finish()
+	}
 	switch msg := m.(type) {
 	case *wire.Ping:
-		return &wire.Pong{From: n.cfg.ID}, nil
+		return &wire.Pong{From: n.cfg.ID, EchoUnixNano: msg.SentUnixNano}, nil
 
 	// --- consistency traffic ------------------------------------------
 	case *wire.PageReq:
@@ -172,6 +180,8 @@ func (n *Node) handle(ctx context.Context, from ktypes.NodeID, m wire.Msg) (wire
 		return ackErr(n.MigrateRegion(ctx, msg.Start, msg.NewHome, msg.Principal)), nil
 	case *wire.StatsReq:
 		return n.statsResp(), nil
+	case *wire.StatsQuery:
+		return n.statsReply(msg.IncludeSpans), nil
 
 	//khazana:wire-default middleware kinds route through the app-handler hook; truly unknown kinds error below
 	default:

@@ -156,3 +156,39 @@ func (n *Node) statsResp() *wire.StatsResp {
 		Members:        n.Members(),
 	}
 }
+
+// statsReply serves the full telemetry snapshot over the wire: every
+// registered counter, gauge, and histogram, plus the span ring when the
+// caller asks for it.
+func (n *Node) statsReply(includeSpans bool) *wire.StatsReply {
+	snap := n.MetricsSnapshot()
+	reply := &wire.StatsReply{Node: n.cfg.ID}
+	for _, c := range snap.Counters {
+		reply.Counters = append(reply.Counters, wire.NamedCounter{Name: c.Name, Value: c.Value})
+	}
+	for _, g := range snap.Gauges {
+		reply.Gauges = append(reply.Gauges, wire.NamedGauge{Name: g.Name, Value: g.Value})
+	}
+	for _, h := range snap.Histograms {
+		reply.Hists = append(reply.Hists, wire.HistStat{
+			Name:    h.Name,
+			Count:   h.Count,
+			Sum:     h.Sum,
+			Buckets: h.Buckets,
+		})
+	}
+	if includeSpans {
+		for _, s := range n.TraceSpans() {
+			reply.Spans = append(reply.Spans, wire.SpanStat{
+				Trace:         uint64(s.Trace),
+				Span:          uint64(s.Span),
+				Parent:        uint64(s.Parent),
+				Node:          ktypes.NodeID(s.Node),
+				Name:          s.Name,
+				StartUnixNano: s.Start.UnixNano(),
+				DurationNs:    int64(s.Duration),
+			})
+		}
+	}
+	return reply
+}

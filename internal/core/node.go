@@ -29,6 +29,7 @@ import (
 	"khazana/internal/pagedir"
 	"khazana/internal/region"
 	"khazana/internal/store"
+	"khazana/internal/telemetry"
 	"khazana/internal/transport"
 	"khazana/internal/wire"
 )
@@ -85,6 +86,13 @@ type Config struct {
 	Clock func() int64
 	// Tracer, when set, observes the named protocol steps of Figure 2.
 	Tracer func(step string)
+	// Telemetry supplies the metrics registry and trace recorder; nil
+	// creates a private registry unless NoTelemetry is set.
+	Telemetry *telemetry.Registry
+	// NoTelemetry disables metrics and tracing entirely (instruments
+	// become nil no-ops). Benchmarks use it to measure instrumentation
+	// overhead (E15).
+	NoTelemetry bool
 }
 
 // DefaultChunkSize is the default address-space chunk a daemon manages
@@ -149,18 +157,33 @@ type Node struct {
 	done sync.WaitGroup
 	once sync.Once
 
+	// tel is the node's metrics registry (nil when disabled); rec is its
+	// span recorder. Instruments are resolved once here and recorded
+	// lock-free on the hot paths.
+	tel   *telemetry.Registry
+	rec   *telemetry.Recorder
 	stats Stats
+
+	mReadViews      *telemetry.Counter
+	mLockLatency    *telemetry.Histogram
+	mReleaseLatency *telemetry.Histogram
+	mBatchPages     *telemetry.Histogram
+	mPingRTT        *telemetry.Histogram
+	gMemPages       *telemetry.Gauge
+	gDiskPages      *telemetry.Gauge
 }
 
-// Stats counts daemon activity.
+// Stats counts daemon activity. The fields are registry-backed counters
+// (names in internal/telemetry/names.go), so the same values surface
+// through Statistics(), `khazctl stats`, and the /metrics endpoint.
 type Stats struct {
-	Lookups        atomic.Uint64
-	DirHits        atomic.Uint64
-	ClusterHits    atomic.Uint64
-	TreeWalks      atomic.Uint64
-	LocksGranted   atomic.Uint64
-	ReleaseRetries atomic.Uint64
-	Promotions     atomic.Uint64
+	Lookups        *telemetry.Counter
+	DirHits        *telemetry.Counter
+	ClusterHits    *telemetry.Counter
+	TreeWalks      *telemetry.Counter
+	LocksGranted   *telemetry.Counter
+	ReleaseRetries *telemetry.Counter
+	Promotions     *telemetry.Counter
 }
 
 // retryOp is a queued release-side operation.
@@ -184,9 +207,14 @@ type LockContext struct {
 	// views pins the frames backing outstanding ReadView results; each
 	// entry holds one reference, released at Unlock.
 	views []*frame.Frame
-	mu    sync.Mutex
-	node  *Node
-	freed bool
+	// viewCount batches the read-view metric: incremented under mu on
+	// the cached-read fast path (a plain add, since the mutex is already
+	// held there) and flushed to the registry counter once at Unlock, so
+	// the hot path carries no atomic.
+	viewCount uint64
+	mu        sync.Mutex
+	node      *Node
+	freed     bool
 }
 
 // NewNode creates (but does not start) a daemon.
@@ -209,6 +237,10 @@ func NewNode(cfg Config) (*Node, error) {
 	if cfg.StoreDir == "" {
 		return nil, fmt.Errorf("core: store dir required")
 	}
+	tel := cfg.Telemetry
+	if tel == nil && !cfg.NoTelemetry {
+		tel = telemetry.New()
+	}
 	n := &Node{
 		cfg:       cfg,
 		tr:        cfg.Transport,
@@ -220,6 +252,24 @@ func NewNode(cfg Config) (*Node, error) {
 		access:    newAccessTracker(),
 		stop:      make(chan struct{}),
 		members:   []ktypes.NodeID{cfg.ID},
+		tel:       tel,
+		rec:       tel.Tracer(),
+		stats: Stats{
+			Lookups:        tel.Counter(telemetry.MetricLookups),
+			DirHits:        tel.Counter(telemetry.MetricLookupDirHits),
+			ClusterHits:    tel.Counter(telemetry.MetricLookupClusterHits),
+			TreeWalks:      tel.Counter(telemetry.MetricLookupTreeWalks),
+			LocksGranted:   tel.Counter(telemetry.MetricLocksGranted),
+			ReleaseRetries: tel.Counter(telemetry.MetricReleaseRetries),
+			Promotions:     tel.Counter(telemetry.MetricPromotions),
+		},
+		mReadViews:      tel.Counter(telemetry.MetricReadViews),
+		mLockLatency:    tel.Histogram(telemetry.MetricLockLatency),
+		mReleaseLatency: tel.Histogram(telemetry.MetricReleaseLatency),
+		mBatchPages:     tel.Histogram(telemetry.MetricLockBatchPages),
+		mPingRTT:        tel.Histogram(telemetry.MetricPingRTT),
+		gMemPages:       tel.Gauge(telemetry.MetricMemPages),
+		gDiskPages:      tel.Gauge(telemetry.MetricDiskPages),
 	}
 	st, err := store.NewTiered(store.Config{
 		MemPages:    cfg.MemPages,
@@ -230,6 +280,7 @@ func NewNode(cfg Config) (*Node, error) {
 	if err != nil {
 		return nil, err
 	}
+	st.SetMissCounter(tel.Counter(telemetry.MetricMemMisses))
 	n.store = st
 	reg := cfg.Registry
 	if reg == nil {
@@ -333,6 +384,42 @@ func (n *Node) Manager() *cluster.Manager { return n.manager }
 
 // Statistics returns the daemon's counters.
 func (n *Node) Statistics() *Stats { return &n.stats }
+
+// Telemetry returns the node's metrics registry (nil when disabled).
+func (n *Node) Telemetry() *telemetry.Registry { return n.tel }
+
+// MetricsSnapshot refreshes the storage gauges and snapshots every
+// instrument. It backs the StatsQuery handler and the daemon's /metrics
+// endpoint.
+func (n *Node) MetricsSnapshot() telemetry.Snapshot {
+	n.gMemPages.Set(int64(n.store.Mem().Len()))
+	n.gDiskPages.Set(int64(n.store.Disk().Len()))
+	return n.tel.Snapshot()
+}
+
+// TraceSpans returns the node's recorded trace spans, oldest first.
+func (n *Node) TraceSpans() []telemetry.SpanRecord { return n.rec.Spans() }
+
+// PingPeer measures the round trip to a peer with a timestamped Ping and
+// records it into the RTT histogram — the tracer's baseline network
+// signal (the heartbeat loop calls this for the cluster manager).
+func (n *Node) PingPeer(ctx context.Context, peer ktypes.NodeID) (time.Duration, error) {
+	start := time.Now()
+	resp, err := n.tr.Request(ctx, peer, &wire.Ping{From: n.cfg.ID, SentUnixNano: start.UnixNano()})
+	if err != nil {
+		return 0, err
+	}
+	pong, ok := resp.(*wire.Pong)
+	if !ok {
+		return 0, fmt.Errorf("core: ping %v: unexpected reply %T", peer, resp)
+	}
+	if pong.EchoUnixNano != start.UnixNano() {
+		return 0, fmt.Errorf("core: ping %v: echoed stamp mismatch", peer)
+	}
+	rtt := time.Since(start)
+	n.mPingRTT.Observe(uint64(rtt))
+	return rtt, nil
+}
 
 // Store exposes the local storage hierarchy (diagnostics and tests).
 func (n *Node) Store() *store.Tiered { return n.store }
@@ -458,6 +545,9 @@ func (h hostView) Locks() *consistency.LockTable { return h.n.locks }
 
 // Clock implements consistency.Host.
 func (h hostView) Clock() int64 { return h.n.now() }
+
+// Telemetry implements consistency.Host.
+func (h hostView) Telemetry() *telemetry.Registry { return h.n.tel }
 
 // --- addrmap.PageIO implementation -------------------------------------------
 

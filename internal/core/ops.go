@@ -14,6 +14,7 @@ import (
 	"khazana/internal/pagedir"
 	"khazana/internal/region"
 	"khazana/internal/security"
+	"khazana/internal/telemetry"
 	"khazana/internal/transport"
 	"khazana/internal/wire"
 )
@@ -302,6 +303,12 @@ func (n *Node) Lock(ctx context.Context, rng gaddr.Range, mode ktypes.LockMode, 
 	if rng.Size == 0 {
 		return nil, errors.New("core: empty lock range")
 	}
+	// The op span roots the trace (or extends a remote caller's); every
+	// RPC below inherits its context through the transport envelope.
+	var fl telemetry.Flight
+	ctx, fl = telemetry.StartSpan(ctx, n.rec, uint32(n.cfg.ID), "op.lock")
+	defer fl.Finish()
+	lockStart := time.Now()
 	n.trace("1:obtain-region-descriptor")
 	desc, err := n.lookupRegion(ctx, rng.Start)
 	if err != nil {
@@ -379,6 +386,8 @@ func (n *Node) Lock(ctx context.Context, rng gaddr.Range, mode ktypes.LockMode, 
 	n.lockCtx[lc.ID] = lc
 	n.lockMu.Unlock()
 	n.stats.LocksGranted.Add(1)
+	n.mLockLatency.ObserveSince(lockStart)
+	n.mBatchPages.Observe(uint64(len(pages)))
 
 	// Feed the cluster manager's hint cache (§3.1).
 	if n.manager != nil {
@@ -562,6 +571,10 @@ func (n *Node) ReadView(lc *LockContext, addr gaddr.Addr, count uint64) ([]byte,
 	if !lc.Range.ContainsRange(gaddr.Range{Start: addr, Size: count}) {
 		return nil, ErrOutOfRange
 	}
+	// One plain increment (batched to the registry at Unlock) is the
+	// entire telemetry cost of the cached-read hot path: no atomics, no
+	// clock reads, no spans (see the E15 overhead gate).
+	lc.viewCount++
 	ps := uint64(lc.desc.Attrs.PageSize)
 	pageOff := addr.Offset(ps)
 	if pageOff+count > ps {
@@ -655,7 +668,12 @@ func (n *Node) Unlock(ctx context.Context, lc *LockContext) error {
 	lc.freed = true
 	views := lc.views
 	lc.views = nil
+	viewCount := lc.viewCount
+	lc.viewCount = 0
 	lc.mu.Unlock()
+	if viewCount > 0 {
+		n.mReadViews.Add(viewCount)
+	}
 	// Unpin the frames backing outstanding ReadView results; the views
 	// become invalid here by contract.
 	for _, f := range views {
@@ -667,6 +685,13 @@ func (n *Node) Unlock(ctx context.Context, lc *LockContext) error {
 	n.lockMu.Unlock()
 
 	cm := n.cms[lc.desc.Attrs.Protocol]
+	var fl telemetry.Flight
+	ctx, fl = telemetry.StartSpan(ctx, n.rec, uint32(n.cfg.ID), "op.unlock")
+	releaseStart := time.Now()
+	defer func() {
+		n.mReleaseLatency.ObserveSince(releaseStart)
+		fl.Finish()
+	}()
 	if n.cfg.PerPageTransfers {
 		for _, page := range lc.pages {
 			dirty := lc.dirty[page]

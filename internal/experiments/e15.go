@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"khazana"
+	"khazana/internal/telemetry"
+)
+
+// E15TelemetryOverhead measures what the telemetry subsystem costs on the
+// paths it instruments. The design constraint is asymmetric: RPC-bound
+// operations (lock/release batches) may pay for spans and histograms
+// because a network round trip dwarfs them, but the cached-read fast path
+// — the reason Kore "caches the fetched pages locally" (§3.2) — must stay
+// allocation-free and within noise of the uninstrumented build. The
+// experiment runs the same workloads against an instrumented cluster and
+// a telemetry.Nop() (NoTelemetry) cluster and compares.
+func E15TelemetryOverhead(cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	res := Result{
+		ID:        "E15",
+		Title:     "telemetry overhead — instrumented vs disabled on hot and RPC-bound paths",
+		Predicted: "the cached zero-copy read stays 0 allocs/op with telemetry on (one plain increment, batched to the registry at Unlock), and the batched lock/release cycle's span+histogram cost vanishes into the RPC round trips",
+	}
+
+	instr, err := e15Measure(cfg, false)
+	if err != nil {
+		return res, err
+	}
+	bare, err := e15Measure(cfg, true)
+	if err != nil {
+		return res, err
+	}
+
+	readOverhead := 100 * (instr.readNs - bare.readNs) / bare.readNs
+	lockOverhead := 100 * (instr.lockNs - bare.lockNs) / bare.lockNs
+	res.Rows = []Row{
+		{Name: "cached ReadView, telemetry on", Value: fmt.Sprintf("%.1f ns/op, %.2f allocs/op", instr.readNs, instr.readAllocs),
+			Detail: "one plain increment batched at Unlock; no atomics, clocks, or spans"},
+		{Name: "cached ReadView, telemetry.Nop()", Value: fmt.Sprintf("%.1f ns/op, %.2f allocs/op", bare.readNs, bare.readAllocs),
+			Detail: "nil registry; instruments are nil no-ops"},
+		{Name: "cached ReadView overhead", Value: fmt.Sprintf("%+.1f%%", readOverhead),
+			Detail: "CI bench-smoke gate: must stay under 5%"},
+		{Name: "batched lock/release, telemetry on", Value: fmt.Sprintf("%.0f ns/op", instr.lockNs),
+			Detail: "op spans + latency/batch-size histograms"},
+		{Name: "batched lock/release, telemetry.Nop()", Value: fmt.Sprintf("%.0f ns/op", bare.lockNs),
+			Detail: "same RPC pipeline, bare"},
+		{Name: "batched lock/release overhead", Value: fmt.Sprintf("%+.1f%%", lockOverhead),
+			Detail: "dominated by the simulated network round trips"},
+		{Name: "metrics recorded under load", Value: fmt.Sprintf("%d read views, %d lock batches", instr.readViews, instr.lockBatches),
+			Detail: "registry observed the instrumented runs"},
+	}
+	// Pass on the deterministic claims: the instrumented cached read must
+	// not allocate (PR 3's zero-copy gate must survive telemetry), and the
+	// registry must actually have observed the workloads. The timing
+	// comparison is reported but gated separately (TestE15 gate env), so
+	// scheduler noise cannot flake the tier-1 suite.
+	res.Pass = instr.readAllocs < 0.5 && bare.readAllocs < 0.5 &&
+		instr.readViews > 0 && instr.lockBatches > 0
+	return res, nil
+}
+
+// e15Run is one cluster's measurements.
+type e15Run struct {
+	readNs     float64
+	readAllocs float64
+	lockNs     float64
+	// readViews/lockBatches are the instrumented cluster's recorded
+	// counts (zero for the bare cluster).
+	readViews   uint64
+	lockBatches uint64
+}
+
+// e15Measure times the two workloads on a fresh 2-node cluster, with
+// telemetry enabled or disabled.
+func e15Measure(cfg Config, noTelemetry bool) (e15Run, error) {
+	var out e15Run
+	opts := []khazana.ClusterOption{}
+	if noTelemetry {
+		opts = append(opts, khazana.WithNoTelemetry())
+	}
+	c, err := newCluster(cfg, 2, opts...)
+	if err != nil {
+		return out, err
+	}
+	defer c.Close()
+	ctx := context.Background()
+
+	const ps = 4096
+	const batchPages = 8
+	start, err := mkRegion(ctx, c.Node(1), ps*batchPages, khazana.Attrs{})
+	if err != nil {
+		return out, err
+	}
+	if err := writeOnce(ctx, c.Node(1), start, make([]byte, ps*batchPages)); err != nil {
+		return out, err
+	}
+
+	// Workload A: cached zero-copy reads under one held lock, plus a
+	// touched byte so the loop body is not empty.
+	lk, err := c.Node(1).Lock(ctx, khazana.Range{Start: start, Size: ps}, khazana.LockRead, "bench")
+	if err != nil {
+		return out, err
+	}
+	var sink byte
+	read := func() error {
+		v, err := lk.ReadView(start, ps)
+		if err != nil {
+			return err
+		}
+		sink += v[0]
+		return nil
+	}
+	if err := read(); err != nil { // warm the view pin
+		return out, err
+	}
+	const readRuns = 20000
+	t0 := time.Now()
+	for i := 0; i < readRuns; i++ {
+		if err := read(); err != nil {
+			return out, err
+		}
+	}
+	out.readNs = float64(time.Since(t0)) / readRuns
+	out.readAllocs, _, err = measureAllocs(5000, read)
+	if err != nil {
+		return out, err
+	}
+	if err := lk.Unlock(ctx); err != nil {
+		return out, err
+	}
+	_ = sink
+
+	// Workload B: the batched multi-page lock/fetch + release pipeline,
+	// cross-node so the CM exchange crosses the (simulated) wire.
+	cycle := func() error {
+		wl, err := c.Node(2).Lock(ctx, khazana.Range{Start: start, Size: ps * batchPages}, khazana.LockWrite, "bench")
+		if err != nil {
+			return err
+		}
+		return wl.Unlock(ctx)
+	}
+	if err := cycle(); err != nil { // warm descriptor caches
+		return out, err
+	}
+	const lockRuns = 40
+	t0 = time.Now()
+	for i := 0; i < lockRuns; i++ {
+		if err := cycle(); err != nil {
+			return out, err
+		}
+	}
+	out.lockNs = float64(time.Since(t0)) / lockRuns
+
+	for _, cs := range c.Node(1).Core().MetricsSnapshot().Counters {
+		if cs.Name == telemetry.MetricReadViews {
+			out.readViews = cs.Value
+		}
+	}
+	for _, hs := range c.Node(2).Core().MetricsSnapshot().Histograms {
+		if hs.Name == telemetry.MetricLockBatchPages {
+			out.lockBatches = hs.Count
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+	"time"
+)
+
+func TestE15TelemetryOverhead(t *testing.T) { runAndCheck(t, "E15", E15TelemetryOverhead) }
+
+// TestE15TelemetryOverheadGate enforces the CI bench-smoke budget: the
+// cached-read path may not slow down more than 5% with telemetry on.
+// Timing comparisons flake under arbitrary scheduler load, so the gate
+// only arms when the bench-smoke leg sets KHAZANA_E15_GATE=1; the plain
+// test suite checks the deterministic shape via TestE15TelemetryOverhead.
+func TestE15TelemetryOverheadGate(t *testing.T) {
+	if os.Getenv("KHAZANA_E15_GATE") != "1" {
+		t.Skip("set KHAZANA_E15_GATE=1 to arm the timing gate (CI bench-smoke leg)")
+	}
+	cfg := Config{Latency: 100 * time.Microsecond, Dir: t.TempDir()}
+	// Best-of-3 on each side: the gate compares the fastest observed run,
+	// which is the measurement least polluted by neighbors.
+	readBest := func(noTel bool) float64 {
+		best := 0.0
+		for i := 0; i < 3; i++ {
+			run, err := e15Measure(cfg, noTel)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if best == 0 || run.readNs < best {
+				best = run.readNs
+			}
+		}
+		return best
+	}
+	instr := readBest(false)
+	bare := readBest(true)
+	overhead := 100 * (instr - bare) / bare
+	t.Logf("cached ReadView: %.1f ns/op instrumented vs %.1f ns/op bare (%+.1f%%)", instr, bare, overhead)
+	if overhead > 5.0 {
+		t.Fatalf("cached-read telemetry overhead %.1f%% exceeds the 5%% budget", overhead)
+	}
+}
+
+// BenchmarkE15TelemetryOverhead reports both sides of the comparison as
+// sub-benchmarks so `go test -bench E15` prints instrumented and Nop
+// numbers for the cached-read and batched lock/release workloads.
+func BenchmarkE15TelemetryOverhead(b *testing.B) {
+	for _, side := range []struct {
+		name  string
+		noTel bool
+	}{
+		{"instrumented", false},
+		{"nop", true},
+	} {
+		b.Run(side.name, func(b *testing.B) {
+			cfg := Config{Latency: 100 * time.Microsecond, Dir: b.TempDir()}
+			var readNs, lockNs float64
+			for i := 0; i < b.N; i++ {
+				run, err := e15Measure(cfg, side.noTel)
+				if err != nil {
+					b.Fatal(err)
+				}
+				readNs, lockNs = run.readNs, run.lockNs
+			}
+			b.ReportMetric(readNs, "read-ns/op")
+			b.ReportMetric(lockNs, "lockcycle-ns/op")
+		})
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"khazana/internal/lint/framerelease"
 	"khazana/internal/lint/loader"
 	"khazana/internal/lint/lockorder"
+	"khazana/internal/lint/telemetryname"
 	"khazana/internal/lint/wireexhaustive"
 )
 
@@ -24,6 +25,7 @@ func Analyzers() []*analysis.Analyzer {
 		ctxpropagate.Analyzer,
 		erricheck.Analyzer,
 		framerelease.Analyzer,
+		telemetryname.Analyzer,
 		wireexhaustive.Analyzer,
 	}
 }

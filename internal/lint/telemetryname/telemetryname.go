@@ -1,0 +1,118 @@
+// Package telemetryname checks that metric names passed to the telemetry
+// registry are the named constants from khazana/internal/telemetry
+// (names.go), never inline string literals or locally invented constants.
+//
+// The registry is get-or-create by name: a typo'd inline literal silently
+// mints a second metric instead of failing, and the export surface
+// (khazctl stats, /metrics) then shows two half-populated series. Keeping
+// every name in one const block makes the full metric catalog greppable
+// and collision-free. The telemetry package itself is exempt — its own
+// tests exercise the registry with arbitrary names.
+package telemetryname
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"khazana/internal/lint/analysis"
+)
+
+// Analyzer is the telemetryname check.
+var Analyzer = &analysis.Analyzer{
+	Name: "telemetryname",
+	Doc:  "check that telemetry metric names are named constants from the telemetry package, not inline literals",
+	Run:  run,
+}
+
+// RegistryPath is the import path declaring both the Registry and the
+// metric-name constants.
+const RegistryPath = "khazana/internal/telemetry"
+
+// instrumentCtors names the Registry methods that resolve an instrument
+// from a metric name.
+var instrumentCtors = map[string]bool{
+	"Counter":   true,
+	"Gauge":     true,
+	"Histogram": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg != nil && strings.HasPrefix(pass.Pkg.Path(), RegistryPath) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			checkCall(pass, call)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkCall applies the named-constant rule to one call expression.
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := analysis.MethodCall(pass.TypesInfo, call)
+	if fn == nil || !instrumentCtors[fn.Name()] || !isRegistryMethod(fn) {
+		return
+	}
+	if len(call.Args) == 0 {
+		return
+	}
+	arg := ast.Unparen(call.Args[0])
+	c := constOf(pass, arg)
+	switch {
+	case c == nil:
+		pass.Reportf(arg.Pos(), "metric name passed to (%s.Registry).%s must be a named constant from %s, not an inline expression",
+			shortPkg(RegistryPath), fn.Name(), RegistryPath)
+	case c.Pkg() == nil || c.Pkg().Path() != RegistryPath:
+		pass.Reportf(arg.Pos(), "metric name constant %s must be declared in %s (names.go), not locally",
+			c.Name(), RegistryPath)
+	}
+}
+
+// isRegistryMethod reports whether fn is a method on *telemetry.Registry.
+func isRegistryMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Registry" && obj.Pkg() != nil && obj.Pkg().Path() == RegistryPath
+}
+
+// constOf resolves an expression to the declared constant it names, or nil
+// for anything that is not a use of a named constant.
+func constOf(pass *analysis.Pass, e ast.Expr) *types.Const {
+	var obj types.Object
+	switch e := e.(type) {
+	case *ast.Ident:
+		obj = pass.TypesInfo.Uses[e]
+	case *ast.SelectorExpr:
+		obj = pass.TypesInfo.Uses[e.Sel]
+	default:
+		return nil
+	}
+	c, _ := obj.(*types.Const)
+	return c
+}
+
+// shortPkg returns the last element of an import path for diagnostics.
+func shortPkg(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

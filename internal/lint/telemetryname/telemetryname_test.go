@@ -1,0 +1,12 @@
+package telemetryname_test
+
+import (
+	"testing"
+
+	"khazana/internal/lint/linttest"
+	"khazana/internal/lint/telemetryname"
+)
+
+func TestTelemetryName(t *testing.T) {
+	linttest.Run(t, "testdata", telemetryname.Analyzer, "a")
+}

@@ -1,0 +1,24 @@
+package a
+
+import "khazana/internal/telemetry"
+
+// localMetric shadows the shared catalog; the name must live in the
+// telemetry package's names.go instead.
+const localMetric = "app.local_metric"
+
+func inlineLiteral(r *telemetry.Registry) {
+	_ = r.Counter("app.requests") // want `must be a named constant from khazana/internal/telemetry`
+}
+
+func localConstant(r *telemetry.Registry) {
+	_ = r.Gauge(localMetric) // want `constant localMetric must be declared in khazana/internal/telemetry`
+}
+
+func computedName(r *telemetry.Registry, suffix string) {
+	_ = r.Histogram("app." + suffix) // want `must be a named constant from khazana/internal/telemetry`
+}
+
+func variableName(r *telemetry.Registry) {
+	name := telemetry.MetricLookups
+	_ = r.Counter(name) // want `must be a named constant from khazana/internal/telemetry`
+}

@@ -1,0 +1,25 @@
+package a
+
+import "khazana/internal/telemetry"
+
+// registryConsts resolves every instrument from the shared const block.
+func registryConsts(r *telemetry.Registry) {
+	_ = r.Counter(telemetry.MetricLookups)
+	_ = r.Gauge(telemetry.MetricMemPages)
+	_ = r.Histogram(telemetry.MetricLockLatency)
+	_ = r.Counter((telemetry.MetricLookups))
+}
+
+// namelessMethods take no metric name and are never flagged.
+func namelessMethods(r *telemetry.Registry) {
+	_ = r.Snapshot()
+}
+
+// otherCounter is a different type whose Counter method is not guarded.
+type otherCounter struct{}
+
+func (otherCounter) Counter(name string) int { return 0 }
+
+func notRegistry(o otherCounter) {
+	_ = o.Counter("inline is fine here")
+}

@@ -5,6 +5,7 @@ import (
 
 	"khazana/internal/frame"
 	"khazana/internal/gaddr"
+	"khazana/internal/telemetry"
 )
 
 // Tiered composes the memory and disk tiers into the storage hierarchy of
@@ -16,6 +17,10 @@ import (
 type Tiered struct {
 	mem  *MemStore
 	disk *DiskStore
+	// memMisses counts reads that fell through the RAM tier; nil (the
+	// default) records nothing. Only the miss path touches it, so RAM
+	// hits stay counter-free.
+	memMisses *telemetry.Counter
 }
 
 // Config sizes a tiered store.
@@ -44,6 +49,10 @@ func NewTiered(cfg Config) (*Tiered, error) {
 	return t, nil
 }
 
+// SetMissCounter installs the RAM-tier miss counter. Call before the
+// store sees traffic; a nil counter (or never calling) disables counting.
+func (t *Tiered) SetMissCounter(c *telemetry.Counter) { t.memMisses = c }
+
 // Get returns the page's frame (caller must Release), promoting
 // disk-resident pages to RAM. The frame is shared: treat its contents as
 // immutable.
@@ -51,6 +60,7 @@ func (t *Tiered) Get(page gaddr.Addr) (*frame.Frame, bool) {
 	if f, ok := t.mem.Get(page); ok {
 		return f, true
 	}
+	t.memMisses.Add(1)
 	f, ok := t.disk.Get(page)
 	if !ok {
 		return nil, false

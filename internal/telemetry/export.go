@@ -1,0 +1,63 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WritePrometheus renders a snapshot in the Prometheus text exposition
+// format (version 0.0.4). Dotted metric names become underscore-separated;
+// histograms emit cumulative _bucket series with power-of-two le bounds
+// plus _sum and _count. Khazana has no Prometheus dependency — the format
+// is simple enough to emit by hand for the debug listener.
+func WritePrometheus(w io.Writer, s Snapshot) error {
+	for _, c := range s.Counters {
+		name := promName(c.Name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, c.Value); err != nil {
+			return err
+		}
+	}
+	for _, g := range s.Gauges {
+		name := promName(g.Name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", name, name, g.Value); err != nil {
+			return err
+		}
+	}
+	for _, h := range s.Histograms {
+		name := promName(h.Name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+			return err
+		}
+		cum := uint64(0)
+		for i, b := range h.Buckets {
+			cum += b
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, BucketBound(i), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %d\n%s_count %d\n",
+			name, h.Count, name, h.Sum, name, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// promName maps a dotted Khazana metric name onto the Prometheus
+// identifier alphabet.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + len("khazana_"))
+	b.WriteString("khazana_")
+	for i := 0; i < len(name); i++ {
+		ch := name[i]
+		switch {
+		case ch >= 'a' && ch <= 'z', ch >= 'A' && ch <= 'Z', ch >= '0' && ch <= '9':
+			b.WriteByte(ch)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,62 @@
+package telemetry
+
+// Metric names. Every instrument in the tree resolves its name from this
+// block — the khazlint telemetryname analyzer rejects inline literals — so
+// this file is the complete, greppable catalog of what a node exports.
+//
+// Conventions: names are dotted "<layer>.<metric>"; latency histograms
+// carry a _ns suffix and observe nanoseconds; size histograms (batch page
+// counts) are unitless.
+const (
+	// MetricLookups counts region-descriptor lookups (§3.2 three-stage
+	// location path).
+	MetricLookups = "core.lookups"
+	// MetricLookupDirHits counts lookups satisfied by the local directory.
+	MetricLookupDirHits = "core.lookup_dir_hits"
+	// MetricLookupClusterHits counts lookups satisfied by a cluster
+	// manager hint.
+	MetricLookupClusterHits = "core.lookup_cluster_hits"
+	// MetricLookupTreeWalks counts lookups that fell through to the
+	// address-map tree walk.
+	MetricLookupTreeWalks = "core.lookup_tree_walks"
+	// MetricLocksGranted counts granted lock requests.
+	MetricLocksGranted = "core.locks_granted"
+	// MetricReleaseRetries counts background release retries (§3.5).
+	MetricReleaseRetries = "core.release_retries"
+	// MetricPromotions counts emergency home promotions after an
+	// unreachable home.
+	MetricPromotions = "core.promotions"
+	// MetricReadViews counts zero-copy cached read views served. This is
+	// the only instrument on the cached-read hot path.
+	MetricReadViews = "core.read_views"
+	// MetricLockLatency observes end-to-end Lock latency in nanoseconds.
+	MetricLockLatency = "core.lock_latency_ns"
+	// MetricReleaseLatency observes end-to-end Unlock latency in
+	// nanoseconds.
+	MetricReleaseLatency = "core.release_latency_ns"
+	// MetricLockBatchPages observes pages per lock acquisition (batch
+	// size distribution of the multi-page pipeline).
+	MetricLockBatchPages = "core.lock_batch_pages"
+
+	// MetricPingRTT observes peer round-trip times in nanoseconds — the
+	// tracer's baseline network signal.
+	MetricPingRTT = "net.ping_rtt_ns"
+
+	// MetricMemPages gauges resident RAM-tier pages.
+	MetricMemPages = "store.mem_pages"
+	// MetricDiskPages gauges resident disk-tier pages.
+	MetricDiskPages = "store.disk_pages"
+	// MetricMemMisses counts page reads that missed the RAM tier and fell
+	// through to disk.
+	MetricMemMisses = "store.mem_misses"
+
+	// MetricEventualPushFailures counts eventual-protocol update pushes
+	// that failed to reach a replica site.
+	MetricEventualPushFailures = "consistency.eventual_push_failures"
+	// MetricEventualApplyFailures counts parked eventual updates that
+	// failed to apply at release.
+	MetricEventualApplyFailures = "consistency.eventual_apply_failures"
+	// MetricCrewInvalidateFailures counts CREW invalidations that failed
+	// and pruned the sharer from the copyset.
+	MetricCrewInvalidateFailures = "consistency.crew_invalidate_failures"
+)

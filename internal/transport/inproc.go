@@ -9,8 +9,41 @@ import (
 	"time"
 
 	"khazana/internal/ktypes"
+	"khazana/internal/telemetry"
 	"khazana/internal/wire"
 )
+
+// wrapTraced wraps m in a trace envelope when ctx carries a span context.
+// Untraced requests return m unchanged, so their encoding stays
+// byte-identical to the pre-telemetry wire format. Shared by both
+// transports.
+func wrapTraced(ctx context.Context, m wire.Msg) wire.Msg {
+	sc, ok := telemetry.FromContext(ctx)
+	if !ok {
+		return m
+	}
+	return &wire.Traced{Trace: uint64(sc.Trace), Span: uint64(sc.Span), Inner: wire.Marshal(m)}
+}
+
+// unwrapTraced reverses wrapTraced on the receiving side: it unwraps the
+// envelope and returns a context carrying the sender's span context, so
+// the handler's spans join the caller's trace. Untraced messages pass
+// through with ctx unchanged.
+func unwrapTraced(ctx context.Context, m wire.Msg) (context.Context, wire.Msg, error) {
+	t, ok := m.(*wire.Traced)
+	if !ok {
+		return ctx, m, nil
+	}
+	inner, err := wire.Unmarshal(t.Inner)
+	if err != nil {
+		return ctx, nil, fmt.Errorf("transport: traced envelope: %w", err)
+	}
+	ctx = telemetry.ContextWith(ctx, telemetry.SpanContext{
+		Trace: telemetry.TraceID(t.Trace),
+		Span:  telemetry.SpanID(t.Span),
+	})
+	return ctx, inner, nil
+}
 
 // errBadNodeID rejects attaching the nil node ID.
 var errBadNodeID = errors.New("transport: invalid node ID 0")
@@ -219,7 +252,7 @@ func (ep *inprocEndpoint) Request(ctx context.Context, to ktypes.NodeID, m wire.
 	if dst.closed.Load() {
 		return nil, ErrUnreachable
 	}
-	reqBytes := wire.Marshal(m)
+	reqBytes := wire.Marshal(wrapTraced(ctx, m))
 	ep.net.requests.Add(1)
 	ep.net.bytes.Add(uint64(len(reqBytes)))
 	if err := sleepCtx(ctx, delay); err != nil {
@@ -234,11 +267,15 @@ func (ep *inprocEndpoint) Request(ctx context.Context, to ktypes.NodeID, m wire.
 	if err != nil {
 		return nil, err
 	}
+	hctx, inbound, err := unwrapTraced(ctx, inbound)
+	if err != nil {
+		return nil, err
+	}
 	h := dst.getHandler()
 	if h == nil {
 		return nil, ErrNoHandler
 	}
-	resp, err := h(ctx, ep.id, inbound)
+	resp, err := h(hctx, ep.id, inbound)
 	if err != nil {
 		return nil, &RemoteError{Msg: err.Error()}
 	}

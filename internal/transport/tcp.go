@@ -199,9 +199,10 @@ func (t *TCP) roundTrip(ctx context.Context, conn net.Conn, m wire.Msg) (wire.Ms
 	}
 	// Marshal directly into a pooled buffer after the 8-byte header —
 	// no intermediate payload allocation. The buffer (possibly grown by
-	// the append) goes back to the pool for the next request.
+	// the append) goes back to the pool for the next request. Traced
+	// requests gain an envelope; untraced ones keep the legacy framing.
 	wp := getFrameBuf(8)
-	req := wire.MarshalAppend((*wp)[:8], m)
+	req := wire.MarshalAppend((*wp)[:8], wrapTraced(ctx, m))
 	binary.LittleEndian.PutUint32(req[0:4], uint32(len(req)-8+4))
 	binary.LittleEndian.PutUint32(req[4:8], uint32(t.self))
 	_, err := conn.Write(req)
@@ -316,13 +317,18 @@ func (t *TCP) serveConn(conn net.Conn) {
 			writeResponse(conn, tcpStatusErr, []byte(err.Error()))
 			continue
 		}
+		hctx, msg, err := unwrapTraced(context.Background(), msg)
+		if err != nil {
+			writeResponse(conn, tcpStatusErr, []byte(err.Error()))
+			continue
+		}
 		h := t.getHandler()
 		if h == nil {
 			wire.Recycle(msg)
 			writeResponse(conn, tcpStatusErr, []byte(ErrNoHandler.Error()))
 			continue
 		}
-		resp, err := h(context.Background(), from, msg)
+		resp, err := h(hctx, from, msg)
 		if err != nil {
 			wire.Recycle(msg)
 			writeResponse(conn, tcpStatusErr, []byte(err.Error()))

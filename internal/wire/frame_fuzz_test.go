@@ -58,6 +58,66 @@ func legacyPageGrantBatch(grants []PageGrantItem) []byte {
 	return b
 }
 
+// FuzzTracedEnvelopeWire proves both halves of the trace-header
+// compatibility contract: a message marshaled without a span context is
+// byte-identical to the legacy (pre-telemetry) encoding with no envelope
+// prefix, and the same bytes wrapped in a Traced envelope round-trip with
+// the inner payload untouched.
+func FuzzTracedEnvelopeWire(f *testing.F) {
+	f.Add(true, []byte("page contents"), uint64(7), uint32(3), "", uint64(0xA), uint64(0xB))
+	f.Add(false, []byte{}, uint64(0), uint32(0), "conflict", uint64(1), uint64(2))
+	f.Fuzz(func(t *testing.T, ok bool, data []byte, version uint64, owner uint32, errStr string, trace, span uint64) {
+		m := &PageGrant{OK: ok, Version: version, Owner: ktypes.NodeID(owner), Err: errStr}
+		if len(data) > 0 {
+			m.Data = append([]byte(nil), data...)
+		}
+		// Absent span context: the plain marshal is the legacy format —
+		// no envelope, kind prefix unchanged.
+		plain := Marshal(m)
+		legacy := legacyPageGrant(ok, m.Data, version, ktypes.NodeID(owner), errStr)
+		if !bytes.Equal(plain, legacy) {
+			t.Fatalf("untraced marshal diverged from legacy format:\n got %x\nwant %x", plain, legacy)
+		}
+		if k := Kind(binary.LittleEndian.Uint16(plain[:2])); k != KindPageGrant {
+			t.Fatalf("untraced message carries kind %d, want %d", k, KindPageGrant)
+		}
+
+		// The traced envelope wraps those exact bytes and yields them back.
+		env := Marshal(&Traced{Trace: trace, Span: span, Inner: plain})
+		if k := Kind(binary.LittleEndian.Uint16(env[:2])); k != KindTraced {
+			t.Fatalf("envelope carries kind %d, want %d", k, KindTraced)
+		}
+		back, err := Unmarshal(env)
+		if err != nil {
+			t.Fatalf("unmarshal envelope: %v", err)
+		}
+		tr, isTraced := back.(*Traced)
+		if !isTraced {
+			t.Fatalf("envelope decoded as %T", back)
+		}
+		if tr.Trace != trace || tr.Span != span {
+			t.Fatalf("trace context did not round trip: got (%x,%x) want (%x,%x)",
+				tr.Trace, tr.Span, trace, span)
+		}
+		wantInner := plain
+		if len(wantInner) == 0 {
+			wantInner = nil
+		}
+		if !bytes.Equal(tr.Inner, wantInner) {
+			t.Fatalf("inner payload changed inside the envelope:\n got %x\nwant %x", tr.Inner, plain)
+		}
+		inner, err := Unmarshal(tr.Inner)
+		if err != nil {
+			t.Fatalf("unmarshal inner: %v", err)
+		}
+		g := inner.(*PageGrant)
+		if g.OK != ok || g.Version != version || g.Owner != ktypes.NodeID(owner) || g.Err != errStr {
+			t.Fatal("inner scalar fields did not round trip")
+		}
+		g.ReleaseFrames()
+	})
+}
+
 // FuzzPageGrantFrameWire marshals a frame-backed PageGrant and checks the
 // bytes against the legacy encoding, then round-trips them back through
 // Unmarshal.

@@ -88,6 +88,10 @@ const (
 	KindPageGrantBatch
 	KindReleaseBatch
 	KindReleaseBatchResp
+
+	KindStatsQuery
+	KindStatsReply
+	KindTraced
 )
 
 // Msg is a wire message.
@@ -188,6 +192,9 @@ var factories = map[Kind]func() Msg{
 	KindPageGrantBatch:   func() Msg { return &PageGrantBatch{} },
 	KindReleaseBatch:     func() Msg { return &ReleaseBatch{} },
 	KindReleaseBatchResp: func() Msg { return &ReleaseBatchResp{} },
+	KindStatsQuery:       func() Msg { return &StatsQuery{} },
+	KindStatsReply:       func() Msg { return &StatsReply{} },
+	KindTraced:           func() Msg { return &Traced{} },
 }
 
 // --- infrastructure -----------------------------------------------------
@@ -202,25 +209,43 @@ func (*Ack) Kind() Kind              { return KindAck }
 func (m *Ack) encode(e *enc.Encoder) { e.String(m.Err) }
 func (m *Ack) decode(d *enc.Decoder) { m.Err = d.String() }
 
-// Ping probes liveness.
+// Ping probes liveness and measures round-trip time: the sender stamps
+// its clock and computes the RTT when the echo comes back.
 type Ping struct {
 	From ktypes.NodeID
+	// SentUnixNano is the sender's clock at transmission.
+	SentUnixNano int64
 }
 
 // Kind implements Msg.
-func (*Ping) Kind() Kind              { return KindPing }
-func (m *Ping) encode(e *enc.Encoder) { e.NodeID(m.From) }
-func (m *Ping) decode(d *enc.Decoder) { m.From = d.NodeID() }
+func (*Ping) Kind() Kind { return KindPing }
+func (m *Ping) encode(e *enc.Encoder) {
+	e.NodeID(m.From)
+	e.I64(m.SentUnixNano)
+}
+func (m *Ping) decode(d *enc.Decoder) {
+	m.From = d.NodeID()
+	m.SentUnixNano = d.I64()
+}
 
-// Pong answers a Ping.
+// Pong answers a Ping, echoing the ping's timestamp so the sender can
+// compute the round trip without trusting the remote clock.
 type Pong struct {
 	From ktypes.NodeID
+	// EchoUnixNano returns Ping.SentUnixNano unchanged.
+	EchoUnixNano int64
 }
 
 // Kind implements Msg.
-func (*Pong) Kind() Kind              { return KindPong }
-func (m *Pong) encode(e *enc.Encoder) { e.NodeID(m.From) }
-func (m *Pong) decode(d *enc.Decoder) { m.From = d.NodeID() }
+func (*Pong) Kind() Kind { return KindPong }
+func (m *Pong) encode(e *enc.Encoder) {
+	e.NodeID(m.From)
+	e.I64(m.EchoUnixNano)
+}
+func (m *Pong) decode(d *enc.Decoder) {
+	m.From = d.NodeID()
+	m.EchoUnixNano = d.I64()
+}
 
 // --- region descriptors ---------------------------------------------------
 

@@ -29,8 +29,8 @@ func sampleMessages() []Msg {
 	return []Msg{
 		&Ack{Err: "boom"},
 		&Ack{},
-		&Ping{From: 4},
-		&Pong{From: 5},
+		&Ping{From: 4, SentUnixNano: 1234567890},
+		&Pong{From: 5, EchoUnixNano: 1234567890},
 		&RegionLookup{Addr: gaddr.New(2, 0x2000)},
 		&RegionInfo{Found: true, Desc: desc},
 		&RegionInfo{Found: false, Err: "not found"},
@@ -97,6 +97,21 @@ func sampleMessages() []Msg {
 			{Page: gaddr.New(0, 0x4000), Mode: ktypes.LockRead},
 		}},
 		&ReleaseBatchResp{Errs: []string{"", "store failed"}},
+		&StatsQuery{IncludeSpans: true},
+		&StatsQuery{},
+		&StatsReply{
+			Node:     3,
+			Counters: []NamedCounter{{Name: "core.lookups", Value: 42}},
+			Gauges:   []NamedGauge{{Name: "store.mem_pages", Value: -1}},
+			Hists: []HistStat{
+				{Name: "core.lock_latency_ns", Count: 2, Sum: 3000, Buckets: []uint64{0, 1, 1}},
+				{Name: "net.ping_rtt_ns"},
+			},
+			Spans: []SpanStat{{Trace: 7, Span: 8, Parent: 9, Node: 3,
+				Name: "op.lock", StartUnixNano: 100, DurationNs: 250}},
+		},
+		&StatsReply{Node: 1},
+		&Traced{Trace: 0xABCD, Span: 0x1234, Inner: []byte{0x02, 0x00}},
 	}
 }
 

@@ -143,6 +143,9 @@ type NodeConfig struct {
 	// release pipeline, issuing one RPC per page instead. Benchmarks use
 	// it to compare the two paths; the default (false) batches.
 	PerPageTransfers bool
+	// NoTelemetry disables the metrics registry and trace recorder; the
+	// overhead benchmarks use it to measure the instrumented paths bare.
+	NoTelemetry bool
 	// Tracer observes Figure-2 protocol steps (diagnostics).
 	Tracer func(step string)
 }
@@ -185,6 +188,7 @@ func StartNode(ctx context.Context, cfg NodeConfig) (*Node, error) {
 		MigrationInterval: cfg.MigrationInterval,
 		Registry:          cfg.Registry,
 		PerPageTransfers:  cfg.PerPageTransfers,
+		NoTelemetry:       cfg.NoTelemetry,
 		Tracer:            cfg.Tracer,
 	})
 	if err != nil {
