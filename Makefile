@@ -33,10 +33,14 @@ fmt-check:
 # -benchmem keeps allocation figures visible in CI logs; the hard
 # allocation gate for cached zero-copy reads is TestCachedReadAllocGate.
 # The armed E15 gate then fails the leg if telemetry slows the cached
-# read path by more than 5% against the telemetry.Nop() baseline.
+# read path by more than 5% against the telemetry.Nop() baseline, and
+# the armed E16 gate fails it if the sequential sweep stops saving >=2x
+# grant RPCs or a multi-page release sends more than one update RPC per
+# replica.
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x -benchmem ./...
 	KHAZANA_E15_GATE=1 $(GO) test -run TestE15TelemetryOverheadGate -count=1 -v ./internal/experiments/
+	KHAZANA_E16_GATE=1 $(GO) test -run TestE16WriteThroughGate -count=1 -v ./internal/experiments/
 
 # telemetry-smoke boots a real khazanad with the HTTP debug listener and
 # curls the export surface: /metrics must serve Prometheus text and JSON,

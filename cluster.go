@@ -38,6 +38,8 @@ type clusterConfig struct {
 	replica     time.Duration
 	migration   time.Duration
 	perPage     bool
+	noReadAhead bool
+	perPageRepl bool
 	noTelemetry bool
 	tracer      func(NodeID, string)
 }
@@ -82,6 +84,22 @@ func WithAutoMigration(interval time.Duration) ClusterOption {
 // Benchmarks use it to compare the two transfer paths.
 func WithPerPageTransfers() ClusterOption {
 	return func(c *clusterConfig) { c.perPage = true }
+}
+
+// WithNoReadAhead disables adaptive read-ahead grant pipelining on every
+// node: homes stop piggybacking speculative grants onto sequential
+// readers' lock batches. The prefetch benchmarks (E16) use it as the
+// baseline.
+func WithNoReadAhead() ClusterOption {
+	return func(c *clusterConfig) { c.noReadAhead = true }
+}
+
+// WithPerPageReplication disables the batched replication write-through
+// on every node, pushing one RPC per page per replica instead of one
+// batch per replica. The write-through benchmarks (E16) use it as the
+// baseline.
+func WithPerPageReplication() ClusterOption {
+	return func(c *clusterConfig) { c.perPageRepl = true }
 }
 
 // WithNoTelemetry disables the metrics registry and trace recorder on
@@ -133,21 +151,23 @@ func NewCluster(count int, opts ...ClusterOption) (*Cluster, error) {
 			tracer = func(step string) { cfg.tracer(nid, step) }
 		}
 		node, err := StartNode(ctx, NodeConfig{
-			ID:                id,
-			Transport:         tr,
-			StoreDir:          filepath.Join(cfg.dir, fmt.Sprintf("node-%d", i)),
-			MemPages:          cfg.memPages,
-			DiskPages:         cfg.diskPages,
-			ClusterManager:    1,
-			MapHome:           1,
-			Genesis:           i == 1,
-			HeartbeatInterval: cfg.heartbeat,
-			RetryInterval:     cfg.retry,
-			ReplicaInterval:   cfg.replica,
-			MigrationInterval: cfg.migration,
-			PerPageTransfers:  cfg.perPage,
-			NoTelemetry:       cfg.noTelemetry,
-			Tracer:            tracer,
+			ID:                 id,
+			Transport:          tr,
+			StoreDir:           filepath.Join(cfg.dir, fmt.Sprintf("node-%d", i)),
+			MemPages:           cfg.memPages,
+			DiskPages:          cfg.diskPages,
+			ClusterManager:     1,
+			MapHome:            1,
+			Genesis:            i == 1,
+			HeartbeatInterval:  cfg.heartbeat,
+			RetryInterval:      cfg.retry,
+			ReplicaInterval:    cfg.replica,
+			MigrationInterval:  cfg.migration,
+			PerPageTransfers:   cfg.perPage,
+			NoReadAhead:        cfg.noReadAhead,
+			PerPageReplication: cfg.perPageRepl,
+			NoTelemetry:        cfg.noTelemetry,
+			Tracer:             tracer,
 		})
 		if err != nil {
 			c.Close()

@@ -31,8 +31,22 @@ type Host interface {
 	// StorePage replaces the local copy of a page. The frame is
 	// borrowed: the host takes its own reference.
 	StorePage(page gaddr.Addr, f *frame.Frame) error
-	// DropPage discards the local copy of a page.
+	// DropPage discards the local copy of a page. A copy pinned by an
+	// active lock context may survive locally (the holder keeps its
+	// grant-time snapshot); callers mark the page invalid in the
+	// directory so the next acquire refetches.
 	DropPage(page gaddr.Addr)
+	// StorePageSpeculative installs a read-ahead copy of a page on an
+	// evict-first basis: the copy may be reclaimed before any demand page
+	// and is dropped outright (false) when keeping it would cost a
+	// demand page its cache slot. The frame is borrowed, as in StorePage.
+	StorePageSpeculative(page gaddr.Addr, f *frame.Frame) bool
+	// ReadAhead returns the node's read-ahead planner, or nil when
+	// speculative grant pipelining is disabled.
+	ReadAhead() ReadAheadPlanner
+	// PerPageReplication disables the batched replication write-through,
+	// issuing one RPC per page per replica instead (benchmark baseline).
+	PerPageReplication() bool
 	// Dir returns the node's page directory.
 	Dir() *pagedir.Dir
 	// Locks returns the node's local lock table.
@@ -43,6 +57,21 @@ type Host interface {
 	// Telemetry returns the node's metrics registry; nil disables
 	// instrumentation (instruments resolved from nil are no-ops).
 	Telemetry() *telemetry.Registry
+}
+
+// ReadAheadPlanner predicts the pages a requester will lock next, from the
+// stream of demand batches the home has served it. The home consults Plan
+// on read-mode grant batches, filters out pages it cannot speculate on
+// (e.g. write-locked ones), and reports what actually shipped via Granted
+// so the planner's hit/waste accounting tracks real speculation only.
+// Implementations must be safe for concurrent use.
+type ReadAheadPlanner interface {
+	// Plan observes a demand batch and returns candidate pages to
+	// speculate on, all within desc's range.
+	Plan(desc *region.Descriptor, requester ktypes.NodeID, pages []gaddr.Addr) []gaddr.Addr
+	// Granted records the candidate pages that were actually piggybacked
+	// onto the reply.
+	Granted(regionStart gaddr.Addr, requester ktypes.NodeID, pages []gaddr.Addr)
 }
 
 // CM is a consistency manager: the per-protocol module that mediates lock
@@ -197,6 +226,27 @@ func storeBytes(h Host, page gaddr.Addr, data []byte) error {
 	err := h.StorePage(page, f)
 	f.Release()
 	return err
+}
+
+// fanOut runs fn once per target with at most limit concurrent calls and
+// waits for all of them: the bounded worker-pool idiom shared by the
+// invalidation, batch-acquire, and replication fan-outs.
+func fanOut(targets []ktypes.NodeID, limit int, fn func(ktypes.NodeID)) {
+	if len(targets) == 0 {
+		return
+	}
+	sem := make(chan struct{}, limit)
+	var wg sync.WaitGroup
+	for _, n := range targets {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(n ktypes.NodeID) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			fn(n)
+		}(n)
+	}
+	wg.Wait()
 }
 
 // isHome reports whether the local node is the region's primary home.

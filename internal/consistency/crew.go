@@ -21,6 +21,9 @@ const (
 	maxInvalidateFanout = 8
 	// maxHomeFanout bounds concurrent per-home batch RPCs per acquire.
 	maxHomeFanout = 8
+	// maxReplicateFanout bounds concurrent write-through UpdateBatch RPCs
+	// per release.
+	maxReplicateFanout = 8
 )
 
 // CrewCM implements the Concurrent Read Exclusive Write protocol (paper
@@ -40,14 +43,41 @@ type CrewCM struct {
 	// invalFailures counts invalidations that failed and pruned the
 	// sharer — each one is a node that may still hold a stale copy.
 	invalFailures *telemetry.Counter
+
+	// specMu guards the speculative-grant bookkeeping below.
+	specMu sync.Mutex
+	// spec maps pages installed from a speculative grant (but not yet
+	// consumed) to the granted version. A demand read finding its page
+	// here with a valid local copy skips the home round trip entirely.
+	spec map[gaddr.Addr]uint64
+	// specHeld counts read holds acquired by consuming a speculative
+	// grant. No home global lock backs these holds, so their releases
+	// must not travel to the home — a remote TryRelease would decrement
+	// some genuine reader's lock count.
+	specHeld map[gaddr.Addr]int
+
+	// prefetchHits / prefetchWaste count speculated pages consumed
+	// without an RPC vs re-requested on demand (client side).
+	prefetchHits  *telemetry.Counter
+	prefetchWaste *telemetry.Counter
+	// specPages observes speculative pages piggybacked per grant reply
+	// (home side); updateBatchPages observes pages per write-through RPC.
+	specPages        *telemetry.Histogram
+	updateBatchPages *telemetry.Histogram
 }
 
 // NewCREW creates the CREW consistency manager for a node.
 func NewCREW(h Host) *CrewCM {
 	return &CrewCM{
-		h:             h,
-		glocks:        NewLockTable(),
-		invalFailures: h.Telemetry().Counter(telemetry.MetricCrewInvalidateFailures),
+		h:                h,
+		glocks:           NewLockTable(),
+		invalFailures:    h.Telemetry().Counter(telemetry.MetricCrewInvalidateFailures),
+		spec:             make(map[gaddr.Addr]uint64),
+		specHeld:         make(map[gaddr.Addr]int),
+		prefetchHits:     h.Telemetry().Counter(telemetry.MetricPrefetchHits),
+		prefetchWaste:    h.Telemetry().Counter(telemetry.MetricPrefetchWaste),
+		specPages:        h.Telemetry().Histogram(telemetry.MetricPrefetchSpecPages),
+		updateBatchPages: h.Telemetry().Histogram(telemetry.MetricUpdateBatchPages),
 	}
 }
 
@@ -141,34 +171,125 @@ func (c *CrewCM) AcquireBatch(ctx context.Context, desc *region.Descriptor, page
 	if err != nil {
 		return nil, err
 	}
+	// Read batches first consume pages a speculative grant already
+	// delivered: those holds are local, so a fully speculated batch costs
+	// zero RPCs.
+	var acquired []gaddr.Addr
+	demand := pages
+	if !mode.Writes() {
+		var consumed []gaddr.Addr
+		consumed, demand = c.consumeSpec(pages)
+		acquired = consumed
+		if len(demand) == 0 {
+			return acquired, nil
+		}
+	} else {
+		// A write acquire over a speculated page cannot use the read
+		// copy; drop the bookkeeping so its later release stays honest.
+		c.forgetSpec(pages)
+	}
 	// One RPC per home. A region has a single primary home today, so this
 	// is normally one group; the bounded fan-out keeps multi-home
 	// placements pipelined without monopolizing the transport.
-	groups := map[ktypes.NodeID][]gaddr.Addr{home: pages}
+	groups := map[ktypes.NodeID][]gaddr.Addr{home: demand}
+	nodes := make([]ktypes.NodeID, 0, len(groups))
+	for node := range groups {
+		nodes = append(nodes, node)
+	}
 	var (
 		mu       sync.Mutex
-		acquired []gaddr.Addr
 		firstErr error
 	)
-	sem := make(chan struct{}, maxHomeFanout)
-	var wg sync.WaitGroup
-	for node, group := range groups {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(node ktypes.NodeID, group []gaddr.Addr) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			got, err := c.acquireFromHome(ctx, desc, node, group, mode)
-			mu.Lock()
-			acquired = append(acquired, got...)
-			if err != nil && firstErr == nil {
-				firstErr = err
-			}
-			mu.Unlock()
-		}(node, group)
-	}
-	wg.Wait()
+	fanOut(nodes, maxHomeFanout, func(node ktypes.NodeID) {
+		got, err := c.acquireFromHome(ctx, desc, node, groups[node], mode)
+		mu.Lock()
+		acquired = append(acquired, got...)
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	})
 	return acquired, firstErr
+}
+
+// consumeSpec splits a read batch into pages satisfiable from unconsumed
+// speculative grants (returned first, now held locally) and pages that
+// still need the home. Every speculated page touched here leaves the spec
+// map: a hit converts to a specHeld read hold, a page whose local copy was
+// lost or invalidated since the grant counts as waste and rejoins the
+// demand set.
+func (c *CrewCM) consumeSpec(pages []gaddr.Addr) (consumed, demand []gaddr.Addr) {
+	c.specMu.Lock()
+	defer c.specMu.Unlock()
+	if len(c.spec) == 0 {
+		return nil, pages
+	}
+	demand = make([]gaddr.Addr, 0, len(pages))
+	for _, p := range pages {
+		if _, ok := c.spec[p]; !ok {
+			demand = append(demand, p)
+			continue
+		}
+		delete(c.spec, p)
+		entry, _ := c.h.Dir().Lookup(p)
+		valid := entry.State != pagedir.Invalid
+		if valid {
+			if f, resident := c.h.LoadPage(p); resident {
+				f.Release()
+			} else {
+				valid = false
+			}
+		}
+		if !valid {
+			// The prefetch was evicted or invalidated before use.
+			c.prefetchWaste.Add(1)
+			demand = append(demand, p)
+			continue
+		}
+		c.prefetchHits.Add(1)
+		c.specHeld[p]++
+		consumed = append(consumed, p)
+	}
+	return consumed, demand
+}
+
+// forgetSpec drops unconsumed speculative-grant bookkeeping for pages
+// about to be acquired for writing.
+func (c *CrewCM) forgetSpec(pages []gaddr.Addr) {
+	c.specMu.Lock()
+	defer c.specMu.Unlock()
+	for _, p := range pages {
+		delete(c.spec, p)
+	}
+}
+
+// releaseSpecHeld filters pages whose read hold came from a speculative
+// grant, decrementing their hold counts, and returns the pages whose
+// releases must still travel to the home. Speculative holds have no
+// manager-side global lock, so sending their release would decrement a
+// lock some genuine reader holds.
+func (c *CrewCM) releaseSpecHeld(pages []gaddr.Addr, mode ktypes.LockMode) []gaddr.Addr {
+	if mode.Writes() {
+		return pages
+	}
+	c.specMu.Lock()
+	defer c.specMu.Unlock()
+	if len(c.specHeld) == 0 {
+		return pages
+	}
+	remote := make([]gaddr.Addr, 0, len(pages))
+	for _, p := range pages {
+		if n, ok := c.specHeld[p]; ok && n > 0 {
+			if n == 1 {
+				delete(c.specHeld, p)
+			} else {
+				c.specHeld[p] = n - 1
+			}
+			continue
+		}
+		remote = append(remote, p)
+	}
+	return remote
 }
 
 // acquireFromHome issues one PageReqBatch covering group to home and
@@ -224,7 +345,36 @@ func (c *CrewCM) acquireFromHome(ctx context.Context, desc *region.Descriptor, h
 			}
 		})
 	}
+	c.installSpecGrants(batch.Spec)
 	return acquired, firstErr
+}
+
+// installSpecGrants stores the read-ahead pages the home piggybacked onto
+// a grant reply. Installation is strictly best-effort: the store may drop
+// a frame rather than evict a demand page, and a dropped frame simply
+// leaves the next acquire to fetch on demand.
+func (c *CrewCM) installSpecGrants(spec []wire.SpecGrant) {
+	for i := range spec {
+		s := &spec[i]
+		f := s.TakeFrame()
+		if f == nil {
+			continue
+		}
+		kept := c.h.StorePageSpeculative(s.Page, f)
+		f.Release()
+		if !kept {
+			continue
+		}
+		c.h.Dir().Update(s.Page, func(e *pagedir.Entry) {
+			e.Version = s.Version
+			if e.State != pagedir.Owned {
+				e.State = pagedir.Shared
+			}
+		})
+		c.specMu.Lock()
+		c.spec[s.Page] = s.Version
+		c.specMu.Unlock()
+	}
 }
 
 // homeAcquire is the manager-side grant path, shared by local clients and
@@ -286,25 +436,16 @@ func (c *CrewCM) invalidateAll(ctx context.Context, page gaddr.Addr, newOwner kt
 	}
 	entry, _ := c.h.Dir().Lookup(page)
 	version := entry.Version
-	sem := make(chan struct{}, maxInvalidateFanout)
-	var wg sync.WaitGroup
-	for _, n := range targets {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(n ktypes.NodeID) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			if _, err := c.h.Request(ctx, n, &wire.Invalidate{Page: page, NewOwner: newOwner, Version: version}); err != nil {
-				// A dead sharer cannot serve stale reads either; log-free
-				// best effort matches the prototype's tolerance of stale
-				// hints. Prune so nothing re-trusts it as a copy holder,
-				// and count the miss so operators see stale-copy risk.
-				c.invalFailures.Add(1)
-				c.h.Dir().Update(page, func(e *pagedir.Entry) { e.RemoveSharer(n) })
-			}
-		}(n)
-	}
-	wg.Wait()
+	fanOut(targets, maxInvalidateFanout, func(n ktypes.NodeID) {
+		if _, err := c.h.Request(ctx, n, &wire.Invalidate{Page: page, NewOwner: newOwner, Version: version}); err != nil {
+			// A dead sharer cannot serve stale reads either; log-free
+			// best effort matches the prototype's tolerance of stale
+			// hints. Prune so nothing re-trusts it as a copy holder,
+			// and count the miss so operators see stale-copy risk.
+			c.invalFailures.Add(1)
+			c.h.Dir().Update(page, func(e *pagedir.Entry) { e.RemoveSharer(n) })
+		}
+	})
 }
 
 // Release implements CM.
@@ -313,7 +454,16 @@ func (c *CrewCM) Release(ctx context.Context, desc *region.Descriptor, page gadd
 		mode = ktypes.LockWrite
 	}
 	if isHome(c.h, desc) {
-		return c.homeRelease(desc, page, mode, dirty, c.h.Self(), nil)
+		err := c.homeRelease(desc, page, mode, dirty, c.h.Self(), nil)
+		if err == nil && mode.Writes() && dirty {
+			c.replicate(ctx, desc, []gaddr.Addr{page})
+		}
+		return err
+	}
+	if len(c.releaseSpecHeld([]gaddr.Addr{page}, mode)) == 0 {
+		// The hold came from a consumed speculative grant: it is purely
+		// local, the home never issued a lock for it.
+		return nil
 	}
 	home, err := homeOf(desc)
 	if err != nil {
@@ -349,23 +499,35 @@ func (c *CrewCM) ReleaseBatch(ctx context.Context, desc *region.Descriptor, page
 	}
 	if isHome(c.h, desc) {
 		var errs []error
+		var replicated []gaddr.Addr
 		for i, p := range pages {
 			if err := c.homeRelease(desc, p, mode, dirty[p], c.h.Self(), nil); err != nil {
 				if errs == nil {
 					errs = make([]error, len(pages))
 				}
 				errs[i] = err
+				continue
+			}
+			if mode.Writes() && dirty[p] {
+				replicated = append(replicated, p)
 			}
 		}
+		c.replicate(ctx, desc, replicated)
 		return errs
+	}
+	remote := c.releaseSpecHeld(pages, mode)
+	if len(remote) == 0 {
+		// Every hold came from consumed speculative grants; nothing to
+		// tell the home.
+		return nil
 	}
 	home, err := homeOf(desc)
 	if err != nil {
 		return batchErrs(len(pages), err)
 	}
-	items := make([]wire.ReleaseItem, len(pages))
+	items := make([]wire.ReleaseItem, len(remote))
 	var frames []*frame.Frame
-	for i, p := range pages {
+	for i, p := range remote {
 		items[i] = wire.ReleaseItem{Page: p, Mode: mode, Dirty: dirty[p]}
 		if mode.Writes() && dirty[p] {
 			// Frames stay referenced until the request (and its marshal)
@@ -383,27 +545,29 @@ func (c *CrewCM) ReleaseBatch(ctx context.Context, desc *region.Descriptor, page
 	}()
 	resp, err := c.h.Request(ctx, home, &wire.ReleaseBatch{From: c.h.Self(), Items: items})
 	if err != nil {
-		return batchErrs(len(pages), fmt.Errorf("consistency: crew release batch (%d pages) to %v: %w", len(pages), home, err))
+		return batchErrs(len(pages), fmt.Errorf("consistency: crew release batch (%d pages) to %v: %w", len(remote), home, err))
 	}
 	rb, ok := resp.(*wire.ReleaseBatchResp)
 	if !ok {
 		return batchErrs(len(pages), fmt.Errorf("consistency: crew release batch: unexpected reply %T", resp))
 	}
-	var errs []error
-	for i, p := range pages {
-		var remote string
-		if i < len(rb.Errs) {
-			remote = rb.Errs[i]
-		}
-		if remote != "" {
-			if errs == nil {
-				errs = make([]error, len(pages))
-			}
-			errs[i] = fmt.Errorf("consistency: crew release %v to %v: %s", p, home, remote)
+	remoteErrs := make(map[gaddr.Addr]string, len(remote))
+	for i, p := range remote {
+		if i < len(rb.Errs) && rb.Errs[i] != "" {
+			remoteErrs[p] = rb.Errs[i]
 			continue
 		}
 		if mode.Writes() && dirty[p] {
 			c.h.Dir().Update(p, func(e *pagedir.Entry) { e.Version++ })
+		}
+	}
+	var errs []error
+	for i, p := range pages {
+		if remote, ok := remoteErrs[p]; ok {
+			if errs == nil {
+				errs = make([]error, len(pages))
+			}
+			errs[i] = fmt.Errorf("consistency: crew release %v to %v: %s", p, home, remote)
 		}
 	}
 	return errs
@@ -446,6 +610,78 @@ func (c *CrewCM) homeRelease(desc *region.Descriptor, page gaddr.Addr, mode ktyp
 	return storeErr
 }
 
+// replicate writes released dirty pages through to the region's secondary
+// homes: one UpdateBatch per replica covering every page of the release,
+// instead of one ReplicaPut per page per replica. Each page's frame is
+// loaded once and shared across the fan-out (every SetFrame takes its own
+// reference). Replication is best-effort — the background replica
+// maintenance loop (§3.5) re-pushes pages a secondary missed.
+func (c *CrewCM) replicate(ctx context.Context, desc *region.Descriptor, pages []gaddr.Addr) {
+	if len(pages) == 0 || len(desc.Home) < 2 {
+		return
+	}
+	self := c.h.Self()
+	type pageData struct {
+		page    gaddr.Addr
+		f       *frame.Frame
+		version uint64
+	}
+	data := make([]pageData, 0, len(pages))
+	for _, p := range pages {
+		//khazana:frame-owner released after the replication fan-out below
+		f, ok := c.h.LoadPage(p)
+		if !ok {
+			continue
+		}
+		entry, _ := c.h.Dir().Lookup(p)
+		data = append(data, pageData{page: p, f: f, version: entry.Version})
+	}
+	if len(data) == 0 {
+		return
+	}
+	var targets []ktypes.NodeID
+	for _, n := range desc.Home {
+		if n != self {
+			targets = append(targets, n)
+		}
+	}
+	perPage := c.h.PerPageReplication()
+	fanOut(targets, maxReplicateFanout, func(n ktypes.NodeID) {
+		if perPage {
+			// Baseline path: one ReplicaPut RPC per page, as before the
+			// batched write-through.
+			for _, pd := range data {
+				msg := &wire.ReplicaPut{Page: pd.page, Version: pd.version, From: self}
+				msg.SetFrame(pd.f)
+				if _, err := c.h.Request(ctx, n, msg); err != nil {
+					msg.ReleaseFrames()
+					continue
+				}
+				msg.ReleaseFrames()
+				c.h.Dir().Update(pd.page, func(e *pagedir.Entry) { e.AddSharer(n) })
+			}
+			return
+		}
+		batch := &wire.UpdateBatch{From: self, Items: make([]wire.UpdateItem, len(data))}
+		for i, pd := range data {
+			batch.Items[i] = wire.UpdateItem{Page: pd.page, Version: pd.version, Origin: self}
+			batch.Items[i].SetFrame(pd.f)
+		}
+		c.updateBatchPages.Observe(uint64(len(data)))
+		_, err := c.h.Request(ctx, n, batch)
+		batch.ReleaseFrames()
+		if err != nil {
+			return
+		}
+		for _, pd := range data {
+			c.h.Dir().Update(pd.page, func(e *pagedir.Entry) { e.AddSharer(n) })
+		}
+	})
+	for _, pd := range data {
+		pd.f.Release()
+	}
+}
+
 // Handle implements CM.
 func (c *CrewCM) Handle(ctx context.Context, desc *region.Descriptor, from ktypes.NodeID, m wire.Msg) (wire.Msg, error) {
 	switch msg := m.(type) {
@@ -454,7 +690,9 @@ func (c *CrewCM) Handle(ctx context.Context, desc *region.Descriptor, from ktype
 	case *wire.PageReqBatch:
 		return c.handlePageReqBatch(ctx, desc, msg)
 	case *wire.ReleaseBatch:
-		return c.handleReleaseBatch(desc, msg)
+		return c.handleReleaseBatch(ctx, desc, msg)
+	case *wire.UpdateBatch:
+		return c.handleUpdateBatch(desc, from, msg)
 	case *wire.ReleaseNotify:
 		if !isHome(c.h, desc) {
 			return nil, ErrNotHome
@@ -473,9 +711,17 @@ func (c *CrewCM) Handle(ctx context.Context, desc *region.Descriptor, from ktype
 		if err != nil {
 			return nil, err
 		}
+		if msg.Mode.Writes() && msg.Dirty {
+			c.replicate(ctx, desc, []gaddr.Addr{msg.Page})
+		}
 		return &wire.Ack{}, nil
 	case *wire.Invalidate:
 		c.h.DropPage(msg.Page)
+		// An unconsumed speculative grant for the page is now stale;
+		// forget it so the next read goes to the home.
+		c.specMu.Lock()
+		delete(c.spec, msg.Page)
+		c.specMu.Unlock()
 		c.h.Dir().Update(msg.Page, func(e *pagedir.Entry) {
 			e.State = pagedir.Invalid
 			e.Owner = msg.NewOwner
@@ -532,6 +778,7 @@ func (c *CrewCM) handlePageReqBatch(ctx context.Context, desc *region.Descriptor
 		return resp, nil
 	}
 	failed := false
+	allReads := true
 	for i, page := range msg.Pages {
 		if failed {
 			resp.Grants[i] = wire.PageGrantItem{Err: "not attempted: earlier page in batch failed"}
@@ -540,6 +787,9 @@ func (c *CrewCM) handlePageReqBatch(ctx context.Context, desc *region.Descriptor
 		mode := msg.Modes[i]
 		if mode == ktypes.LockWriteShared {
 			mode = ktypes.LockWrite
+		}
+		if mode.Writes() {
+			allReads = false
 		}
 		if err := c.homeAcquire(ctx, desc, page, mode, msg.Requester); err != nil {
 			resp.Grants[i] = wire.PageGrantItem{Err: err.Error()}
@@ -556,17 +806,63 @@ func (c *CrewCM) handlePageReqBatch(ctx context.Context, desc *region.Descriptor
 		resp.Grants[i].SetFrame(f)
 		f.Release()
 	}
+	if !failed && allReads {
+		c.speculate(desc, msg.Requester, msg.Pages, resp)
+	}
 	return resp, nil
+}
+
+// speculate piggybacks read-ahead grants for the requester's predicted
+// next pages onto a fully granted read batch. Speculative grants carry no
+// manager lock: the requester is added to the copyset (so a later writer
+// invalidates its copy) and ships a validated snapshot, trading one
+// version of staleness in the worst race for a round trip per predicted
+// page — the §3.3 relaxation read-mostly services opt into.
+func (c *CrewCM) speculate(desc *region.Descriptor, requester ktypes.NodeID, pages []gaddr.Addr, resp *wire.PageGrantBatch) {
+	planner := c.h.ReadAhead()
+	if planner == nil || requester == c.h.Self() {
+		return
+	}
+	candidates := planner.Plan(desc, requester, pages)
+	if len(candidates) == 0 {
+		return
+	}
+	granted := make([]gaddr.Addr, 0, len(candidates))
+	for _, p := range candidates {
+		// Never speculate on a page under an active write lock: its
+		// contents are in flight at the writer.
+		if c.glocks.WriteLocked(p) {
+			continue
+		}
+		// Enter the copyset before reading the bytes: once listed, a
+		// writer's grant will invalidate the requester's copy, so the
+		// snapshot below cannot be silently left stale forever.
+		c.h.Dir().Update(p, func(e *pagedir.Entry) {
+			e.HomedLocal = true
+			e.AddSharer(requester)
+		})
+		entry, _ := c.h.Dir().Lookup(p)
+		s := wire.SpecGrant{Page: p, Version: entry.Version}
+		f := loadOrZero(c.h, desc, p)
+		s.SetFrame(f)
+		f.Release()
+		resp.Spec = append(resp.Spec, s)
+		granted = append(granted, p)
+	}
+	c.specPages.Observe(uint64(len(granted)))
+	planner.Granted(desc.Range.Start, requester, granted)
 }
 
 // handleReleaseBatch applies a batch of releases at the manager,
 // reporting per-item status so the releaser retries only the pages whose
-// write-through failed (§3.5).
-func (c *CrewCM) handleReleaseBatch(desc *region.Descriptor, msg *wire.ReleaseBatch) (wire.Msg, error) {
+// write-through failed (§3.5), then writes the batch's dirty pages
+// through to the region's secondary homes in one RPC per replica.
+func (c *CrewCM) handleReleaseBatch(ctx context.Context, desc *region.Descriptor, msg *wire.ReleaseBatch) (wire.Msg, error) {
 	if !isHome(c.h, desc) {
 		return nil, ErrNotHome
 	}
 	resp := &wire.ReleaseBatchResp{Errs: make([]string, len(msg.Items))}
+	var replicated []gaddr.Addr
 	for i := range msg.Items {
 		it := &msg.Items[i]
 		mode := it.Mode
@@ -583,7 +879,51 @@ func (c *CrewCM) handleReleaseBatch(desc *region.Descriptor, msg *wire.ReleaseBa
 		}
 		if err != nil {
 			resp.Errs[i] = err.Error()
+			continue
 		}
+		if mode.Writes() && it.Dirty {
+			replicated = append(replicated, it.Page)
+		}
+	}
+	c.replicate(ctx, desc, replicated)
+	return resp, nil
+}
+
+// handleUpdateBatch applies a batched write-through at a secondary home:
+// every page is stored and its directory entry refreshed when the pushed
+// version is at least as new as the local one, mirroring the per-page
+// ReplicaPut semantics.
+func (c *CrewCM) handleUpdateBatch(desc *region.Descriptor, from ktypes.NodeID, msg *wire.UpdateBatch) (wire.Msg, error) {
+	_ = desc
+	self := c.h.Self()
+	resp := &wire.UpdateBatchResp{
+		Errs:     make([]string, len(msg.Items)),
+		Versions: make([]uint64, len(msg.Items)),
+	}
+	for i := range msg.Items {
+		it := &msg.Items[i]
+		f := it.TakeFrame()
+		if f == nil {
+			resp.Errs[i] = "update without contents"
+			continue
+		}
+		err := c.h.StorePage(it.Page, f)
+		f.Release()
+		if err != nil {
+			resp.Errs[i] = err.Error()
+			continue
+		}
+		c.h.Dir().Update(it.Page, func(e *pagedir.Entry) {
+			if it.Version >= e.Version {
+				e.Version = it.Version
+				if e.State != pagedir.Owned {
+					e.State = pagedir.Shared
+				}
+			}
+			e.AddSharer(self)
+			e.AddSharer(from)
+		})
+		resp.Versions[i] = it.Version
 	}
 	return resp, nil
 }

@@ -295,32 +295,69 @@ func (c *EventualCM) applyPending(ctx context.Context, desc *region.Descriptor, 
 	}
 }
 
-// gossip forwards an accepted update to every other replica site,
-// best-effort: a site that misses an update converges on the next
-// accepted one (or stays a version old, which this protocol permits).
+// gossipUpdate is one accepted update bound for the copyset fan-out. The
+// frame is borrowed for the duration of gossipBatch.
+type gossipUpdate struct {
+	page   gaddr.Addr
+	f      *frame.Frame
+	stamp  int64
+	origin ktypes.NodeID
+}
+
+// gossip forwards one accepted update to every other replica site via the
+// batched fan-out.
 func (c *EventualCM) gossip(ctx context.Context, page gaddr.Addr, f *frame.Frame, stamp int64, origin ktypes.NodeID) {
-	entry, ok := c.h.Dir().Lookup(page)
-	if !ok {
+	c.gossipBatch(ctx, []gossipUpdate{{page: page, f: f, stamp: stamp, origin: origin}})
+}
+
+// gossipBatch forwards accepted updates to every other replica site: one
+// UpdateBatch RPC per destination covering all of that destination's
+// pages, instead of one UpdatePush per page per destination. Every item
+// shares its update's single refcounted frame across the whole fan-out —
+// each SetFrame takes a reference on the same frame, so a push targeting
+// several replicas never copies the page contents. Best-effort, as gossip
+// has always been: a site that misses an update converges on the next
+// accepted one (or stays a version old, which this protocol permits), but
+// each missed page counts a push failure so divergence stays observable.
+func (c *EventualCM) gossipBatch(ctx context.Context, updates []gossipUpdate) {
+	if len(updates) == 0 {
 		return
 	}
-	// One frame reference (held by the caller for the duration of this
-	// call) backs every send; the message carries only a byte view.
-	msg := &wire.UpdatePush{Page: page, Stamp: stamp, Origin: origin}
-	if f != nil {
-		msg.Data = f.Bytes()
-	}
-	for _, n := range entry.Copyset {
-		if n == c.h.Self() || n == origin {
+	self := c.h.Self()
+	dests := make(map[ktypes.NodeID][]int)
+	var order []ktypes.NodeID
+	for i := range updates {
+		u := &updates[i]
+		entry, ok := c.h.Dir().Lookup(u.page)
+		if !ok {
 			continue
 		}
-		if _, err := c.h.Request(ctx, n, msg); err != nil {
-			// A site that misses an update converges on the next
-			// accepted one (or stays a version old, which this protocol
-			// permits) — but the failure must be observable, not
-			// swallowed: replica maintenance and tests watch this count.
-			c.pushFailures.Add(1)
+		for _, n := range entry.Copyset {
+			if n == self || n == u.origin {
+				continue
+			}
+			if _, seen := dests[n]; !seen {
+				order = append(order, n)
+			}
+			dests[n] = append(dests[n], i)
 		}
 	}
+	fanOut(order, maxReplicateFanout, func(n ktypes.NodeID) {
+		idxs := dests[n]
+		batch := &wire.UpdateBatch{From: self, Items: make([]wire.UpdateItem, len(idxs))}
+		for j, i := range idxs {
+			u := &updates[i]
+			batch.Items[j] = wire.UpdateItem{Page: u.page, Stamp: u.stamp, Origin: u.origin}
+			if u.f != nil {
+				batch.Items[j].SetFrame(u.f)
+			}
+		}
+		_, err := c.h.Request(ctx, n, batch)
+		batch.ReleaseFrames()
+		if err != nil {
+			c.pushFailures.Add(uint64(len(idxs)))
+		}
+	})
 }
 
 // AcquireBatch implements CM via the sequential per-page adapter: the
@@ -330,9 +367,187 @@ func (c *EventualCM) AcquireBatch(ctx context.Context, desc *region.Descriptor, 
 	return acquireSeq(ctx, c, desc, pages, mode)
 }
 
-// ReleaseBatch implements CM via the sequential per-page adapter.
+// ReleaseBatch implements CM natively: the batch's dirty pages claim one
+// clock stamp, and the pushes travel as one UpdateBatch per destination —
+// a single RPC to the home from a replica site, or one gossip batch per
+// copyset member at the home — instead of one UpdatePush per page. Local
+// locks always release, and parked updates apply exactly as in the
+// per-page path.
 func (c *EventualCM) ReleaseBatch(ctx context.Context, desc *region.Descriptor, pages []gaddr.Addr, mode ktypes.LockMode, dirty map[gaddr.Addr]bool) []error {
-	return releaseSeq(ctx, c, desc, pages, mode, dirty)
+	if len(pages) == 0 {
+		return nil
+	}
+	defer func() {
+		for _, p := range pages {
+			c.applyPending(ctx, desc, p)
+			c.h.Locks().Release(p, mode)
+		}
+	}()
+	if !mode.Writes() {
+		return nil
+	}
+	stamp := c.h.Clock()
+	self := c.h.Self()
+	var errs []error
+	setErr := func(i int, err error) {
+		if errs == nil {
+			errs = make([]error, len(pages))
+		}
+		errs[i] = err
+	}
+	idx := make(map[gaddr.Addr]int, len(pages))
+	for i, p := range pages {
+		idx[p] = i
+	}
+	var claimed []gossipUpdate
+	c.mu.Lock()
+	for i, p := range pages {
+		if !dirty[p] {
+			continue
+		}
+		ok, err := c.applyLocked(p, nil, stamp, self)
+		if err != nil {
+			setErr(i, err)
+			continue
+		}
+		if !ok {
+			// A newer update won while we were writing; our bytes lose
+			// under LWW. Roll the store back to the winning contents.
+			if auth, okA := c.auth[p]; okA {
+				if serr := c.h.StorePage(p, auth); serr != nil {
+					setErr(i, serr)
+				}
+			}
+			continue
+		}
+		// Pin the claimed bytes for the push; the auth entry may be
+		// replaced concurrently once the mutex drops.
+		//khazana:frame-owner released after the push/gossip fan-out below
+		claimed = append(claimed, gossipUpdate{page: p, f: c.auth[p].Retain(), stamp: stamp, origin: self})
+	}
+	c.mu.Unlock()
+	defer func() {
+		for _, u := range claimed {
+			u.f.Release()
+		}
+	}()
+	if len(claimed) == 0 {
+		return errs
+	}
+	if isHome(c.h, desc) {
+		for _, u := range claimed {
+			c.h.Dir().Update(u.page, func(e *pagedir.Entry) { e.HomedLocal = true })
+		}
+		c.gossipBatch(ctx, claimed)
+		return errs
+	}
+	home, err := homeOf(desc)
+	if err != nil {
+		for _, u := range claimed {
+			setErr(idx[u.page], err)
+		}
+		return errs
+	}
+	batch := &wire.UpdateBatch{From: self, Items: make([]wire.UpdateItem, len(claimed))}
+	for i, u := range claimed {
+		batch.Items[i] = wire.UpdateItem{Page: u.page, Stamp: u.stamp, Origin: u.origin}
+		batch.Items[i].SetFrame(u.f)
+	}
+	resp, err := c.h.Request(ctx, home, batch)
+	batch.ReleaseFrames()
+	if err != nil {
+		err = fmt.Errorf("consistency: eventual push batch (%d pages) to %v: %w", len(claimed), home, err)
+		for _, u := range claimed {
+			setErr(idx[u.page], err)
+		}
+		return errs
+	}
+	// The home answers with its authoritative per-page state; reconcile
+	// in case some of our pushes lost to newer updates.
+	if auth, ok := resp.(*wire.UpdateBatch); ok {
+		for i := range auth.Items {
+			it := &auth.Items[i]
+			af := it.TakeFrame()
+			if af == nil {
+				continue
+			}
+			c.mu.Lock()
+			_, aerr := c.applyLocked(it.Page, af, it.Stamp, it.Origin)
+			c.mu.Unlock()
+			af.Release()
+			if aerr != nil {
+				if j, known := idx[it.Page]; known {
+					setErr(j, aerr)
+				}
+			}
+		}
+	}
+	return errs
+}
+
+// inboundResult is one inbound update's outcome: whether it applied, the
+// authoritative stamp/origin after processing, the authoritative bytes
+// (retained; release() drops them), and the surviving inbound frame (nil
+// when ownership moved to a parked update).
+type inboundResult struct {
+	applied bool
+	stamp   int64
+	origin  ktypes.NodeID
+	//khazana:frame-owner released by inboundResult.release
+	auth *frame.Frame
+	//khazana:frame-owner released by inboundResult.release
+	inbound *frame.Frame
+}
+
+// release drops the result's frame references.
+func (r *inboundResult) release() {
+	if r.auth != nil {
+		r.auth.Release()
+		r.auth = nil
+	}
+	if r.inbound != nil {
+		r.inbound.Release()
+		r.inbound = nil
+	}
+}
+
+// applyInbound processes one pushed update: park it under an active local
+// write lock, or apply it via last-writer-wins. Ownership of uf transfers
+// in; the result's frames transfer back out (release() them when done).
+func (c *EventualCM) applyInbound(home bool, page gaddr.Addr, uf *frame.Frame, stamp int64, origin ktypes.NodeID) (inboundResult, error) {
+	if home {
+		c.h.Dir().Update(page, func(e *pagedir.Entry) {
+			e.HomedLocal = true
+			e.AddSharer(origin)
+		})
+	}
+	c.mu.Lock()
+	var applied bool
+	var err error
+	if c.h.Locks().WriteLocked(page) {
+		// A local writer is active: park the update; it is applied
+		// (LWW) when the lock releases.
+		if prev, ok := c.pending[page]; !ok || stamp > prev.stamp ||
+			(stamp == prev.stamp && origin > prev.origin) {
+			if ok && prev.f != nil {
+				prev.f.Release()
+			}
+			//khazana:frame-owner ownership moves to the parked update
+			c.pending[page] = &parkedUpdate{f: uf, stamp: stamp, origin: origin}
+			uf = nil
+		}
+	} else {
+		applied, err = c.applyLocked(page, uf, stamp, origin)
+	}
+	entry, _ := c.h.Dir().Lookup(page)
+	var af *frame.Frame
+	if a, ok := c.auth[page]; ok {
+		// Pin the authoritative bytes for the reply while the mutex is
+		// still held; no copy is made.
+		af = a.Retain()
+	}
+	c.mu.Unlock()
+	return inboundResult{applied: applied, stamp: entry.Stamp, origin: entry.StampNode, auth: af, inbound: uf}, err
 }
 
 // Handle implements CM.
@@ -348,60 +563,55 @@ func (c *EventualCM) Handle(ctx context.Context, desc *region.Descriptor, from k
 		return handlePageFetch(c.h, msg), nil
 	case *wire.UpdatePush:
 		home := isHome(c.h, desc)
-		if home {
-			c.h.Dir().Update(msg.Page, func(e *pagedir.Entry) {
-				e.HomedLocal = true
-				e.AddSharer(msg.Origin)
-			})
-		}
 		// Take ownership of the inbound bytes up front: the transport
 		// recycles the message's buffer after this handler returns.
-		uf := msg.TakeFrame()
-		c.mu.Lock()
-		var applied bool
-		var err error
-		if c.h.Locks().WriteLocked(msg.Page) {
-			// A local writer is active: park the update; it is
-			// applied (LWW) when the lock releases.
-			if prev, ok := c.pending[msg.Page]; !ok || msg.Stamp > prev.stamp ||
-				(msg.Stamp == prev.stamp && msg.Origin > prev.origin) {
-				if ok && prev.f != nil {
-					prev.f.Release()
-				}
-				//khazana:frame-owner ownership moves to the parked update
-				c.pending[msg.Page] = &parkedUpdate{f: uf, stamp: msg.Stamp, origin: msg.Origin}
-				uf = nil
-			}
-		} else {
-			applied, err = c.applyLocked(msg.Page, uf, msg.Stamp, msg.Origin)
-		}
-		entry, _ := c.h.Dir().Lookup(msg.Page)
-		var af *frame.Frame
-		if a, ok := c.auth[msg.Page]; ok {
-			// Pin the authoritative bytes for the reply while the mutex
-			// is still held; no copy is made.
-			af = a.Retain()
-		}
-		c.mu.Unlock()
+		res, err := c.applyInbound(home, msg.Page, msg.TakeFrame(), msg.Stamp, msg.Origin)
 		if err != nil {
-			if uf != nil {
-				uf.Release()
-			}
-			if af != nil {
-				af.Release()
-			}
+			res.release()
 			return nil, err
 		}
-		resp := &wire.UpdatePush{Page: msg.Page, Stamp: entry.Stamp, Origin: entry.StampNode}
-		if af != nil {
-			resp.SetFrame(af)
-			af.Release()
+		resp := &wire.UpdatePush{Page: msg.Page, Stamp: res.stamp, Origin: res.origin}
+		if res.auth != nil {
+			resp.SetFrame(res.auth)
 		}
-		if home && applied {
-			c.gossip(ctx, msg.Page, uf, msg.Stamp, msg.Origin)
+		if home && res.applied {
+			c.gossip(ctx, msg.Page, res.inbound, msg.Stamp, msg.Origin)
 		}
-		if uf != nil {
-			uf.Release()
+		res.release()
+		return resp, nil
+	case *wire.UpdateBatch:
+		// A batched push: a replica site releasing several dirty pages at
+		// once, another home's gossip round, or a background retry drain.
+		// Each item parks or applies exactly as a lone UpdatePush would,
+		// and the reply mirrors the batch with the authoritative per-page
+		// state so the pusher reconciles losses in one pass.
+		home := isHome(c.h, desc)
+		resp := &wire.UpdateBatch{From: c.h.Self(), Items: make([]wire.UpdateItem, len(msg.Items))}
+		var accepted []gossipUpdate
+		for i := range msg.Items {
+			it := &msg.Items[i]
+			res, err := c.applyInbound(home, it.Page, it.TakeFrame(), it.Stamp, it.Origin)
+			if err != nil {
+				// Best-effort, like gossip itself: the reply still
+				// carries the authoritative state for this page, and the
+				// replica converges on the next accepted update.
+				c.applyFailures.Add(1)
+			}
+			resp.Items[i] = wire.UpdateItem{Page: it.Page, Stamp: res.stamp, Origin: res.origin}
+			if res.auth != nil {
+				resp.Items[i].SetFrame(res.auth)
+			}
+			if home && res.applied && res.inbound != nil {
+				//khazana:frame-owner released after the gossip fan-out below
+				accepted = append(accepted, gossipUpdate{page: it.Page, f: res.inbound.Retain(), stamp: it.Stamp, origin: it.Origin})
+			}
+			res.release()
+		}
+		if home && len(accepted) > 0 {
+			c.gossipBatch(ctx, accepted)
+			for _, u := range accepted {
+				u.f.Release()
+			}
 		}
 		return resp, nil
 	//khazana:wire-default non-CM kinds are unroutable here by design

@@ -34,6 +34,9 @@ type testHost struct {
 
 	clock atomic.Int64
 
+	// planner enables speculative read-ahead grants when set.
+	planner ReadAheadPlanner
+
 	// descs resolves pages to descriptors for inbound traffic.
 	descs []*region.Descriptor
 }
@@ -77,6 +80,16 @@ func (h *testHost) DropPage(page gaddr.Addr) {
 	}
 }
 
+// StorePageSpeculative keeps every speculative copy: the harness has no
+// cache pressure, so evict-first semantics are exercised by store tests.
+func (h *testHost) StorePageSpeculative(page gaddr.Addr, f *frame.Frame) bool {
+	return h.StorePage(page, f) == nil
+}
+
+func (h *testHost) ReadAhead() ReadAheadPlanner { return h.planner }
+
+func (h *testHost) PerPageReplication() bool { return false }
+
 func (h *testHost) Dir() *pagedir.Dir              { return h.dir }
 func (h *testHost) Locks() *LockTable              { return h.locks }
 func (h *testHost) Clock() int64                   { return h.clock.Add(1) }
@@ -97,6 +110,11 @@ func pageOf(m wire.Msg) (gaddr.Addr, bool) {
 		return msg.Page, true
 	case *wire.UpdatePush:
 		return msg.Page, true
+	case *wire.UpdateBatch:
+		if len(msg.Items) == 0 {
+			return gaddr.Addr{}, false
+		}
+		return msg.Items[0].Page, true
 	}
 	return gaddr.Addr{}, false
 }

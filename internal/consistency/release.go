@@ -147,9 +147,92 @@ func (c *ReleaseCM) AcquireBatch(ctx context.Context, desc *region.Descriptor, p
 	return acquireSeq(ctx, c, desc, pages, mode)
 }
 
-// ReleaseBatch implements CM via the sequential per-page adapter.
+// ReleaseBatch implements CM natively: the batch's dirty pages travel to
+// the home in a single UpdateBatch RPC instead of one UpdatePush each,
+// with the per-item reply errors aligned so one failed store queues one
+// background retry. Local locks always release.
 func (c *ReleaseCM) ReleaseBatch(ctx context.Context, desc *region.Descriptor, pages []gaddr.Addr, mode ktypes.LockMode, dirty map[gaddr.Addr]bool) []error {
-	return releaseSeq(ctx, c, desc, pages, mode, dirty)
+	if len(pages) == 0 {
+		return nil
+	}
+	defer func() {
+		for _, p := range pages {
+			c.h.Locks().Release(p, mode)
+		}
+	}()
+	if !mode.Writes() {
+		return nil
+	}
+	if isHome(c.h, desc) {
+		for _, p := range pages {
+			if !dirty[p] {
+				continue
+			}
+			c.h.Dir().Update(p, func(e *pagedir.Entry) {
+				e.Version++
+				e.HomedLocal = true
+			})
+		}
+		return nil
+	}
+	var dirtyPages []gaddr.Addr
+	for _, p := range pages {
+		if dirty[p] {
+			dirtyPages = append(dirtyPages, p)
+		}
+	}
+	if len(dirtyPages) == 0 {
+		return nil
+	}
+	home, err := homeOf(desc)
+	if err != nil {
+		return batchErrs(len(pages), err)
+	}
+	batch := &wire.UpdateBatch{From: c.h.Self(), Items: make([]wire.UpdateItem, len(dirtyPages))}
+	var frames []*frame.Frame
+	for i, p := range dirtyPages {
+		batch.Items[i] = wire.UpdateItem{Page: p, Origin: c.h.Self()}
+		// Frames stay referenced until the request (and its marshal)
+		// completes, so the views in Data never dangle.
+		f := loadOrZero(c.h, desc, p)
+		batch.Items[i].Data = f.Bytes()
+		//khazana:frame-owner released after the batch RPC below
+		frames = append(frames, f)
+	}
+	defer func() {
+		for _, f := range frames {
+			f.Release()
+		}
+	}()
+	resp, err := c.h.Request(ctx, home, batch)
+	if err != nil {
+		return batchErrs(len(pages), fmt.Errorf("consistency: release push batch (%d pages) to %v: %w", len(dirtyPages), home, err))
+	}
+	ub, ok := resp.(*wire.UpdateBatchResp)
+	if !ok {
+		return batchErrs(len(pages), fmt.Errorf("consistency: release push batch: unexpected reply %T", resp))
+	}
+	remoteErrs := make(map[gaddr.Addr]string, len(dirtyPages))
+	for i, p := range dirtyPages {
+		if i < len(ub.Errs) && ub.Errs[i] != "" {
+			remoteErrs[p] = ub.Errs[i]
+			continue
+		}
+		if i < len(ub.Versions) {
+			v := ub.Versions[i]
+			c.h.Dir().Update(p, func(e *pagedir.Entry) { e.Version = v })
+		}
+	}
+	var errs []error
+	for i, p := range pages {
+		if remote, ok := remoteErrs[p]; ok {
+			if errs == nil {
+				errs = make([]error, len(pages))
+			}
+			errs[i] = fmt.Errorf("consistency: release push %v to %v: %s", p, home, remote)
+		}
+	}
+	return errs
 }
 
 // Handle implements CM.
@@ -178,24 +261,60 @@ func (c *ReleaseCM) Handle(ctx context.Context, desc *region.Descriptor, from kt
 		if !isHome(c.h, desc) {
 			return nil, ErrNotHome
 		}
-		if f := msg.TakeFrame(); f != nil {
-			err := c.h.StorePage(msg.Page, f)
+		f := msg.TakeFrame()
+		newVersion, err := c.applyPush(msg.Page, f, from)
+		if f != nil {
 			f.Release()
-			if err != nil {
-				return nil, err
-			}
 		}
-		var newVersion uint64
-		c.h.Dir().Update(msg.Page, func(e *pagedir.Entry) {
-			e.HomedLocal = true
-			e.Version++
-			e.State = pagedir.Shared
-			e.AddSharer(from)
-			newVersion = e.Version
-		})
+		if err != nil {
+			return nil, err
+		}
 		return &wire.VersionInfo{Found: true, Version: newVersion}, nil
+	case *wire.UpdateBatch:
+		if !isHome(c.h, desc) {
+			return nil, ErrNotHome
+		}
+		resp := &wire.UpdateBatchResp{
+			Errs:     make([]string, len(msg.Items)),
+			Versions: make([]uint64, len(msg.Items)),
+		}
+		for i := range msg.Items {
+			it := &msg.Items[i]
+			f := it.TakeFrame()
+			newVersion, err := c.applyPush(it.Page, f, from)
+			if f != nil {
+				f.Release()
+			}
+			if err != nil {
+				resp.Errs[i] = err.Error()
+				continue
+			}
+			resp.Versions[i] = newVersion
+		}
+		return resp, nil
 	//khazana:wire-default non-CM kinds are unroutable here by design
 	default:
 		return nil, fmt.Errorf("%w: release got %T", ErrUnknownMsg, m)
 	}
+}
+
+// applyPush applies one pushed dirty page at the home — store, bump the
+// version, and track the pusher as a copy holder — returning the page's
+// new version. The frame is borrowed; nil means the pusher held no data
+// (version bump only).
+func (c *ReleaseCM) applyPush(page gaddr.Addr, f *frame.Frame, from ktypes.NodeID) (uint64, error) {
+	if f != nil {
+		if err := c.h.StorePage(page, f); err != nil {
+			return 0, err
+		}
+	}
+	var newVersion uint64
+	c.h.Dir().Update(page, func(e *pagedir.Entry) {
+		e.HomedLocal = true
+		e.Version++
+		e.State = pagedir.Shared
+		e.AddSharer(from)
+		newVersion = e.Version
+	})
+	return newVersion, nil
 }

@@ -193,6 +193,13 @@ func (n *Node) RunRetries() {
 	// whole batch by its first page's region.
 	crew := make(map[groupKey][]retryOp)
 	var crewOrder []groupKey
+	type pushKey struct {
+		home  ktypes.NodeID
+		start gaddr.Addr
+		proto region.Protocol
+	}
+	push := make(map[pushKey][]retryOp)
+	var pushOrder []pushKey
 	for _, op := range ops {
 		desc, err := n.lookupRegion(ctx, op.page)
 		if err != nil {
@@ -221,11 +228,11 @@ func (n *Node) RunRetries() {
 				n.stats.ReleaseRetries.Add(1)
 				continue
 			}
-			if err := n.retryPush(ctx, op, home, desc.Attrs.Protocol); err != nil {
-				n.queueRetry(op)
-			} else {
-				n.stats.ReleaseRetries.Add(1)
+			key := pushKey{home: home, start: desc.Range.Start, proto: desc.Attrs.Protocol}
+			if _, seen := push[key]; !seen {
+				pushOrder = append(pushOrder, key)
 			}
+			push[key] = append(push[key], op)
 		default:
 			n.stats.ReleaseRetries.Add(1)
 		}
@@ -233,32 +240,68 @@ func (n *Node) RunRetries() {
 	for _, key := range crewOrder {
 		n.retryCrewBatch(ctx, key.home, crew[key])
 	}
+	for _, key := range pushOrder {
+		n.retryPushBatch(ctx, key.home, key.proto, push[key])
+	}
 }
 
-// retryPush redoes the network half of a failed dirty release under the
-// release or eventual protocol: one UpdatePush to the home.
-func (n *Node) retryPush(ctx context.Context, op retryOp, home ktypes.NodeID, proto region.Protocol) error {
-	f, ok := n.store.Get(op.page)
-	if !ok {
-		// The page left the node since the release failed; the
-		// disk-eviction path only lets a dirty page go after pushing it
-		// home (§3.4), so the update has already been delivered.
-		// Pushing nil here would clobber it.
-		return nil
+// retryPushBatch redoes the network half of failed dirty releases under
+// the release or eventual protocol: one UpdateBatch to the home covering
+// every queued page of one region (§3.5), instead of one UpdatePush per
+// page. Per-item failures requeue individually.
+func (n *Node) retryPushBatch(ctx context.Context, home ktypes.NodeID, proto region.Protocol, ops []retryOp) {
+	batch := &wire.UpdateBatch{From: n.cfg.ID, Items: make([]wire.UpdateItem, 0, len(ops))}
+	// Frames stay referenced by the batch until the request (and its
+	// marshal) completes, so the views in Data never dangle.
+	defer batch.ReleaseFrames()
+	live := make([]retryOp, 0, len(ops))
+	for _, op := range ops {
+		f, ok := n.store.Get(op.page)
+		if !ok {
+			// The page left the node since the release failed; the
+			// disk-eviction path only lets a dirty page go after pushing
+			// it home (§3.4), so the update has already been delivered.
+			// Pushing nil here would clobber it.
+			n.stats.ReleaseRetries.Add(1)
+			continue
+		}
+		item := wire.UpdateItem{Page: op.page, Origin: n.cfg.ID}
+		if proto == region.Eventual {
+			item.Stamp = n.now()
+		}
+		item.SetFrame(f)
+		f.Release()
+		batch.Items = append(batch.Items, item)
+		live = append(live, op)
 	}
-	// The frame stays alive (and its Data view valid) across the RPC.
-	defer f.Release()
-	msg := &wire.UpdatePush{Page: op.page, Data: f.Bytes(), Origin: n.cfg.ID}
-	if proto == region.Eventual {
-		msg.Stamp = n.now()
+	if len(batch.Items) == 0 {
+		return
 	}
-	if _, err := n.tr.Request(ctx, home, msg); err != nil {
-		return err
+	resp, err := n.tr.Request(ctx, home, batch)
+	if err != nil {
+		for _, op := range live {
+			n.queueRetry(op)
+		}
+		return
 	}
-	// Delivered: the local copy is no longer the only holder of the
-	// update, so it may be victimized again.
-	n.dir.Update(op.page, func(e *pagedir.Entry) { e.Dirty = false })
-	return nil
+	// A release home answers per-item status; an eventual home answers an
+	// authoritative batch, meaning every item was processed.
+	var failed func(i int) bool
+	if r, ok := resp.(*wire.UpdateBatchResp); ok {
+		failed = func(i int) bool { return i < len(r.Errs) && r.Errs[i] != "" }
+	} else {
+		failed = func(int) bool { return false }
+	}
+	for i, op := range live {
+		if failed(i) {
+			n.queueRetry(op)
+			continue
+		}
+		// Delivered: the local copy is no longer the only holder of the
+		// update, so it may be victimized again.
+		n.dir.Update(op.page, func(e *pagedir.Entry) { e.Dirty = false })
+		n.stats.ReleaseRetries.Add(1)
+	}
 }
 
 // retryCrewBatch redoes the network half of failed CREW releases bound

@@ -53,6 +53,11 @@ func (n *Node) handle(ctx context.Context, from ktypes.NodeID, m wire.Msg) (wire
 			return nil, fmt.Errorf("core: %v got empty release batch", n.cfg.ID)
 		}
 		return n.handleCM(ctx, from, msg.Items[0].Page, m)
+	case *wire.UpdateBatch:
+		if len(msg.Items) == 0 {
+			return nil, fmt.Errorf("core: %v got empty update batch", n.cfg.ID)
+		}
+		return n.handleCM(ctx, from, msg.Items[0].Page, m)
 
 	// --- region descriptors ----------------------------------------------
 	case *wire.RegionLookup:

@@ -80,6 +80,16 @@ type Config struct {
 	// benchmarks comparing the two paths (E13) and as an escape hatch;
 	// the default (false) batches.
 	PerPageTransfers bool
+	// NoReadAhead disables adaptive read-ahead grant pipelining: the
+	// node stops speculating when homing regions and ignores
+	// speculative grants piggybacked by other homes. It exists for
+	// benchmarks comparing the two paths (E16) and as an escape hatch;
+	// the default (false) speculates.
+	NoReadAhead bool
+	// PerPageReplication disables the batched replication write-through,
+	// pushing one RPC per page per replica instead of one UpdateBatch
+	// per replica (the E16 baseline).
+	PerPageReplication bool
 	// Registry supplies consistency protocols; nil uses the built-ins.
 	Registry *consistency.Registry
 	// Clock supplies last-writer-wins stamps; nil uses wall time.
@@ -146,6 +156,10 @@ type Node struct {
 	// access tracks per-region consistency traffic for the migration
 	// policy.
 	access *accessTracker
+
+	// prefetch plans speculative read-ahead grants for regions homed
+	// here; nil when Config.NoReadAhead disables the pipeline.
+	prefetch *prefetchPlanner
 
 	clock atomic.Int64
 
@@ -282,6 +296,9 @@ func NewNode(cfg Config) (*Node, error) {
 	}
 	st.SetMissCounter(tel.Counter(telemetry.MetricMemMisses))
 	n.store = st
+	if !cfg.NoReadAhead {
+		n.prefetch = newPrefetchPlanner()
+	}
 	reg := cfg.Registry
 	if reg == nil {
 		reg = consistency.NewRegistry()
@@ -532,10 +549,33 @@ func (h hostView) StorePage(page gaddr.Addr, f *frame.Frame) error {
 	return h.n.store.Put(page, f)
 }
 
-// DropPage implements consistency.Host.
+// DropPage implements consistency.Host. Discard is pin-aware: a frame
+// pinned by an active lock context survives in RAM as that holder's
+// snapshot (it can never read zeroes mid-hold), while the disk copy and
+// any unpinned RAM copy are gone, so the next acquire refetches.
 func (h hostView) DropPage(page gaddr.Addr) {
-	h.n.store.Delete(page)
+	h.n.store.Discard(page)
 }
+
+// StorePageSpeculative implements consistency.Host: read-ahead copies
+// land in the RAM tier on an evict-first basis and are dropped rather
+// than kept when the tier is full of demand pages.
+func (h hostView) StorePageSpeculative(page gaddr.Addr, f *frame.Frame) bool {
+	return h.n.store.PutSpeculative(page, f)
+}
+
+// ReadAhead implements consistency.Host. The untyped-nil return when
+// read-ahead is disabled matters: a typed nil *prefetchPlanner inside the
+// interface would defeat the CMs' `planner == nil` guard.
+func (h hostView) ReadAhead() consistency.ReadAheadPlanner {
+	if h.n.prefetch == nil {
+		return nil
+	}
+	return h.n.prefetch
+}
+
+// PerPageReplication implements consistency.Host.
+func (h hostView) PerPageReplication() bool { return h.n.cfg.PerPageReplication }
 
 // Dir implements consistency.Host.
 func (h hostView) Dir() *pagedir.Dir { return h.n.dir }

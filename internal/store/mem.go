@@ -50,6 +50,12 @@ type memPage struct {
 	f      *frame.Frame
 	used   uint64
 	pinned int
+	// speculative marks a page installed by read-ahead before any demand
+	// touched it: it is victimized first under pressure and dropped
+	// outright (not demoted to disk), so a wasted prefetch never costs a
+	// demand-fetched page its cache slot. The first Get promotes the page
+	// to demand status.
+	speculative bool
 }
 
 // DefaultMemCapacity is the default number of resident pages.
@@ -80,6 +86,7 @@ func (s *MemStore) Get(page gaddr.Addr) (*frame.Frame, bool) {
 	}
 	s.clock++
 	p.used = s.clock
+	p.speculative = false
 	return p.f.Retain(), true
 }
 
@@ -129,8 +136,39 @@ func (s *MemStore) PutBytes(page gaddr.Addr, data []byte) error {
 	return err
 }
 
-// evictLocked victimizes the least recently used unpinned page.
+// PutSpeculative stores a read-ahead frame without ever costing a demand
+// page its slot: a full store may only evict another speculative page to
+// make room, and when none exists the incoming frame is dropped (returns
+// false). Refreshing an already-resident page keeps its current demand /
+// speculative status. The frame is borrowed, as in Put.
+func (s *MemStore) PutSpeculative(page gaddr.Addr, f *frame.Frame) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.clock++
+	if p, ok := s.pages[page]; ok {
+		old := p.f
+		//khazana:frame-owner the resident memPage holds the store's reference
+		p.f = f.Retain()
+		p.used = s.clock
+		old.Release()
+		return true
+	}
+	if len(s.pages) >= s.cap {
+		if !s.evictSpeculativeLocked() {
+			return false
+		}
+	}
+	//khazana:frame-owner the resident memPage holds the store's reference
+	s.pages[page] = &memPage{f: f.Retain(), used: s.clock, speculative: true}
+	return true
+}
+
+// evictLocked victimizes the least recently used unpinned page,
+// preferring speculative pages (unconsumed read-ahead) over demand pages.
 func (s *MemStore) evictLocked() error {
+	if s.evictSpeculativeLocked() {
+		return nil
+	}
 	var victim gaddr.Addr
 	var vp *memPage
 	for page, p := range s.pages {
@@ -154,6 +192,29 @@ func (s *MemStore) evictLocked() error {
 	return nil
 }
 
+// evictSpeculativeLocked drops the least recently used unpinned
+// speculative page, if any. Speculative pages are clean by construction
+// (never written, never the only copy), so they are discarded without the
+// onEvict demotion a demand page gets.
+func (s *MemStore) evictSpeculativeLocked() bool {
+	var victim gaddr.Addr
+	var vp *memPage
+	for page, p := range s.pages {
+		if !p.speculative || p.pinned > 0 {
+			continue
+		}
+		if vp == nil || p.used < vp.used {
+			victim, vp = page, p
+		}
+	}
+	if vp == nil {
+		return false
+	}
+	delete(s.pages, victim)
+	vp.f.Release()
+	return true
+}
+
 // Delete drops the page if present.
 func (s *MemStore) Delete(page gaddr.Addr) {
 	s.mu.Lock()
@@ -164,6 +225,34 @@ func (s *MemStore) Delete(page gaddr.Addr) {
 	}
 	delete(s.pages, page)
 	p.f.Release()
+}
+
+// DeleteUnpinned drops the page unless a lock context has it pinned, and
+// reports whether the page is gone. A pinned page survives so the holder
+// keeps reading its grant-time snapshot; the caller is expected to mark
+// the page invalid in the directory so the next acquire refetches.
+func (s *MemStore) DeleteUnpinned(page gaddr.Addr) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.pages[page]
+	if !ok {
+		return true
+	}
+	if p.pinned > 0 {
+		return false
+	}
+	delete(s.pages, page)
+	p.f.Release()
+	return true
+}
+
+// Speculative reports whether the page is resident as unconsumed
+// read-ahead (test and diagnostics accessor).
+func (s *MemStore) Speculative(page gaddr.Addr) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.pages[page]
+	return ok && p.speculative
 }
 
 // Pin marks the page non-victimizable. Pins nest.

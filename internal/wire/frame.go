@@ -158,7 +158,8 @@ func (g *PageGrantItem) SetFrame(f *frame.Frame) { setFrame(&g.dataFrame, &g.Dat
 // caller.
 func (g *PageGrantItem) TakeFrame() *frame.Frame { return takeFrame(&g.dataFrame, g.Data) }
 
-// ReleaseFrames implements FrameCarrier: releases every grant's frame.
+// ReleaseFrames implements FrameCarrier: releases every demand grant's and
+// speculative grant's frame.
 func (m *PageGrantBatch) ReleaseFrames() {
 	if m == nil {
 		return
@@ -167,7 +168,19 @@ func (m *PageGrantBatch) ReleaseFrames() {
 		g := &m.Grants[i]
 		setFrame(&g.dataFrame, &g.Data, nil)
 	}
+	for i := range m.Spec {
+		s := &m.Spec[i]
+		setFrame(&s.dataFrame, &s.Data, nil)
+	}
 }
+
+// SetFrame attaches f as this speculative grant's payload. Use via
+// &batch.Spec[i] so the slice element itself holds the reference.
+func (s *SpecGrant) SetFrame(f *frame.Frame) { setFrame(&s.dataFrame, &s.Data, f) }
+
+// TakeFrame transfers ownership of the speculative payload frame to the
+// caller.
+func (s *SpecGrant) TakeFrame() *frame.Frame { return takeFrame(&s.dataFrame, s.Data) }
 
 // SetFrame attaches f as this release item's dirty payload. Use via
 // &batch.Items[i].
@@ -179,6 +192,27 @@ func (it *ReleaseItem) TakeFrame() *frame.Frame { return takeFrame(&it.dataFrame
 
 // ReleaseFrames implements FrameCarrier: releases every item's frame.
 func (m *ReleaseBatch) ReleaseFrames() {
+	if m == nil {
+		return
+	}
+	for i := range m.Items {
+		it := &m.Items[i]
+		setFrame(&it.dataFrame, &it.Data, nil)
+	}
+}
+
+// SetFrame attaches f as this update item's payload. Use via
+// &batch.Items[i]; several items may share one frame (each SetFrame takes
+// its own reference), which is how a multi-replica fan-out ships the same
+// page without copying it per destination.
+func (it *UpdateItem) SetFrame(f *frame.Frame) { setFrame(&it.dataFrame, &it.Data, f) }
+
+// TakeFrame transfers ownership of the item's payload frame to the
+// caller.
+func (it *UpdateItem) TakeFrame() *frame.Frame { return takeFrame(&it.dataFrame, it.Data) }
+
+// ReleaseFrames implements FrameCarrier: releases every item's frame.
+func (m *UpdateBatch) ReleaseFrames() {
 	if m == nil {
 		return
 	}

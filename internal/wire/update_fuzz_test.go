@@ -1,0 +1,254 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"khazana/internal/frame"
+	"khazana/internal/gaddr"
+	"khazana/internal/ktypes"
+)
+
+func legacyAppendAddr(b []byte, a gaddr.Addr) []byte {
+	b = legacyAppendU64(b, a.Hi)
+	return legacyAppendU64(b, a.Lo)
+}
+
+func legacyUpdatePushBody(b []byte, page gaddr.Addr, data []byte, version uint64, stamp int64, origin ktypes.NodeID) []byte {
+	b = legacyAppendAddr(b, page)
+	b = legacyAppendBytes32(b, data)
+	b = legacyAppendU64(b, version)
+	b = legacyAppendU64(b, uint64(stamp))
+	return legacyAppendU32(b, uint32(origin))
+}
+
+// FuzzUpdateBatchWire proves the UpdateBatch encoding contract: every item
+// is the UpdatePush body verbatim, so a batch is exactly the legacy
+// per-page push stream behind a (from, count) prefix, and the frame-backed
+// marshal path is byte-identical to the bare-slice one.
+func FuzzUpdateBatchWire(f *testing.F) {
+	f.Add([]byte("page one"), []byte(""), uint64(7), int64(42), uint32(3), uint32(9))
+	f.Add([]byte{}, bytes.Repeat([]byte{0xEE}, 4096), uint64(0), int64(-1), uint32(0), uint32(1))
+	f.Fuzz(func(t *testing.T, d1, d2 []byte, version uint64, stamp int64, origin, from uint32) {
+		pages := []gaddr.Addr{{Hi: 1, Lo: 0x100000}, {Hi: 1, Lo: 0x101000}}
+		m := &UpdateBatch{From: ktypes.NodeID(from), Items: []UpdateItem{
+			{Page: pages[0], Version: version, Stamp: stamp, Origin: ktypes.NodeID(origin)},
+			{Page: pages[1], Version: version + 1, Stamp: stamp, Origin: ktypes.NodeID(origin)},
+		}}
+		var frames []*frame.Frame
+		for i, d := range [][]byte{d1, d2} {
+			if len(d) == 0 {
+				continue
+			}
+			fr := frame.Copy(d)
+			// Frame-back one item and leave the other bare to prove both
+			// paths emit the same bytes.
+			if i == 0 {
+				m.Items[i].SetFrame(fr)
+			} else {
+				m.Items[i].Data = append([]byte(nil), d...)
+			}
+			frames = append(frames, fr)
+		}
+		got := Marshal(m)
+
+		// The legacy stream: each item is an UpdatePush body verbatim.
+		want := legacyAppendU16(nil, uint16(KindUpdateBatch))
+		want = legacyAppendU32(want, from)
+		want = legacyAppendU16(want, uint16(len(m.Items)))
+		for i := range m.Items {
+			it := &m.Items[i]
+			want = legacyUpdatePushBody(want, it.Page, it.Data, it.Version, it.Stamp, it.Origin)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("batch marshal diverged from per-item UpdatePush bodies:\n got %x\nwant %x", got, want)
+		}
+
+		// Cross-check against the real UpdatePush codec, not just the
+		// hand-rolled bytes: item i's encoding equals a standalone push's
+		// payload after its kind prefix.
+		for i := range m.Items {
+			it := &m.Items[i]
+			push := Marshal(&UpdatePush{
+				Page: it.Page, Data: it.Data, Version: it.Version,
+				Stamp: it.Stamp, Origin: it.Origin,
+			})
+			if !bytes.Contains(got, push[2:]) {
+				t.Fatalf("item %d encoding is not an UpdatePush body", i)
+			}
+		}
+		m.ReleaseFrames()
+		for _, fr := range frames {
+			fr.Release()
+		}
+
+		back, err := Unmarshal(got)
+		if err != nil {
+			t.Fatalf("unmarshal: %v", err)
+		}
+		ub := back.(*UpdateBatch)
+		if ub.From != ktypes.NodeID(from) || len(ub.Items) != 2 {
+			t.Fatalf("header did not round trip: from=%d items=%d", ub.From, len(ub.Items))
+		}
+		for i, d := range [][]byte{d1, d2} {
+			wantData := d
+			if len(wantData) == 0 {
+				wantData = nil
+			}
+			it := &ub.Items[i]
+			if !bytes.Equal(it.Data, wantData) {
+				t.Fatalf("item %d payload did not round trip", i)
+			}
+			if it.Page != pages[i] || it.Stamp != stamp || it.Origin != ktypes.NodeID(origin) {
+				t.Fatalf("item %d scalar fields did not round trip", i)
+			}
+			df := it.TakeFrame()
+			if len(wantData) > 0 {
+				if df == nil {
+					t.Fatalf("item %d decoded without frame backing", i)
+				}
+				if !bytes.Equal(df.Bytes(), wantData) || df.Version() != it.Version {
+					t.Fatalf("item %d decoded frame mismatch", i)
+				}
+			}
+			if df != nil {
+				df.Release()
+			}
+		}
+		ub.ReleaseFrames()
+	})
+}
+
+// FuzzUpdateBatchRespWire round-trips the parallel errs/versions arrays.
+func FuzzUpdateBatchRespWire(f *testing.F) {
+	f.Add("", "conflict", uint64(3), uint64(0))
+	f.Add("not home", "", uint64(0), uint64(1<<40))
+	f.Fuzz(func(t *testing.T, e1, e2 string, v1, v2 uint64) {
+		m := &UpdateBatchResp{Errs: []string{e1, e2}, Versions: []uint64{v1, v2}}
+		b := Marshal(m)
+		back, err := Unmarshal(b)
+		if err != nil {
+			t.Fatalf("unmarshal: %v", err)
+		}
+		r := back.(*UpdateBatchResp)
+		if len(r.Errs) != 2 || len(r.Versions) != 2 {
+			t.Fatalf("lengths did not round trip: %d errs, %d versions", len(r.Errs), len(r.Versions))
+		}
+		if r.Errs[0] != e1 || r.Errs[1] != e2 || r.Versions[0] != v1 || r.Versions[1] != v2 {
+			t.Fatal("fields did not round trip")
+		}
+	})
+}
+
+// FuzzPageGrantBatchSpecWire proves both halves of the speculative-grant
+// compatibility contract: a batch without speculation is byte-identical to
+// the legacy PageGrantBatch encoding (old decoders never see the new
+// section), and a batch with a trailing Spec section round-trips the
+// speculative pages, frames included, without disturbing the demand
+// grants.
+func FuzzPageGrantBatchSpecWire(f *testing.F) {
+	f.Add([]byte("demand"), []byte("spec one"), []byte(""), uint64(5), "late")
+	f.Add([]byte{}, bytes.Repeat([]byte{0x5A}, 4096), []byte{7}, uint64(0), "")
+	f.Fuzz(func(t *testing.T, demand, s1, s2 []byte, version uint64, errStr string) {
+		m := &PageGrantBatch{Grants: []PageGrantItem{
+			{OK: true, Version: version, Owner: 1},
+			{OK: false, Version: version + 1, Owner: 2, Err: errStr},
+		}}
+		if len(demand) > 0 {
+			m.Grants[0].Data = append([]byte(nil), demand...)
+		}
+		// No Spec section: bytes must match the legacy encoding exactly.
+		plain := Marshal(m)
+		legacy := legacyPageGrantBatch(m.Grants)
+		if !bytes.Equal(plain, legacy) {
+			t.Fatalf("spec-free batch diverged from legacy format:\n got %x\nwant %x", plain, legacy)
+		}
+		back, err := Unmarshal(plain)
+		if err != nil {
+			t.Fatalf("unmarshal legacy bytes: %v", err)
+		}
+		if gb := back.(*PageGrantBatch); len(gb.Spec) != 0 {
+			t.Fatalf("legacy bytes decoded with %d phantom spec grants", len(gb.Spec))
+		} else {
+			gb.ReleaseFrames()
+		}
+
+		// With speculation: the legacy prefix is untouched and the Spec
+		// section round-trips.
+		specPages := []gaddr.Addr{{Hi: 2, Lo: 0x200000}, {Hi: 2, Lo: 0x201000}}
+		m.Spec = []SpecGrant{
+			{Page: specPages[0], Version: version + 2},
+			{Page: specPages[1], Version: version + 3},
+		}
+		var frames []*frame.Frame
+		for i, d := range [][]byte{s1, s2} {
+			if len(d) == 0 {
+				continue
+			}
+			fr := frame.Copy(d)
+			if i == 0 {
+				m.Spec[i].SetFrame(fr)
+			} else {
+				m.Spec[i].Data = append([]byte(nil), d...)
+			}
+			frames = append(frames, fr)
+		}
+		full := Marshal(m)
+		if !bytes.Equal(full[:len(legacy)], legacy) {
+			t.Fatal("spec section disturbed the legacy demand-grant prefix")
+		}
+		wantTail := legacyAppendU16(nil, uint16(len(m.Spec)))
+		for i := range m.Spec {
+			s := &m.Spec[i]
+			wantTail = legacyAppendAddr(wantTail, s.Page)
+			wantTail = legacyAppendBytes32(wantTail, s.Data)
+			wantTail = legacyAppendU64(wantTail, s.Version)
+		}
+		if !bytes.Equal(full[len(legacy):], wantTail) {
+			t.Fatalf("spec section encoding diverged:\n got %x\nwant %x", full[len(legacy):], wantTail)
+		}
+		m.ReleaseFrames()
+		for _, fr := range frames {
+			fr.Release()
+		}
+
+		back, err = Unmarshal(full)
+		if err != nil {
+			t.Fatalf("unmarshal with spec: %v", err)
+		}
+		gb := back.(*PageGrantBatch)
+		if len(gb.Grants) != 2 || len(gb.Spec) != 2 {
+			t.Fatalf("got %d grants / %d spec, want 2 / 2", len(gb.Grants), len(gb.Spec))
+		}
+		wantDemand := demand
+		if len(wantDemand) == 0 {
+			wantDemand = nil
+		}
+		if !bytes.Equal(gb.Grants[0].Data, wantDemand) {
+			t.Fatal("demand grant payload did not round trip alongside spec")
+		}
+		for i, d := range [][]byte{s1, s2} {
+			wantData := d
+			if len(wantData) == 0 {
+				wantData = nil
+			}
+			s := &gb.Spec[i]
+			if s.Page != specPages[i] || !bytes.Equal(s.Data, wantData) {
+				t.Fatalf("spec grant %d did not round trip", i)
+			}
+			df := s.TakeFrame()
+			if len(wantData) > 0 {
+				if df == nil {
+					t.Fatalf("spec grant %d decoded without frame backing", i)
+				}
+				if !bytes.Equal(df.Bytes(), wantData) || df.Version() != s.Version {
+					t.Fatalf("spec grant %d decoded frame mismatch", i)
+				}
+			}
+			if df != nil {
+				df.Release()
+			}
+		}
+		gb.ReleaseFrames()
+	})
+}

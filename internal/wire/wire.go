@@ -92,6 +92,9 @@ const (
 	KindStatsQuery
 	KindStatsReply
 	KindTraced
+
+	KindUpdateBatch
+	KindUpdateBatchResp
 )
 
 // Msg is a wire message.
@@ -195,6 +198,8 @@ var factories = map[Kind]func() Msg{
 	KindStatsQuery:       func() Msg { return &StatsQuery{} },
 	KindStatsReply:       func() Msg { return &StatsReply{} },
 	KindTraced:           func() Msg { return &Traced{} },
+	KindUpdateBatch:      func() Msg { return &UpdateBatch{} },
+	KindUpdateBatchResp:  func() Msg { return &UpdateBatchResp{} },
 }
 
 // --- infrastructure -----------------------------------------------------
@@ -1273,10 +1278,29 @@ type PageGrantItem struct {
 	dataFrame *frame.Frame
 }
 
+// SpecGrant is a speculative read grant piggybacked on a PageGrantBatch:
+// the home predicts the requester's next pages from its access pattern and
+// ships their contents ahead of demand (§3.3 read-ahead pipelining). Unlike
+// demand grants, speculative grants are keyed by explicit page address —
+// they answer pages that were never requested.
+type SpecGrant struct {
+	Page    gaddr.Addr
+	Data    []byte
+	Version uint64
+
+	// dataFrame, when non-nil, backs Data with a refcounted page frame
+	// (see frame.go); it is never encoded.
+	dataFrame *frame.Frame
+}
+
 // PageGrantBatch answers PageReqBatch with one grant per requested page,
-// in request order.
+// in request order, optionally followed by speculative read-ahead grants
+// for predicted pages. The Spec section is encoded only when present, so
+// a batch without speculation is byte-identical to the legacy format and
+// old decoders never see it.
 type PageGrantBatch struct {
 	Grants []PageGrantItem
+	Spec   []SpecGrant
 }
 
 // Kind implements Msg.
@@ -1290,33 +1314,71 @@ func (m *PageGrantBatch) encode(e *enc.Encoder) {
 		e.NodeID(g.Owner)
 		e.String(g.Err)
 	}
+	if len(m.Spec) > 0 {
+		e.U16(uint16(len(m.Spec)))
+		for _, s := range m.Spec {
+			e.Addr(s.Page)
+			e.Bytes32(s.Data)
+			e.U64(s.Version)
+		}
+	}
 }
 func (m *PageGrantBatch) decode(d *enc.Decoder) {
 	n := int(d.U16())
-	if d.Err() != nil || n == 0 {
+	if d.Err() != nil {
 		return
 	}
-	m.Grants = make([]PageGrantItem, 0, n)
-	for i := 0; i < n; i++ {
-		var g PageGrantItem
-		g.OK = d.Bool()
-		g.dataFrame = d.Bytes32Frame()
-		if g.dataFrame != nil {
-			g.Data = g.dataFrame.Bytes()
-		}
-		g.Version = d.U64()
-		g.Owner = d.NodeID()
-		g.Err = d.String()
-		if d.Err() != nil {
+	if n > 0 {
+		m.Grants = make([]PageGrantItem, 0, n)
+		for i := 0; i < n; i++ {
+			var g PageGrantItem
+			g.OK = d.Bool()
+			g.dataFrame = d.Bytes32Frame()
 			if g.dataFrame != nil {
-				g.dataFrame.Release()
+				g.Data = g.dataFrame.Bytes()
+			}
+			g.Version = d.U64()
+			g.Owner = d.NodeID()
+			g.Err = d.String()
+			if d.Err() != nil {
+				if g.dataFrame != nil {
+					g.dataFrame.Release()
+				}
+				return
+			}
+			if g.dataFrame != nil {
+				g.dataFrame.SetVersion(g.Version)
+			}
+			m.Grants = append(m.Grants, g)
+		}
+	}
+	// Optional trailing speculative section: absent in legacy batches.
+	if d.Remaining() == 0 {
+		return
+	}
+	sn := int(d.U16())
+	if d.Err() != nil || sn == 0 {
+		return
+	}
+	m.Spec = make([]SpecGrant, 0, sn)
+	for i := 0; i < sn; i++ {
+		var s SpecGrant
+		s.Page = d.Addr()
+		s.dataFrame = d.Bytes32Frame()
+		if s.dataFrame != nil {
+			s.Data = s.dataFrame.Bytes()
+		}
+		s.Version = d.U64()
+		if d.Err() != nil {
+			if s.dataFrame != nil {
+				s.dataFrame.Release()
 			}
 			return
 		}
-		if g.dataFrame != nil {
-			g.dataFrame.SetVersion(g.Version)
+		if s.dataFrame != nil {
+			s.dataFrame.SetVersion(s.Version)
 		}
-		m.Grants = append(m.Grants, g)
+		m.Spec = append(m.Spec, s)
 	}
 }
 
@@ -1410,5 +1472,113 @@ func (m *ReleaseBatchResp) decode(d *enc.Decoder) {
 			return
 		}
 		m.Errs = append(m.Errs, s)
+	}
+}
+
+// UpdateItem is one page update inside an UpdateBatch. Its encoding is the
+// UpdatePush body verbatim (page, contents, version, stamp, origin), so a
+// single-item batch carries exactly the bytes an UpdatePush would.
+type UpdateItem struct {
+	Page    gaddr.Addr
+	Data    []byte
+	Version uint64
+	// Stamp orders concurrent eventual-protocol writes (last writer
+	// wins); ties break on Origin. Zero outside the eventual protocol.
+	Stamp  int64
+	Origin ktypes.NodeID
+
+	// dataFrame, when non-nil, backs Data with a refcounted page frame
+	// (see frame.go); it is never encoded.
+	dataFrame *frame.Frame
+}
+
+// UpdateBatch groups several page updates bound for one destination into a
+// single RPC: the batched form of UpdatePush/ReplicaPut used by the CREW
+// write-through, the release-protocol home push, eventual gossip rounds,
+// and the §3.5 background retry drain.
+type UpdateBatch struct {
+	From  ktypes.NodeID
+	Items []UpdateItem
+}
+
+// Kind implements Msg.
+func (*UpdateBatch) Kind() Kind { return KindUpdateBatch }
+func (m *UpdateBatch) encode(e *enc.Encoder) {
+	e.NodeID(m.From)
+	e.U16(uint16(len(m.Items)))
+	for _, it := range m.Items {
+		e.Addr(it.Page)
+		e.Bytes32(it.Data)
+		e.U64(it.Version)
+		e.I64(it.Stamp)
+		e.NodeID(it.Origin)
+	}
+}
+func (m *UpdateBatch) decode(d *enc.Decoder) {
+	m.From = d.NodeID()
+	n := int(d.U16())
+	if d.Err() != nil || n == 0 {
+		return
+	}
+	m.Items = make([]UpdateItem, 0, n)
+	for i := 0; i < n; i++ {
+		var it UpdateItem
+		it.Page = d.Addr()
+		it.dataFrame = d.Bytes32Frame()
+		if it.dataFrame != nil {
+			it.Data = it.dataFrame.Bytes()
+		}
+		it.Version = d.U64()
+		it.Stamp = d.I64()
+		it.Origin = d.NodeID()
+		if d.Err() != nil {
+			if it.dataFrame != nil {
+				it.dataFrame.Release()
+			}
+			return
+		}
+		if it.dataFrame != nil {
+			it.dataFrame.SetVersion(it.Version)
+		}
+		m.Items = append(m.Items, it)
+	}
+}
+
+// UpdateBatchResp answers UpdateBatch with parallel per-item results in
+// request order: Errs[i] == "" means item i was applied, and Versions[i]
+// is the page's version at the receiver after application.
+type UpdateBatchResp struct {
+	Errs     []string
+	Versions []uint64
+}
+
+// Kind implements Msg.
+func (*UpdateBatchResp) Kind() Kind { return KindUpdateBatchResp }
+func (m *UpdateBatchResp) encode(e *enc.Encoder) {
+	e.U16(uint16(len(m.Errs)))
+	for i, s := range m.Errs {
+		e.String(s)
+		var v uint64
+		if i < len(m.Versions) {
+			v = m.Versions[i]
+		}
+		e.U64(v)
+	}
+}
+func (m *UpdateBatchResp) decode(d *enc.Decoder) {
+	n := int(d.U16())
+	if d.Err() != nil || n == 0 {
+		return
+	}
+	m.Errs = make([]string, 0, n)
+	m.Versions = make([]uint64, 0, n)
+	for i := 0; i < n; i++ {
+		s := d.String()
+		v := d.U64()
+		if d.Err() != nil {
+			return
+		}
+		m.Errs = append(m.Errs, s)
+		m.Versions = append(m.Versions, v)
 	}
 }

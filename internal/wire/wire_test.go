@@ -112,6 +112,19 @@ func sampleMessages() []Msg {
 		},
 		&StatsReply{Node: 1},
 		&Traced{Trace: 0xABCD, Span: 0x1234, Inner: []byte{0x02, 0x00}},
+		&PageGrantBatch{
+			Grants: []PageGrantItem{{OK: true, Data: []byte("page"), Version: 3, Owner: 1}},
+			Spec: []SpecGrant{
+				{Page: gaddr.New(0, 0x4000), Data: []byte("ahead"), Version: 4},
+				{Page: gaddr.New(0, 0x5000), Data: []byte("ahead2"), Version: 5},
+			},
+		},
+		&UpdateBatch{From: 2, Items: []UpdateItem{
+			{Page: gaddr.New(0, 0x3000), Data: []byte("u1"), Version: 4, Stamp: 99, Origin: 2},
+			{Page: gaddr.New(0, 0x4000), Data: []byte("u2"), Version: 5, Stamp: 100, Origin: 3},
+		}},
+		&UpdateBatch{From: 1},
+		&UpdateBatchResp{Errs: []string{"", "store failed"}, Versions: []uint64{7, 0}},
 	}
 }
 
@@ -134,7 +147,14 @@ func detachFrames(m Msg) {
 		for i := range msg.Grants {
 			msg.Grants[i].dataFrame = nil
 		}
+		for i := range msg.Spec {
+			msg.Spec[i].dataFrame = nil
+		}
 	case *ReleaseBatch:
+		for i := range msg.Items {
+			msg.Items[i].dataFrame = nil
+		}
+	case *UpdateBatch:
 		for i := range msg.Items {
 			msg.Items[i].dataFrame = nil
 		}

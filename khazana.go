@@ -143,6 +143,15 @@ type NodeConfig struct {
 	// release pipeline, issuing one RPC per page instead. Benchmarks use
 	// it to compare the two paths; the default (false) batches.
 	PerPageTransfers bool
+	// NoReadAhead disables adaptive read-ahead grant pipelining (the
+	// speculative grants a home piggybacks onto sequential readers'
+	// lock batches). Benchmarks use it as the E16 baseline; the default
+	// (false) speculates.
+	NoReadAhead bool
+	// PerPageReplication disables the batched replication write-through,
+	// pushing one RPC per page per replica instead of one batch per
+	// replica (the E16 baseline).
+	PerPageReplication bool
 	// NoTelemetry disables the metrics registry and trace recorder; the
 	// overhead benchmarks use it to measure the instrumented paths bare.
 	NoTelemetry bool
@@ -174,22 +183,24 @@ func StartNode(ctx context.Context, cfg NodeConfig) (*Node, error) {
 		own = true
 	}
 	node, err := core.NewNode(core.Config{
-		ID:                cfg.ID,
-		Transport:         tr,
-		StoreDir:          cfg.StoreDir,
-		MemPages:          cfg.MemPages,
-		DiskPages:         cfg.DiskPages,
-		ClusterManager:    cfg.ClusterManager,
-		MapHome:           cfg.MapHome,
-		Genesis:           cfg.Genesis,
-		HeartbeatInterval: cfg.HeartbeatInterval,
-		RetryInterval:     cfg.RetryInterval,
-		ReplicaInterval:   cfg.ReplicaInterval,
-		MigrationInterval: cfg.MigrationInterval,
-		Registry:          cfg.Registry,
-		PerPageTransfers:  cfg.PerPageTransfers,
-		NoTelemetry:       cfg.NoTelemetry,
-		Tracer:            cfg.Tracer,
+		ID:                 cfg.ID,
+		Transport:          tr,
+		StoreDir:           cfg.StoreDir,
+		MemPages:           cfg.MemPages,
+		DiskPages:          cfg.DiskPages,
+		ClusterManager:     cfg.ClusterManager,
+		MapHome:            cfg.MapHome,
+		Genesis:            cfg.Genesis,
+		HeartbeatInterval:  cfg.HeartbeatInterval,
+		RetryInterval:      cfg.RetryInterval,
+		ReplicaInterval:    cfg.ReplicaInterval,
+		MigrationInterval:  cfg.MigrationInterval,
+		Registry:           cfg.Registry,
+		PerPageTransfers:   cfg.PerPageTransfers,
+		NoReadAhead:        cfg.NoReadAhead,
+		PerPageReplication: cfg.PerPageReplication,
+		NoTelemetry:        cfg.NoTelemetry,
+		Tracer:             cfg.Tracer,
 	})
 	if err != nil {
 		if own {
