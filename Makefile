@@ -1,7 +1,7 @@
 GO ?= go
 BIN := bin/khazlint
 
-.PHONY: all build test race vet lint fmt-check bench-smoke telemetry-smoke clean
+.PHONY: all build test race vet lint lint-selftest fmt-check bench-smoke telemetry-smoke clean
 
 all: build lint test
 
@@ -20,9 +20,21 @@ vet: $(BIN)
 	$(GO) vet ./...
 	$(GO) vet -vettool=$(CURDIR)/$(BIN) ./...
 
-# lint runs khazlint standalone (faster feedback than vettool mode).
+# lint runs khazlint standalone (faster feedback than vettool mode),
+# suppressing findings recorded in the committed baseline so only new
+# findings fail the build.
 lint:
-	$(GO) run ./cmd/khazlint ./...
+	$(GO) run ./cmd/khazlint -baseline lint-baseline.json ./...
+
+# lint-selftest exercises the lint suite itself: its unit tests plus a
+# full standalone and vettool run over the repo, the whole leg under a
+# 30-second budget so the whole-program passes (call graph + summaries)
+# cannot quietly become too slow to keep in CI.
+lint-selftest: $(BIN)
+	timeout 30 sh -c '\
+		$(GO) test -count=1 ./internal/lint/... && \
+		$(GO) run ./cmd/khazlint -baseline lint-baseline.json ./... && \
+		$(GO) vet -vettool=$(CURDIR)/$(BIN) ./...'
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \

@@ -1,12 +1,19 @@
-// Command khazlint runs Khazana's custom static-analysis suite: four
+// Command khazlint runs Khazana's custom static-analysis suite: the
 // analyzers enforcing the concurrency and error-handling invariants the
 // daemon's correctness depends on (see README "Static analysis & CI").
+// Three of them — lockorder's cycle detection, blockunderlock, and
+// framerelease — are whole-program: they build a call graph over every
+// loaded package and reason across function and package boundaries.
 //
 // Standalone:
 //
 //	go run ./cmd/khazlint ./...
 //	khazlint -list
 //	khazlint -only lockorder,erricheck ./...
+//	khazlint -json ./...
+//	khazlint -baseline lint-baseline.json ./...   (fail only on new findings)
+//	khazlint -write-baseline lint-baseline.json ./...
+//	khazlint -graph ./...                          (dump the call graph)
 //
 // As a go vet tool (the unitchecker protocol):
 //
@@ -44,6 +51,10 @@ func main() {
 
 	listFlag := flag.Bool("list", false, "list analyzers and exit")
 	onlyFlag := flag.String("only", "", "comma-separated subset of analyzers to run")
+	jsonFlag := flag.Bool("json", false, "print findings as JSON")
+	graphFlag := flag.Bool("graph", false, "dump the whole-program call graph and exit")
+	baselineFlag := flag.String("baseline", "", "baseline file: suppress findings recorded there, fail only on new ones")
+	writeBaselineFlag := flag.String("write-baseline", "", "write current findings to this baseline file and exit")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: khazlint [flags] [packages]\n       khazlint <file>.cfg   (go vet -vettool mode)\n\nAnalyzers:\n")
 		for _, a := range lint.Analyzers() {
@@ -76,7 +87,12 @@ func main() {
 	if len(args) == 0 {
 		args = []string{"./..."}
 	}
-	os.Exit(standalone(args, analyzers))
+	os.Exit(standalone(args, analyzers, options{
+		jsonOut:       *jsonFlag,
+		graph:         *graphFlag,
+		baselinePath:  *baselineFlag,
+		writeBaseline: *writeBaselineFlag,
+	}))
 }
 
 func selectAnalyzers(only string) ([]*analysis.Analyzer, error) {

@@ -1,33 +1,168 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
+	"sort"
 
 	"khazana/internal/lint"
 	"khazana/internal/lint/analysis"
 	"khazana/internal/lint/loader"
 )
 
+// options are the standalone-mode output controls.
+type options struct {
+	jsonOut       bool   // print findings as JSON
+	graph         bool   // dump the whole-program call graph and exit
+	baselinePath  string // suppress findings recorded in this baseline
+	writeBaseline string // write current findings to this path and exit
+}
+
+// jsonFinding is the interchange form of a finding, used both for -json
+// output and for the baseline file. Baseline matching ignores line and
+// column — a finding that merely moved is not new.
+type jsonFinding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
 // standalone loads the packages matching the patterns and runs the suite,
-// printing findings in the conventional file:line:col format.
-func standalone(patterns []string, analyzers []*analysis.Analyzer) int {
+// printing findings in the conventional file:line:col format (or JSON).
+func standalone(patterns []string, analyzers []*analysis.Analyzer, opts options) int {
 	pkgs, err := loader.Load("", patterns)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "khazlint:", err)
 		return 2
+	}
+	if opts.graph {
+		return dumpGraph(pkgs)
 	}
 	findings, err := lint.Check(pkgs, analyzers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "khazlint:", err)
 		return 2
 	}
-	for _, f := range findings {
-		fmt.Printf("%s: [%s] %s\n", f.Pos, f.Analyzer, f.Message)
+	out := make([]jsonFinding, len(findings))
+	for i, f := range findings {
+		out[i] = jsonFinding{
+			Analyzer: f.Analyzer,
+			File:     relPath(f.Pos.Filename),
+			Line:     f.Pos.Line,
+			Col:      f.Pos.Column,
+			Message:  f.Message,
+		}
 	}
-	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "khazlint: %d finding(s)\n", len(findings))
+	if opts.writeBaseline != "" {
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "khazlint:", err)
+			return 2
+		}
+		if err := os.WriteFile(opts.writeBaseline, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "khazlint:", err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "khazlint: wrote %d finding(s) to %s\n", len(out), opts.writeBaseline)
+		return 0
+	}
+	if opts.baselinePath != "" {
+		var suppressed int
+		out, suppressed, err = applyBaseline(out, opts.baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "khazlint:", err)
+			return 2
+		}
+		if suppressed > 0 {
+			fmt.Fprintf(os.Stderr, "khazlint: %d baselined finding(s) suppressed\n", suppressed)
+		}
+	}
+	if opts.jsonOut {
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "khazlint:", err)
+			return 2
+		}
+		fmt.Println(string(data))
+	} else {
+		for _, f := range out {
+			fmt.Printf("%s:%d:%d: [%s] %s\n", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+		}
+	}
+	if len(out) > 0 {
+		fmt.Fprintf(os.Stderr, "khazlint: %d finding(s)\n", len(out))
 		return 1
 	}
 	return 0
+}
+
+// applyBaseline drops findings recorded in the baseline file, matching on
+// analyzer, file, and message.
+func applyBaseline(findings []jsonFinding, path string) ([]jsonFinding, int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, fmt.Errorf("reading baseline: %w", err)
+	}
+	var base []jsonFinding
+	if err := json.Unmarshal(data, &base); err != nil {
+		return nil, 0, fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	key := func(f jsonFinding) string { return f.Analyzer + "\x00" + f.File + "\x00" + f.Message }
+	// A baseline entry excuses as many findings as it was recorded for.
+	budget := make(map[string]int)
+	for _, f := range base {
+		budget[key(f)]++
+	}
+	var fresh []jsonFinding
+	suppressed := 0
+	for _, f := range findings {
+		if budget[key(f)] > 0 {
+			budget[key(f)]--
+			suppressed++
+			continue
+		}
+		fresh = append(fresh, f)
+	}
+	return fresh, suppressed, nil
+}
+
+// dumpGraph prints the whole-program call graph, one edge per line,
+// deterministically ordered.
+func dumpGraph(pkgs []*loader.Package) int {
+	if len(pkgs) == 0 {
+		return 0
+	}
+	prog := analysis.NewProgram(pkgs[0].Fset, pkgs)
+	var lines []string
+	for _, n := range prog.Graph.Nodes() {
+		for _, e := range n.Out {
+			p := prog.Fset.Position(e.Site)
+			lines = append(lines, fmt.Sprintf("%s -> %s [%s] %s:%d",
+				n.ID, e.Callee.ID, e.Kind, relPath(p.Filename), p.Line))
+		}
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+	fmt.Fprintf(os.Stderr, "khazlint: %d node(s), %d edge(s)\n", len(prog.Graph.Nodes()), len(lines))
+	return 0
+}
+
+// relPath renders a position filename relative to the working directory
+// when possible, keeping output and baselines machine-independent.
+func relPath(name string) string {
+	wd, err := os.Getwd()
+	if err != nil {
+		return name
+	}
+	rel, err := filepath.Rel(wd, name)
+	if err != nil || len(rel) >= len(name) {
+		return name
+	}
+	return rel
 }

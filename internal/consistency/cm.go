@@ -212,7 +212,6 @@ func zeroFill(desc *region.Descriptor) *frame.Frame {
 // pages never written. The caller owns the returned frame (one
 // reference) and must Release it.
 func loadOrZero(h Host, desc *region.Descriptor, page gaddr.Addr) *frame.Frame {
-	//khazana:frame-owner returned to the caller when the page is resident
 	if f, ok := h.LoadPage(page); ok {
 		return f
 	}

@@ -26,6 +26,7 @@ func (n *Node) mapReserveRange(ctx context.Context, size, align uint64) (gaddr.R
 	if n.cfg.ID == n.cfg.MapHome {
 		n.mapMu.Lock()
 		defer n.mapMu.Unlock()
+		//khazana:block-ok the map home serializes all map mutations under mapMu by design (see package comment); the CM gate wait is the reservation protocol itself
 		return n.amap.ReserveRange(ctx, size, align)
 	}
 	resp, err := n.tr.Request(ctx, n.cfg.MapHome, &wire.ReserveSpace{From: n.cfg.ID, Size: size})
@@ -47,6 +48,7 @@ func (n *Node) mapInsert(ctx context.Context, r gaddr.Range, homes []ktypes.Node
 	if n.cfg.ID == n.cfg.MapHome {
 		n.mapMu.Lock()
 		defer n.mapMu.Unlock()
+		//khazana:block-ok map mutations serialize under mapMu at the map home by design
 		return n.amap.Insert(ctx, mapEntry(r, homes))
 	}
 	return n.mapRPC(ctx, &wire.MapInsert{Range: r, Homes: homes})
@@ -57,6 +59,7 @@ func (n *Node) mapRemove(ctx context.Context, start gaddr.Addr) error {
 	if n.cfg.ID == n.cfg.MapHome {
 		n.mapMu.Lock()
 		defer n.mapMu.Unlock()
+		//khazana:block-ok map mutations serialize under mapMu at the map home by design
 		return n.amap.Remove(ctx, start)
 	}
 	return n.mapRPC(ctx, &wire.MapRemove{Start: start})
@@ -67,6 +70,7 @@ func (n *Node) mapSetHomes(ctx context.Context, start gaddr.Addr, homes []ktypes
 	if n.cfg.ID == n.cfg.MapHome {
 		n.mapMu.Lock()
 		defer n.mapMu.Unlock()
+		//khazana:block-ok map mutations serialize under mapMu at the map home by design
 		return n.amap.SetHomes(ctx, start, homes)
 	}
 	return n.mapRPC(ctx, &wire.MapSetHomes{Start: start, Homes: homes})

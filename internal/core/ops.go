@@ -93,6 +93,7 @@ func (n *Node) carve(ctx context.Context, size, align uint64) (gaddr.Addr, error
 		if size > want {
 			want = size
 		}
+		//khazana:block-ok chunk refill must hold chunkMu so concurrent carves see the new chunk exactly once; the refill RPC to the map home is rare (once per ChunkSize of allocations)
 		r, err := n.mapReserveRange(ctx, want, align)
 		if err != nil {
 			return gaddr.Addr{}, fmt.Errorf("core: reserve space: %w", err)
@@ -521,6 +522,7 @@ func (n *Node) Read(lc *LockContext, addr gaddr.Addr, count uint64) ([]byte, err
 	if !lc.Range.ContainsRange(gaddr.Range{Start: addr, Size: count}) {
 		return nil, ErrOutOfRange
 	}
+	//khazana:block-ok lc.mu is per lock context; a disk-tier promotion under it stalls only this context's own callers (§3.4 tiered store)
 	return n.readLocked(lc, addr, count)
 }
 
@@ -578,9 +580,11 @@ func (n *Node) ReadView(lc *LockContext, addr gaddr.Addr, count uint64) ([]byte,
 	ps := uint64(lc.desc.Attrs.PageSize)
 	pageOff := addr.Offset(ps)
 	if pageOff+count > ps {
+		//khazana:block-ok lc.mu is per lock context; a disk-tier promotion under it stalls only this context's own callers (§3.4 tiered store)
 		return n.readLocked(lc, addr, count)
 	}
 	page := addr.AlignDown(ps)
+	//khazana:block-ok lc.mu is per lock context; a disk-tier promotion under it stalls only this context's own callers (§3.4 tiered store)
 	f, ok := n.store.Get(page)
 	if !ok {
 		// Never written: an allocated page reads as zeroes.
@@ -627,6 +631,7 @@ func (n *Node) Write(lc *LockContext, addr gaddr.Addr, data []byte) error {
 			chunk = uint64(len(data)) - covered
 		}
 		var f *frame.Frame
+		//khazana:block-ok lc.mu is per lock context; a disk-tier promotion under it stalls only this context's own callers (§3.4 tiered store)
 		switch got, ok := n.store.Get(page); {
 		case chunk == ps:
 			// Full-page overwrite: no need to read the old contents.

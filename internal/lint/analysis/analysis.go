@@ -11,6 +11,9 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+
+	"khazana/internal/lint/callgraph"
+	"khazana/internal/lint/loader"
 )
 
 // Analyzer describes one static check.
@@ -21,8 +24,17 @@ type Analyzer struct {
 	// Doc is the analyzer's documentation: a one-line summary, a blank
 	// line, then details.
 	Doc string
-	// Run applies the analyzer to a package.
+	// Run applies the analyzer to a package. It may be nil for analyzers
+	// that only work whole-program.
 	Run func(*Pass) error
+	// RunProgram, when set, applies the analyzer to the whole loaded
+	// program at once, with the call graph available for interprocedural
+	// summaries. When the driver has a program (standalone mode), an
+	// analyzer with RunProgram runs once program-wide instead of
+	// per-package; in per-package drivers (go vet -vettool) the program
+	// holds a single package and cross-package summaries degrade to
+	// empty, so RunProgram analyzers see only local facts there.
+	RunProgram func(*ProgramPass) error
 }
 
 func (a *Analyzer) String() string { return a.Name }
@@ -57,6 +69,38 @@ func (p *Pass) TypeOf(e ast.Expr) types.Type {
 type Diagnostic struct {
 	Pos     token.Pos
 	Message string
+}
+
+// Program presents every loaded package plus the whole-program call graph
+// to an analyzer's RunProgram function.
+type Program struct {
+	// Fset maps positions for every package.
+	Fset *token.FileSet
+	// Packages are the loaded packages in import-path order.
+	Packages []*loader.Package
+	// Graph is the whole-program call graph over Packages.
+	Graph *callgraph.Graph
+}
+
+// NewProgram builds the program view (including its call graph) over the
+// loaded packages, which must share fset.
+func NewProgram(fset *token.FileSet, pkgs []*loader.Package) *Program {
+	return &Program{Fset: fset, Packages: pkgs, Graph: callgraph.Build(fset, pkgs)}
+}
+
+// ProgramPass presents the program to one analyzer.
+type ProgramPass struct {
+	// Analyzer is the check being applied.
+	Analyzer *Analyzer
+	// Program is the loaded program.
+	Program *Program
+	// Report delivers one diagnostic to the driver.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *ProgramPass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
 }
 
 // MethodCall resolves a call expression to the *types.Func it invokes, or

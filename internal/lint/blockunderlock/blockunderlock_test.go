@@ -1,0 +1,12 @@
+package blockunderlock_test
+
+import (
+	"testing"
+
+	"khazana/internal/lint/blockunderlock"
+	"khazana/internal/lint/linttest"
+)
+
+func TestBlockUnderLock(t *testing.T) {
+	linttest.RunProgram(t, "testdata", blockunderlock.Analyzer, "bl/m")
+}

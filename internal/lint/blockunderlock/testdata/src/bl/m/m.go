@@ -1,0 +1,60 @@
+// Package m holds a mutex across calls that reach blocking operations in
+// package s; the diagnostics carry the full call chain.
+package m
+
+import (
+	"sync"
+
+	"bl/s"
+)
+
+type T struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+// step is the intermediate hop: it does not block itself, it calls the
+// package that does.
+func (t *T) step() {
+	s.Emit(t.ch)
+}
+
+func (t *T) Notify() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.step() // want `may block \(channel send\): calls \(\*bl/m\.T\)\.step \(m\.go:19\) → bl/s\.Emit \(s\.go:6\) while holding bl/m\.T\.mu \(held at m\.go:23\)`
+}
+
+func (t *T) Direct() {
+	t.mu.Lock()
+	t.ch <- 1 // want `blocks \(channel send\) while holding bl/m\.T\.mu \(held at m\.go:29\)`
+	t.mu.Unlock()
+}
+
+// Unlocked blocks with nothing held: no finding.
+func (t *T) Unlocked() {
+	t.ch <- 1
+}
+
+// NonBlocking holds the mutex across a select with a default clause.
+func (t *T) NonBlocking() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s.TryEmit(t.ch)
+}
+
+// Annotated is intentional and says why.
+func (t *T) Annotated() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	//khazana:block-ok the channel is buffered and drained by this struct's own loop
+	t.step()
+}
+
+// BadReason is annotated but gives no reason.
+func (t *T) BadReason() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	//khazana:block-ok
+	t.step() // want `annotation requires a reason`
+}

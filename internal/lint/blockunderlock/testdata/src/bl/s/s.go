@@ -1,0 +1,15 @@
+// Package s holds the blocking leaf two calls below the lock holder.
+package s
+
+// Emit sends on the channel, blocking until a receiver is ready.
+func Emit(ch chan int) {
+	ch <- 1
+}
+
+// TryEmit never blocks: the select has a default clause.
+func TryEmit(ch chan int) {
+	select {
+	case ch <- 1:
+	default:
+	}
+}

@@ -1,0 +1,452 @@
+// Package callgraph builds a whole-program call graph over the packages a
+// khazlint run loads, so analyzers can reason across function boundaries.
+//
+// Nodes are the named functions and methods whose bodies were loaded from
+// source. Edges are resolved per call site:
+//
+//   - static calls to package-level functions,
+//   - method calls on concrete receivers,
+//   - interface method calls, resolved by class-hierarchy analysis (CHA)
+//     to every loaded concrete type implementing the interface,
+//   - method values and function references (a name mentioned without
+//     being called, e.g. passed as a callback).
+//
+// Calls through plain function values (func-typed fields, parameters,
+// locals) are not resolved; analyzers treat them as opaque. Function
+// identity is by stable string ID (see FuncID) rather than types.Object
+// pointer, because the loader type-checks each target package from source
+// while its importers see the same package through compiler export data —
+// two distinct types.Func objects for one function.
+//
+// The graph orders functions bottom-up over strongly connected components
+// (Tarjan), which is the evaluation order for the summary-driven analyzers
+// in internal/lint: a function's summary is computed after the summaries
+// of everything it calls.
+package callgraph
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"khazana/internal/lint/loader"
+)
+
+// Kind classifies how a call site was resolved to its callee.
+type Kind int
+
+const (
+	// Static is a direct call to a package-level function.
+	Static Kind = iota
+	// Concrete is a method call on a concrete (non-interface) receiver.
+	Concrete
+	// Interface is an interface method call resolved by CHA; there is one
+	// edge per implementing type.
+	Interface
+	// Ref is a function or method referenced as a value (method value,
+	// callback argument) rather than called at the site.
+	Ref
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Static:
+		return "static"
+	case Concrete:
+		return "concrete"
+	case Interface:
+		return "interface"
+	case Ref:
+		return "ref"
+	}
+	return "?"
+}
+
+// Node is one function with a loaded body.
+type Node struct {
+	// ID is the function's stable identity (see FuncID).
+	ID string
+	// Func is the *types.Func from the function's own package's
+	// source type-check.
+	Func *types.Func
+	// Decl is the function's syntax.
+	Decl *ast.FuncDecl
+	// Pkg is the loaded package containing the body.
+	Pkg *loader.Package
+	// Out lists resolved outgoing edges in source order.
+	Out []Edge
+
+	index, lowlink int // Tarjan bookkeeping
+	onStack        bool
+}
+
+// Edge is one resolved call or reference site.
+type Edge struct {
+	// Site is the call or reference position in the caller.
+	Site token.Pos
+	// Kind records how the callee was resolved.
+	Kind Kind
+	// Callee is the resolved target.
+	Callee *Node
+}
+
+// Graph is the whole-program call graph.
+type Graph struct {
+	// Fset maps positions for every loaded package.
+	Fset *token.FileSet
+	// Packages are the loaded packages, sorted by import path.
+	Packages []*loader.Package
+
+	nodes map[string]*Node
+	// implCache caches CHA results per interface type string + method.
+	implCache map[string][]*Node
+	// sourcePkgs maps import path -> source-checked package, for
+	// normalizing export-data type objects to their source versions.
+	sourcePkgs map[string]*loader.Package
+}
+
+// FuncID returns the stable identity of fn: "pkgpath.Name" for functions,
+// "(pkgpath.Type).Name" for methods ("(*pkgpath.Type).Name" for pointer
+// receivers). Identical for the source-checked and export-data views of
+// the same function.
+func FuncID(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if ok && sig.Recv() != nil {
+		recv := sig.Recv().Type()
+		ptr := ""
+		if p, isPtr := recv.(*types.Pointer); isPtr {
+			recv = p.Elem()
+			ptr = "*"
+		}
+		if named, isNamed := recv.(*types.Named); isNamed {
+			obj := named.Obj()
+			pkgPath := ""
+			if obj.Pkg() != nil {
+				pkgPath = obj.Pkg().Path() + "."
+			}
+			return fmt.Sprintf("(%s%s%s).%s", ptr, pkgPath, obj.Name(), fn.Name())
+		}
+		// Interface literal or other unnamed receiver.
+		return fmt.Sprintf("(%s%s).%s", ptr, recv.String(), fn.Name())
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Path() + "." + fn.Name()
+	}
+	return fn.Name()
+}
+
+// Build constructs the call graph for the loaded packages.
+func Build(fset *token.FileSet, pkgs []*loader.Package) *Graph {
+	g := &Graph{
+		Fset:       fset,
+		Packages:   pkgs,
+		nodes:      make(map[string]*Node),
+		implCache:  make(map[string][]*Node),
+		sourcePkgs: make(map[string]*loader.Package),
+	}
+	for _, pkg := range pkgs {
+		g.sourcePkgs[pkg.PkgPath] = pkg
+	}
+	// Pass 1: one node per function declaration with a body.
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				n := &Node{ID: FuncID(fn), Func: fn, Decl: fd, Pkg: pkg}
+				g.nodes[n.ID] = n
+			}
+		}
+	}
+	// Pass 2: resolve call and reference sites in every body.
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				caller := g.nodes[FuncID(fn)]
+				g.collectEdges(caller, pkg, fd.Body)
+			}
+		}
+	}
+	return g
+}
+
+// Node returns the graph node for fn (matched by FuncID, so either the
+// source or export-data view of the function works), or nil when fn's body
+// was not loaded.
+func (g *Graph) Node(fn *types.Func) *Node {
+	if fn == nil {
+		return nil
+	}
+	return g.nodes[FuncID(fn)]
+}
+
+// NodeByID returns the node with the given FuncID, or nil.
+func (g *Graph) NodeByID(id string) *Node { return g.nodes[id] }
+
+// Nodes returns every node sorted by ID.
+func (g *Graph) Nodes() []*Node {
+	out := make([]*Node, 0, len(g.nodes))
+	for _, n := range g.nodes {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// collectEdges records resolved edges for every call and function
+// reference in body, including inside nested function literals (the edges
+// carry no execution context; analyzers that care walk bodies themselves).
+func (g *Graph) collectEdges(caller *Node, pkg *loader.Package, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			kind := g.callKind(pkg, call)
+			for _, callee := range g.ResolveCall(pkg, call) {
+				caller.Out = append(caller.Out, Edge{Site: call.Lparen, Kind: kind, Callee: callee})
+			}
+		}
+		return true
+	})
+	// Function references outside call position (method values, callbacks
+	// bound at assignment).
+	g.collectValueRefs(caller, pkg, body)
+}
+
+// collectValueRefs adds Ref edges for functions and methods mentioned as
+// values (not immediately called).
+func (g *Graph) collectValueRefs(caller *Node, pkg *loader.Package, body *ast.BlockStmt) {
+	callFuns := make(map[ast.Expr]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			callFuns[ast.Unparen(call.Fun)] = true
+		}
+		return true
+	})
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.SelectorExpr:
+			if callFuns[ast.Expr(e)] {
+				return true
+			}
+			fn, ok := pkg.Info.Uses[e.Sel].(*types.Func)
+			if !ok {
+				return true
+			}
+			for _, callee := range g.resolveFunc(pkg, e, fn) {
+				caller.Out = append(caller.Out, Edge{Site: e.Pos(), Kind: Ref, Callee: callee})
+			}
+		case *ast.Ident:
+			if callFuns[ast.Expr(e)] {
+				return true
+			}
+			fn, ok := pkg.Info.Uses[e].(*types.Func)
+			if !ok {
+				return true
+			}
+			// Skip the Sel of a selector (visited separately) by requiring
+			// a package-level function (no receiver).
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true
+			}
+			if callee := g.nodes[FuncID(fn)]; callee != nil {
+				caller.Out = append(caller.Out, Edge{Site: e.Pos(), Kind: Ref, Callee: callee})
+			}
+		}
+		return true
+	})
+}
+
+// callKind classifies how call resolves.
+func (g *Graph) callKind(pkg *loader.Package, call *ast.CallExpr) Kind {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if selection, ok := pkg.Info.Selections[sel]; ok && selection.Kind() == types.MethodVal {
+			if types.IsInterface(selection.Recv()) {
+				return Interface
+			}
+			return Concrete
+		}
+	}
+	return Static
+}
+
+// ResolveCall returns the candidate callees of a call expression that have
+// loaded bodies: one node for a static or concrete-receiver call, every
+// implementing method for an interface call (CHA), nothing for calls
+// through plain function values.
+func (g *Graph) ResolveCall(pkg *loader.Package, call *ast.CallExpr) []*Node {
+	fun := ast.Unparen(call.Fun)
+	// A conversion like EvictFunc(f) is not a call.
+	if tv, ok := pkg.Info.Types[fun]; ok && tv.IsType() {
+		return nil
+	}
+	switch fun := fun.(type) {
+	case *ast.SelectorExpr:
+		fn, ok := pkg.Info.Uses[fun.Sel].(*types.Func)
+		if !ok {
+			return nil
+		}
+		return g.resolveFunc(pkg, fun, fn)
+	case *ast.Ident:
+		fn, ok := pkg.Info.Uses[fun].(*types.Func)
+		if !ok {
+			return nil
+		}
+		if callee := g.nodes[FuncID(fn)]; callee != nil {
+			return []*Node{callee}
+		}
+	}
+	return nil
+}
+
+// resolveFunc resolves a selector use of fn: CHA over implementing types
+// for interface methods, the single target otherwise.
+func (g *Graph) resolveFunc(pkg *loader.Package, sel *ast.SelectorExpr, fn *types.Func) []*Node {
+	if selection, ok := pkg.Info.Selections[sel]; ok && selection.Kind() == types.MethodVal {
+		recv := selection.Recv()
+		if types.IsInterface(recv) {
+			return g.implementers(recv, fn)
+		}
+	}
+	if callee := g.nodes[FuncID(fn)]; callee != nil {
+		return []*Node{callee}
+	}
+	return nil
+}
+
+// implementers returns the loaded methods named like fn on every loaded
+// concrete type implementing the interface type recv (CHA).
+func (g *Graph) implementers(recv types.Type, fn *types.Func) []*Node {
+	iface, ok := recv.Underlying().(*types.Interface)
+	if !ok {
+		return nil
+	}
+	key := types.TypeString(recv, nil) + "." + fn.Name()
+	if cached, ok := g.implCache[key]; ok {
+		return cached
+	}
+	var out []*Node
+	seen := make(map[string]bool)
+	for _, pkg := range g.Packages {
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok || types.IsInterface(named) {
+				continue
+			}
+			ptr := types.NewPointer(named)
+			if !types.Implements(named, iface) && !types.Implements(ptr, iface) {
+				continue
+			}
+			obj, _, _ := types.LookupFieldOrMethod(ptr, false, fn.Pkg(), fn.Name())
+			m, ok := obj.(*types.Func)
+			if !ok {
+				continue
+			}
+			id := FuncID(m)
+			if seen[id] {
+				continue
+			}
+			seen[id] = true
+			if node := g.nodes[id]; node != nil {
+				out = append(out, node)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	g.implCache[key] = out
+	return out
+}
+
+// SCCs returns the strongly connected components of the graph in
+// bottom-up (callee-before-caller) order — the evaluation order for
+// summary computation. Within a component the order is by ID.
+func (g *Graph) SCCs() [][]*Node {
+	var (
+		index int
+		stack []*Node
+		out   [][]*Node
+	)
+	for _, n := range g.nodes {
+		n.index = 0
+		n.onStack = false
+	}
+	var strongconnect func(v *Node)
+	strongconnect = func(v *Node) {
+		index++
+		v.index, v.lowlink = index, index
+		stack = append(stack, v)
+		v.onStack = true
+		for _, e := range v.Out {
+			w := e.Callee
+			if w.index == 0 {
+				strongconnect(w)
+				if w.lowlink < v.lowlink {
+					v.lowlink = w.lowlink
+				}
+			} else if w.onStack && w.index < v.lowlink {
+				v.lowlink = w.index
+			}
+		}
+		if v.lowlink == v.index {
+			var scc []*Node
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				w.onStack = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			sort.Slice(scc, func(i, j int) bool { return scc[i].ID < scc[j].ID })
+			out = append(out, scc)
+		}
+	}
+	for _, n := range g.Nodes() {
+		if n.index == 0 {
+			strongconnect(n)
+		}
+	}
+	return out
+}
+
+// SourceNamed maps a named type possibly seen through export data to its
+// source-checked version when that package was loaded, so analyzers
+// compare type identities consistently.
+func (g *Graph) SourceNamed(named *types.Named) *types.Named {
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil {
+		return named
+	}
+	src, ok := g.sourcePkgs[obj.Pkg().Path()]
+	if !ok {
+		return named
+	}
+	tn, ok := src.Types.Scope().Lookup(obj.Name()).(*types.TypeName)
+	if !ok {
+		return named
+	}
+	if srcNamed, ok := tn.Type().(*types.Named); ok {
+		return srcNamed
+	}
+	return named
+}

@@ -1,0 +1,79 @@
+package callgraph_test
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"khazana/internal/lint/callgraph"
+	"khazana/internal/lint/loader"
+)
+
+func buildFixture(t *testing.T) *callgraph.Graph {
+	t.Helper()
+	pkgs, err := loader.LoadSourcePackages([]string{"cg/x"}, []string{"testdata/src"})
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	return callgraph.Build(pkgs[0].Fset, pkgs)
+}
+
+// edges renders a node's out-edges as "kind callee" strings, sorted.
+func edges(t *testing.T, g *callgraph.Graph, id string) []string {
+	t.Helper()
+	n := g.NodeByID(id)
+	if n == nil {
+		t.Fatalf("no node %q", id)
+	}
+	var out []string
+	for _, e := range n.Out {
+		out = append(out, fmt.Sprintf("%s %s", e.Kind, e.Callee.ID))
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestResolution(t *testing.T) {
+	g := buildFixture(t)
+	cases := []struct {
+		id   string
+		want []string
+	}{
+		// Interface dispatch fans out to every loaded implementation —
+		// and not to NotADoer, whose Do has the wrong signature.
+		{"cg/x.CallIface", []string{"interface (*cg/x.B).Do", "interface (cg/x.A).Do"}},
+		// A concrete receiver resolves to exactly one method.
+		{"cg/x.CallConcrete", []string{"concrete (cg/x.A).Do"}},
+		// A method value is a reference edge, not a call.
+		{"cg/x.MethodValue", []string{"ref (*cg/x.B).Do"}},
+		{"cg/x.Static", []string{"static cg/x.CallIface"}},
+	}
+	for _, c := range cases {
+		got := edges(t, g, c.id)
+		if fmt.Sprint(got) != fmt.Sprint(c.want) {
+			t.Errorf("%s edges = %v, want %v", c.id, got, c.want)
+		}
+	}
+}
+
+// TestSCCOrder checks the bottom-up invariant consumers rely on: a callee's
+// component is emitted before its caller's, and mutual recursion shares one
+// component.
+func TestSCCOrder(t *testing.T) {
+	g := buildFixture(t)
+	sccs := g.SCCs()
+	compOf := make(map[string]int)
+	for i, scc := range sccs {
+		for _, n := range scc {
+			compOf[n.ID] = i
+		}
+	}
+	if compOf["cg/x.CallIface"] >= compOf["cg/x.Static"] {
+		t.Errorf("callee component %d not before caller component %d",
+			compOf["cg/x.CallIface"], compOf["cg/x.Static"])
+	}
+	if compOf["cg/x.Mutual1"] != compOf["cg/x.Mutual2"] {
+		t.Errorf("mutually recursive functions split into components %d and %d",
+			compOf["cg/x.Mutual1"], compOf["cg/x.Mutual2"])
+	}
+}

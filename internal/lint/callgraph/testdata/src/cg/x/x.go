@@ -1,0 +1,31 @@
+// Package x exercises call-graph resolution: static calls, concrete
+// receiver methods, interface dispatch, and method values.
+package x
+
+type Doer interface{ Do() }
+
+type A struct{}
+
+func (A) Do() {}
+
+type B struct{}
+
+func (*B) Do() {}
+
+// NotADoer has a Do with the wrong signature and must not appear among
+// Doer's implementers.
+type NotADoer struct{}
+
+func (NotADoer) Do(n int) {}
+
+func CallIface(d Doer) { d.Do() }
+
+func CallConcrete(a A) { a.Do() }
+
+func MethodValue(b *B) func() { return b.Do }
+
+func Static() { CallIface(A{}) }
+
+func Mutual1() { Mutual2() }
+
+func Mutual2() { Mutual1() }

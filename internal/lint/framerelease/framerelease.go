@@ -16,31 +16,45 @@
 // a steady leak on a hot path defeats the zero-copy pipeline's pooling, so
 // the check keeps the obligation visible.
 //
-// The check is intra-procedural and positional, mirroring deferunlock: for
-// an acquisition at position L with no matching defer, each return after L
+// The per-function check is positional, mirroring deferunlock: for an
+// acquisition at position L with no matching defer, each return after L
 // must either mention the variable (transfer) or have a release between L
 // and the return. Returns inside a guard that proves the acquisition
 // yielded no frame — `if !ok`, `if f == nil`, `if err != nil` — are
-// exempt. The frame package itself is exempt — it implements the
-// refcount, it does not consume it.
+// exempt, as are returns after an `if ok { ... return }` block that
+// consumed the taken branch. The frame package itself is exempt — it
+// implements the refcount, it does not consume it.
+//
+// On top of that, ownership transfers across calls: the whole-program
+// pass summarizes every function's *frame.Frame parameters bottom-up over
+// the call graph as consumed (released on every path, never returned) or
+// borrowed. Passing an owned frame to a call whose every resolved callee
+// consumes that parameter discharges the obligation like a release; a
+// frame handed only to borrowing callees stays the caller's problem, and
+// the diagnostic names the borrowing callee so the leak is traceable
+// through the helper.
 package framerelease
 
 import (
 	"bytes"
+	"fmt"
 	"go/ast"
 	"go/printer"
 	"go/token"
 	"go/types"
+	"path/filepath"
 	"strings"
 
 	"khazana/internal/lint/analysis"
+	"khazana/internal/lint/callgraph"
+	"khazana/internal/lint/loader"
 )
 
 // Analyzer is the framerelease check.
 var Analyzer = &analysis.Analyzer{
-	Name: "framerelease",
-	Doc:  "check that acquired *frame.Frame values are released on every return path",
-	Run:  run,
+	Name:       "framerelease",
+	Doc:        "check that acquired *frame.Frame values are released on every return path, tracking ownership across calls",
+	RunProgram: runProgram,
 }
 
 // FramePkg is the package whose *Frame values carry release obligations.
@@ -50,6 +64,44 @@ const FramePkg = "khazana/internal/frame"
 // function's hands, followed by a required reason.
 const Directive = "//khazana:frame-owner"
 
+func runProgram(pp *analysis.ProgramPass) error {
+	g := pp.Program.Graph
+	c := &checker{g: g, consumes: consumeSummaries(g)}
+	for _, pkg := range pp.Program.Packages {
+		if pkg.Types != nil && pkg.Types.Path() == FramePkg {
+			continue
+		}
+		c.pkg = pkg
+		c.pass = &analysis.Pass{
+			Analyzer:  pp.Analyzer,
+			Fset:      pp.Program.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			Report:    pp.Report,
+		}
+		for _, file := range pkg.Files {
+			annotated := directiveLines(pp.Program.Fset, file)
+			for _, decl := range file.Decls {
+				if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
+					c.checkFunc(fn.Body, annotated)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// checker carries the per-package pass plus the whole-program context:
+// the call graph and the parameter-consumption summaries.
+type checker struct {
+	pass     *analysis.Pass
+	pkg      *loader.Package
+	g        *callgraph.Graph
+	consumes map[*callgraph.Node][]bool
+	quiet    bool // summary phase: collect events, report nothing
+}
+
 // events gathers the frame-relevant occurrences of one function body.
 type events struct {
 	acquisitions []acquisition
@@ -57,6 +109,7 @@ type events struct {
 	defers       map[string]bool // var name -> deferred release present
 	returns      []*ast.ReturnStmt
 	guards       []guard
+	passedTo     []passEvent
 }
 
 type acquisition struct {
@@ -68,7 +121,9 @@ type acquisition struct {
 
 // guard is the body extent of an if statement whose condition proves the
 // acquisition yielded no frame — `!ok`, `f == nil`, or `err != nil` —
-// so returns inside it carry no release obligation.
+// so returns inside it carry no release obligation. guardTakenOK is the
+// inverse shape: `if ok { ... return }` with a terminating body, after
+// which the frame provably was not acquired; start is the body's end.
 type guard struct {
 	kind       guardKind
 	name       string
@@ -78,9 +133,10 @@ type guard struct {
 type guardKind int
 
 const (
-	guardNotOK  guardKind = iota // if !ok      — name is the comma-ok bool
-	guardIsNil                   // if f == nil — name is the frame variable
-	guardNonNil                  // if err != nil — name is the error variable
+	guardNotOK   guardKind = iota // if !ok      — name is the comma-ok bool
+	guardIsNil                    // if f == nil — name is the frame variable
+	guardNonNil                   // if err != nil — name is the error variable
+	guardTakenOK                  // if ok { ...; return } — returns after the body are ok-false paths
 )
 
 type releaseEvent struct {
@@ -88,39 +144,33 @@ type releaseEvent struct {
 	pos  token.Pos
 }
 
-func run(pass *analysis.Pass) error {
-	if pass.Pkg != nil && pass.Pkg.Path() == FramePkg {
-		return nil
-	}
-	for _, file := range pass.Files {
-		annotated := directiveLines(pass.Fset, file)
-		for _, decl := range file.Decls {
-			fn, ok := decl.(*ast.FuncDecl)
-			if !ok || fn.Body == nil {
-				continue
-			}
-			checkFunc(pass, fn.Body, annotated)
-		}
-	}
-	return nil
+// passEvent records an owned frame handed to a resolved callee that does
+// not consume it; the obligation stays with the caller.
+type passEvent struct {
+	name   string
+	pos    token.Pos
+	callee *callgraph.Node
 }
 
 // checkFunc analyzes one function body, recursing into nested function
 // literals as independent ownership scopes.
-func checkFunc(pass *analysis.Pass, body *ast.BlockStmt, annotated map[int]string) {
+func (c *checker) checkFunc(body *ast.BlockStmt, annotated map[int]string) {
 	ev := &events{defers: make(map[string]bool)}
-	collect(pass, body, ev, annotated)
-	report(pass, ev, annotated)
+	c.collect(body, ev, annotated)
+	if !c.quiet {
+		c.report(ev, annotated)
+	}
 }
 
 // collect gathers events in source order. Nested function literals are
 // separate scopes: a closure may run on another goroutine or after the
 // function returns, so its acquisitions must balance on their own.
-func collect(pass *analysis.Pass, n ast.Node, ev *events, annotated map[int]string) {
+func (c *checker) collect(n ast.Node, ev *events, annotated map[int]string) {
+	pass := c.pass
 	ast.Inspect(n, func(node ast.Node) bool {
 		switch node := node.(type) {
 		case *ast.FuncLit:
-			checkFunc(pass, node.Body, annotated)
+			c.checkFunc(node.Body, annotated)
 			return false
 		case *ast.DeferStmt:
 			if name, ok := releaseCall(pass, node.Call); ok {
@@ -130,7 +180,7 @@ func collect(pass *analysis.Pass, n ast.Node, ev *events, annotated map[int]stri
 			// A directly deferred closure runs on every exit path, so
 			// releases inside it count as defers for their variables.
 			if lit, ok := node.Call.Fun.(*ast.FuncLit); ok {
-				markDeferredClosureReleases(pass, lit, ev, annotated)
+				c.markDeferredClosureReleases(lit, ev, annotated)
 				return false
 			}
 			return true
@@ -147,9 +197,189 @@ func collect(pass *analysis.Pass, n ast.Node, ev *events, annotated map[int]stri
 				ev.releases = append(ev.releases, releaseEvent{name: name, pos: node.Pos()})
 				return false
 			}
+			c.recordPass(node, ev)
 		}
 		return true
 	})
+}
+
+// recordPass classifies frame-typed identifier arguments of a call: if
+// every resolved callee consumes the parameter, the call discharges the
+// obligation like a release; otherwise the frame was merely lent and the
+// first borrowing callee is remembered for the diagnostic.
+func (c *checker) recordPass(call *ast.CallExpr, ev *events) {
+	var frameArgs []int
+	for i, arg := range call.Args {
+		if _, ok := identName(arg); !ok {
+			continue
+		}
+		if isFrameType(c.pass.TypeOf(arg)) {
+			frameArgs = append(frameArgs, i)
+		}
+	}
+	if len(frameArgs) == 0 {
+		return
+	}
+	callees := c.g.ResolveCall(c.pkg, call)
+	if len(callees) == 0 {
+		return
+	}
+	for _, i := range frameArgs {
+		name, _ := identName(call.Args[i])
+		consumed := true
+		for _, callee := range callees {
+			s := c.consumes[callee]
+			if i >= len(s) || !s[i] {
+				consumed = false
+				break
+			}
+		}
+		if consumed {
+			ev.releases = append(ev.releases, releaseEvent{name: name, pos: call.Pos()})
+		} else {
+			ev.passedTo = append(ev.passedTo, passEvent{name: name, pos: call.Pos(), callee: callees[0]})
+		}
+	}
+}
+
+// consumeSummaries classifies every function's *frame.Frame parameters as
+// consumed (released on every unguarded path, never returned) or
+// borrowed, bottom-up over SCCs. A call passing a parameter onward to an
+// all-consuming callee counts as a release, so summaries feed each other;
+// flags only flip borrow→consume, so the fixpoint terminates.
+func consumeSummaries(g *callgraph.Graph) map[*callgraph.Node][]bool {
+	sums := make(map[*callgraph.Node][]bool)
+	c := &checker{g: g, consumes: sums, quiet: true}
+	for _, scc := range g.SCCs() {
+		for changed := true; changed; {
+			changed = false
+			for _, node := range scc {
+				if c.growConsume(node) {
+					changed = true
+				}
+			}
+		}
+	}
+	return sums
+}
+
+// growConsume recomputes node's parameter summary, reporting whether any
+// parameter newly became consumed.
+func (c *checker) growConsume(node *callgraph.Node) bool {
+	params := frameParams(node)
+	prev := c.consumes[node]
+	if prev == nil {
+		prev = make([]bool, len(params))
+		c.consumes[node] = prev
+	}
+	any := false
+	for _, p := range params {
+		if p != "" {
+			any = true
+		}
+	}
+	if !any {
+		return false
+	}
+	c.pkg = node.Pkg
+	c.pass = &analysis.Pass{
+		Fset:      c.g.Fset,
+		Files:     node.Pkg.Files,
+		Pkg:       node.Pkg.Types,
+		TypesInfo: node.Pkg.Info,
+		Report:    func(analysis.Diagnostic) {},
+	}
+	ev := &events{defers: make(map[string]bool)}
+	c.collect(node.Decl.Body, ev, nil)
+	changed := false
+	for i, p := range params {
+		if p == "" || prev[i] {
+			continue
+		}
+		if consumedParam(ev, p, node.Decl.Body) {
+			prev[i] = true
+			changed = true
+		}
+	}
+	return changed
+}
+
+// frameParams flattens node's parameter list to names, "" for parameters
+// that are not *frame.Frame (or are blank/unnamed).
+func frameParams(node *callgraph.Node) []string {
+	ft := node.Decl.Type
+	if ft.Params == nil {
+		return nil
+	}
+	var out []string
+	for _, field := range ft.Params.List {
+		isFrame := isFrameType(node.Pkg.Info.TypeOf(field.Type))
+		if len(field.Names) == 0 {
+			out = append(out, "")
+			continue
+		}
+		for _, name := range field.Names {
+			if isFrame && name.Name != "_" {
+				out = append(out, name.Name)
+			} else {
+				out = append(out, "")
+			}
+		}
+	}
+	return out
+}
+
+// consumedParam reports whether the function provably takes ownership of
+// its parameter name: some release reaches every return (and the fall-off
+// end) except paths proving the frame nil, and the frame never flows back
+// out through a return.
+func consumedParam(ev *events, name string, body *ast.BlockStmt) bool {
+	for _, ret := range ev.returns {
+		if mentions(ret, name) {
+			return false
+		}
+	}
+	if ev.defers[name] {
+		return true
+	}
+	released := func(at token.Pos) bool {
+		for _, r := range ev.releases {
+			if r.name == name && r.pos < at {
+				return true
+			}
+		}
+		return false
+	}
+	nilGuarded := func(at token.Pos) bool {
+		for _, g := range ev.guards {
+			if g.kind == guardIsNil && g.name == name && at > g.start && at < g.end {
+				return true
+			}
+		}
+		return false
+	}
+	n := 0
+	for _, ret := range ev.returns {
+		if nilGuarded(ret.Pos()) {
+			continue
+		}
+		if !released(ret.Pos()) {
+			return false
+		}
+		n++
+	}
+	// A body that can fall off the end needs a release on that path too.
+	terminated := false
+	if len(body.List) > 0 {
+		_, terminated = body.List[len(body.List)-1].(*ast.ReturnStmt)
+	}
+	if !terminated {
+		if !released(body.End()) {
+			return false
+		}
+		n++
+	}
+	return n > 0
 }
 
 // collectAcquisitions records frame-typed variables bound by an
@@ -203,14 +433,14 @@ func collectAcquisitions(pass *analysis.Pass, assign *ast.AssignStmt, ev *events
 
 // markDeferredClosureReleases records Release calls made directly inside a
 // deferred closure, which run on every exit path just like a plain defer.
-func markDeferredClosureReleases(pass *analysis.Pass, lit *ast.FuncLit, ev *events, annotated map[int]string) {
+func (c *checker) markDeferredClosureReleases(lit *ast.FuncLit, ev *events, annotated map[int]string) {
 	ast.Inspect(lit.Body, func(node ast.Node) bool {
 		if inner, ok := node.(*ast.FuncLit); ok && inner != lit {
-			checkFunc(pass, inner.Body, annotated)
+			c.checkFunc(inner.Body, annotated)
 			return false
 		}
 		if call, ok := node.(*ast.CallExpr); ok {
-			if name, ok := releaseCall(pass, call); ok {
+			if name, ok := releaseCall(c.pass, call); ok {
 				ev.defers[name] = true
 				return false
 			}
@@ -241,6 +471,20 @@ func releaseCall(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
 func classifyGuard(stmt *ast.IfStmt) (guard, bool) {
 	g := guard{start: stmt.Body.Pos(), end: stmt.Body.End()}
 	switch cond := ast.Unparen(stmt.Cond).(type) {
+	case *ast.Ident:
+		// `if ok { ...; return }` with a terminating body: any return
+		// after the block runs only when ok was false.
+		if cond.Name == "_" || cond.Name == "true" || cond.Name == "false" {
+			return g, false
+		}
+		if len(stmt.Body.List) == 0 {
+			return g, false
+		}
+		if _, isRet := stmt.Body.List[len(stmt.Body.List)-1].(*ast.ReturnStmt); !isRet {
+			return g, false
+		}
+		g.kind, g.name, g.start = guardTakenOK, cond.Name, stmt.Body.End()
+		return g, true
 	case *ast.UnaryExpr:
 		if cond.Op != token.NOT {
 			return g, false
@@ -332,7 +576,8 @@ func mentions(ret *ast.ReturnStmt, name string) bool {
 
 // report checks every acquisition against the defers, releases, returns,
 // and annotations of its function.
-func report(pass *analysis.Pass, ev *events, annotated map[int]string) {
+func (c *checker) report(ev *events, annotated map[int]string) {
+	pass := c.pass
 	for _, a := range ev.acquisitions {
 		if ev.defers[a.name] {
 			continue
@@ -350,9 +595,17 @@ func report(pass *analysis.Pass, ev *events, annotated map[int]string) {
 			return false
 		}
 		// A return inside a guard proving the acquisition failed (`!ok`,
-		// `f == nil`, `err != nil`) holds no frame and carries no obligation.
+		// `f == nil`, `err != nil`) holds no frame and carries no
+		// obligation; nor does a return after an `if ok { ...; return }`
+		// block that handled the acquired frame.
 		guarded := func(ret token.Pos) bool {
 			for _, g := range ev.guards {
+				if g.kind == guardTakenOK {
+					if a.ok != "" && g.name == a.ok && a.pos < g.start && ret >= g.start {
+						return true
+					}
+					continue
+				}
 				if g.start <= a.pos || ret <= g.start || ret >= g.end {
 					continue
 				}
@@ -373,12 +626,25 @@ func report(pass *analysis.Pass, ev *events, annotated map[int]string) {
 			}
 			return false
 		}
+		// If the frame was lent to a resolved callee that does not take
+		// ownership, say so: the leak is otherwise easy to misread as
+		// handled by the helper.
+		lent := func(ret token.Pos) string {
+			for _, pe := range ev.passedTo {
+				if pe.name == a.name && pe.pos > a.pos && pe.pos < ret {
+					p := pass.Fset.Position(pe.callee.Decl.Pos())
+					return fmt.Sprintf(" (%s was passed to %s (%s:%d), which borrows it and leaves the obligation here)",
+						a.name, pe.callee.ID, filepath.Base(p.Filename), p.Line)
+				}
+			}
+			return ""
+		}
 		leaked := false
 		for _, ret := range ev.returns {
 			if ret.Pos() > a.pos && !guarded(ret.Pos()) && !mentions(ret, a.name) && !covered(ret.Pos()) {
 				pass.Reportf(a.pos,
-					"frame %s is not released on the return path at line %d: add defer %s.Release(), release before returning, or annotate with %s <reason>",
-					a.name, pass.Fset.Position(ret.Pos()).Line, a.name, Directive)
+					"frame %s is not released on the return path at line %d%s: add defer %s.Release(), release before returning, or annotate with %s <reason>",
+					a.name, pass.Fset.Position(ret.Pos()).Line, lent(ret.Pos()), a.name, Directive)
 				leaked = true
 				break
 			}

@@ -8,5 +8,5 @@ import (
 )
 
 func TestFrameRelease(t *testing.T) {
-	linttest.Run(t, "testdata", framerelease.Analyzer, "a")
+	linttest.RunProgram(t, "testdata", framerelease.Analyzer, "a", "c")
 }

@@ -36,6 +36,15 @@ func transferred(s *store) (*frame.Frame, bool) {
 	return f, true
 }
 
+// takenBranchTransfer returns the frame on the ok branch; the return
+// after the block runs only when no frame was acquired.
+func takenBranchTransfer(s *store) *frame.Frame {
+	if f, ok := s.Get(4); ok {
+		return f
+	}
+	return frame.AllocZero(64)
+}
+
 func consumedByExclusive(s *store) {
 	got, ok := s.Get(3)
 	var f *frame.Frame

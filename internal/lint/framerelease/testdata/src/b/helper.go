@@ -1,0 +1,31 @@
+// Package b provides frame helpers with different ownership contracts,
+// for the interprocedural summary tests.
+package b
+
+import "khazana/internal/frame"
+
+// Sink consumes its frame: released on every path (the nil path carries
+// no obligation).
+func Sink(f *frame.Frame) {
+	if f == nil {
+		return
+	}
+	f.Release()
+}
+
+// Forward hands its frame to Sink; consumption chains through the
+// summaries bottom-up.
+func Forward(f *frame.Frame) {
+	Sink(f)
+}
+
+// Peek borrows its frame: the caller keeps the release obligation.
+func Peek(f *frame.Frame) byte {
+	return f.Bytes()[0]
+}
+
+// Stash borrows: it retains its own reference and returns, so the
+// caller's reference is still the caller's problem.
+func Stash(m map[int]*frame.Frame, f *frame.Frame) {
+	m[0] = f.Retain()
+}

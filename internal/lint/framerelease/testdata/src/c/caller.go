@@ -1,0 +1,44 @@
+// Package c exercises frame ownership transfer across package
+// boundaries: calls into b discharge or keep the obligation according to
+// b's parameter summaries.
+package c
+
+import (
+	"b"
+
+	"khazana/internal/frame"
+)
+
+// consumedByHelper hands the frame to a callee whose summary proves it
+// releases on every path; the call discharges the obligation.
+func consumedByHelper() {
+	f := frame.AllocZero(8)
+	b.Sink(f)
+}
+
+// consumedThroughChain relies on the fixpoint: Forward consumes only
+// because Sink does.
+func consumedThroughChain() int {
+	f := frame.AllocZero(8)
+	b.Forward(f)
+	return 0
+}
+
+func leakedThroughHelper() int {
+	f := frame.AllocZero(8) // want `frame f is not released on the return path at line 30 \(f was passed to b.Peek \(helper.go:23\), which borrows it and leaves the obligation here\)`
+	n := int(b.Peek(f))
+	return n
+}
+
+func leakedThroughRetainer(m map[int]*frame.Frame) {
+	f := frame.AllocZero(8) // want `frame f is never released`
+	b.Stash(m, f)
+}
+
+// borrowedButReleased lends the frame and then releases it: no finding.
+func borrowedButReleased() int {
+	f := frame.AllocZero(8)
+	n := int(b.Peek(f))
+	f.Release()
+	return n
+}

@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"khazana/internal/lint/analysis"
+	"khazana/internal/lint/blockunderlock"
 	"khazana/internal/lint/ctxpropagate"
 	"khazana/internal/lint/deferunlock"
 	"khazana/internal/lint/erricheck"
@@ -21,6 +22,7 @@ import (
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		lockorder.Analyzer,
+		blockunderlock.Analyzer,
 		deferunlock.Analyzer,
 		ctxpropagate.Analyzer,
 		erricheck.Analyzer,
@@ -38,11 +40,47 @@ type Finding struct {
 }
 
 // Check runs every analyzer over every package and returns the findings
-// sorted by position.
+// sorted by position. Analyzers with a RunProgram hook run once over the
+// whole program (all packages plus the call graph); the rest run
+// per-package. The packages must share one FileSet, which both loaders
+// guarantee.
 func Check(pkgs []*loader.Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	if len(pkgs) == 0 {
+		return nil, nil
+	}
 	var findings []Finding
+	var prog *analysis.Program
+	for _, a := range analyzers {
+		if a.RunProgram == nil {
+			continue
+		}
+		if prog == nil {
+			prog = analysis.NewProgram(pkgs[0].Fset, pkgs)
+		}
+		name := a.Name
+		pass := &analysis.ProgramPass{
+			Analyzer: a,
+			Program:  prog,
+			Report: func(d analysis.Diagnostic) {
+				findings = append(findings, Finding{
+					Analyzer: name,
+					Pos:      prog.Fset.Position(d.Pos),
+					Message:  d.Message,
+				})
+			},
+		}
+		if err := a.RunProgram(pass); err != nil {
+			return nil, err
+		}
+	}
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
+			// An analyzer may have both hooks (lockorder: per-function
+			// checks in Run, whole-program cycle detection in RunProgram);
+			// the two report disjoint diagnostics.
+			if a.Run == nil {
+				continue
+			}
 			pass := &analysis.Pass{
 				Analyzer:  a,
 				Fset:      pkg.Fset,

@@ -40,6 +40,40 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, importPaths ...str
 	}
 }
 
+// RunProgram loads all import paths (plus their source-tree dependencies)
+// from testdata/src as one multi-package program, runs a program-level
+// analyzer over it, and checks diagnostics against the want comments of
+// every loaded package. This exercises cross-package resolution: a want
+// comment may assert a call chain that spans fixture packages.
+func RunProgram(t *testing.T, testdata string, a *analysis.Analyzer, importPaths ...string) {
+	t.Helper()
+	if a.RunProgram == nil {
+		t.Fatalf("%s: analyzer has no RunProgram hook", a.Name)
+	}
+	root := testdata + "/src"
+	pkgs, err := loader.LoadSourcePackages(importPaths, []string{root})
+	if err != nil {
+		t.Fatalf("loading %v: %v", importPaths, err)
+	}
+	prog := analysis.NewProgram(pkgs[0].Fset, pkgs)
+	var diags []diag
+	pass := &analysis.ProgramPass{
+		Analyzer: a,
+		Program:  prog,
+		Report: func(d analysis.Diagnostic) {
+			diags = append(diags, diag{pos: prog.Fset.Position(d.Pos), msg: d.Message})
+		},
+	}
+	if err := a.RunProgram(pass); err != nil {
+		t.Fatalf("%s: analyzer error: %v", a.Name, err)
+	}
+	var wants []*want
+	for _, pkg := range pkgs {
+		wants = append(wants, collectWants(t, pkg)...)
+	}
+	verify(t, diags, wants)
+}
+
 // diag is one reported diagnostic, resolved to a position.
 type diag struct {
 	pos token.Position
@@ -72,9 +106,13 @@ func checkPackage(t *testing.T, a *analysis.Analyzer, pkg *loader.Package) {
 		t.Errorf("%s: analyzer error: %v", pkg.PkgPath, err)
 		return
 	}
+	verify(t, diags, collectWants(t, pkg))
+}
 
-	wants := collectWants(t, pkg)
-
+// verify matches diagnostics against wants, reporting the unexpected and
+// the unmet.
+func verify(t *testing.T, diags []diag, wants []*want) {
+	t.Helper()
 	sort.Slice(diags, func(i, j int) bool {
 		if diags[i].pos.Filename != diags[j].pos.Filename {
 			return diags[i].pos.Filename < diags[j].pos.Filename

@@ -119,6 +119,23 @@ func Load(dir string, patterns []string) ([]*Package, error) {
 // resolved under srcRoots first — recursively type-checked from source —
 // then against toolchain export data.
 func LoadSource(importPath string, srcRoots []string) (*Package, error) {
+	pkgs, err := LoadSourcePackages([]string{importPath}, srcRoots)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range pkgs {
+		if p.PkgPath == importPath {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("loader: %s not loaded", importPath)
+}
+
+// LoadSourcePackages type-checks the packages at importPaths — plus every
+// dependency found under the source roots — as one program sharing a
+// FileSet, for whole-program analyzer tests. The result includes the
+// source-tree dependencies and is sorted by import path.
+func LoadSourcePackages(importPaths []string, srcRoots []string) ([]*Package, error) {
 	sl := &srcLoader{
 		fset:    token.NewFileSet(),
 		roots:   srcRoots,
@@ -127,8 +144,11 @@ func LoadSource(importPath string, srcRoots []string) (*Package, error) {
 	// Pre-scan the source tree for external imports so one `go list` call
 	// can resolve all of them.
 	external := make(map[string]bool)
-	if err := sl.scanExternal(importPath, external, make(map[string]bool)); err != nil {
-		return nil, err
+	seen := make(map[string]bool)
+	for _, ip := range importPaths {
+		if err := sl.scanExternal(ip, external, seen); err != nil {
+			return nil, err
+		}
 	}
 	exports := make(map[string]string)
 	importMap := make(map[string]string)
@@ -155,7 +175,17 @@ func LoadSource(importPath string, srcRoots []string) (*Package, error) {
 		}
 	}
 	sl.exports = newExportImporter(sl.fset, exports, importMap)
-	return sl.load(importPath)
+	for _, ip := range importPaths {
+		if _, err := sl.load(ip); err != nil {
+			return nil, err
+		}
+	}
+	out := make([]*Package, 0, len(sl.sources))
+	for _, p := range sl.sources {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].PkgPath < out[j].PkgPath })
+	return out, nil
 }
 
 // srcLoader loads packages from testdata source roots.

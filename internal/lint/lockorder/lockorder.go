@@ -25,11 +25,15 @@ import (
 	"khazana/internal/lint/analysis"
 )
 
-// Analyzer is the lockorder check.
+// Analyzer is the lockorder check. Run enforces the canonical order of
+// core.Node's mutexes within each function; RunProgram detects
+// lock-acquisition cycles across call boundaries program-wide (see
+// program.go).
 var Analyzer = &analysis.Analyzer{
-	Name: "lockorder",
-	Doc:  "check acquisition order and re-entry of core.Node's mutexes",
-	Run:  run,
+	Name:       "lockorder",
+	Doc:        "check mutex acquisition order: canonical core.Node order per function, acquisition-graph cycles whole-program",
+	Run:        run,
+	RunProgram: runProgram,
 }
 
 // GuardedType names the struct whose mutex fields are ordered, as

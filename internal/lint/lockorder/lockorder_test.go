@@ -10,3 +10,10 @@ import (
 func TestLockOrder(t *testing.T) {
 	linttest.Run(t, "testdata", lockorder.Analyzer, "khazana/internal/core")
 }
+
+// TestLockOrderCycles seeds a deadlock across two fixture packages —
+// neither function is wrong in isolation — and asserts the whole-program
+// pass reports the cycle with both witness chains.
+func TestLockOrderCycles(t *testing.T) {
+	linttest.RunProgram(t, "testdata", lockorder.Analyzer, "cyc/q")
+}

@@ -1,0 +1,21 @@
+// Package p takes its locks A-then-B; package q takes them B-then-A.
+// Neither function is wrong on its own — only the whole-program
+// acquisition graph sees the cycle.
+package p
+
+import "sync"
+
+type A struct{ Mu sync.Mutex }
+
+type B struct{ Mu sync.Mutex }
+
+func TakeAB(a *A, b *B) {
+	a.Mu.Lock()
+	defer a.Mu.Unlock()
+	LockB(b) // want `lock-order cycle: cyc/p\.A\.Mu → cyc/p\.B\.Mu → cyc/p\.A\.Mu; cyc/p\.A\.Mu → cyc/p\.B\.Mu via cyc/p\.TakeAB \(p\.go:15, holding cyc/p\.A\.Mu\) → cyc/p\.LockB \(p\.go:19\) acquires cyc/p\.B\.Mu; cyc/p\.B\.Mu → cyc/p\.A\.Mu via cyc/q\.TakeBA \(q\.go:\d+, holding cyc/p\.B\.Mu\) → cyc/q\.lockA \(q\.go:\d+\) acquires cyc/p\.A\.Mu`
+}
+
+func LockB(b *B) {
+	b.Mu.Lock()
+	b.Mu.Unlock()
+}

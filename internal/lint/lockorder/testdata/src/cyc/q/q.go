@@ -1,0 +1,16 @@
+// Package q closes the cycle: it holds B while a helper acquires A,
+// opposite to p's A-then-B order.
+package q
+
+import "cyc/p"
+
+func TakeBA(a *p.A, b *p.B) {
+	b.Mu.Lock()
+	defer b.Mu.Unlock()
+	lockA(a)
+}
+
+func lockA(a *p.A) {
+	a.Mu.Lock()
+	a.Mu.Unlock()
+}

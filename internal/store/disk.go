@@ -120,6 +120,7 @@ func (s *DiskStore) PutBytes(page gaddr.Addr, data []byte) error {
 	s.mu.Lock()
 	_, resident := s.index[page]
 	if !resident && s.cap > 0 && len(s.index) >= s.cap {
+		//khazana:block-ok eviction reads the victim page back under s.mu before dropping it; disk I/O under the store's own mutex is the disk tier's contract
 		if err := s.evictLocked(); err != nil {
 			s.mu.Unlock()
 			return err
