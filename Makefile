@@ -48,11 +48,16 @@ fmt-check:
 # read path by more than 5% against the telemetry.Nop() baseline, and
 # the armed E16 gate fails it if the sequential sweep stops saving >=2x
 # grant RPCs or a multi-page release sends more than one update RPC per
-# replica.
+# replica. The armed E17 gate fails it if snapshot scans stop scaling
+# with reader count (>=1.4x from 1 to 4 readers) or the hot writer loses
+# more than 60% of its uncontended rate under 4 snapshot readers. The
+# snapshot path's own allocation gate is TestSnapshotViewAllocGate
+# (budget: 0 allocs per cached view).
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x -benchmem ./...
 	KHAZANA_E15_GATE=1 $(GO) test -run TestE15TelemetryOverheadGate -count=1 -v ./internal/experiments/
 	KHAZANA_E16_GATE=1 $(GO) test -run TestE16WriteThroughGate -count=1 -v ./internal/experiments/
+	KHAZANA_E17_GATE=1 $(GO) test -run TestE17SnapshotScanGate -count=1 -v ./internal/experiments/
 
 # telemetry-smoke boots a real khazanad with the HTTP debug listener and
 # curls the export surface: /metrics must serve Prometheus text and JSON,

@@ -58,3 +58,54 @@ func TestCachedReadAllocGate(t *testing.T) {
 		t.Fatalf("cached zero-copy read allocates %.2f objects/op, budget is 1", avg)
 	}
 }
+
+// TestSnapshotViewAllocGate is the allocation gate for the snapshot read
+// path: once the first View has pinned the page, every subsequent cached
+// view is served straight off the pinned frame — zero allocations, no
+// lookup, no RPC. Unlike the lock-context gate above there is no pin-list
+// amortization, so the budget is exactly 0.
+func TestSnapshotViewAllocGate(t *testing.T) {
+	c, err := khazana.NewCluster(1, khazana.WithStoreDir(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+	const ps = 4096
+	n := c.Node(1)
+	start, err := n.Reserve(ctx, ps, khazana.Attrs{}, "bench")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Allocate(ctx, start, "bench"); err != nil {
+		t.Fatal(err)
+	}
+	lk, err := n.Lock(ctx, khazana.Range{Start: start, Size: ps}, khazana.LockWrite, "bench")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lk.Write(start, make([]byte, ps)); err != nil {
+		t.Fatal(err)
+	}
+	if err := lk.Unlock(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := n.Snapshot("bench")
+	defer snap.Close()
+	if _, err := snap.View(ctx, start, ps); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(500, func() {
+		view, err := snap.View(ctx, start, ps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(view) != ps {
+			t.Fatalf("view length %d", len(view))
+		}
+	})
+	if avg > 0 {
+		t.Fatalf("cached snapshot view allocates %.2f objects/op, budget is 0", avg)
+	}
+}

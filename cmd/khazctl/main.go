@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"khazana"
+	"khazana/internal/telemetry"
 )
 
 func main() {
@@ -185,6 +186,22 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
+		counter := func(name string) int64 {
+			for _, c := range m.Counters {
+				if c.Name == name {
+					return c.Value
+				}
+			}
+			return 0
+		}
+		chains := "no version chains observed"
+		for _, h := range m.Histograms {
+			if h.Name == telemetry.MetricSnapshotChainLen && h.Count > 0 {
+				chains = fmt.Sprintf("mean chain len %d over %d publishes", h.Sum/h.Count, h.Count)
+			}
+		}
+		fmt.Printf("snapshots   %d reads, %d old frames reclaimed, %s\n",
+			counter(telemetry.MetricSnapshotReads), counter(telemetry.MetricSnapshotReclaimed), chains)
 		fmt.Println("metrics")
 		for _, c := range m.Counters {
 			fmt.Printf("  %-40s %d\n", c.Name, c.Value)

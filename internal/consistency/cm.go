@@ -101,6 +101,22 @@ type CM interface {
 	ReleaseBatch(ctx context.Context, desc *region.Descriptor, pages []gaddr.Addr, mode ktypes.LockMode, dirty map[gaddr.Addr]bool) []error
 	// Handle processes protocol traffic arriving from a peer CM.
 	Handle(ctx context.Context, desc *region.Descriptor, from ktypes.NodeID, m wire.Msg) (wire.Msg, error)
+	// SnapshotRead returns committed copies of the given pages (sorted
+	// ascending, all within desc) without taking locks: readers never
+	// wait on or invalidate a writer's hold. epoch pins a consistent cut
+	// for multi-request snapshots; epoch 0 lets the serving node choose
+	// its current cut, returned for the caller to pin. The caller owns
+	// every returned frame and must Release each.
+	SnapshotRead(ctx context.Context, desc *region.Descriptor, pages []gaddr.Addr, epoch uint64) ([]SnapPage, uint64, error)
+}
+
+// SnapPage is one page of a snapshot read: an immutable committed copy
+// and the page version it was committed at. The frame is owned by the
+// caller of SnapshotRead.
+type SnapPage struct {
+	Page    gaddr.Addr
+	Frame   *frame.Frame
+	Version uint64
 }
 
 // Errors shared by protocol implementations.
@@ -261,4 +277,80 @@ func homeOf(desc *region.Descriptor) (ktypes.NodeID, error) {
 		return ktypes.NilNode, fmt.Errorf("consistency: region %v: %w", desc.ID(), err)
 	}
 	return home, nil
+}
+
+// snapshotFromStore answers a snapshot read from the local store: one
+// committed copy per page at the directory's current version. It is the
+// shared serving path for protocols whose local copy is committed by
+// construction (the release protocol's home between releases, the
+// eventual protocol everywhere). The caller owns every returned frame.
+func snapshotFromStore(h Host, desc *region.Descriptor, pages []gaddr.Addr) []SnapPage {
+	out := make([]SnapPage, 0, len(pages))
+	for _, p := range pages {
+		//khazana:frame-owner snapshot pages hand their frames to the SnapshotRead caller
+		f := loadOrZero(h, desc, p)
+		var version uint64
+		if e, ok := h.Dir().Lookup(p); ok {
+			version = e.Version
+		}
+		out = append(out, SnapPage{Page: p, Frame: f, Version: version})
+	}
+	return out
+}
+
+// snapshotFromHome fetches snapshot copies of pages from the region's
+// home in one SnapshotReqBatch round trip. The caller owns every frame in
+// the result and must Release each; on error nothing is returned.
+func snapshotFromHome(ctx context.Context, h Host, desc *region.Descriptor, home ktypes.NodeID, pages []gaddr.Addr, epoch uint64) ([]SnapPage, uint64, error) {
+	req := &wire.SnapshotReqBatch{Pages: pages, Epoch: epoch, Requester: h.Self()}
+	resp, err := h.Request(ctx, home, req)
+	if err != nil {
+		return nil, 0, err
+	}
+	batch, ok := resp.(*wire.SnapshotGrantBatch)
+	if !ok {
+		return nil, 0, fmt.Errorf("consistency: unexpected snapshot reply %T", resp)
+	}
+	if len(batch.Items) != len(pages) {
+		batch.ReleaseFrames()
+		return nil, 0, fmt.Errorf("consistency: snapshot reply has %d items for %d pages", len(batch.Items), len(pages))
+	}
+	out := make([]SnapPage, 0, len(pages))
+	for i := range batch.Items {
+		it := &batch.Items[i]
+		if !it.OK {
+			for _, sp := range out {
+				sp.Frame.Release()
+			}
+			batch.ReleaseFrames()
+			return nil, 0, fmt.Errorf("consistency: snapshot page %v: %s", pages[i], it.Err)
+		}
+		//khazana:frame-owner snapshot pages hand their frames to the SnapshotRead caller
+		f := it.TakeFrame()
+		if f == nil {
+			//khazana:frame-owner the zero-filled stand-in is handed to the SnapshotRead caller too
+			f = zeroFill(desc)
+		}
+		out = append(out, SnapPage{Page: pages[i], Frame: f, Version: it.Version})
+	}
+	batch.ReleaseFrames()
+	return out, batch.Epoch, nil
+}
+
+// snapshotReply builds the SnapshotGrantBatch for a served snapshot read,
+// consuming the frames in snaps (each is attached to its item and the
+// local reference dropped).
+func snapshotReply(snaps []SnapPage, epoch uint64) *wire.SnapshotGrantBatch {
+	batch := &wire.SnapshotGrantBatch{
+		Epoch: epoch,
+		Items: make([]wire.SnapshotItem, len(snaps)),
+	}
+	for i, sp := range snaps {
+		it := &batch.Items[i]
+		it.OK = true
+		it.Version = sp.Version
+		it.SetFrame(sp.Frame)
+		sp.Frame.Release()
+	}
+	return batch
 }

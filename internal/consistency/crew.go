@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"khazana/internal/frame"
 	"khazana/internal/gaddr"
@@ -64,6 +65,25 @@ type CrewCM struct {
 	// (home side); updateBatchPages observes pages per write-through RPC.
 	specPages        *telemetry.Histogram
 	updateBatchPages *telemetry.Histogram
+
+	// pubMu guards published and serializes every version-chain call; it
+	// is a leaf lock — nothing is acquired under it — so the store's
+	// mutex and the global lock table order freely before it.
+	pubMu sync.Mutex
+	// published retains the committed version chain of every locally
+	// homed page that has seen a write: snapshot reads are granted from
+	// here immediately, without waiting on or invalidating the writer's
+	// exclusive hold.
+	published map[gaddr.Addr]*frame.Chain
+	// pubEpoch is the home's publish clock: every committed frame enters
+	// its chain at a fresh epoch, and a snapshot pins one epoch as its
+	// consistent cut across pages.
+	pubEpoch atomic.Uint64
+
+	// snapChainLen observes chain length at publish time; snapReclaimed
+	// counts retired old-version frames (publish-time and pressure-time).
+	snapChainLen  *telemetry.Histogram
+	snapReclaimed *telemetry.Counter
 }
 
 // NewCREW creates the CREW consistency manager for a node.
@@ -78,6 +98,9 @@ func NewCREW(h Host) *CrewCM {
 		prefetchWaste:    h.Telemetry().Counter(telemetry.MetricPrefetchWaste),
 		specPages:        h.Telemetry().Histogram(telemetry.MetricPrefetchSpecPages),
 		updateBatchPages: h.Telemetry().Histogram(telemetry.MetricUpdateBatchPages),
+		published:        make(map[gaddr.Addr]*frame.Chain),
+		snapChainLen:     h.Telemetry().Histogram(telemetry.MetricSnapshotChainLen),
+		snapReclaimed:    h.Telemetry().Counter(telemetry.MetricSnapshotReclaimed),
 	}
 }
 
@@ -226,13 +249,17 @@ func (c *CrewCM) consumeSpec(pages []gaddr.Addr) (consumed, demand []gaddr.Addr)
 	}
 	demand = make([]gaddr.Addr, 0, len(pages))
 	for _, p := range pages {
-		if _, ok := c.spec[p]; !ok {
+		sv, ok := c.spec[p]
+		if !ok {
 			demand = append(demand, p)
 			continue
 		}
 		delete(c.spec, p)
 		entry, _ := c.h.Dir().Lookup(p)
-		valid := entry.State != pagedir.Invalid
+		// A spec frame is stale the moment the node observes a newer
+		// version of the page (an update push, another grant): drop it
+		// rather than serve it, closing the read-ahead staleness window.
+		valid := entry.State != pagedir.Invalid && entry.Version <= sv
 		if valid {
 			if f, resident := c.h.LoadPage(p); resident {
 				f.Release()
@@ -360,6 +387,14 @@ func (c *CrewCM) installSpecGrants(spec []wire.SpecGrant) {
 		if f == nil {
 			continue
 		}
+		// An invalidation that raced ahead of this grant already marked
+		// the page invalid at the speculated version; installing the
+		// frame would resurrect the stale copy as Shared. Drop it.
+		if entry, ok := c.h.Dir().Lookup(s.Page); ok &&
+			entry.State == pagedir.Invalid && entry.Version >= s.Version {
+			f.Release()
+			continue
+		}
 		kept := c.h.StorePageSpeculative(s.Page, f)
 		f.Release()
 		if !kept {
@@ -418,10 +453,81 @@ func (c *CrewCM) homeGrantLocked(ctx context.Context, desc *region.Descriptor, p
 			}
 		}
 	})
+	if mode.Writes() {
+		// Seed the page's version chain with the committed pre-write copy
+		// before the writer can touch it: snapshot reads arriving during
+		// the exclusive hold are served from the chain without waiting.
+		c.captureCommitted(desc, page)
+	}
 	// Invalidation happens while the global write lock is held, so no new
 	// readers can slip in with stale data.
 	c.invalidateAll(ctx, page, requester, invalidate)
 	return nil
+}
+
+// captureCommitted ensures the page's version chain holds the currently
+// committed copy, publishing the store's frame when the chain is absent
+// or behind. It runs under the page's global write lock, before the
+// writer mutates anything, so the store copy it captures is committed by
+// construction. The shared store frame is protected from the writer's
+// in-place mutation by refcounting: with the chain holding a reference,
+// the writer's Exclusive() copy-on-writes instead.
+func (c *CrewCM) captureCommitted(desc *region.Descriptor, page gaddr.Addr) {
+	entry, _ := c.h.Dir().Lookup(page)
+	c.pubMu.Lock()
+	if ch, ok := c.published[page]; ok {
+		if v, ok := ch.LatestVersion(); ok && v >= entry.Version {
+			c.pubMu.Unlock()
+			return
+		}
+	}
+	c.pubMu.Unlock()
+	// Load outside pubMu (the store's mutex never nests inside it).
+	f := loadOrZero(c.h, desc, page)
+	f.SetVersion(entry.Version)
+	c.publish(page, f, entry.Version)
+	f.Release()
+}
+
+// publish appends f (borrowed; the chain takes its own reference) to the
+// page's version chain at a fresh epoch, unless the chain already holds
+// a version at least as new, and retires unpinned old versions past the
+// retention cap.
+func (c *CrewCM) publish(page gaddr.Addr, f *frame.Frame, version uint64) {
+	c.pubMu.Lock()
+	ch, ok := c.published[page]
+	if !ok {
+		ch = frame.NewChain()
+		c.published[page] = ch
+	}
+	if v, ok := ch.LatestVersion(); ok && v >= version {
+		c.pubMu.Unlock()
+		return
+	}
+	freed := ch.Publish(f.Retain(), c.pubEpoch.Add(1))
+	chainLen := ch.Len()
+	c.pubMu.Unlock()
+	c.snapChainLen.Observe(uint64(chainLen))
+	if freed > 0 {
+		c.snapReclaimed.Add(uint64(freed))
+	}
+}
+
+// TrimPublished releases every unpinned non-latest version across all
+// chains and returns the number of frames freed. The store's RAM tier
+// calls it on eviction pressure, so old versions always give back memory
+// before any demand page is victimized.
+func (c *CrewCM) TrimPublished() int {
+	c.pubMu.Lock()
+	freed := 0
+	for _, ch := range c.published {
+		freed += ch.Trim()
+	}
+	c.pubMu.Unlock()
+	if freed > 0 {
+		c.snapReclaimed.Add(uint64(freed))
+	}
+	return freed
 }
 
 // invalidateAll fans Invalidate RPCs out to the former sharers with a
@@ -590,8 +696,10 @@ func (c *CrewCM) homeRelease(desc *region.Descriptor, page gaddr.Addr, mode ktyp
 		}
 		if storeErr == nil {
 			self := c.h.Self()
+			var newVersion uint64
 			c.h.Dir().Update(page, func(e *pagedir.Entry) {
 				e.Version++
+				newVersion = e.Version
 				e.AddSharer(self)
 				// The write-through makes the home's copy current again;
 				// the ownership hint returns home with it.
@@ -602,12 +710,109 @@ func (c *CrewCM) homeRelease(desc *region.Descriptor, page gaddr.Addr, mode ktyp
 					e.State = pagedir.Shared
 				}
 			})
+			// Publish the committed contents into the page's version
+			// chain: snapshot readers pinned to older epochs keep their
+			// versions, new snapshots see this one.
+			if f != nil {
+				f.SetVersion(newVersion)
+				c.publish(page, f, newVersion)
+			} else {
+				// Home-local release: the writer already stored the new
+				// contents locally.
+				nf := loadOrZero(c.h, desc, page)
+				nf.SetVersion(newVersion)
+				c.publish(page, nf, newVersion)
+				nf.Release()
+			}
 		}
 	}
 	// TryRelease: after a failover this home may receive a (retried)
 	// release for a grant the failed primary issued; tolerate it.
 	c.glocks.TryRelease(page, mode)
 	return storeErr
+}
+
+// SnapshotRead implements CM: committed copies without locks. At the
+// home it serves straight from the version chains; remotely it asks the
+// home in one SnapshotReqBatch round trip and uses the authoritative
+// versions in the reply to drop any speculative frame they prove stale.
+func (c *CrewCM) SnapshotRead(ctx context.Context, desc *region.Descriptor, pages []gaddr.Addr, epoch uint64) ([]SnapPage, uint64, error) {
+	if isHome(c.h, desc) {
+		snaps, at := c.homeSnapshot(desc, pages, epoch)
+		return snaps, at, nil
+	}
+	home, err := homeOf(desc)
+	if err != nil {
+		return nil, 0, err
+	}
+	snaps, at, err := snapshotFromHome(ctx, c.h, desc, home, pages, epoch)
+	if err != nil {
+		return nil, 0, err
+	}
+	for _, sp := range snaps {
+		c.dropStaleSpec(sp.Page, sp.Version)
+	}
+	return snaps, at, nil
+}
+
+// homeSnapshot serves a snapshot read at the manager. epoch 0 cuts at
+// the current publish epoch; the chosen cut is returned so a snapshot
+// context can pin it for later requests. Readers never touch the global
+// lock table, never join a copyset, and never trigger invalidation: a
+// page under a writer's exclusive hold serves its last committed version
+// from the chain (seeded by captureCommitted at grant time). Pages that
+// have never seen a write fall back to the store copy, committed by
+// construction. The caller owns every returned frame.
+func (c *CrewCM) homeSnapshot(desc *region.Descriptor, pages []gaddr.Addr, epoch uint64) ([]SnapPage, uint64) {
+	if epoch == 0 {
+		epoch = c.pubEpoch.Load()
+	}
+	out := make([]SnapPage, 0, len(pages))
+	for _, p := range pages {
+		var (
+			f       *frame.Frame
+			version uint64
+		)
+		c.pubMu.Lock()
+		if ch, ok := c.published[p]; ok {
+			//khazana:frame-owner the pinned version is handed to the SnapshotRead caller
+			if cf, _, ok := ch.At(epoch); ok {
+				f = cf
+				version = cf.Version()
+			}
+		}
+		c.pubMu.Unlock()
+		if f == nil {
+			//khazana:frame-owner the committed store copy is handed to the SnapshotRead caller
+			f = loadOrZero(c.h, desc, p)
+			entry, _ := c.h.Dir().Lookup(p)
+			version = entry.Version
+		}
+		out = append(out, SnapPage{Page: p, Frame: f, Version: version})
+	}
+	return out, epoch
+}
+
+// dropStaleSpec discards an unconsumed speculative frame whose granted
+// version is older than a version the node has now observed from the
+// home, closing the read-ahead staleness window: the next demand read
+// refetches instead of serving the stale copy.
+func (c *CrewCM) dropStaleSpec(page gaddr.Addr, observed uint64) {
+	c.specMu.Lock()
+	sv, ok := c.spec[page]
+	if !ok || sv >= observed {
+		c.specMu.Unlock()
+		return
+	}
+	delete(c.spec, page)
+	c.specMu.Unlock()
+	c.prefetchWaste.Add(1)
+	c.h.DropPage(page)
+	c.h.Dir().Update(page, func(e *pagedir.Entry) {
+		if e.State != pagedir.Owned {
+			e.State = pagedir.Invalid
+		}
+	})
 }
 
 // replicate writes released dirty pages through to the region's secondary
@@ -727,6 +932,12 @@ func (c *CrewCM) Handle(ctx context.Context, desc *region.Descriptor, from ktype
 			e.Owner = msg.NewOwner
 		})
 		return &wire.Ack{}, nil
+	case *wire.SnapshotReqBatch:
+		if !isHome(c.h, desc) {
+			return nil, ErrNotHome
+		}
+		snaps, epoch := c.homeSnapshot(desc, msg.Pages, msg.Epoch)
+		return snapshotReply(snaps, epoch), nil
 	case *wire.PageFetch:
 		return handlePageFetch(c.h, msg), nil
 	//khazana:wire-default non-CM kinds are unroutable here by design

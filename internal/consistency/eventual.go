@@ -614,8 +614,22 @@ func (c *EventualCM) Handle(ctx context.Context, desc *region.Descriptor, from k
 			}
 		}
 		return resp, nil
+	case *wire.SnapshotReqBatch:
+		// Any replica serves a snapshot from its local copy: eventual
+		// consistency already tolerates temporarily out-of-date data, so
+		// a remote cut is no weaker than a remote read.
+		return snapshotReply(snapshotFromStore(c.h, desc, msg.Pages), msg.Epoch), nil
 	//khazana:wire-default non-CM kinds are unroutable here by design
 	default:
 		return nil, fmt.Errorf("%w: eventual got %T", ErrUnknownMsg, m)
 	}
+}
+
+// SnapshotRead implements CM entirely locally: the eventual protocol
+// serves reads from whatever replica is at hand (paper §5's
+// out-of-date-tolerant clients), so a snapshot is the local store copy
+// with no wire traffic at all. The caller's epoch is echoed unchanged.
+func (c *EventualCM) SnapshotRead(ctx context.Context, desc *region.Descriptor, pages []gaddr.Addr, epoch uint64) ([]SnapPage, uint64, error) {
+	_ = ctx
+	return snapshotFromStore(c.h, desc, pages), epoch, nil
 }

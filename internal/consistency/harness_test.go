@@ -115,6 +115,11 @@ func pageOf(m wire.Msg) (gaddr.Addr, bool) {
 			return gaddr.Addr{}, false
 		}
 		return msg.Items[0].Page, true
+	case *wire.SnapshotReqBatch:
+		if len(msg.Pages) == 0 {
+			return gaddr.Addr{}, false
+		}
+		return msg.Pages[0], true
 	}
 	return gaddr.Addr{}, false
 }

@@ -195,6 +195,19 @@ func (lt *LockTable) WriteLocked(page gaddr.Addr) bool {
 	return ok && (pl.exclusive || pl.sharedWriters > 0)
 }
 
+// Readers returns the number of read locks currently held on the page.
+// Snapshot reads never appear here — they bypass the lock table entirely
+// — which tests use to prove the snapshot path is lock-free.
+func (lt *LockTable) Readers(page gaddr.Addr) int {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	pl, ok := lt.pages[page]
+	if !ok {
+		return 0
+	}
+	return pl.readers
+}
+
 // Held reports whether any lock is currently held on the page.
 func (lt *LockTable) Held(page gaddr.Addr) bool {
 	lt.mu.Lock()

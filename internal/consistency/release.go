@@ -140,6 +140,22 @@ func (c *ReleaseCM) Release(ctx context.Context, desc *region.Descriptor, page g
 	return nil
 }
 
+// SnapshotRead implements CM: the home's store copy is committed by
+// construction (dirty data only lands there at release time), so a
+// snapshot is one lock-free batch fetch from the home — or a local read
+// when this node is the home. The protocol's relaxed semantics carry
+// over: the snapshot observes the last released contents.
+func (c *ReleaseCM) SnapshotRead(ctx context.Context, desc *region.Descriptor, pages []gaddr.Addr, epoch uint64) ([]SnapPage, uint64, error) {
+	if isHome(c.h, desc) {
+		return snapshotFromStore(c.h, desc, pages), epoch, nil
+	}
+	home, err := homeOf(desc)
+	if err != nil {
+		return nil, 0, err
+	}
+	return snapshotFromHome(ctx, c.h, desc, home, pages, epoch)
+}
+
 // AcquireBatch implements CM via the sequential per-page adapter: release
 // consistency has no home-side batch grant, and its acquire path is one
 // version check per page.
@@ -270,6 +286,13 @@ func (c *ReleaseCM) Handle(ctx context.Context, desc *region.Descriptor, from kt
 			return nil, err
 		}
 		return &wire.VersionInfo{Found: true, Version: newVersion}, nil
+	case *wire.SnapshotReqBatch:
+		if !isHome(c.h, desc) {
+			return nil, ErrNotHome
+		}
+		// The home's store copy is committed by construction: dirty data
+		// only lands here at release time (applyPush), never mid-write.
+		return snapshotReply(snapshotFromStore(c.h, desc, msg.Pages), msg.Epoch), nil
 	case *wire.UpdateBatch:
 		if !isHome(c.h, desc) {
 			return nil, ErrNotHome

@@ -58,6 +58,11 @@ func (n *Node) handle(ctx context.Context, from ktypes.NodeID, m wire.Msg) (wire
 			return nil, fmt.Errorf("core: %v got empty update batch", n.cfg.ID)
 		}
 		return n.handleCM(ctx, from, msg.Items[0].Page, m)
+	case *wire.SnapshotReqBatch:
+		if len(msg.Pages) == 0 {
+			return nil, fmt.Errorf("core: %v got empty snapshot request batch", n.cfg.ID)
+		}
+		return n.handleCM(ctx, from, msg.Pages[0], m)
 
 	// --- region descriptors ----------------------------------------------
 	case *wire.RegionLookup:

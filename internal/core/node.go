@@ -179,6 +179,7 @@ type Node struct {
 	stats Stats
 
 	mReadViews      *telemetry.Counter
+	mSnapReads      *telemetry.Counter
 	mLockLatency    *telemetry.Histogram
 	mReleaseLatency *telemetry.Histogram
 	mBatchPages     *telemetry.Histogram
@@ -278,6 +279,7 @@ func NewNode(cfg Config) (*Node, error) {
 			Promotions:     tel.Counter(telemetry.MetricPromotions),
 		},
 		mReadViews:      tel.Counter(telemetry.MetricReadViews),
+		mSnapReads:      tel.Counter(telemetry.MetricSnapshotReads),
 		mLockLatency:    tel.Histogram(telemetry.MetricLockLatency),
 		mReleaseLatency: tel.Histogram(telemetry.MetricReleaseLatency),
 		mBatchPages:     tel.Histogram(telemetry.MetricLockBatchPages),
@@ -304,6 +306,11 @@ func NewNode(cfg Config) (*Node, error) {
 		reg = consistency.NewRegistry()
 	}
 	n.cms = reg.Build(hostView{n})
+	// Old page versions retained for snapshot readers give their memory
+	// back under cache pressure before any demand page is victimized.
+	if crew, ok := n.cms[region.CREW].(*consistency.CrewCM); ok {
+		st.SetReclaimer(crew.TrimPublished)
+	}
 	n.amap = addrmap.New(mapIO{n})
 	n.mapDesc = &region.Descriptor{
 		Range: gaddr.Range{Start: gaddr.Zero, Size: addrmap.RegionSize},

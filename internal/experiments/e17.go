@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"khazana"
+)
+
+// E17SnapshotScan measures the multi-version snapshot path under the
+// workload it exists for: long read-only scans racing a hot writer. A
+// writer on node 2 keeps one page of a region homed on node 1 under a
+// near-continuous write-lock/release cycle while scanners on node 3 sweep
+// every page of the region. Under plain CREW the scanners queue behind
+// the writer's exclusive grant and the writer's grants invalidate the
+// scanners' copies; on the snapshot path each scan pins a committed cut
+// at the home's version chain and never touches the lock table.
+//
+// Legs: the writer alone (budget baseline), snapshot scans at 1/2/4
+// concurrent readers (scaling), demand lock-read scans at 4 readers
+// (contrast), and the writer's rate alongside each.
+func E17SnapshotScan(cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	res := Result{
+		ID:        "E17",
+		Title:     "snapshot scans vs a hot writer: never-blocking reads, bounded writer cost",
+		Predicted: "snapshot scan throughput scales with reader count (>= 1.4x from 1 to 4 readers) while the writer keeps >= 40% of its uncontended rate, and the writer retains more throughput against snapshot readers than against demand lock readers (whose read locks stall its exclusive grants)",
+	}
+
+	alone, err := e17ScanWhileWriting(cfg, 0, true)
+	if err != nil {
+		return res, err
+	}
+	snap1, err := e17ScanWhileWriting(cfg, 1, true)
+	if err != nil {
+		return res, err
+	}
+	snap2, err := e17ScanWhileWriting(cfg, 2, true)
+	if err != nil {
+		return res, err
+	}
+	snap4, err := e17ScanWhileWriting(cfg, 4, true)
+	if err != nil {
+		return res, err
+	}
+	demand4, err := e17ScanWhileWriting(cfg, 4, false)
+	if err != nil {
+		return res, err
+	}
+
+	scaling := snap4.scans / snap1.scans
+	writerKept := snap4.writes / alone.writes
+	res.Rows = []Row{
+		{Name: "writer alone", Value: fmt.Sprintf("%.0f writes/s", alone.writes),
+			Detail: "uncontended lock/write/release cycle on one page"},
+		{Name: "snapshot scans, 1 reader", Value: fmt.Sprintf("%.0f scans/s", snap1.scans),
+			Detail: fmt.Sprintf("writer alongside: %.0f writes/s", snap1.writes)},
+		{Name: "snapshot scans, 2 readers", Value: fmt.Sprintf("%.0f scans/s", snap2.scans),
+			Detail: fmt.Sprintf("writer alongside: %.0f writes/s", snap2.writes)},
+		{Name: "snapshot scans, 4 readers", Value: fmt.Sprintf("%.0f scans/s", snap4.scans),
+			Detail: fmt.Sprintf("writer alongside: %.0f writes/s", snap4.writes)},
+		{Name: "scan scaling 1 -> 4 readers", Value: fmt.Sprintf("%.2fx", scaling),
+			Detail: "E17 gate: must be >= 1.4x"},
+		{Name: "writer throughput kept under 4 readers", Value: fmt.Sprintf("%.0f%%", writerKept*100),
+			Detail: "E17 gate: must be >= 40% of the uncontended rate"},
+		{Name: "demand lock-read scans, 4 readers", Value: fmt.Sprintf("%.0f scans/s", demand4.scans),
+			Detail: fmt.Sprintf("CREW read locks stall the writer's exclusive grants: writer alongside drops to %.0f writes/s", demand4.writes)},
+	}
+	res.Pass = scaling >= 1.4 && writerKept >= 0.4 && snap4.writes > demand4.writes
+	return res, nil
+}
+
+const (
+	e17Pages    = 8
+	e17PageSize = 4096
+)
+
+// e17Rates is one combined measurement window.
+type e17Rates struct {
+	// scans counts full sweeps of the region per second (0 readers -> 0).
+	scans float64
+	// writes counts the writer's committed lock/write/release cycles per
+	// second.
+	writes float64
+}
+
+// e17ScanWhileWriting runs one measurement window: a hot single-page
+// writer on node 2 plus `readers` scanners on node 3 sweeping all pages,
+// through the snapshot path or the demand lock-read path.
+func e17ScanWhileWriting(cfg Config, readers int, snapshotPath bool) (e17Rates, error) {
+	var out e17Rates
+	c, err := newCluster(cfg, 3)
+	if err != nil {
+		return out, err
+	}
+	defer c.Close()
+	ctx := context.Background()
+
+	const size = uint64(e17Pages * e17PageSize)
+	start, err := mkRegion(ctx, c.Node(1), size, khazana.Attrs{})
+	if err != nil {
+		return out, err
+	}
+	if err := writeOnce(ctx, c.Node(2), start, make([]byte, size)); err != nil {
+		return out, err
+	}
+
+	var scans, writes atomic.Int64
+	var firstErr atomic.Value
+	fail := func(err error) { firstErr.CompareAndSwap(nil, err) }
+	stop := make(chan struct{})
+	stopped := func() bool {
+		select {
+		case <-stop:
+			return true
+		default:
+			return firstErr.Load() != nil
+		}
+	}
+	var wg sync.WaitGroup
+
+	wg.Add(1)
+	go func() { // the hot writer: node 2, one page, as fast as it can
+		defer wg.Done()
+		buf := make([]byte, e17PageSize)
+		for v := byte(1); !stopped(); v++ {
+			buf[0] = v
+			if err := writeOnce(ctx, c.Node(2), start, buf); err != nil {
+				fail(err)
+				return
+			}
+			writes.Add(1)
+		}
+	}()
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() { // a scanner: node 3, sweep every page of the region
+			defer wg.Done()
+			for !stopped() {
+				if snapshotPath {
+					snap := c.Node(3).Snapshot("bench")
+					for p := uint64(0); p < e17Pages; p++ {
+						if _, err := snap.View(ctx, start.MustAdd(p*e17PageSize), 64); err != nil {
+							fail(err)
+							snap.Close()
+							return
+						}
+					}
+					snap.Close()
+				} else {
+					if _, err := readOnce(ctx, c.Node(3), start, size); err != nil {
+						fail(err)
+						return
+					}
+				}
+				scans.Add(1)
+			}
+		}()
+	}
+
+	t0 := time.Now()
+	time.Sleep(cfg.Duration)
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(t0).Seconds()
+	if err, ok := firstErr.Load().(error); ok && err != nil {
+		return out, err
+	}
+	out.scans = float64(scans.Load()) / elapsed
+	out.writes = float64(writes.Load()) / elapsed
+	return out, nil
+}

@@ -33,6 +33,14 @@
 // frame handed only to borrowing callees stays the caller's problem, and
 // the diagnostic names the borrowing callee so the leak is traceable
 // through the helper.
+//
+// One hand-off is summarized by contract rather than inference: the
+// version chain. (*frame.Chain).Publish takes ownership of the frame it
+// stores — the chain releases the entry when it retires under reclaim —
+// so publishing an owned frame discharges the obligation even though
+// Publish's body only stores the pointer. Pinning a version with At or
+// Latest is the mirror image: the returned reference is a fresh
+// acquisition the caller must release.
 package framerelease
 
 import (
@@ -197,6 +205,12 @@ func (c *checker) collect(n ast.Node, ev *events, annotated map[int]string) {
 				ev.releases = append(ev.releases, releaseEvent{name: name, pos: node.Pos()})
 				return false
 			}
+			if names := publishConsumes(pass, node); len(names) > 0 {
+				for _, nm := range names {
+					ev.releases = append(ev.releases, releaseEvent{name: nm, pos: node.Pos()})
+				}
+				return true
+			}
 			c.recordPass(node, ev)
 		}
 		return true
@@ -246,9 +260,12 @@ func (c *checker) recordPass(call *ast.CallExpr, ev *events) {
 // consumed (released on every unguarded path, never returned) or
 // borrowed, bottom-up over SCCs. A call passing a parameter onward to an
 // all-consuming callee counts as a release, so summaries feed each other;
-// flags only flip borrow→consume, so the fixpoint terminates.
+// flags only flip borrow→consume, so the fixpoint terminates. Contract
+// summaries the frame package guarantees but inference cannot see are
+// seeded first and survive the fixpoint untouched.
 func consumeSummaries(g *callgraph.Graph) map[*callgraph.Node][]bool {
 	sums := make(map[*callgraph.Node][]bool)
+	seedContracts(g, sums)
 	c := &checker{g: g, consumes: sums, quiet: true}
 	for _, scc := range g.SCCs() {
 		for changed := true; changed; {
@@ -261,6 +278,41 @@ func consumeSummaries(g *callgraph.Graph) map[*callgraph.Node][]bool {
 		}
 	}
 	return sums
+}
+
+// seedContracts records ownership hand-offs the frame package guarantees
+// by contract rather than by inferable control flow. (*Chain).Publish
+// stores its frame in the version chain and releases it only when the
+// entry later retires under reclaim — store-now, release-later is
+// invisible to the release-reaches-every-return inference — so its frame
+// parameter is consumed by fiat. The chain's read side needs no seed:
+// At and Latest return a freshly pinned reference, which is the ordinary
+// acquisition obligation on the caller.
+func seedContracts(g *callgraph.Graph, sums map[*callgraph.Node][]bool) {
+	for _, node := range g.Nodes() {
+		fn := node.Func
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != FramePkg || fn.Name() != "Publish" {
+			continue
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok || sig.Recv() == nil {
+			continue
+		}
+		ptr, ok := sig.Recv().Type().(*types.Pointer)
+		if !ok {
+			continue
+		}
+		named, ok := ptr.Elem().(*types.Named)
+		if !ok || named.Obj() == nil || named.Obj().Name() != "Chain" {
+			continue
+		}
+		params := frameParams(node)
+		s := make([]bool, len(params))
+		for i, p := range params {
+			s[i] = p != ""
+		}
+		sums[node] = s
+	}
 }
 
 // growConsume recomputes node's parameter summary, reporting whether any
@@ -465,6 +517,42 @@ func releaseCall(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
 		return "", false
 	}
 	return exprString(pass.Fset, sel.X), true
+}
+
+// publishConsumes returns the frame-typed identifier arguments of a
+// (*frame.Chain).Publish call. The chain takes ownership by contract —
+// it releases the entry when it retires under reclaim — so the call
+// discharges the obligation like a release. Recognized syntactically (in
+// addition to the seeded summary) so the contract holds even when the
+// frame package is resolved from export data and has no call-graph node.
+func publishConsumes(pass *analysis.Pass, call *ast.CallExpr) []string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Publish" {
+		return nil
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != FramePkg {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	ptr, ok := sig.Recv().Type().(*types.Pointer)
+	if !ok {
+		return nil
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok || named.Obj() == nil || named.Obj().Name() != "Chain" {
+		return nil
+	}
+	var out []string
+	for _, arg := range call.Args {
+		if name, ok := identName(arg); ok && isFrameType(pass.TypeOf(arg)) {
+			out = append(out, name)
+		}
+	}
+	return out
 }
 
 // classifyGuard recognizes the acquisition-failure guard shapes.

@@ -1,0 +1,37 @@
+// Version-chain hand-off coverage: Publish consumes by contract (the
+// chain releases the entry when it retires, which the body-level
+// inference cannot see), while a frame pinned with At is an ordinary
+// acquisition the caller must release.
+package c
+
+import "khazana/internal/frame"
+
+// publishedToChain hands the frame to the version chain: the seeded
+// Publish summary discharges the obligation like a release.
+func publishedToChain(ch *frame.Chain) {
+	f := frame.AllocZero(8)
+	ch.Publish(f, 1)
+}
+
+// publishedThenReturn: the contract consume also covers return paths
+// after the publish.
+func publishedThenReturn(ch *frame.Chain) int {
+	f := frame.Copy([]byte{1})
+	return ch.Publish(f, 2)
+}
+
+// pinnedFromChain leaks the pinned reference: At transfers a fresh
+// obligation to the caller, and no contract bails it out.
+func pinnedFromChain(ch *frame.Chain) int {
+	f, _, _ := ch.At(7) // want `frame f is not released on the return path at line 28: add defer f\.Release\(\), release before returning, or annotate with //khazana:frame-owner <reason>`
+	n := int(f.Bytes()[0])
+	return n
+}
+
+// pinnedAndReleased balances the pin: no finding.
+func pinnedAndReleased(ch *frame.Chain) int {
+	f, _, _ := ch.At(7)
+	n := int(f.Bytes()[0])
+	f.Release()
+	return n
+}

@@ -12,3 +12,22 @@ func (f *Frame) Retain() *Frame    { return f }
 func (f *Frame) Release()          {}
 func (f *Frame) Exclusive() *Frame { return f }
 func (f *Frame) Bytes() []byte     { return f.data }
+
+// Chain stubs the version chain: Publish stores its frame (ownership
+// moves to the chain by contract; the analyzer seeds the summary), At
+// returns a pinned reference the caller owns.
+type Chain struct{ entries []*Frame }
+
+func NewChain() *Chain { return &Chain{} }
+
+func (c *Chain) Publish(f *Frame, epoch uint64) int {
+	c.entries = append(c.entries, f)
+	return len(c.entries)
+}
+
+func (c *Chain) At(epoch uint64) (*Frame, uint64, bool) {
+	if len(c.entries) == 0 {
+		return nil, 0, false
+	}
+	return c.entries[len(c.entries)-1].Retain(), epoch, true
+}

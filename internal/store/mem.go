@@ -44,6 +44,12 @@ type MemStore struct {
 	cap     int
 	clock   uint64
 	onEvict EvictFunc
+	// reclaim, when set, gives back memory held outside the cache proper
+	// (old page versions retained for snapshot readers) and returns the
+	// number of frames freed. It runs on eviction pressure, before any
+	// demand page is victimized, so old versions always evict first. It
+	// must not call back into the store.
+	reclaim func() int
 }
 
 type memPage struct {
@@ -163,11 +169,25 @@ func (s *MemStore) PutSpeculative(page gaddr.Addr, f *frame.Frame) bool {
 	return true
 }
 
+// SetReclaimer installs the version-chain give-back hook (see the
+// reclaim field). Call before the store sees traffic.
+func (s *MemStore) SetReclaimer(fn func() int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.reclaim = fn
+}
+
 // evictLocked victimizes the least recently used unpinned page,
-// preferring speculative pages (unconsumed read-ahead) over demand pages.
+// preferring speculative pages (unconsumed read-ahead) over demand
+// pages. Before a demand page is demoted, retained old page versions are
+// reclaimed — they are the cheapest memory to give back and must never
+// cost a demand page its slot.
 func (s *MemStore) evictLocked() error {
 	if s.evictSpeculativeLocked() {
 		return nil
+	}
+	if s.reclaim != nil {
+		s.reclaim()
 	}
 	var victim gaddr.Addr
 	var vp *memPage

@@ -424,3 +424,34 @@ func TestQuickDiskRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestMemReclaimerRunsBeforeDemandEviction(t *testing.T) {
+	calls := 0
+	s := NewMemStore(2, nil)
+	s.SetReclaimer(func() int { calls++; return 1 })
+	// Filling to capacity triggers no pressure.
+	if err := s.PutBytes(page(1), []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutBytes(page(2), []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 0 {
+		t.Fatalf("reclaimer ran %d times with no pressure", calls)
+	}
+	// Overflow: the reclaimer must run before the LRU demand eviction.
+	if err := s.PutBytes(page(3), []byte("c")); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatalf("reclaimer ran %d times under pressure, want 1", calls)
+	}
+	// Speculative pressure is absorbed by dropping speculative pages, not
+	// by the reclaimer.
+	f := frame.Copy([]byte("s"))
+	s.PutSpeculative(page(4), f)
+	f.Release()
+	if calls != 1 {
+		t.Fatalf("reclaimer ran %d times after speculative churn, want 1", calls)
+	}
+}

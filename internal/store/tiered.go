@@ -53,6 +53,11 @@ func NewTiered(cfg Config) (*Tiered, error) {
 // store sees traffic; a nil counter (or never calling) disables counting.
 func (t *Tiered) SetMissCounter(c *telemetry.Counter) { t.memMisses = c }
 
+// SetReclaimer installs the RAM tier's version-chain give-back hook: it
+// runs on eviction pressure, before any demand page is demoted, and
+// returns the number of old-version frames it freed.
+func (t *Tiered) SetReclaimer(fn func() int) { t.mem.SetReclaimer(fn) }
+
 // Get returns the page's frame (caller must Release), promoting
 // disk-resident pages to RAM. The frame is shared: treat its contents as
 // immutable.

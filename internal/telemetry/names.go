@@ -71,4 +71,14 @@ const (
 	// MetricUpdateBatchPages observes pages per batched replication
 	// write-through RPC (unitless size histogram).
 	MetricUpdateBatchPages = "consistency.update_batch_pages"
+
+	// MetricSnapshotReads counts zero-copy page views served to snapshot
+	// contexts (the lock-free read path).
+	MetricSnapshotReads = "core.snapshot_reads"
+	// MetricSnapshotChainLen observes the per-page version-chain length
+	// at publish time (home side; unitless size histogram).
+	MetricSnapshotChainLen = "consistency.snapshot_version_chain_len"
+	// MetricSnapshotReclaimed counts retired old-version frames given
+	// back by version chains (on publish and under memory pressure).
+	MetricSnapshotReclaimed = "consistency.snapshot_reclaimed_frames"
 )

@@ -221,3 +221,22 @@ func (m *UpdateBatch) ReleaseFrames() {
 		setFrame(&it.dataFrame, &it.Data, nil)
 	}
 }
+
+// SetFrame attaches f as this snapshot item's payload. Use via
+// &batch.Items[i] so the slice element itself holds the reference.
+func (it *SnapshotItem) SetFrame(f *frame.Frame) { setFrame(&it.dataFrame, &it.Data, f) }
+
+// TakeFrame transfers ownership of the item's payload frame to the
+// caller.
+func (it *SnapshotItem) TakeFrame() *frame.Frame { return takeFrame(&it.dataFrame, it.Data) }
+
+// ReleaseFrames implements FrameCarrier: releases every item's frame.
+func (m *SnapshotGrantBatch) ReleaseFrames() {
+	if m == nil {
+		return
+	}
+	for i := range m.Items {
+		it := &m.Items[i]
+		setFrame(&it.dataFrame, &it.Data, nil)
+	}
+}

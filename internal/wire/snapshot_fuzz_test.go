@@ -1,0 +1,130 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"khazana/internal/frame"
+	"khazana/internal/gaddr"
+	"khazana/internal/ktypes"
+)
+
+// FuzzSnapshotReqBatchWire proves the request encoding is exactly the
+// hand-rolled legacy layout (count-prefixed addresses, epoch, requester)
+// and round-trips.
+func FuzzSnapshotReqBatchWire(f *testing.F) {
+	f.Add(uint64(0), uint32(3), uint64(0x100000), uint64(0x101000))
+	f.Add(uint64(1<<40), uint32(0), uint64(0), uint64(1))
+	f.Fuzz(func(t *testing.T, epoch uint64, requester uint32, lo1, lo2 uint64) {
+		pages := []gaddr.Addr{{Hi: 1, Lo: lo1}, {Hi: 1, Lo: lo2}}
+		m := &SnapshotReqBatch{Pages: pages, Epoch: epoch, Requester: ktypes.NodeID(requester)}
+		got := Marshal(m)
+
+		want := legacyAppendU16(nil, uint16(KindSnapshotReqBatch))
+		want = legacyAppendU16(want, uint16(len(pages)))
+		for _, p := range pages {
+			want = legacyAppendAddr(want, p)
+		}
+		want = legacyAppendU64(want, epoch)
+		want = legacyAppendU32(want, requester)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("snapshot request diverged from legacy layout:\n got %x\nwant %x", got, want)
+		}
+
+		back, err := Unmarshal(got)
+		if err != nil {
+			t.Fatalf("unmarshal: %v", err)
+		}
+		r := back.(*SnapshotReqBatch)
+		if len(r.Pages) != 2 || r.Pages[0] != pages[0] || r.Pages[1] != pages[1] {
+			t.Fatal("pages did not round trip")
+		}
+		if r.Epoch != epoch || r.Requester != ktypes.NodeID(requester) {
+			t.Fatal("scalar fields did not round trip")
+		}
+	})
+}
+
+// FuzzSnapshotGrantBatchWire proves the grant encoding contract: the
+// frame-backed marshal path is byte-identical to the bare-slice one, the
+// layout matches the hand-rolled legacy stream, and payloads round-trip
+// frames included.
+func FuzzSnapshotGrantBatchWire(f *testing.F) {
+	f.Add([]byte("committed page"), []byte(""), uint64(7), uint64(3), "reclaimed")
+	f.Add([]byte{}, bytes.Repeat([]byte{0xAB}, 4096), uint64(0), uint64(1<<33), "")
+	f.Fuzz(func(t *testing.T, d1, d2 []byte, epoch, version uint64, errStr string) {
+		m := &SnapshotGrantBatch{Epoch: epoch, Items: []SnapshotItem{
+			{OK: true, Version: version},
+			{OK: false, Version: version + 1, Err: errStr},
+		}}
+		var frames []*frame.Frame
+		for i, d := range [][]byte{d1, d2} {
+			if len(d) == 0 {
+				continue
+			}
+			fr := frame.Copy(d)
+			// Frame-back one item and leave the other bare to prove both
+			// paths emit the same bytes.
+			if i == 0 {
+				m.Items[i].SetFrame(fr)
+			} else {
+				m.Items[i].Data = append([]byte(nil), d...)
+			}
+			frames = append(frames, fr)
+		}
+		got := Marshal(m)
+
+		want := legacyAppendU16(nil, uint16(KindSnapshotGrantBatch))
+		want = legacyAppendU64(want, epoch)
+		want = legacyAppendU16(want, uint16(len(m.Items)))
+		for i := range m.Items {
+			it := &m.Items[i]
+			want = legacyAppendBool(want, it.OK)
+			want = legacyAppendBytes32(want, it.Data)
+			want = legacyAppendU64(want, it.Version)
+			want = legacyAppendString(want, it.Err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("snapshot grant diverged from legacy layout:\n got %x\nwant %x", got, want)
+		}
+		m.ReleaseFrames()
+		for _, fr := range frames {
+			fr.Release()
+		}
+
+		back, err := Unmarshal(got)
+		if err != nil {
+			t.Fatalf("unmarshal: %v", err)
+		}
+		gb := back.(*SnapshotGrantBatch)
+		if gb.Epoch != epoch || len(gb.Items) != 2 {
+			t.Fatalf("header did not round trip: epoch=%d items=%d", gb.Epoch, len(gb.Items))
+		}
+		if !gb.Items[0].OK || gb.Items[1].OK || gb.Items[1].Err != errStr {
+			t.Fatal("status fields did not round trip")
+		}
+		for i, d := range [][]byte{d1, d2} {
+			wantData := d
+			if len(wantData) == 0 {
+				wantData = nil
+			}
+			it := &gb.Items[i]
+			if !bytes.Equal(it.Data, wantData) {
+				t.Fatalf("item %d payload did not round trip", i)
+			}
+			df := it.TakeFrame()
+			if len(wantData) > 0 {
+				if df == nil {
+					t.Fatalf("item %d decoded without frame backing", i)
+				}
+				if !bytes.Equal(df.Bytes(), wantData) || df.Version() != it.Version {
+					t.Fatalf("item %d decoded frame mismatch", i)
+				}
+			}
+			if df != nil {
+				df.Release()
+			}
+		}
+		gb.ReleaseFrames()
+	})
+}

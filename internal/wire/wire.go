@@ -95,6 +95,9 @@ const (
 
 	KindUpdateBatch
 	KindUpdateBatchResp
+
+	KindSnapshotReqBatch
+	KindSnapshotGrantBatch
 )
 
 // Msg is a wire message.
@@ -200,6 +203,9 @@ var factories = map[Kind]func() Msg{
 	KindTraced:           func() Msg { return &Traced{} },
 	KindUpdateBatch:      func() Msg { return &UpdateBatch{} },
 	KindUpdateBatchResp:  func() Msg { return &UpdateBatchResp{} },
+
+	KindSnapshotReqBatch:   func() Msg { return &SnapshotReqBatch{} },
+	KindSnapshotGrantBatch: func() Msg { return &SnapshotGrantBatch{} },
 }
 
 // --- infrastructure -----------------------------------------------------
@@ -1580,5 +1586,106 @@ func (m *UpdateBatchResp) decode(d *enc.Decoder) {
 		}
 		m.Errs = append(m.Errs, s)
 		m.Versions = append(m.Versions, v)
+	}
+}
+
+// SnapshotReqBatch asks a home node for snapshot copies of several pages
+// in one round trip. Unlike PageReqBatch it confers no lock: the home
+// answers immediately from the latest committed version of each page (or
+// an older retained version when Epoch pins one), without waiting on or
+// invalidating any writer's exclusive hold. Epoch 0 asks the home to pick
+// its current publish epoch; a non-zero Epoch pins the consistent cut a
+// multi-page snapshot context established on its first read.
+type SnapshotReqBatch struct {
+	Pages     []gaddr.Addr
+	Epoch     uint64
+	Requester ktypes.NodeID
+}
+
+// Kind implements Msg.
+func (*SnapshotReqBatch) Kind() Kind { return KindSnapshotReqBatch }
+func (m *SnapshotReqBatch) encode(e *enc.Encoder) {
+	e.U16(uint16(len(m.Pages)))
+	for _, p := range m.Pages {
+		e.Addr(p)
+	}
+	e.U64(m.Epoch)
+	e.NodeID(m.Requester)
+}
+func (m *SnapshotReqBatch) decode(d *enc.Decoder) {
+	n := int(d.U16())
+	if d.Err() == nil && n > 0 {
+		m.Pages = make([]gaddr.Addr, 0, n)
+		for i := 0; i < n; i++ {
+			p := d.Addr()
+			if d.Err() != nil {
+				return
+			}
+			m.Pages = append(m.Pages, p)
+		}
+	}
+	m.Epoch = d.U64()
+	m.Requester = d.NodeID()
+}
+
+// SnapshotItem is the per-page answer inside a SnapshotGrantBatch: a
+// committed copy of the page and the version it was committed at.
+type SnapshotItem struct {
+	OK      bool
+	Data    []byte
+	Version uint64
+	Err     string
+
+	// dataFrame, when non-nil, backs Data with a refcounted page frame
+	// (see frame.go); it is never encoded.
+	dataFrame *frame.Frame
+}
+
+// SnapshotGrantBatch answers SnapshotReqBatch with one item per requested
+// page, in request order, plus the publish epoch the answers were cut at —
+// the epoch a snapshot context pins for its subsequent reads.
+type SnapshotGrantBatch struct {
+	Epoch uint64
+	Items []SnapshotItem
+}
+
+// Kind implements Msg.
+func (*SnapshotGrantBatch) Kind() Kind { return KindSnapshotGrantBatch }
+func (m *SnapshotGrantBatch) encode(e *enc.Encoder) {
+	e.U64(m.Epoch)
+	e.U16(uint16(len(m.Items)))
+	for _, it := range m.Items {
+		e.Bool(it.OK)
+		e.Bytes32(it.Data)
+		e.U64(it.Version)
+		e.String(it.Err)
+	}
+}
+func (m *SnapshotGrantBatch) decode(d *enc.Decoder) {
+	m.Epoch = d.U64()
+	n := int(d.U16())
+	if d.Err() != nil || n == 0 {
+		return
+	}
+	m.Items = make([]SnapshotItem, 0, n)
+	for i := 0; i < n; i++ {
+		var it SnapshotItem
+		it.OK = d.Bool()
+		it.dataFrame = d.Bytes32Frame()
+		if it.dataFrame != nil {
+			it.Data = it.dataFrame.Bytes()
+		}
+		it.Version = d.U64()
+		it.Err = d.String()
+		if d.Err() != nil {
+			if it.dataFrame != nil {
+				it.dataFrame.Release()
+			}
+			return
+		}
+		if it.dataFrame != nil {
+			it.dataFrame.SetVersion(it.Version)
+		}
+		m.Items = append(m.Items, it)
 	}
 }

@@ -125,6 +125,17 @@ func sampleMessages() []Msg {
 		}},
 		&UpdateBatch{From: 1},
 		&UpdateBatchResp{Errs: []string{"", "store failed"}, Versions: []uint64{7, 0}},
+		&SnapshotReqBatch{
+			Pages:     []gaddr.Addr{gaddr.New(0, 0x1000), gaddr.New(0, 0x2000)},
+			Epoch:     12,
+			Requester: 2,
+		},
+		&SnapshotReqBatch{Requester: 1},
+		&SnapshotGrantBatch{Epoch: 12, Items: []SnapshotItem{
+			{OK: true, Data: []byte("snap"), Version: 6},
+			{OK: false, Err: "not home"},
+		}},
+		&SnapshotGrantBatch{Epoch: 1},
 	}
 }
 
@@ -155,6 +166,10 @@ func detachFrames(m Msg) {
 			msg.Items[i].dataFrame = nil
 		}
 	case *UpdateBatch:
+		for i := range msg.Items {
+			msg.Items[i].dataFrame = nil
+		}
+	case *SnapshotGrantBatch:
 		for i := range msg.Items {
 			msg.Items[i].dataFrame = nil
 		}

@@ -336,3 +336,42 @@ func (l *Lock) Write(addr Addr, data []byte) error {
 func (l *Lock) Unlock(ctx context.Context) error {
 	return l.node.core.Unlock(ctx, l.lc)
 }
+
+// Snapshot opens a snapshot context: a read-only view of the global
+// store that never blocks on writers and is never invalidated by them.
+// The first read pins a publish epoch at each page's home; every
+// subsequent read observes the newest version committed at or before
+// that cut, served from the home's version chain without touching the
+// lock table. Close releases the pinned page frames.
+//
+//	snap := node.Snapshot("alice")
+//	defer snap.Close()
+//	view, _ := snap.View(ctx, start, 64) // zero-copy, valid until Close
+//	data, _ := snap.Read(ctx, start, 64) // private copy
+func (n *Node) Snapshot(p Principal) *Snapshot {
+	return &Snapshot{node: n, sc: n.core.Snapshot(p)}
+}
+
+// Snapshot is an open snapshot context.
+type Snapshot struct {
+	node *Node
+	sc   *core.SnapshotContext
+}
+
+// View returns count bytes starting at addr as a zero-copy view aliasing
+// the snapshot's pinned page frame. The view must be treated as
+// read-only and stays valid until Close; requests spanning a page
+// boundary fall back to the copying path.
+func (s *Snapshot) View(ctx context.Context, addr Addr, count uint64) ([]byte, error) {
+	return s.sc.View(ctx, addr, count)
+}
+
+// Read copies count bytes starting at addr out of the snapshot. The
+// result stays valid after Close.
+func (s *Snapshot) Read(ctx context.Context, addr Addr, count uint64) ([]byte, error) {
+	return s.sc.Read(ctx, addr, count)
+}
+
+// Close releases every page frame the snapshot pinned. Views handed out
+// by View are invalid once Close returns.
+func (s *Snapshot) Close() { s.sc.Close() }

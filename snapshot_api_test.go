@@ -1,0 +1,371 @@
+package khazana
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"sync"
+	"testing"
+	"time"
+
+	"khazana/internal/telemetry"
+)
+
+// counterValue digs a counter out of a node's metrics snapshot.
+func counterValue(n *Node, name string) uint64 {
+	for _, c := range n.Core().MetricsSnapshot().Counters {
+		if c.Name == name {
+			return c.Value
+		}
+	}
+	return 0
+}
+
+func TestSnapshotPinnedCutSurvivesWrites(t *testing.T) {
+	c := newTestCluster(t, 3)
+	ctx := context.Background()
+	const ps = uint64(4096)
+	n1 := c.Node(1)
+
+	start, err := n1.Reserve(ctx, 2*ps, Attrs{}, "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n1.Allocate(ctx, start, "alice"); err != nil {
+		t.Fatal(err)
+	}
+	pageB := start.MustAdd(ps)
+
+	write := func(n *Node, a Addr, s string) {
+		t.Helper()
+		lk, err := n.Lock(ctx, Range{Start: a, Size: ps}, LockWrite, "alice")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := lk.Write(a, []byte(s)); err != nil {
+			t.Fatal(err)
+		}
+		if err := lk.Unlock(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write(c.Node(2), start, "A-v1")
+	write(c.Node(2), pageB, "B-v1")
+
+	// The first read pins the cut; later writes must not leak in.
+	snap := c.Node(2).Snapshot("alice")
+	defer snap.Close()
+	got, err := snap.View(ctx, start, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "A-v1" {
+		t.Fatalf("snapshot page A = %q", got)
+	}
+
+	write(c.Node(3), start, "A-v2")
+	write(c.Node(3), pageB, "B-v2")
+
+	// Re-reading the pinned page and reading the not-yet-touched page both
+	// observe the pinned cut, not the newer commits.
+	if got, _ := snap.View(ctx, start, 4); string(got) != "A-v1" {
+		t.Errorf("pinned page A after writes = %q, want A-v1", got)
+	}
+	if got, _ := snap.View(ctx, pageB, 4); string(got) != "B-v1" {
+		t.Errorf("page B at pinned cut = %q, want B-v1", got)
+	}
+	if data, _ := snap.Read(ctx, start, 4); string(data) != "A-v1" {
+		t.Errorf("copying read at pinned cut = %q, want A-v1", data)
+	}
+
+	// A fresh snapshot observes the newest committed versions.
+	fresh := c.Node(3).Snapshot("alice")
+	defer fresh.Close()
+	if got, _ := fresh.View(ctx, start, 4); string(got) != "A-v2" {
+		t.Errorf("fresh snapshot page A = %q, want A-v2", got)
+	}
+	if got, _ := fresh.View(ctx, pageB, 4); string(got) != "B-v2" {
+		t.Errorf("fresh snapshot page B = %q, want B-v2", got)
+	}
+}
+
+func TestSnapshotDoesNotBlockOnWriter(t *testing.T) {
+	c := newTestCluster(t, 3)
+	ctx := context.Background()
+	const ps = uint64(4096)
+	n1 := c.Node(1)
+
+	start, err := n1.Reserve(ctx, ps, Attrs{}, "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n1.Allocate(ctx, start, "alice"); err != nil {
+		t.Fatal(err)
+	}
+	lk, err := c.Node(2).Lock(ctx, Range{Start: start, Size: ps}, LockWrite, "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lk.Write(start, []byte("committed")); err != nil {
+		t.Fatal(err)
+	}
+	if err := lk.Unlock(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Node 2 parks on the write lock with uncommitted bytes in flight.
+	lk, err = c.Node(2).Lock(ctx, Range{Start: start, Size: ps}, LockWrite, "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lk.Write(start, []byte("in-flight")); err != nil {
+		t.Fatal(err)
+	}
+
+	// A CREW read would wait for the writer; the snapshot answers now.
+	done := make(chan string, 1)
+	go func() {
+		snap := c.Node(3).Snapshot("alice")
+		defer snap.Close()
+		data, err := snap.Read(ctx, start, 9)
+		if err != nil {
+			done <- "error: " + err.Error()
+			return
+		}
+		done <- string(data)
+	}()
+	select {
+	case got := <-done:
+		if got != "committed" {
+			t.Errorf("snapshot under writer = %q, want committed", got)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("snapshot read blocked on an in-flight writer")
+	}
+	if err := lk.Unlock(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSnapshotConcurrentReadersAndWriter races snapshot readers pinning
+// old versions against a writer publishing new ones. Every observed page
+// must be internally consistent (the stamp at the page head matches the
+// stamp at the tail — COW guarantees no torn reads) and two reads of one
+// snapshot must agree.
+func TestSnapshotConcurrentReadersAndWriter(t *testing.T) {
+	c := newTestCluster(t, 3)
+	ctx := context.Background()
+	const ps = uint64(4096)
+	n1 := c.Node(1)
+
+	start, err := n1.Reserve(ctx, ps, Attrs{}, "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n1.Allocate(ctx, start, "alice"); err != nil {
+		t.Fatal(err)
+	}
+
+	stamp := func(buf []byte, v uint64) {
+		binary.LittleEndian.PutUint64(buf[:8], v)
+		binary.LittleEndian.PutUint64(buf[ps-8:], v)
+	}
+	page := make([]byte, ps)
+	stamp(page, 0)
+	lk, err := c.Node(2).Lock(ctx, Range{Start: start, Size: ps}, LockWrite, "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lk.Write(start, page); err != nil {
+		t.Fatal(err)
+	}
+	if err := lk.Unlock(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // writer: publish versions 1, 2, 3, ...
+		defer wg.Done()
+		buf := make([]byte, ps)
+		for v := uint64(1); ; v++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			stamp(buf, v)
+			lk, err := c.Node(2).Lock(ctx, Range{Start: start, Size: ps}, LockWrite, "alice")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if err := lk.Write(start, buf); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := lk.Unlock(ctx); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(reader int) {
+			defer wg.Done()
+			node := c.Node(1 + reader%3)
+			for i := 0; i < 50; i++ {
+				snap := node.Snapshot("alice")
+				first, err := snap.View(ctx, start, ps)
+				if err != nil {
+					t.Error(err)
+					snap.Close()
+					return
+				}
+				head := binary.LittleEndian.Uint64(first[:8])
+				tail := binary.LittleEndian.Uint64(first[ps-8:])
+				if head != tail {
+					t.Errorf("torn snapshot page: head %d tail %d", head, tail)
+				}
+				again, err := snap.View(ctx, start, ps)
+				if err != nil {
+					t.Error(err)
+					snap.Close()
+					return
+				}
+				if !bytes.Equal(first, again) {
+					t.Error("one snapshot served two different versions")
+				}
+				snap.Close()
+			}
+		}(r)
+	}
+	time.Sleep(200 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}
+
+// TestSnapshotOldVersionsReclaimUnderPressure squeezes the RAM tier so the
+// store's reclaimer hook gives back retained old versions before any
+// demand page is victimized — while a pinned snapshot keeps its frame and
+// demand reads stay correct.
+func TestSnapshotOldVersionsReclaimUnderPressure(t *testing.T) {
+	c := newTestCluster(t, 2, WithMemPages(4))
+	ctx := context.Background()
+	const ps = uint64(4096)
+	n1 := c.Node(1)
+
+	start, err := n1.Reserve(ctx, 8*ps, Attrs{}, "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n1.Allocate(ctx, start, "alice"); err != nil {
+		t.Fatal(err)
+	}
+	write := func(a Addr, s string) {
+		t.Helper()
+		lk, err := c.Node(2).Lock(ctx, Range{Start: a, Size: ps}, LockWrite, "alice")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := lk.Write(a, []byte(s)); err != nil {
+			t.Fatal(err)
+		}
+		if err := lk.Unlock(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	write(start, "hot-v1")
+	snap := c.Node(1).Snapshot("alice")
+	defer snap.Close()
+	if got, _ := snap.View(ctx, start, 6); string(got) != "hot-v1" {
+		t.Fatalf("pinned snapshot = %q", got)
+	}
+
+	// Publish a stack of newer versions, then sweep demand reads across
+	// the region to force eviction pressure at the home.
+	for i := 0; i < 8; i++ {
+		write(start, "hot-v2")
+	}
+	for i := uint64(0); i < 8; i++ {
+		a := start.MustAdd(i * ps)
+		write(a, "cold")
+		lk, err := c.Node(1).Lock(ctx, Range{Start: a, Size: ps}, LockRead, "alice")
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := lk.Read(a, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != "cold" {
+			t.Errorf("demand read of page %d = %q, want cold", i, got)
+		}
+		if err := lk.Unlock(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if freed := counterValue(c.Node(1), telemetry.MetricSnapshotReclaimed); freed == 0 {
+		t.Error("no old-version frames were reclaimed under pressure")
+	}
+	// The pinned frame is untouched by reclamation.
+	if got, _ := snap.View(ctx, start, 6); string(got) != "hot-v1" {
+		t.Errorf("pinned snapshot after reclaim = %q, want hot-v1", got)
+	}
+}
+
+func TestSnapshotMetricsAndErrors(t *testing.T) {
+	c := newTestCluster(t, 2)
+	ctx := context.Background()
+	const ps = uint64(4096)
+	n1 := c.Node(1)
+
+	start, err := n1.Reserve(ctx, ps, Attrs{ACL: PrivateACL("alice")}, "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n1.Allocate(ctx, start, "alice"); err != nil {
+		t.Fatal(err)
+	}
+	lk, err := n1.Lock(ctx, Range{Start: start, Size: ps}, LockWrite, "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lk.Write(start, []byte("secret")); err != nil {
+		t.Fatal(err)
+	}
+	if err := lk.Unlock(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// ACL enforcement: a foreign principal cannot snapshot the region.
+	deny := c.Node(2).Snapshot("mallory")
+	if _, err := deny.Read(ctx, start, 6); err == nil {
+		t.Error("snapshot read by unauthorized principal succeeded")
+	}
+	deny.Close()
+
+	before := counterValue(n1, telemetry.MetricSnapshotReads)
+	snap := n1.Snapshot("alice")
+	for i := 0; i < 3; i++ {
+		if _, err := snap.View(ctx, start, 6); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap.Close()
+	if got := counterValue(n1, telemetry.MetricSnapshotReads); got != before+3 {
+		t.Errorf("snapshot_reads = %d, want %d", got, before+3)
+	}
+
+	// Closed contexts refuse further reads.
+	if _, err := snap.View(ctx, start, 6); err == nil {
+		t.Error("view on a closed snapshot succeeded")
+	}
+	if _, err := snap.Read(ctx, start, 6); err == nil {
+		t.Error("read on a closed snapshot succeeded")
+	}
+}
