@@ -52,12 +52,17 @@ fmt-check:
 # with reader count (>=1.4x from 1 to 4 readers) or the hot writer loses
 # more than 60% of its uncontended rate under 4 snapshot readers. The
 # snapshot path's own allocation gate is TestSnapshotViewAllocGate
-# (budget: 0 allocs per cached view).
+# (budget: 0 allocs per cached view). The armed E18 gate fails the leg
+# if, at full fan-in (thousands of concurrent TCP clients at one
+# daemon), mux+sharded aggregate throughput drops below 2x the
+# serial+coarse baseline or the mux leg's daemon-side connection count
+# stops being decoupled from the client count.
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x -benchmem ./...
 	KHAZANA_E15_GATE=1 $(GO) test -run TestE15TelemetryOverheadGate -count=1 -v ./internal/experiments/
 	KHAZANA_E16_GATE=1 $(GO) test -run TestE16WriteThroughGate -count=1 -v ./internal/experiments/
 	KHAZANA_E17_GATE=1 $(GO) test -run TestE17SnapshotScanGate -count=1 -v ./internal/experiments/
+	KHAZANA_E18_GATE=1 $(GO) test -run TestE18FanInGate -count=1 -v ./internal/experiments/
 
 # telemetry-smoke boots a real khazanad with the HTTP debug listener and
 # curls the export surface: /metrics must serve Prometheus text and JSON,

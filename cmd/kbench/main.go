@@ -1,4 +1,4 @@
-// kbench runs the Khazana reproduction experiments (E1–E16, see DESIGN.md
+// kbench runs the Khazana reproduction experiments (E1–E18, see DESIGN.md
 // §4) and prints one table per experiment: the paper-derived prediction,
 // the measured rows, and whether the predicted shape held.
 //
@@ -46,8 +46,10 @@ func run(args []string) error {
 		"E13": experiments.E13BatchedTransfers, "E14": experiments.E14ZeroCopy,
 		"E15": experiments.E15TelemetryOverhead,
 		"E16": experiments.E16PrefetchAndWriteThrough,
+		"E17": experiments.E17SnapshotScan,
+		"E18": experiments.E18FanIn,
 	}
-	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16"}
+	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18"}
 	selected := order
 	if *runList != "" {
 		selected = nil

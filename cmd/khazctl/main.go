@@ -202,6 +202,17 @@ func run(args []string) error {
 		}
 		fmt.Printf("snapshots   %d reads, %d old frames reclaimed, %s\n",
 			counter(telemetry.MetricSnapshotReads), counter(telemetry.MetricSnapshotReclaimed), chains)
+		gauge := func(name string) int64 {
+			for _, g := range m.Gauges {
+				if g.Name == name {
+					return g.Value
+				}
+			}
+			return 0
+		}
+		fmt.Printf("transport   %d conns open, %d requests in flight, %d bytes in, %d bytes out\n",
+			gauge(telemetry.MetricTransportConnsOpen), gauge(telemetry.MetricTransportInflight),
+			counter(telemetry.MetricTransportBytesIn), counter(telemetry.MetricTransportBytesOut))
 		fmt.Println("metrics")
 		for _, c := range m.Counters {
 			fmt.Printf("  %-40s %d\n", c.Name, c.Value)

@@ -160,18 +160,26 @@ func (n *Node) retryLoop() {
 	}
 }
 
-// queueRetry enqueues a failed release-side operation.
+// queueRetry enqueues a failed release-side operation on the shard owning
+// its page, so concurrent releases on disjoint regions queue without
+// contending.
 func (n *Node) queueRetry(op retryOp) {
-	n.retryMu.Lock()
-	defer n.retryMu.Unlock()
-	n.retries = append(n.retries, op)
+	rs := n.retryShardFor(op.page)
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	rs.ops = append(rs.ops, op)
 }
 
-// PendingRetries reports the queue length.
+// PendingRetries reports the queue length across all shards.
 func (n *Node) PendingRetries() int {
-	n.retryMu.Lock()
-	defer n.retryMu.Unlock()
-	return len(n.retries)
+	total := 0
+	for i := range n.retryShards {
+		rs := &n.retryShards[i]
+		rs.mu.Lock()
+		total += len(rs.ops)
+		rs.mu.Unlock()
+	}
+	return total
 }
 
 // RunRetries attempts every queued release once (also callable by tests).
@@ -180,10 +188,17 @@ func (n *Node) PendingRetries() int {
 // instead of one round trip per page; the other protocols notify the home
 // per page.
 func (n *Node) RunRetries() {
-	n.retryMu.Lock()
-	ops := n.retries
-	n.retries = nil
-	n.retryMu.Unlock()
+	// Drain every shard first (shard locks are taken one at a time, never
+	// nested), then retry the combined queue so cross-shard operations
+	// still batch by home and region.
+	var ops []retryOp
+	for i := range n.retryShards {
+		rs := &n.retryShards[i]
+		rs.mu.Lock()
+		ops = append(ops, rs.ops...)
+		rs.ops = nil
+		rs.mu.Unlock()
+	}
 	if len(ops) == 0 {
 		return
 	}

@@ -13,8 +13,9 @@ import (
 
 // TestConcurrentLockContexts hammers the lock-context table from many
 // goroutines across several regions and nodes at once. The interesting
-// failures here are races between the Lock/Unlock bookkeeping (lockMu,
-// appMu) and the consistency managers rather than wrong bytes, so this
+// failures here are races between the Lock/Unlock bookkeeping (the
+// lock-context shards, appMu) and the consistency managers rather than
+// wrong bytes, so this
 // test earns its keep under `go test -race`.
 func TestConcurrentLockContexts(t *testing.T) {
 	_, nodes := testCluster(t, 3)

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"khazana/internal/gaddr"
@@ -59,14 +60,21 @@ func (n *Node) lookupRegion(ctx context.Context, addr gaddr.Addr) (*region.Descr
 }
 
 // authDesc returns a clone of the authoritative descriptor for the region
-// containing addr, when this node homes it.
+// containing addr, when this node homes it. Regions are disjoint, so only
+// the one with the greatest start <= addr can contain it: a binary search
+// of the sorted start index replaces the full-map scan, which at
+// thousand-region fan-in dominated every request's handler time.
 func (n *Node) authDesc(addr gaddr.Addr) *region.Descriptor {
 	n.descMu.Lock()
 	defer n.descMu.Unlock()
-	for _, d := range n.authDescs {
-		if d.Range.Contains(addr) {
-			return d.Clone()
-		}
+	i := sort.Search(len(n.descIndex), func(i int) bool {
+		return n.descIndex[i].Cmp(addr) > 0
+	})
+	if i == 0 {
+		return nil
+	}
+	if d := n.authDescs[n.descIndex[i-1]]; d.Range.Contains(addr) {
+		return d.Clone()
 	}
 	return nil
 }
@@ -82,18 +90,37 @@ func (n *Node) authDescByStart(start gaddr.Addr) *region.Descriptor {
 	return nil
 }
 
-// putAuthDesc installs an authoritative descriptor.
+// putAuthDesc installs an authoritative descriptor, keeping the sorted
+// start index in step with the map.
 func (n *Node) putAuthDesc(d *region.Descriptor) {
 	n.descMu.Lock()
 	defer n.descMu.Unlock()
-	n.authDescs[d.Range.Start] = d.Clone()
+	start := d.Range.Start
+	if _, ok := n.authDescs[start]; !ok {
+		i := sort.Search(len(n.descIndex), func(i int) bool {
+			return n.descIndex[i].Cmp(start) > 0
+		})
+		n.descIndex = append(n.descIndex, gaddr.Addr{})
+		copy(n.descIndex[i+1:], n.descIndex[i:])
+		n.descIndex[i] = start
+	}
+	n.authDescs[start] = d.Clone()
 }
 
-// dropAuthDesc removes an authoritative descriptor.
+// dropAuthDesc removes an authoritative descriptor and its index entry.
 func (n *Node) dropAuthDesc(start gaddr.Addr) {
 	n.descMu.Lock()
 	defer n.descMu.Unlock()
+	if _, ok := n.authDescs[start]; !ok {
+		return
+	}
 	delete(n.authDescs, start)
+	i := sort.Search(len(n.descIndex), func(i int) bool {
+		return n.descIndex[i].Cmp(start) >= 0
+	})
+	if i < len(n.descIndex) && n.descIndex[i] == start {
+		n.descIndex = append(n.descIndex[:i], n.descIndex[i+1:]...)
+	}
 }
 
 // authStarts lists the starts of regions homed here.

@@ -90,6 +90,12 @@ type Config struct {
 	// pushing one RPC per page per replica instead of one UpdateBatch
 	// per replica (the E16 baseline).
 	PerPageReplication bool
+	// CoarseNodeState funnels all lock-context and retry-queue state
+	// through a single shard, restoring the pre-sharding coarse-mutex
+	// behavior. It exists for benchmarks comparing the two (E18) and as
+	// an escape hatch; the default (false) spreads the state over
+	// stateShards shards.
+	CoarseNodeState bool
 	// Registry supplies consistency protocols; nil uses the built-ins.
 	Registry *consistency.Registry
 	// Clock supplies last-writer-wins stamps; nil uses wall time.
@@ -131,27 +137,35 @@ type Node struct {
 	// mapDesc is the well-known bootstrap descriptor for the map region.
 	mapDesc *region.Descriptor
 
-	// descMu guards authoritative descriptors for regions homed here.
+	// descMu guards authoritative descriptors for regions homed here;
+	// descIndex is their starts kept sorted so containment lookups
+	// binary-search instead of scanning the map.
 	descMu    sync.Mutex
 	authDescs map[gaddr.Addr]*region.Descriptor
+	descIndex []gaddr.Addr
 
 	// chunkMu guards the local pool of reserved-but-unused space.
 	chunkMu sync.Mutex
 	chunk   gaddr.Range
 	chunkOK bool
 
-	// lockMu guards active lock contexts.
-	lockMu  sync.Mutex
-	lockCtx map[uint64]*LockContext
-	nextLID atomic.Uint64
+	// lockShards hold the active lock contexts, spread by lock ID so
+	// concurrent clients touching different contexts never contend on
+	// one mutex (shardMask selects the shard).
+	lockShards [stateShards]lockShard
+	nextLID    atomic.Uint64
 
 	// membership view (manager-fed).
 	memMu   sync.Mutex
 	members []ktypes.NodeID
 
-	// retry queue of failed release-side operations (§3.5).
-	retryMu sync.Mutex
-	retries []retryOp
+	// retryShards hold the queue of failed release-side operations
+	// (§3.5), spread by page-address hash.
+	retryShards [stateShards]retryShard
+
+	// shardMask selects a shard from a key hash: stateShards-1 normally,
+	// 0 when Config.CoarseNodeState collapses everything onto shard 0.
+	shardMask uint64
 
 	// access tracks per-region consistency traffic for the migration
 	// policy.
@@ -209,6 +223,40 @@ type retryOp struct {
 	dirty bool
 }
 
+// stateShards is the power-of-two shard count for the node's hot
+// mutable state (lock contexts and the §3.5 retry queue). Sixteen
+// shards keep disjoint clients on disjoint cache lines at thousands of
+// concurrent requests while costing only a few hundred bytes of mutexes
+// per node.
+const stateShards = 16
+
+// lockShard is one shard of the active lock-context table.
+type lockShard struct {
+	mu  sync.Mutex
+	ctx map[uint64]*LockContext
+}
+
+// retryShard is one shard of the §3.5 retry queue.
+type retryShard struct {
+	mu  sync.Mutex
+	ops []retryOp
+}
+
+// lockShardFor selects the shard holding lock context id. IDs are
+// sequential (nextLID), so consecutive lock acquisitions spread evenly
+// across shards.
+func (n *Node) lockShardFor(id uint64) *lockShard {
+	return &n.lockShards[id&n.shardMask]
+}
+
+// retryShardFor selects the retry shard for a page address. The
+// Fibonacci hash mixes the page bits so pages of one region — which
+// share high bits — still spread across shards.
+func (n *Node) retryShardFor(page gaddr.Addr) *retryShard {
+	h := (page.Lo ^ page.Hi) * 0x9e3779b97f4a7c15
+	return &n.retryShards[(h>>32)&n.shardMask]
+}
+
 // LockContext is the token returned by Lock and presented on read and
 // write operations (paper §2).
 type LockContext struct {
@@ -263,7 +311,6 @@ func NewNode(cfg Config) (*Node, error) {
 		locks:     consistency.NewLockTable(),
 		rdir:      region.NewDirectory(0),
 		authDescs: make(map[gaddr.Addr]*region.Descriptor),
-		lockCtx:   make(map[uint64]*LockContext),
 		access:    newAccessTracker(),
 		stop:      make(chan struct{}),
 		members:   []ktypes.NodeID{cfg.ID},
@@ -286,6 +333,19 @@ func NewNode(cfg Config) (*Node, error) {
 		mPingRTT:        tel.Histogram(telemetry.MetricPingRTT),
 		gMemPages:       tel.Gauge(telemetry.MetricMemPages),
 		gDiskPages:      tel.Gauge(telemetry.MetricDiskPages),
+	}
+	n.shardMask = stateShards - 1
+	if cfg.CoarseNodeState {
+		n.shardMask = 0
+	}
+	for i := range n.lockShards {
+		n.lockShards[i].ctx = make(map[uint64]*LockContext)
+	}
+	// Transports are built before the node exists; hand them the node's
+	// registry so connection, in-flight, and byte metrics surface
+	// alongside everything else.
+	if ts, ok := cfg.Transport.(transport.TelemetrySetter); ok {
+		ts.SetTelemetry(tel)
 	}
 	st, err := store.NewTiered(store.Config{
 		MemPages:    cfg.MemPages,

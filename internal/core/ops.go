@@ -383,9 +383,10 @@ func (n *Node) Lock(ctx context.Context, rng gaddr.Range, mode ktypes.LockMode, 
 		dirty: make(map[gaddr.Addr]bool),
 		node:  n,
 	}
-	n.lockMu.Lock()
-	n.lockCtx[lc.ID] = lc
-	n.lockMu.Unlock()
+	ls := n.lockShardFor(lc.ID)
+	ls.mu.Lock()
+	ls.ctx[lc.ID] = lc
+	ls.mu.Unlock()
 	n.stats.LocksGranted.Add(1)
 	n.mLockLatency.ObserveSince(lockStart)
 	n.mBatchPages.Observe(uint64(len(pages)))
@@ -495,9 +496,10 @@ func isUnreachable(err error) bool {
 
 // lockByID resolves a lock context.
 func (n *Node) lockByID(id uint64) (*LockContext, error) {
-	n.lockMu.Lock()
-	defer n.lockMu.Unlock()
-	lc, ok := n.lockCtx[id]
+	ls := n.lockShardFor(id)
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	lc, ok := ls.ctx[id]
 	if !ok {
 		return nil, ErrBadLock
 	}
@@ -685,9 +687,10 @@ func (n *Node) Unlock(ctx context.Context, lc *LockContext) error {
 		f.Release()
 	}
 
-	n.lockMu.Lock()
-	delete(n.lockCtx, lc.ID)
-	n.lockMu.Unlock()
+	ls := n.lockShardFor(lc.ID)
+	ls.mu.Lock()
+	delete(ls.ctx, lc.ID)
+	ls.mu.Unlock()
 
 	cm := n.cms[lc.desc.Attrs.Protocol]
 	var fl telemetry.Flight

@@ -10,3 +10,7 @@ import (
 func TestBlockUnderLock(t *testing.T) {
 	linttest.RunProgram(t, "testdata", blockunderlock.Analyzer, "bl/m")
 }
+
+func TestBlockUnderLockShardedState(t *testing.T) {
+	linttest.RunProgram(t, "testdata", blockunderlock.Analyzer, "bl/shard")
+}

@@ -1,0 +1,69 @@
+// Package shard models the sharded-state and demux patterns the
+// transport and core grew: mutexes living in shard arrays, and channel
+// delivery performed under a shard's lock. The analyzer must track a
+// mutex selected from an array element exactly like a named field, and
+// the deliberate demux send must pass only with an annotated reason.
+package shard
+
+import "sync"
+
+type entry struct {
+	mu sync.Mutex
+	m  map[uint32]chan int
+}
+
+type Table struct {
+	shards [8]entry
+	ch     chan int
+}
+
+// SendUnderShard blocks on an unbuffered channel while holding one
+// shard's mutex: a real finding even though the mutex is an array
+// element, not a plain field.
+func (t *Table) SendUnderShard(id uint32) {
+	s := &t.shards[id%8]
+	s.mu.Lock()
+	t.ch <- 1 // want `blocks \(channel send\) while holding bl/shard\.entry\.mu \(held at shard\.go:25\)`
+	s.mu.Unlock()
+}
+
+// Deliver is the demux pattern: claim the pending entry under the shard
+// lock, then send on the claimed capacity-1 channel. The send cannot
+// block — claiming the map entry made this goroutine the sole sender —
+// so the annotation records why the rule is deliberately waived.
+func (t *Table) Deliver(id uint32, v int) {
+	s := &t.shards[id%8]
+	s.mu.Lock()
+	ch, ok := s.m[id]
+	if ok {
+		delete(s.m, id)
+		ch <- v //khazana:block-ok buffered cap-1 channel, sole sender after claiming the entry
+	}
+	s.mu.Unlock()
+}
+
+// DeliverUnannotated is the same shape without the annotation: the
+// analyzer cannot prove the capacity invariant, so it must report.
+func (t *Table) DeliverUnannotated(id uint32, v int) {
+	s := &t.shards[id%8]
+	s.mu.Lock()
+	ch, ok := s.m[id]
+	if ok {
+		delete(s.m, id)
+		ch <- v // want `blocks \(channel send\) while holding bl/shard\.entry\.mu \(held at shard\.go:49\)`
+	}
+	s.mu.Unlock()
+}
+
+// DrainNonBlocking empties a claimed channel with a default clause: no
+// finding, matching the abandon() idiom.
+func (t *Table) DrainNonBlocking(id uint32) {
+	s := &t.shards[id%8]
+	s.mu.Lock()
+	delete(s.m, id)
+	s.mu.Unlock()
+	select {
+	case <-t.ch:
+	default:
+	}
+}

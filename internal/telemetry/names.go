@@ -42,6 +42,22 @@ const (
 	// tracer's baseline network signal.
 	MetricPingRTT = "net.ping_rtt_ns"
 
+	// MetricTransportConnsOpen gauges connections currently open on this
+	// transport, dialed and accepted alike. Under the mux protocol it
+	// stays near connsPerPeer x peers no matter how many requests are in
+	// flight; a ballooning value means serial clients are attached.
+	MetricTransportConnsOpen = "transport.conns_open"
+	// MetricTransportInflight gauges requests currently in flight
+	// through this transport: outbound requests awaiting a response plus
+	// inbound requests inside the handler.
+	MetricTransportInflight = "transport.inflight_requests"
+	// MetricTransportBytesIn counts frame bytes received, length
+	// prefixes included.
+	MetricTransportBytesIn = "transport.bytes_in"
+	// MetricTransportBytesOut counts frame bytes sent, length prefixes
+	// included.
+	MetricTransportBytesOut = "transport.bytes_out"
+
 	// MetricMemPages gauges resident RAM-tier pages.
 	MetricMemPages = "store.mem_pages"
 	// MetricDiskPages gauges resident disk-tier pages.

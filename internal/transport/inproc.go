@@ -172,6 +172,7 @@ func (n *Network) Attach(id ktypes.NodeID) (Transport, error) {
 		return nil, fmt.Errorf("transport: node %v already attached", id)
 	}
 	ep := &inprocEndpoint{net: n, id: id}
+	ep.tm.Store(&transportMetrics{})
 	n.nodes[id] = ep
 	return ep, nil
 }
@@ -204,10 +205,17 @@ func (n *Network) route(from, to ktypes.NodeID) (*inprocEndpoint, time.Duration,
 	return ep, d, nil
 }
 
+// inprocEndpoint is one node's attachment to the simulated network. Its
+// concurrency model matches the mux TCP transport, not the legacy serial
+// one: every Request runs on its caller's goroutine and the destination
+// handler is invoked directly, so any number of requests are in flight
+// to a peer at once — exactly what a shared mux connection provides —
+// and unit tests over inproc exercise the same interleavings.
 type inprocEndpoint struct {
 	net    *Network
 	id     ktypes.NodeID
 	closed atomic.Bool
+	tm     atomic.Pointer[transportMetrics]
 
 	hmu     sync.RWMutex
 	handler Handler
@@ -217,6 +225,14 @@ var _ Transport = (*inprocEndpoint)(nil)
 
 // Self implements Transport.
 func (ep *inprocEndpoint) Self() ktypes.NodeID { return ep.id }
+
+// SetTelemetry points the endpoint's instruments at reg; core.NewNode
+// injects its registry here just as for the TCP transport.
+func (ep *inprocEndpoint) SetTelemetry(reg *telemetry.Registry) {
+	ep.tm.Store(newTransportMetrics(reg))
+}
+
+func (ep *inprocEndpoint) metrics() *transportMetrics { return ep.tm.Load() }
 
 // SetHandler implements Transport.
 func (ep *inprocEndpoint) SetHandler(h Handler) {
@@ -252,9 +268,14 @@ func (ep *inprocEndpoint) Request(ctx context.Context, to ktypes.NodeID, m wire.
 	if dst.closed.Load() {
 		return nil, ErrUnreachable
 	}
+	tm := ep.metrics()
+	tm.inflight.Add(1)
+	defer tm.inflight.Add(-1)
 	reqBytes := wire.Marshal(wrapTraced(ctx, m))
 	ep.net.requests.Add(1)
 	ep.net.bytes.Add(uint64(len(reqBytes)))
+	tm.bytesOut.Add(uint64(len(reqBytes)))
+	dst.metrics().bytesIn.Add(uint64(len(reqBytes)))
 	if err := sleepCtx(ctx, delay); err != nil {
 		return nil, err
 	}
@@ -275,7 +296,10 @@ func (ep *inprocEndpoint) Request(ctx context.Context, to ktypes.NodeID, m wire.
 	if h == nil {
 		return nil, ErrNoHandler
 	}
+	dtm := dst.metrics()
+	dtm.inflight.Add(1)
 	resp, err := h(hctx, ep.id, inbound)
+	dtm.inflight.Add(-1)
 	if err != nil {
 		return nil, &RemoteError{Msg: err.Error()}
 	}
@@ -286,6 +310,8 @@ func (ep *inprocEndpoint) Request(ctx context.Context, to ktypes.NodeID, m wire.
 	wire.Recycle(resp)
 	wire.Recycle(inbound)
 	ep.net.bytes.Add(uint64(len(respBytes)))
+	dtm.bytesOut.Add(uint64(len(respBytes)))
+	tm.bytesIn.Add(uint64(len(respBytes)))
 	if err := sleepCtx(ctx, delay); err != nil {
 		return nil, err
 	}

@@ -7,19 +7,25 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"khazana/internal/ktypes"
+	"khazana/internal/telemetry"
 	"khazana/internal/wire"
 )
 
-// Frame format, both directions:
+// Legacy serial frame format, both directions:
 //
 //	request:  [u32 length][u32 from-node][payload...]
 //	response: [u32 length][u8 status][payload-or-error-string...]
 //
 // status 0 carries a marshaled wire.Msg; status 1 carries an error string
-// produced by the remote handler.
+// produced by the remote handler. One request is in flight per connection
+// at a time. The default protocol is the multiplexed framing in mux.go;
+// inbound connections are told apart by their first four bytes (a mux
+// client leads with muxMagic, which exceeds maxFrame and so can never be
+// a legacy length prefix).
 const (
 	tcpStatusOK  = 0
 	tcpStatusErr = 1
@@ -55,11 +61,17 @@ func putFrameBuf(bp *[]byte) {
 }
 
 // TCP is a socket transport for standalone Khazana daemons. Peers are
-// registered with AddPeer; connections are pooled and used serially (one
-// in-flight request per pooled connection).
+// registered with AddPeer. By default outbound requests are multiplexed:
+// a small fixed set of shared connections per peer carries any number of
+// concurrent in-flight requests (mux.go). WithSerialTransport falls back
+// to the legacy pooled serial protocol. Inbound connections auto-detect
+// the peer's protocol, so both kinds of client are always served.
 type TCP struct {
 	self ktypes.NodeID
 	ln   net.Listener
+
+	serial       bool
+	connsPerPeer int
 
 	hmu     sync.RWMutex
 	handler Handler
@@ -71,15 +83,45 @@ type TCP struct {
 	idle   map[ktypes.NodeID][]net.Conn
 	served map[net.Conn]struct{}
 
+	mmu      sync.Mutex
+	muxConns map[ktypes.NodeID][]*muxConn
+	muxSeq   atomic.Uint32
+	muxPick  atomic.Uint32
+
+	tm atomic.Pointer[transportMetrics]
+
 	wg     sync.WaitGroup
 	closed chan struct{}
 }
 
 var _ Transport = (*TCP)(nil)
 
+// TCPOption configures a TCP transport at construction.
+type TCPOption func(*TCP)
+
+// WithSerialTransport selects the legacy serial protocol for outbound
+// requests: one in-flight request per pooled connection, framed exactly
+// as before multiplexing existed. Inbound connections always auto-detect
+// the peer's protocol, so a serial transport still serves mux clients —
+// the option exists for mixed-version clusters and A/B benchmarks.
+func WithSerialTransport() TCPOption {
+	return func(t *TCP) { t.serial = true }
+}
+
+// WithConnsPerPeer sets how many shared mux connections fan requests out
+// to each peer (default 2). More connections add socket-level
+// parallelism; in-flight request concurrency is unbounded either way.
+func WithConnsPerPeer(n int) TCPOption {
+	return func(t *TCP) {
+		if n > 0 {
+			t.connsPerPeer = n
+		}
+	}
+}
+
 // NewTCP starts a TCP endpoint for node self listening on listenAddr
 // (e.g. "127.0.0.1:0").
-func NewTCP(self ktypes.NodeID, listenAddr string) (*TCP, error) {
+func NewTCP(self ktypes.NodeID, listenAddr string, opts ...TCPOption) (*TCP, error) {
 	if self == ktypes.NilNode {
 		return nil, errBadNodeID
 	}
@@ -88,12 +130,18 @@ func NewTCP(self ktypes.NodeID, listenAddr string) (*TCP, error) {
 		return nil, fmt.Errorf("transport: listen: %w", err)
 	}
 	t := &TCP{
-		self:   self,
-		ln:     ln,
-		peers:  make(map[ktypes.NodeID]string),
-		idle:   make(map[ktypes.NodeID][]net.Conn),
-		served: make(map[net.Conn]struct{}),
-		closed: make(chan struct{}),
+		self:         self,
+		ln:           ln,
+		connsPerPeer: defaultConnsPerPeer,
+		peers:        make(map[ktypes.NodeID]string),
+		idle:         make(map[ktypes.NodeID][]net.Conn),
+		served:       make(map[net.Conn]struct{}),
+		muxConns:     make(map[ktypes.NodeID][]*muxConn),
+		closed:       make(chan struct{}),
+	}
+	t.tm.Store(&transportMetrics{})
+	for _, opt := range opts {
+		opt(t)
 	}
 	t.wg.Add(1)
 	go t.acceptLoop()
@@ -105,6 +153,15 @@ func (t *TCP) Self() ktypes.NodeID { return t.self }
 
 // Addr returns the transport's bound listen address.
 func (t *TCP) Addr() string { return t.ln.Addr().String() }
+
+// SetTelemetry points the transport's instruments at reg. core.NewNode
+// injects its registry here; safe to call while traffic is flowing, and
+// a nil registry yields no-op instruments.
+func (t *TCP) SetTelemetry(reg *telemetry.Registry) {
+	t.tm.Store(newTransportMetrics(reg))
+}
+
+func (t *TCP) metrics() *transportMetrics { return t.tm.Load() }
 
 // SetHandler implements Transport.
 func (t *TCP) SetHandler(h Handler) {
@@ -144,16 +201,31 @@ func (t *TCP) Close() error {
 	close(t.closed)
 	err := t.ln.Close()
 	t.cmu.Lock()
-	for _, conns := range t.idle {
-		for _, c := range conns {
-			_ = c.Close()
-		}
-	}
+	idle := t.idle
 	t.idle = make(map[ktypes.NodeID][]net.Conn)
 	for c := range t.served {
 		_ = c.Close()
 	}
 	t.cmu.Unlock()
+	for _, conns := range idle {
+		for _, c := range conns {
+			t.closeConn(c)
+		}
+	}
+	t.mmu.Lock()
+	var mcs []*muxConn
+	for _, slots := range t.muxConns {
+		for _, mc := range slots {
+			if mc != nil {
+				mcs = append(mcs, mc)
+			}
+		}
+	}
+	t.muxConns = make(map[ktypes.NodeID][]*muxConn)
+	t.mmu.Unlock()
+	for _, mc := range mcs {
+		mc.fail(ErrClosed)
+	}
 	t.wg.Wait()
 	return err
 }
@@ -165,13 +237,24 @@ func (t *TCP) Request(ctx context.Context, to ktypes.NodeID, m wire.Msg) (wire.M
 		return nil, ErrClosed
 	default:
 	}
+	tm := t.metrics()
+	tm.inflight.Add(1)
+	defer tm.inflight.Add(-1)
+	if t.serial {
+		return t.serialRequest(ctx, to, m)
+	}
+	return t.muxRequest(ctx, to, m)
+}
+
+// serialRequest is the legacy one-request-per-connection client path.
+func (t *TCP) serialRequest(ctx context.Context, to ktypes.NodeID, m wire.Msg) (wire.Msg, error) {
 	conn, err := t.getConn(ctx, to)
 	if err != nil {
 		return nil, err
 	}
 	resp, err := t.roundTrip(ctx, conn, m)
 	if err != nil {
-		_ = conn.Close()
+		t.closeConn(conn)
 		// A stale pooled connection may have died; retry once on a
 		// fresh dial, unless the failure was remote-side or ctx.
 		if _, remote := err.(*RemoteError); remote || ctx.Err() != nil {
@@ -183,7 +266,7 @@ func (t *TCP) Request(ctx context.Context, to ktypes.NodeID, m wire.Msg) (wire.M
 		}
 		resp, err = t.roundTrip(ctx, conn, m)
 		if err != nil {
-			_ = conn.Close()
+			t.closeConn(conn)
 			return nil, err
 		}
 	}
@@ -197,6 +280,7 @@ func (t *TCP) roundTrip(ctx context.Context, conn net.Conn, m wire.Msg) (wire.Ms
 	} else {
 		_ = conn.SetDeadline(time.Time{})
 	}
+	tm := t.metrics()
 	// Marshal directly into a pooled buffer after the 8-byte header —
 	// no intermediate payload allocation. The buffer (possibly grown by
 	// the append) goes back to the pool for the next request. Traced
@@ -205,17 +289,19 @@ func (t *TCP) roundTrip(ctx context.Context, conn net.Conn, m wire.Msg) (wire.Ms
 	req := wire.MarshalAppend((*wp)[:8], wrapTraced(ctx, m))
 	binary.LittleEndian.PutUint32(req[0:4], uint32(len(req)-8+4))
 	binary.LittleEndian.PutUint32(req[4:8], uint32(t.self))
-	_, err := conn.Write(req)
+	n, err := conn.Write(req)
 	*wp = req
 	putFrameBuf(wp)
 	if err != nil {
 		return nil, fmt.Errorf("transport: write request: %w", err)
 	}
+	tm.bytesOut.Add(uint64(n))
 	rp, err := readFrame(conn)
 	if err != nil {
 		return nil, fmt.Errorf("transport: read response: %w", err)
 	}
 	defer putFrameBuf(rp)
+	tm.bytesIn.Add(uint64(len(*rp)) + 4)
 	frame := *rp
 	if len(frame) < 1 {
 		return nil, fmt.Errorf("transport: empty response frame")
@@ -253,7 +339,16 @@ func (t *TCP) dial(ctx context.Context, to ktypes.NodeID) (net.Conn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: dial %v: %v", ErrUnreachable, to, err)
 	}
+	t.metrics().connsOpen.Add(1)
 	return conn, nil
+}
+
+// closeConn closes a client-side dialed connection and drops it from the
+// open-connections gauge. Every connection returned by dial must pass
+// through exactly one closeConn (mux connections route here via fail).
+func (t *TCP) closeConn(conn net.Conn) {
+	_ = conn.Close()
+	t.metrics().connsOpen.Add(-1)
 }
 
 func (t *TCP) putConn(to ktypes.NodeID, conn net.Conn) {
@@ -261,12 +356,12 @@ func (t *TCP) putConn(to ktypes.NodeID, conn net.Conn) {
 	defer t.cmu.Unlock()
 	select {
 	case <-t.closed:
-		_ = conn.Close()
+		t.closeConn(conn)
 		return
 	default:
 	}
 	if len(t.idle[to]) >= 4 {
-		_ = conn.Close()
+		t.closeConn(conn)
 		return
 	}
 	t.idle[to] = append(t.idle[to], conn)
@@ -279,6 +374,7 @@ func (t *TCP) acceptLoop() {
 		if err != nil {
 			return
 		}
+		t.metrics().connsOpen.Add(1)
 		t.cmu.Lock()
 		t.served[conn] = struct{}{}
 		t.cmu.Unlock()
@@ -287,77 +383,151 @@ func (t *TCP) acceptLoop() {
 	}
 }
 
+// serveConn sniffs the protocol from the connection's first four bytes
+// and dispatches: muxMagic can never be a legacy length prefix (it
+// exceeds maxFrame), so mux and serial clients are told apart with no
+// handshake round-trip and no configuration.
 func (t *TCP) serveConn(conn net.Conn) {
 	defer t.wg.Done()
 	defer func() {
 		t.cmu.Lock()
 		delete(t.served, conn)
 		t.cmu.Unlock()
-		_ = conn.Close()
+		t.closeConn(conn)
 	}()
+	var hdr [4]byte
+	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+		return
+	}
+	first := binary.LittleEndian.Uint32(hdr[:])
+	if first == muxMagic {
+		t.serveMux(conn)
+		return
+	}
+	t.serveSerial(conn, first)
+}
+
+// serveSerial serves one legacy connection: requests are handled one at
+// a time in arrival order. firstLen is the already-sniffed length prefix
+// of the first frame.
+func (t *TCP) serveSerial(conn net.Conn, firstLen uint32) {
+	frameLen := firstLen
 	for {
 		select {
 		case <-t.closed:
 			return
 		default:
 		}
-		bp, err := readFrame(conn)
+		if frameLen == 0 || frameLen > maxFrame {
+			return
+		}
+		if !t.serveSerialOne(conn, frameLen) {
+			return
+		}
+		var err error
+		frameLen, err = readFrameLen(conn)
 		if err != nil {
 			return
 		}
-		frame := *bp
-		if len(frame) < 4 {
-			putFrameBuf(bp)
-			return
-		}
-		from := ktypes.NodeID(binary.LittleEndian.Uint32(frame[0:4]))
-		msg, err := wire.Unmarshal(frame[4:])
-		putFrameBuf(bp)
-		if err != nil {
-			writeResponse(conn, tcpStatusErr, []byte(err.Error()))
-			continue
-		}
-		hctx, msg, err := unwrapTraced(context.Background(), msg)
-		if err != nil {
-			writeResponse(conn, tcpStatusErr, []byte(err.Error()))
-			continue
-		}
-		h := t.getHandler()
-		if h == nil {
-			wire.Recycle(msg)
-			writeResponse(conn, tcpStatusErr, []byte(ErrNoHandler.Error()))
-			continue
-		}
-		resp, err := h(hctx, from, msg)
-		if err != nil {
-			wire.Recycle(msg)
-			writeResponse(conn, tcpStatusErr, []byte(err.Error()))
-			continue
-		}
-		// Marshal the response straight into a pooled frame buffer, then
-		// recycle both messages' frames. The order matters: the response
-		// may alias the inbound message's frame, so serialization
-		// completes before either recycles.
-		rp := getFrameBuf(5)
-		out := wire.MarshalAppend((*rp)[:5], resp)
-		binary.LittleEndian.PutUint32(out[0:4], uint32(len(out)-5+1))
-		out[4] = tcpStatusOK
-		wire.Recycle(resp)
-		wire.Recycle(msg)
-		_, _ = conn.Write(out)
-		*rp = out
-		putFrameBuf(rp)
 	}
 }
 
-func writeResponse(conn net.Conn, status byte, payload []byte) {
+// serveSerialOne reads and answers one serial request. It returns false
+// when the connection must be dropped — including after any failed
+// response write: a partial write leaves the stream desynced from the
+// framing, so every write error is fatal for the connection.
+func (t *TCP) serveSerialOne(conn net.Conn, frameLen uint32) bool {
+	tm := t.metrics()
+	bp, err := readFrameBody(conn, frameLen)
+	if err != nil {
+		return false
+	}
+	tm.bytesIn.Add(uint64(len(*bp)) + 4)
+	frame := *bp
+	if len(frame) < 4 {
+		putFrameBuf(bp)
+		return false
+	}
+	from := ktypes.NodeID(binary.LittleEndian.Uint32(frame[0:4]))
+	msg, err := wire.Unmarshal(frame[4:])
+	putFrameBuf(bp)
+	if err != nil {
+		return t.writeResponse(conn, tcpStatusErr, []byte(err.Error())) == nil
+	}
+	hctx, msg, err := unwrapTraced(context.Background(), msg)
+	if err != nil {
+		return t.writeResponse(conn, tcpStatusErr, []byte(err.Error())) == nil
+	}
+	h := t.getHandler()
+	if h == nil {
+		wire.Recycle(msg)
+		return t.writeResponse(conn, tcpStatusErr, []byte(ErrNoHandler.Error())) == nil
+	}
+	tm.inflight.Add(1)
+	resp, err := h(hctx, from, msg)
+	tm.inflight.Add(-1)
+	if err != nil {
+		wire.Recycle(msg)
+		return t.writeResponse(conn, tcpStatusErr, []byte(err.Error())) == nil
+	}
+	// Marshal the response straight into a pooled frame buffer, then
+	// recycle both messages' frames. The order matters: the response
+	// may alias the inbound message's frame, so serialization
+	// completes before either recycles.
+	rp := getFrameBuf(5)
+	out := wire.MarshalAppend((*rp)[:5], resp)
+	binary.LittleEndian.PutUint32(out[0:4], uint32(len(out)-5+1))
+	out[4] = tcpStatusOK
+	wire.Recycle(resp)
+	wire.Recycle(msg)
+	n, werr := conn.Write(out)
+	*rp = out
+	putFrameBuf(rp)
+	if werr != nil {
+		return false
+	}
+	tm.bytesOut.Add(uint64(n))
+	return true
+}
+
+// writeResponse sends a serial response frame and reports the write
+// error so callers can drop a desynced connection.
+func (t *TCP) writeResponse(conn net.Conn, status byte, payload []byte) error {
 	bp := getFrameBuf(5 + len(payload))
 	buf := *bp
 	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)+1))
 	buf[4] = status
 	copy(buf[5:], payload)
-	_, _ = conn.Write(buf)
+	n, err := conn.Write(buf)
 	putFrameBuf(bp)
+	if err != nil {
+		return err
+	}
+	t.metrics().bytesOut.Add(uint64(n))
+	return nil
+}
+
+// readFrameLen reads and bounds-checks one length prefix.
+func readFrameLen(r io.Reader) (uint32, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return 0, err
+	}
+	n := binary.LittleEndian.Uint32(lenBuf[:])
+	if n == 0 || n > maxFrame {
+		return 0, fmt.Errorf("transport: bad frame length %d", n)
+	}
+	return n, nil
+}
+
+// readFrameBody reads a frame's n payload bytes into a pooled buffer.
+func readFrameBody(r io.Reader, n uint32) (*[]byte, error) {
+	bp := getFrameBuf(int(n))
+	if _, err := io.ReadFull(r, *bp); err != nil {
+		putFrameBuf(bp)
+		return nil, err
+	}
+	return bp, nil
 }
 
 // readFrame reads one length-prefixed frame into a pooled buffer. The
@@ -365,18 +535,9 @@ func writeResponse(conn net.Conn, status byte, payload []byte) {
 // messages decoded from it may be retained because the decoder moves
 // payloads into their own pooled frames.
 func readFrame(r io.Reader) (*[]byte, error) {
-	var lenBuf [4]byte
-	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+	n, err := readFrameLen(r)
+	if err != nil {
 		return nil, err
 	}
-	n := binary.LittleEndian.Uint32(lenBuf[:])
-	if n == 0 || n > maxFrame {
-		return nil, fmt.Errorf("transport: bad frame length %d", n)
-	}
-	bp := getFrameBuf(int(n))
-	if _, err := io.ReadFull(r, *bp); err != nil {
-		putFrameBuf(bp)
-		return nil, err
-	}
-	return bp, nil
+	return readFrameBody(r, n)
 }

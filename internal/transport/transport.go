@@ -15,6 +15,7 @@ import (
 	"errors"
 
 	"khazana/internal/ktypes"
+	"khazana/internal/telemetry"
 	"khazana/internal/wire"
 )
 
@@ -53,3 +54,31 @@ type RemoteError struct {
 
 // Error implements the error interface.
 func (e *RemoteError) Error() string { return "transport: remote: " + e.Msg }
+
+// TelemetrySetter is implemented by transports that can report metrics
+// (open connections, in-flight requests, frame bytes) to a telemetry
+// registry. core.NewNode type-asserts its configured transport against
+// this interface and injects the node's registry, so transports built
+// before the node exists still end up instrumented.
+type TelemetrySetter interface {
+	SetTelemetry(reg *telemetry.Registry)
+}
+
+// transportMetrics bundles the per-transport instruments. The zero value
+// carries nil instruments, which are valid no-ops, so hot paths never
+// branch on whether telemetry is enabled.
+type transportMetrics struct {
+	connsOpen *telemetry.Gauge
+	inflight  *telemetry.Gauge
+	bytesIn   *telemetry.Counter
+	bytesOut  *telemetry.Counter
+}
+
+func newTransportMetrics(reg *telemetry.Registry) *transportMetrics {
+	return &transportMetrics{
+		connsOpen: reg.Gauge(telemetry.MetricTransportConnsOpen),
+		inflight:  reg.Gauge(telemetry.MetricTransportInflight),
+		bytesIn:   reg.Counter(telemetry.MetricTransportBytesIn),
+		bytesOut:  reg.Counter(telemetry.MetricTransportBytesOut),
+	}
+}

@@ -152,6 +152,16 @@ type NodeConfig struct {
 	// pushing one RPC per page per replica instead of one batch per
 	// replica (the E16 baseline).
 	PerPageReplication bool
+	// CoarseNodeState collapses the node's sharded lock-context and
+	// retry-queue state onto a single mutex, restoring pre-sharding
+	// behavior (the E18 baseline).
+	CoarseNodeState bool
+	// SerialTransport, when ListenAddr starts the TCP transport, selects
+	// the legacy serial protocol for this node's outbound requests (one
+	// in-flight request per pooled connection) instead of the default
+	// multiplexed one. Inbound connections always auto-detect the
+	// client's protocol.
+	SerialTransport bool
 	// NoTelemetry disables the metrics registry and trace recorder; the
 	// overhead benchmarks use it to measure the instrumented paths bare.
 	NoTelemetry bool
@@ -175,7 +185,11 @@ func StartNode(ctx context.Context, cfg NodeConfig) (*Node, error) {
 		if cfg.ListenAddr == "" {
 			return nil, fmt.Errorf("khazana: Transport or ListenAddr required")
 		}
-		tcp, err := transport.NewTCP(cfg.ID, cfg.ListenAddr)
+		var opts []transport.TCPOption
+		if cfg.SerialTransport {
+			opts = append(opts, transport.WithSerialTransport())
+		}
+		tcp, err := transport.NewTCP(cfg.ID, cfg.ListenAddr, opts...)
 		if err != nil {
 			return nil, err
 		}
@@ -199,6 +213,7 @@ func StartNode(ctx context.Context, cfg NodeConfig) (*Node, error) {
 		PerPageTransfers:   cfg.PerPageTransfers,
 		NoReadAhead:        cfg.NoReadAhead,
 		PerPageReplication: cfg.PerPageReplication,
+		CoarseNodeState:    cfg.CoarseNodeState,
 		NoTelemetry:        cfg.NoTelemetry,
 		Tracer:             cfg.Tracer,
 	})
