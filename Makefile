@@ -29,12 +29,21 @@ lint:
 # lint-selftest exercises the lint suite itself: its unit tests plus a
 # full standalone and vettool run over the repo, the whole leg under a
 # 30-second budget so the whole-program passes (call graph + summaries)
-# cannot quietly become too slow to keep in CI.
+# cannot quietly become too slow to keep in CI. The last block proves the
+# stale-baseline contract end-to-end on a small package: a baseline entry
+# with no matching finding fails the run, -prune-baseline drops it, and
+# the pruned baseline passes again.
 lint-selftest: $(BIN)
 	timeout 30 sh -c '\
-		$(GO) test -count=1 ./internal/lint/... && \
+		$(GO) test -count=1 ./internal/lint/... ./cmd/khazlint/ && \
 		$(GO) run ./cmd/khazlint -baseline lint-baseline.json ./... && \
-		$(GO) vet -vettool=$(CURDIR)/$(BIN) ./...'
+		$(GO) vet -vettool=$(CURDIR)/$(BIN) ./... && \
+		tmp=$$(mktemp) && \
+		printf "%s" "[{\"analyzer\":\"erricheck\",\"file\":\"gone.go\",\"line\":1,\"col\":1,\"message\":\"synthetic stale entry\"}]" > $$tmp && \
+		! $(CURDIR)/$(BIN) -baseline $$tmp ./internal/gaddr/ && \
+		$(CURDIR)/$(BIN) -prune-baseline $$tmp ./internal/gaddr/ && \
+		$(CURDIR)/$(BIN) -baseline $$tmp ./internal/gaddr/ && \
+		rm -f $$tmp'
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -56,13 +65,17 @@ fmt-check:
 # if, at full fan-in (thousands of concurrent TCP clients at one
 # daemon), mux+sharded aggregate throughput drops below 2x the
 # serial+coarse baseline or the mux leg's daemon-side connection count
-# stops being decoupled from the client count.
+# stops being decoupled from the client count. The armed E19 gate fails
+# it if killing a home under a live lock/write/unlock workload takes the
+# client more than 2s to resume (lease timeout + one election, with
+# margin), loses an acked release, or surfaces any client-visible error.
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x -benchmem ./...
 	KHAZANA_E15_GATE=1 $(GO) test -run TestE15TelemetryOverheadGate -count=1 -v ./internal/experiments/
 	KHAZANA_E16_GATE=1 $(GO) test -run TestE16WriteThroughGate -count=1 -v ./internal/experiments/
 	KHAZANA_E17_GATE=1 $(GO) test -run TestE17SnapshotScanGate -count=1 -v ./internal/experiments/
 	KHAZANA_E18_GATE=1 $(GO) test -run TestE18FanInGate -count=1 -v ./internal/experiments/
+	KHAZANA_E19_GATE=1 $(GO) test -run TestE19FailoverGate -count=1 -v ./internal/experiments/
 
 # telemetry-smoke boots a real khazanad with the HTTP debug listener and
 # curls the export surface: /metrics must serve Prometheus text and JSON,

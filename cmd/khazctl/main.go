@@ -213,6 +213,17 @@ func run(args []string) error {
 		fmt.Printf("transport   %d conns open, %d requests in flight, %d bytes in, %d bytes out\n",
 			gauge(telemetry.MetricTransportConnsOpen), gauge(telemetry.MetricTransportInflight),
 			counter(telemetry.MetricTransportBytesIn), counter(telemetry.MetricTransportBytesOut))
+		commit := "no commits observed"
+		for _, h := range m.Histograms {
+			if h.Name == telemetry.MetricReplCommitLatency && h.Count > 0 {
+				commit = fmt.Sprintf("mean commit %v over %d appends", time.Duration(h.Sum/h.Count), h.Count)
+			}
+		}
+		fmt.Printf("replog      %d entries tailed, %d elections, %d failovers, %d degraded commits, %s\n",
+			gauge(telemetry.MetricReplLogLen), counter(telemetry.MetricReplElections),
+			counter(telemetry.MetricReplFailovers), counter(telemetry.MetricReplDegradedCommits), commit)
+		fmt.Printf("failover    %d ad-hoc home takeovers, %d replica repairs\n",
+			counter(telemetry.MetricHomePromotions), counter(telemetry.MetricReplicaRepairs))
 		fmt.Println("metrics")
 		for _, c := range m.Counters {
 			fmt.Printf("  %-40s %d\n", c.Name, c.Value)

@@ -1,0 +1,132 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeBaselineFile(t *testing.T, entries []jsonFinding) string {
+	t.Helper()
+	data, err := json.Marshal(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestApplyBaselineStaleEntries(t *testing.T) {
+	findings := []jsonFinding{
+		{Analyzer: "lockorder", File: "a.go", Line: 10, Message: "cycle"},
+		{Analyzer: "erricheck", File: "b.go", Line: 20, Message: "dropped error"},
+	}
+	path := writeBaselineFile(t, []jsonFinding{
+		// Still matched, at a different line: baselines ignore position.
+		{Analyzer: "lockorder", File: "a.go", Line: 99, Message: "cycle"},
+		// The finding this entry excused was fixed: stale.
+		{Analyzer: "deferunlock", File: "c.go", Line: 5, Message: "leaked lock"},
+	})
+
+	fresh, suppressed, stale, err := applyBaseline(findings, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if suppressed != 1 {
+		t.Fatalf("suppressed = %d, want 1", suppressed)
+	}
+	if len(fresh) != 1 || fresh[0].Analyzer != "erricheck" {
+		t.Fatalf("fresh = %+v, want the erricheck finding only", fresh)
+	}
+	if len(stale) != 1 || stale[0].Analyzer != "deferunlock" {
+		t.Fatalf("stale = %+v, want the deferunlock entry", stale)
+	}
+}
+
+func TestApplyBaselineDuplicateBudget(t *testing.T) {
+	// Two identical findings, one baseline entry: the entry excuses
+	// exactly one; the second finding is fresh, and nothing is stale.
+	findings := []jsonFinding{
+		{Analyzer: "erricheck", File: "a.go", Line: 1, Message: "dropped error"},
+		{Analyzer: "erricheck", File: "a.go", Line: 2, Message: "dropped error"},
+	}
+	path := writeBaselineFile(t, []jsonFinding{
+		{Analyzer: "erricheck", File: "a.go", Line: 1, Message: "dropped error"},
+	})
+	fresh, suppressed, stale, err := applyBaseline(findings, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if suppressed != 1 || len(fresh) != 1 || len(stale) != 0 {
+		t.Fatalf("suppressed=%d fresh=%d stale=%d, want 1/1/0", suppressed, len(fresh), len(stale))
+	}
+
+	// The converse: two entries, one finding — the extra entry is stale.
+	path = writeBaselineFile(t, []jsonFinding{
+		{Analyzer: "erricheck", File: "a.go", Line: 1, Message: "dropped error"},
+		{Analyzer: "erricheck", File: "a.go", Line: 2, Message: "dropped error"},
+	})
+	_, suppressed, stale, err = applyBaseline(findings[:1], path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if suppressed != 1 || len(stale) != 1 {
+		t.Fatalf("suppressed=%d stale=%d, want 1 suppressed, 1 stale", suppressed, len(stale))
+	}
+}
+
+func TestPruneBaselineRewritesInPlace(t *testing.T) {
+	findings := []jsonFinding{
+		{Analyzer: "lockorder", File: "a.go", Line: 10, Message: "cycle"},
+	}
+	path := writeBaselineFile(t, []jsonFinding{
+		{Analyzer: "lockorder", File: "a.go", Line: 10, Message: "cycle"},
+		{Analyzer: "framerelease", File: "gone.go", Line: 3, Message: "frame never released"},
+	})
+	if code := pruneBaseline(findings, path); code != 0 {
+		t.Fatalf("pruneBaseline = %d, want 0", code)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kept []jsonFinding
+	if err := json.Unmarshal(data, &kept); err != nil {
+		t.Fatalf("pruned baseline is not valid JSON: %v", err)
+	}
+	if len(kept) != 1 || kept[0].Analyzer != "lockorder" {
+		t.Fatalf("pruned baseline = %+v, want the live lockorder entry only", kept)
+	}
+	// After the prune, the baseline applies cleanly: nothing stale.
+	_, _, stale, err := applyBaseline(findings, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stale) != 0 {
+		t.Fatalf("stale after prune = %+v, want none", stale)
+	}
+}
+
+func TestPruneBaselineAllStaleWritesEmptyList(t *testing.T) {
+	path := writeBaselineFile(t, []jsonFinding{
+		{Analyzer: "erricheck", File: "gone.go", Line: 1, Message: "dropped error"},
+	})
+	if code := pruneBaseline(nil, path); code != 0 {
+		t.Fatalf("pruneBaseline = %d, want 0", code)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kept []jsonFinding
+	if err := json.Unmarshal(data, &kept); err != nil {
+		t.Fatalf("pruned baseline is not valid JSON: %v (%q)", err, data)
+	}
+	if len(kept) != 0 {
+		t.Fatalf("pruned baseline = %+v, want empty list", kept)
+	}
+}

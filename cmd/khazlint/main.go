@@ -11,8 +11,9 @@
 //	khazlint -list
 //	khazlint -only lockorder,erricheck ./...
 //	khazlint -json ./...
-//	khazlint -baseline lint-baseline.json ./...   (fail only on new findings)
+//	khazlint -baseline lint-baseline.json ./...   (fail on new findings AND stale entries)
 //	khazlint -write-baseline lint-baseline.json ./...
+//	khazlint -prune-baseline lint-baseline.json ./... (drop stale entries in place)
 //	khazlint -graph ./...                          (dump the call graph)
 //
 // As a go vet tool (the unitchecker protocol):
@@ -53,8 +54,9 @@ func main() {
 	onlyFlag := flag.String("only", "", "comma-separated subset of analyzers to run")
 	jsonFlag := flag.Bool("json", false, "print findings as JSON")
 	graphFlag := flag.Bool("graph", false, "dump the whole-program call graph and exit")
-	baselineFlag := flag.String("baseline", "", "baseline file: suppress findings recorded there, fail only on new ones")
+	baselineFlag := flag.String("baseline", "", "baseline file: suppress findings recorded there, fail on new findings and on stale entries")
 	writeBaselineFlag := flag.String("write-baseline", "", "write current findings to this baseline file and exit")
+	pruneBaselineFlag := flag.String("prune-baseline", "", "rewrite this baseline file dropping entries whose findings are fixed, then exit")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: khazlint [flags] [packages]\n       khazlint <file>.cfg   (go vet -vettool mode)\n\nAnalyzers:\n")
 		for _, a := range lint.Analyzers() {
@@ -92,6 +94,7 @@ func main() {
 		graph:         *graphFlag,
 		baselinePath:  *baselineFlag,
 		writeBaseline: *writeBaselineFlag,
+		pruneBaseline: *pruneBaselineFlag,
 	}))
 }
 

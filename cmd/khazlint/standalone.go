@@ -18,6 +18,7 @@ type options struct {
 	graph         bool   // dump the whole-program call graph and exit
 	baselinePath  string // suppress findings recorded in this baseline
 	writeBaseline string // write current findings to this path and exit
+	pruneBaseline string // rewrite this baseline dropping stale entries and exit
 }
 
 // jsonFinding is the interchange form of a finding, used both for -json
@@ -70,15 +71,30 @@ func standalone(patterns []string, analyzers []*analysis.Analyzer, opts options)
 		fmt.Fprintf(os.Stderr, "khazlint: wrote %d finding(s) to %s\n", len(out), opts.writeBaseline)
 		return 0
 	}
+	if opts.pruneBaseline != "" {
+		return pruneBaseline(out, opts.pruneBaseline)
+	}
+	staleCount := 0
 	if opts.baselinePath != "" {
 		var suppressed int
-		out, suppressed, err = applyBaseline(out, opts.baselinePath)
+		var stale []jsonFinding
+		out, suppressed, stale, err = applyBaseline(out, opts.baselinePath)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "khazlint:", err)
 			return 2
 		}
 		if suppressed > 0 {
 			fmt.Fprintf(os.Stderr, "khazlint: %d baselined finding(s) suppressed\n", suppressed)
+		}
+		// A baseline entry whose finding no longer exists is debt that was
+		// paid but still on the books: it would silently excuse the next
+		// regression at the same site. Fail until the baseline is pruned.
+		for _, f := range stale {
+			fmt.Fprintf(os.Stderr, "khazlint: stale baseline entry: [%s] %s: %s\n", f.Analyzer, f.File, f.Message)
+		}
+		if staleCount = len(stale); staleCount > 0 {
+			fmt.Fprintf(os.Stderr, "khazlint: %d stale baseline entr%s — run `khazlint -prune-baseline %s <packages>` to drop them\n",
+				staleCount, plural(staleCount, "y", "ies"), opts.baselinePath)
 		}
 	}
 	if opts.jsonOut {
@@ -97,37 +113,104 @@ func standalone(patterns []string, analyzers []*analysis.Analyzer, opts options)
 		fmt.Fprintf(os.Stderr, "khazlint: %d finding(s)\n", len(out))
 		return 1
 	}
+	if staleCount > 0 {
+		return 1
+	}
 	return 0
 }
 
-// applyBaseline drops findings recorded in the baseline file, matching on
-// analyzer, file, and message.
-func applyBaseline(findings []jsonFinding, path string) ([]jsonFinding, int, error) {
+// baselineKey identifies a finding for baseline matching. Line and column
+// are ignored — a finding that merely moved is not new.
+func baselineKey(f jsonFinding) string { return f.Analyzer + "\x00" + f.File + "\x00" + f.Message }
+
+// splitBaseline partitions the baseline entries at path into those still
+// matched by a current finding (live) and those whose finding is gone
+// (stale). Duplicate entries are matched one-for-one against duplicate
+// findings, in file order.
+func splitBaseline(findings []jsonFinding, path string) (live, stale []jsonFinding, err error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, 0, fmt.Errorf("reading baseline: %w", err)
+		return nil, nil, fmt.Errorf("reading baseline: %w", err)
 	}
 	var base []jsonFinding
 	if err := json.Unmarshal(data, &base); err != nil {
-		return nil, 0, fmt.Errorf("parsing baseline %s: %w", path, err)
+		return nil, nil, fmt.Errorf("parsing baseline %s: %w", path, err)
 	}
-	key := func(f jsonFinding) string { return f.Analyzer + "\x00" + f.File + "\x00" + f.Message }
+	remaining := make(map[string]int)
+	for _, f := range findings {
+		remaining[baselineKey(f)]++
+	}
+	for _, f := range base {
+		if remaining[baselineKey(f)] > 0 {
+			remaining[baselineKey(f)]--
+			live = append(live, f)
+			continue
+		}
+		stale = append(stale, f)
+	}
+	return live, stale, nil
+}
+
+// applyBaseline drops findings recorded in the baseline file, matching on
+// analyzer, file, and message, and reports entries that no longer match
+// anything (stale).
+func applyBaseline(findings []jsonFinding, path string) ([]jsonFinding, int, []jsonFinding, error) {
+	live, stale, err := splitBaseline(findings, path)
+	if err != nil {
+		return nil, 0, nil, err
+	}
 	// A baseline entry excuses as many findings as it was recorded for.
 	budget := make(map[string]int)
-	for _, f := range base {
-		budget[key(f)]++
+	for _, f := range live {
+		budget[baselineKey(f)]++
 	}
 	var fresh []jsonFinding
 	suppressed := 0
 	for _, f := range findings {
-		if budget[key(f)] > 0 {
-			budget[key(f)]--
+		if budget[baselineKey(f)] > 0 {
+			budget[baselineKey(f)]--
 			suppressed++
 			continue
 		}
 		fresh = append(fresh, f)
 	}
-	return fresh, suppressed, nil
+	return fresh, suppressed, stale, nil
+}
+
+// pruneBaseline rewrites the baseline at path keeping only entries still
+// matched by a current finding, dropping the stale ones in place.
+func pruneBaseline(findings []jsonFinding, path string) int {
+	live, stale, err := splitBaseline(findings, path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "khazlint:", err)
+		return 2
+	}
+	if len(stale) == 0 {
+		fmt.Fprintf(os.Stderr, "khazlint: %s has no stale entries\n", path)
+		return 0
+	}
+	if live == nil {
+		live = []jsonFinding{}
+	}
+	data, err := json.MarshalIndent(live, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "khazlint:", err)
+		return 2
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "khazlint:", err)
+		return 2
+	}
+	fmt.Fprintf(os.Stderr, "khazlint: pruned %d stale entr%s from %s (%d kept)\n",
+		len(stale), plural(len(stale), "y", "ies"), path, len(live))
+	return 0
+}
+
+func plural(n int, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
 }
 
 // dumpGraph prints the whole-program call graph, one edge per line,

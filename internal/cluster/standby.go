@@ -1,0 +1,79 @@
+package cluster
+
+import (
+	"sort"
+	"sync"
+
+	"khazana/internal/gaddr"
+	"khazana/internal/ktypes"
+)
+
+// StandbyTable tracks the regions a node follows as a log replica of a
+// remote home. The replog observer feeds it on every replicated append,
+// so at failover time the node already knows, per region, who was
+// leading, at what term, and how far its local log reaches — the
+// election candidacy material — without any extra wire traffic
+// (Heartbeat is deliberately untouched).
+type StandbyTable struct {
+	mu      sync.Mutex
+	entries map[gaddr.Addr]StandbyInfo
+}
+
+// StandbyInfo is the last observed replication state for one region.
+type StandbyInfo struct {
+	// Leader is the last node seen appending (0 while an election is
+	// unresolved).
+	Leader ktypes.NodeID
+	// Term is the leader's ballot number at the last append.
+	Term uint64
+	// LastIndex is how far this node's local log reaches.
+	LastIndex uint64
+}
+
+// NewStandbyTable creates an empty table.
+func NewStandbyTable() *StandbyTable {
+	return &StandbyTable{entries: make(map[gaddr.Addr]StandbyInfo)}
+}
+
+// Observe records the replication state seen for the region starting at
+// start. Called from the replog observer on every append and election.
+func (t *StandbyTable) Observe(start gaddr.Addr, leader ktypes.NodeID, term, lastIndex uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.entries[start] = StandbyInfo{Leader: leader, Term: term, LastIndex: lastIndex}
+}
+
+// Lookup returns the last observed state for the region starting at
+// start.
+func (t *StandbyTable) Lookup(start gaddr.Addr) (StandbyInfo, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	info, ok := t.entries[start]
+	return info, ok
+}
+
+// Drop forgets a region (it migrated away or was destroyed).
+func (t *StandbyTable) Drop(start gaddr.Addr) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.entries, start)
+}
+
+// Regions lists the tracked region starts in address order.
+func (t *StandbyTable) Regions() []gaddr.Addr {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]gaddr.Addr, 0, len(t.entries))
+	for s := range t.entries {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// Len returns the number of tracked regions.
+func (t *StandbyTable) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.entries)
+}

@@ -1,0 +1,44 @@
+package cluster
+
+import (
+	"testing"
+
+	"khazana/internal/gaddr"
+)
+
+func TestStandbyTable(t *testing.T) {
+	tb := NewStandbyTable()
+	if tb.Len() != 0 {
+		t.Fatalf("fresh table len = %d", tb.Len())
+	}
+	r1 := gaddr.New(0, 0x10000)
+	r2 := gaddr.New(0, 0x50000)
+
+	tb.Observe(r1, 2, 1, 4)
+	tb.Observe(r2, 5, 3, 9)
+	if tb.Len() != 2 {
+		t.Fatalf("len = %d, want 2", tb.Len())
+	}
+	info, ok := tb.Lookup(r1)
+	if !ok || info.Leader != 2 || info.Term != 1 || info.LastIndex != 4 {
+		t.Fatalf("r1 = %+v ok=%v", info, ok)
+	}
+
+	// Later observations overwrite: an election bumps the term and
+	// clears the leader until the winner's first append.
+	tb.Observe(r1, 0, 2, 4)
+	info, _ = tb.Lookup(r1)
+	if info.Leader != 0 || info.Term != 2 {
+		t.Fatalf("after election r1 = %+v", info)
+	}
+
+	regions := tb.Regions()
+	if len(regions) != 2 || regions[0] != r1 || regions[1] != r2 {
+		t.Fatalf("regions = %v", regions)
+	}
+
+	tb.Drop(r1)
+	if _, ok := tb.Lookup(r1); ok || tb.Len() != 1 {
+		t.Fatalf("drop left r1 behind (len %d)", tb.Len())
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"khazana/internal/ktypes"
 	"khazana/internal/pagedir"
 	"khazana/internal/region"
+	"khazana/internal/replog"
 	"khazana/internal/telemetry"
 	"khazana/internal/wire"
 )
@@ -57,6 +58,11 @@ type Host interface {
 	// Telemetry returns the node's metrics registry; nil disables
 	// instrumentation (instruments resolved from nil are no-ops).
 	Telemetry() *telemetry.Registry
+	// Repl returns the node's replicated region-metadata log, or nil
+	// when log replication is disabled. The concrete pointer type (not
+	// an interface) keeps a nil *replog.Log comparable to nil here —
+	// see the ReadAhead note on the host adapter.
+	Repl() *replog.Log
 }
 
 // ReadAheadPlanner predicts the pages a requester will lock next, from the

@@ -562,6 +562,7 @@ func (c *CrewCM) Release(ctx context.Context, desc *region.Descriptor, page gadd
 	if isHome(c.h, desc) {
 		err := c.homeRelease(desc, page, mode, dirty, c.h.Self(), nil)
 		if err == nil && mode.Writes() && dirty {
+			c.logReleases(ctx, desc, []gaddr.Addr{page})
 			c.replicate(ctx, desc, []gaddr.Addr{page})
 		}
 		return err
@@ -618,6 +619,7 @@ func (c *CrewCM) ReleaseBatch(ctx context.Context, desc *region.Descriptor, page
 				replicated = append(replicated, p)
 			}
 		}
+		c.logReleases(ctx, desc, replicated)
 		c.replicate(ctx, desc, replicated)
 		return errs
 	}
@@ -815,6 +817,39 @@ func (c *CrewCM) dropStaleSpec(page gaddr.Addr, observed uint64) {
 	})
 }
 
+// logReleases appends one ReplOpRelease delta per released dirty page to
+// the region's replicated metadata log before the release is acked, so a
+// standby that wins the failover election already knows each page's
+// committed version, owner, copyset, and publish epoch — closing the
+// §3.5 lost-release window for the common home-crash case. Only metadata
+// rides the log; page contents still travel the replicate() write-through
+// (one UpdateBatch RPC per replica, the E16 invariant). A disabled log or
+// a single-home region is a no-op.
+func (c *CrewCM) logReleases(ctx context.Context, desc *region.Descriptor, pages []gaddr.Addr) {
+	l := c.h.Repl()
+	if l == nil || len(pages) == 0 || len(desc.Home) < 2 {
+		return
+	}
+	epoch := c.pubEpoch.Load()
+	entries := make([]wire.ReplEntry, 0, len(pages))
+	for _, p := range pages {
+		entry, _ := c.h.Dir().Lookup(p)
+		entries = append(entries, wire.ReplEntry{
+			Op:    wire.ReplOpRelease,
+			Page:  p,
+			Val:   entry.Version,
+			Node:  entry.Owner,
+			Nodes: append([]ktypes.NodeID(nil), entry.Copyset...),
+			Aux:   epoch,
+		})
+	}
+	// ErrNotLeader can surface during a failover race (this node was
+	// deposed between the grant and the release); the release itself
+	// still completed and the §3.5 background loops re-converge the
+	// metadata, so the error is not propagated to the releaser.
+	_ = l.Append(ctx, desc, entries...)
+}
+
 // replicate writes released dirty pages through to the region's secondary
 // homes: one UpdateBatch per replica covering every page of the release,
 // instead of one ReplicaPut per page per replica. Each page's frame is
@@ -917,6 +952,7 @@ func (c *CrewCM) Handle(ctx context.Context, desc *region.Descriptor, from ktype
 			return nil, err
 		}
 		if msg.Mode.Writes() && msg.Dirty {
+			c.logReleases(ctx, desc, []gaddr.Addr{msg.Page})
 			c.replicate(ctx, desc, []gaddr.Addr{msg.Page})
 		}
 		return &wire.Ack{}, nil
@@ -1096,6 +1132,7 @@ func (c *CrewCM) handleReleaseBatch(ctx context.Context, desc *region.Descriptor
 			replicated = append(replicated, it.Page)
 		}
 	}
+	c.logReleases(ctx, desc, replicated)
 	c.replicate(ctx, desc, replicated)
 	return resp, nil
 }

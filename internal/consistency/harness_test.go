@@ -12,6 +12,7 @@ import (
 	"khazana/internal/ktypes"
 	"khazana/internal/pagedir"
 	"khazana/internal/region"
+	"khazana/internal/replog"
 	"khazana/internal/telemetry"
 	"khazana/internal/transport"
 	"khazana/internal/wire"
@@ -89,6 +90,10 @@ func (h *testHost) StorePageSpeculative(page gaddr.Addr, f *frame.Frame) bool {
 func (h *testHost) ReadAhead() ReadAheadPlanner { return h.planner }
 
 func (h *testHost) PerPageReplication() bool { return false }
+
+// Repl returns nil: the harness exercises CMs without log replication,
+// the crew_replog tests cover the append-before-ack path.
+func (h *testHost) Repl() *replog.Log { return nil }
 
 func (h *testHost) Dir() *pagedir.Dir              { return h.dir }
 func (h *testHost) Locks() *LockTable              { return h.locks }

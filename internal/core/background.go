@@ -443,6 +443,15 @@ func (n *Node) ensureHomes(ctx context.Context, desc *region.Descriptor) (*regio
 	n.descMu.Unlock()
 	n.rdir.Insert(out)
 	_ = n.mapSetHomes(ctx, out.Range.Start, homes)
+	// Record the membership change in the region's replicated log so
+	// standbys learn the grown home list through the same channel as
+	// release deltas (best effort: a deposed or not-yet-elected home
+	// skips the entry and the next round repeats it).
+	_ = n.repl.Append(ctx, out, wire.ReplEntry{
+		Op:    wire.ReplOpHomes,
+		Nodes: homes,
+		Val:   out.Epoch,
+	})
 	// Ship the descriptor to the new secondary homes so they can serve
 	// lookups and accept promotion.
 	for _, h := range homes[1:] {
@@ -475,6 +484,10 @@ func (n *Node) pushReplicas(ctx context.Context, desc *region.Descriptor) {
 			}
 			if _, err := n.tr.Request(ctx, h, &wire.ReplicaPut{Page: page, Data: f.Bytes(), Version: entry.Version, From: n.cfg.ID}); err == nil {
 				n.dir.Update(page, func(e *pagedir.Entry) { e.AddSharer(h) })
+				// Each push here is a repair: a secondary that should
+				// already hold the page (write-through or an earlier
+				// maintenance round) but does not.
+				n.mReplicaRepairs.Add(1)
 			}
 		}
 		f.Release()

@@ -1,0 +1,160 @@
+package core
+
+// Tests for the consensus-backed failover path: homes append release
+// deltas to the replicated region-metadata log, standbys replay them,
+// and promotion means winning one election and resuming from the log.
+// Run with -race: the singleflight test exists to catch concurrent
+// promoteLocal callers racing the descriptor reorder.
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"khazana/internal/gaddr"
+	"khazana/internal/ktypes"
+	"khazana/internal/region"
+	"khazana/internal/transport"
+)
+
+// replicatedRegion builds a MinReplicas-3 region homed on node 2 of a
+// 4-node cluster with its home list grown to [2 3 4], and one committed
+// write so the log carries a release delta.
+func replicatedRegion(t *testing.T) (*transport.Network, []*Node, gaddr.Addr) {
+	t.Helper()
+	net, nodes := testCluster(t, 4)
+	ctx := context.Background()
+	attrs := region.Attrs{MinReplicas: 3}
+	start := mkRegion(t, nodes[1], 4096, attrs, "alice")
+	// Refresh node 2's membership view (heartbeat loops are off in
+	// tests) so replica maintenance can grow the home list.
+	nodes[1].SendHeartbeat()
+	nodes[1].MaintainReplicas()
+	d := nodes[1].authDescByStart(start)
+	if d == nil || len(d.Home) != 3 {
+		t.Fatalf("home list = %v, want 3 homes", d)
+	}
+	lc, err := nodes[1].Lock(ctx, gaddr.Range{Start: start, Size: 4096}, ktypes.LockWrite, "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nodes[1].Write(lc, start, []byte("logged before crash")); err != nil {
+		t.Fatal(err)
+	}
+	if err := nodes[1].Unlock(ctx, lc); err != nil {
+		t.Fatal(err)
+	}
+	return net, nodes, start
+}
+
+func TestReleaseAppendsToReplicatedLog(t *testing.T) {
+	_, nodes, start := replicatedRegion(t)
+	// The home led the append.
+	leader, term := nodes[1].Repl().Leader(start)
+	if leader != 2 || term == 0 {
+		t.Fatalf("leader = %v term %d, want home 2 with a term", leader, term)
+	}
+	commit, last := nodes[1].Repl().Progress(start)
+	if commit == 0 || last == 0 {
+		t.Fatalf("home progress commit=%d last=%d, want appended+committed", commit, last)
+	}
+	// Every listed standby holds the delta (its commit may trail by one
+	// append; the entry itself must be there).
+	d := nodes[1].authDescByStart(start)
+	for _, h := range d.Home[1:] {
+		standby := nodes[h-1]
+		_, slast := standby.Repl().Progress(start)
+		if slast != last {
+			t.Fatalf("standby %d last=%d, want %d", h, slast, last)
+		}
+		info, ok := standby.Standbys().Lookup(start)
+		if !ok || info.Leader != 2 {
+			t.Fatalf("standby %d table = %+v ok=%v, want leader 2", h, info, ok)
+		}
+	}
+}
+
+func TestFailoverResumesFromLog(t *testing.T) {
+	net, nodes, start := replicatedRegion(t)
+	page := start
+	homeEntry, _ := nodes[1].PageDir().Lookup(page)
+	if homeEntry.Version == 0 {
+		t.Fatal("home has no committed version to lose")
+	}
+
+	net.Crash(2)
+	ctx := context.Background()
+	d := nodes[2].promoteLocal(ctx, start)
+	if d == nil {
+		t.Fatal("promotion failed")
+	}
+	if h, err := d.PrimaryHome(); err != nil || h != 3 {
+		t.Fatalf("promoted primary = %v (%v), want 3", h, err)
+	}
+	// The election was real: node 3 leads the region's log now.
+	leader, _ := nodes[2].Repl().Leader(start)
+	if leader != 3 {
+		t.Fatalf("log leader = %v, want 3", leader)
+	}
+	// Resume-from-log restored the release metadata the dead home had
+	// acknowledged: same committed version, no lost release.
+	got, _ := nodes[2].PageDir().Lookup(page)
+	if got.Version < homeEntry.Version {
+		t.Fatalf("replayed version %d, want >= %d", got.Version, homeEntry.Version)
+	}
+}
+
+func TestPromoteLocalSingleflight(t *testing.T) {
+	net, nodes, start := replicatedRegion(t)
+	before := nodes[2].authDescByStart(start)
+	if before == nil {
+		t.Fatal("node 3 has no secondary descriptor")
+	}
+	net.Crash(2)
+
+	ctx := context.Background()
+	const callers = 8
+	results := make([]*region.Descriptor, callers)
+	var wg sync.WaitGroup
+	gate := make(chan struct{})
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-gate
+			results[i] = nodes[2].promoteLocal(ctx, start)
+		}(i)
+	}
+	close(gate)
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("promotions wedged")
+	}
+
+	won := 0
+	for i, d := range results {
+		if d == nil {
+			continue
+		}
+		won++
+		if h, err := d.PrimaryHome(); err != nil || h != 3 {
+			t.Fatalf("caller %d promoted primary = %v (%v), want 3", i, h, err)
+		}
+	}
+	if won == 0 {
+		t.Fatal("no caller saw the promotion")
+	}
+	// Exactly one flight reordered the descriptor: a second concurrent
+	// promotion would have bumped the epoch again.
+	after := nodes[2].authDescByStart(start)
+	if after.Epoch != before.Epoch+1 {
+		t.Fatalf("epoch %d -> %d, want exactly one bump", before.Epoch, after.Epoch)
+	}
+	if nodes[2].mHomePromos.Load() != 1 {
+		t.Fatalf("home_promotions = %d, want 1", nodes[2].mHomePromos.Load())
+	}
+}

@@ -77,6 +77,12 @@ func (n *Node) handle(ctx context.Context, from ktypes.NodeID, m wire.Msg) (wire
 		}
 		return &wire.RegionInfo{Found: false, Err: "not a secondary home"}, nil
 
+	// --- replicated region-metadata log ------------------------------------
+	case *wire.ReplAppend:
+		return n.repl.HandleAppend(msg), nil
+	case *wire.ReplPromote:
+		return n.repl.HandleVote(msg), nil
+
 	// --- replication ------------------------------------------------------
 	case *wire.ReplicaPut:
 		return n.handleReplicaPut(msg)

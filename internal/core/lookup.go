@@ -9,6 +9,7 @@ import (
 
 	"khazana/internal/gaddr"
 	"khazana/internal/ktypes"
+	"khazana/internal/pagedir"
 	"khazana/internal/region"
 	"khazana/internal/wire"
 )
@@ -232,12 +233,71 @@ func (n *Node) promoteHome(ctx context.Context, d *region.Descriptor) (*region.D
 }
 
 // promoteLocal makes this node the primary home for a region it already
-// holds a secondary descriptor for. Promotion must finish even if the
-// triggering request is canceled — a half-promoted home would strand the
-// region — so the map update detaches from the caller's cancellation.
+// holds a secondary descriptor for. Concurrent promotions of one region
+// collapse into a single flight: the first caller runs the election and
+// descriptor reorder, later callers wait for it and adopt its outcome,
+// so two clients noticing the dead home at once cannot both reorder the
+// home list or run competing elections.
 func (n *Node) promoteLocal(ctx context.Context, start gaddr.Addr) *region.Descriptor {
+	n.promoMu.Lock()
+	if ch, inflight := n.promo[start]; inflight {
+		n.promoMu.Unlock()
+		<-ch
+		if d := n.authDescByStart(start); d != nil {
+			if h, err := d.PrimaryHome(); err == nil && h == n.cfg.ID {
+				return d
+			}
+		}
+		return nil
+	}
+	ch := make(chan struct{})
+	n.promo[start] = ch
+	n.promoMu.Unlock()
+	defer func() {
+		n.promoMu.Lock()
+		delete(n.promo, start)
+		n.promoMu.Unlock()
+		close(ch)
+	}()
+	return n.promoteFlight(ctx, start)
+}
+
+// promoteFlight is the single in-flight promotion for a region: win the
+// region's log election (when a quorum is reachable without the dead
+// primary), resume from the replicated log, then take over as primary.
+// Promotion must finish even if the triggering request is canceled — a
+// half-promoted home would strand the region — so the map update
+// detaches from the caller's cancellation.
+func (n *Node) promoteFlight(ctx context.Context, start gaddr.Addr) *region.Descriptor {
 	n.descMu.Lock()
 	d, ok := n.authDescs[start]
+	if !ok || !d.HasHome(n.cfg.ID) {
+		n.descMu.Unlock()
+		return nil
+	}
+	snap := d.Clone()
+	n.descMu.Unlock()
+	if h, err := snap.PrimaryHome(); err == nil && h == n.cfg.ID {
+		// Already primary — a racing caller's flight finished first, or
+		// the caller's descriptor was stale. Nothing to reorder.
+		return snap
+	}
+
+	// One election, then resume from the log (§3.5, upgraded): with three
+	// or more listed homes a ballot majority exists without the dead
+	// primary, so the candidate must win an election before taking over —
+	// the term number fences off any deposed primary that comes back. A
+	// two-home region cannot form a quorum without its dead primary and
+	// keeps the legacy ad-hoc takeover below.
+	if len(snap.Home) >= 3 {
+		if !n.campaignFor(ctx, snap) {
+			return nil
+		}
+		n.replayRepl(start)
+	}
+
+	n.descMu.Lock()
+	d, ok = n.authDescs[start]
 	if !ok || !d.HasHome(n.cfg.ID) {
 		n.descMu.Unlock()
 		return nil
@@ -255,10 +315,57 @@ func (n *Node) promoteLocal(ctx context.Context, start gaddr.Addr) *region.Descr
 	n.descMu.Unlock()
 
 	n.stats.Promotions.Add(1)
+	n.mHomePromos.Add(1)
 	n.rdir.Insert(out)
 	// Best-effort map update so tree walkers find the new home.
 	mapCtx, cancel := context.WithTimeout(context.WithoutCancel(ctx), 2*time.Second)
 	defer cancel()
 	_ = n.mapSetHomes(mapCtx, start, homes)
 	return out
+}
+
+// campaignFor runs the region's failover election with bounded retries:
+// split votes or an unreachable straggler back off briefly and retry, so
+// one promoteLocal call rides out transient vote denials without pushing
+// the failover past the availability bound.
+func (n *Node) campaignFor(ctx context.Context, d *region.Descriptor) bool {
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if n.repl.Campaign(ctx, d) {
+			return true
+		}
+		if ctx.Err() != nil || time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// replayRepl resumes the region from its replicated metadata log: every
+// page's committed version, owner, and copyset — appended by the old
+// home before it acked each release — lands in the local page directory,
+// so grants issued by the new home start from the exact state the dead
+// primary had acknowledged. Page contents refetch on demand; the
+// metadata is what a crash must not lose.
+func (n *Node) replayRepl(start gaddr.Addr) {
+	state, ok := n.repl.Snapshot(start)
+	if !ok {
+		return
+	}
+	for page, ver := range state.PageVersion {
+		owner := state.Owner[page]
+		copyset := state.Copyset[page]
+		n.dir.Update(page, func(e *pagedir.Entry) {
+			e.HomedLocal = true
+			if ver >= e.Version {
+				e.Version = ver
+				if owner != ktypes.NilNode {
+					e.Owner = owner
+				}
+				for _, c := range copyset {
+					e.AddSharer(c)
+				}
+			}
+		})
+	}
 }

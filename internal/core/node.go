@@ -28,6 +28,7 @@ import (
 	"khazana/internal/ktypes"
 	"khazana/internal/pagedir"
 	"khazana/internal/region"
+	"khazana/internal/replog"
 	"khazana/internal/store"
 	"khazana/internal/telemetry"
 	"khazana/internal/transport"
@@ -175,6 +176,21 @@ type Node struct {
 	// here; nil when Config.NoReadAhead disables the pipeline.
 	prefetch *prefetchPlanner
 
+	// repl is the consensus-replicated region-metadata log: homes append
+	// release/ownership deltas before acking, standby replicas replay
+	// them, and failover promotes whichever standby wins an election.
+	repl *replog.Log
+
+	// standbys tracks the regions this node follows as a log replica,
+	// fed by the replog observer on every replicated append.
+	standbys *cluster.StandbyTable
+
+	// promoMu guards promo, the per-region promotion singleflight:
+	// concurrent promoteLocal calls for one region collapse into a
+	// single election instead of racing the descriptor reorder.
+	promoMu sync.Mutex
+	promo   map[gaddr.Addr]chan struct{}
+
 	clock atomic.Int64
 
 	// app is the application-message hook (see SetAppHandler).
@@ -194,6 +210,8 @@ type Node struct {
 
 	mReadViews      *telemetry.Counter
 	mSnapReads      *telemetry.Counter
+	mHomePromos     *telemetry.Counter
+	mReplicaRepairs *telemetry.Counter
 	mLockLatency    *telemetry.Histogram
 	mReleaseLatency *telemetry.Histogram
 	mBatchPages     *telemetry.Histogram
@@ -311,6 +329,7 @@ func NewNode(cfg Config) (*Node, error) {
 		locks:     consistency.NewLockTable(),
 		rdir:      region.NewDirectory(0),
 		authDescs: make(map[gaddr.Addr]*region.Descriptor),
+		promo:     make(map[gaddr.Addr]chan struct{}),
 		access:    newAccessTracker(),
 		stop:      make(chan struct{}),
 		members:   []ktypes.NodeID{cfg.ID},
@@ -327,6 +346,8 @@ func NewNode(cfg Config) (*Node, error) {
 		},
 		mReadViews:      tel.Counter(telemetry.MetricReadViews),
 		mSnapReads:      tel.Counter(telemetry.MetricSnapshotReads),
+		mHomePromos:     tel.Counter(telemetry.MetricHomePromotions),
+		mReplicaRepairs: tel.Counter(telemetry.MetricReplicaRepairs),
 		mLockLatency:    tel.Histogram(telemetry.MetricLockLatency),
 		mReleaseLatency: tel.Histogram(telemetry.MetricReleaseLatency),
 		mBatchPages:     tel.Histogram(telemetry.MetricLockBatchPages),
@@ -358,6 +379,18 @@ func NewNode(cfg Config) (*Node, error) {
 	}
 	st.SetMissCounter(tel.Counter(telemetry.MetricMemMisses))
 	n.store = st
+	n.standbys = cluster.NewStandbyTable()
+	n.repl = replog.New(replog.Config{
+		Self: cfg.ID,
+		Dir:  cfg.StoreDir,
+		Send: func(ctx context.Context, to ktypes.NodeID, m wire.Msg) (wire.Msg, error) {
+			return n.tr.Request(ctx, to, m)
+		},
+		Tel: tel,
+		Observer: func(start gaddr.Addr, leader ktypes.NodeID, term, lastIndex uint64) {
+			n.standbys.Observe(start, leader, term, lastIndex)
+		},
+	})
 	if !cfg.NoReadAhead {
 		n.prefetch = newPrefetchPlanner()
 	}
@@ -517,6 +550,13 @@ func (n *Node) RegionDir() *region.Directory { return n.rdir }
 // AddressMap exposes the address map handle (diagnostics and tests).
 func (n *Node) AddressMap() *addrmap.Map { return n.amap }
 
+// Repl exposes the replicated region-metadata log (diagnostics, tests,
+// and experiments).
+func (n *Node) Repl() *replog.Log { return n.repl }
+
+// Standbys exposes the standby-replica table (diagnostics and tests).
+func (n *Node) Standbys() *cluster.StandbyTable { return n.standbys }
+
 func (n *Node) setMembers(ms []ktypes.NodeID) {
 	n.memMu.Lock()
 	defer n.memMu.Unlock()
@@ -643,6 +683,10 @@ func (h hostView) ReadAhead() consistency.ReadAheadPlanner {
 
 // PerPageReplication implements consistency.Host.
 func (h hostView) PerPageReplication() bool { return h.n.cfg.PerPageReplication }
+
+// Repl implements consistency.Host, handing CMs the node's replicated
+// region-metadata log so homes can append deltas before acking releases.
+func (h hostView) Repl() *replog.Log { return h.n.repl }
 
 // Dir implements consistency.Host.
 func (h hostView) Dir() *pagedir.Dir { return h.n.dir }

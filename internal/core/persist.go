@@ -37,7 +37,10 @@ func (n *Node) Persist() error {
 	if err := n.savePagedir(); err != nil {
 		return err
 	}
-	return n.saveRegions()
+	if err := n.saveRegions(); err != nil {
+		return err
+	}
+	return n.repl.Save()
 }
 
 func (n *Node) savePagedir() error {
@@ -79,7 +82,10 @@ func (n *Node) restore() error {
 	if err := n.restorePagedir(); err != nil {
 		return err
 	}
-	return n.restoreRegions()
+	if err := n.restoreRegions(); err != nil {
+		return err
+	}
+	return n.repl.Load()
 }
 
 func (n *Node) restorePagedir() error {

@@ -1,0 +1,197 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"khazana"
+	"khazana/internal/telemetry"
+)
+
+// E19 kills a region's home under a live lock/write/unlock workload and
+// measures the consensus failover path (§3.5, upgraded by the replicated
+// region-metadata log): the client's next lock rides promoteHome into a
+// standby's election, the winner resumes from the log, and every release
+// the client saw acknowledged — including the one straddling the crash,
+// which the §3.5 retry queue redelivers to the new home — must be
+// readable afterwards with no client-visible errors.
+
+const (
+	e19PreCycles  = 15
+	e19PostCycles = 15
+)
+
+type e19Stats struct {
+	okBefore int           // successful cycles before the crash
+	okAfter  int           // successful cycles after the crash
+	errors   int           // client-visible cycle errors (gate: zero)
+	failover time.Duration // crash -> first successful post-crash cycle
+	queued   int           // releases queued by the crash-straddling unlock
+	drained  bool          // retry queue empty after RunRetries
+	lastAck  int           // highest sequence acked to the client
+	finalSeq int           // sequence read back through the new home
+	oldHome  khazana.NodeID
+	newHome  khazana.NodeID
+	votes    uint64 // replog elections across the cluster
+	wins     uint64 // replog failovers (won elections) across the cluster
+}
+
+// e19Write lock-writes one sequence-stamped payload (12 bytes).
+func e19Write(ctx context.Context, n *khazana.Node, start khazana.Addr, seq int) error {
+	return writeOnce(ctx, n, start, []byte(fmt.Sprintf("seq=%08d", seq)))
+}
+
+// e19Run drives the scenario on a 5-node cluster: a MinReplicas-3 region
+// homed on node 2 (standbys follow its log), a client on node 5 cycling
+// lock/write/unlock, and a crash of node 2 mid-cycle — after the write is
+// locked in but before its release reaches the home.
+func e19Run(cfg Config) (e19Stats, error) {
+	var st e19Stats
+	c, err := newCluster(cfg, 5)
+	if err != nil {
+		return st, err
+	}
+	defer c.Close()
+	ctx := context.Background()
+
+	start, err := mkRegion(ctx, c.Node(2), 4096, khazana.Attrs{MinReplicas: 3})
+	if err != nil {
+		return st, err
+	}
+	// Background loops are off under the harness: refresh the home's
+	// membership view, then grow the home list to MinReplicas so the
+	// standbys exist and follow the region's log.
+	c.Node(2).Core().SendHeartbeat()
+	c.Node(2).Core().MaintainReplicas()
+	d, err := c.Node(2).GetAttr(ctx, start)
+	if err != nil {
+		return st, err
+	}
+	if len(d.Home) < 3 {
+		return st, fmt.Errorf("home list %v never reached MinReplicas 3", d.Home)
+	}
+	st.oldHome = d.Home[0]
+
+	client := c.Node(5)
+	seq := 0
+
+	// Phase 1: healthy cycles; every release is quorum-logged by the home
+	// before the client sees the ack.
+	for i := 0; i < e19PreCycles; i++ {
+		seq++
+		if err := e19Write(ctx, client, start, seq); err != nil {
+			st.errors++
+			continue
+		}
+		st.okBefore++
+		st.lastAck = seq
+	}
+
+	// Phase 2: crash the home mid-cycle — lock granted, write buffered,
+	// home killed, then unlock. The release cannot reach the dead home;
+	// §3.5 queues it client-side and the unlock still succeeds, so this
+	// sequence counts as acked and must survive.
+	seq++
+	lk, err := client.Lock(ctx, khazana.Range{Start: start, Size: 4096}, khazana.LockWrite, "bench")
+	if err != nil {
+		return st, err
+	}
+	if err := lk.Write(start, []byte(fmt.Sprintf("seq=%08d", seq))); err != nil {
+		return st, err
+	}
+	crashAt := time.Now()
+	c.Crash(2)
+	if err := lk.Unlock(ctx); err != nil {
+		st.errors++
+	} else {
+		st.lastAck = seq
+	}
+	st.queued = client.Core().PendingRetries()
+
+	// Phase 3: the workload keeps going. The first cycle pays for the
+	// failover: unreachable home, promoteHome, one election at a standby,
+	// resume from the log.
+	first := true
+	for i := 0; i < e19PostCycles; i++ {
+		seq++
+		if err := e19Write(ctx, client, start, seq); err != nil {
+			st.errors++
+			continue
+		}
+		if first {
+			st.failover = time.Since(crashAt)
+			first = false
+		}
+		st.okAfter++
+		st.lastAck = seq
+	}
+
+	// Phase 4: drain the crash-straddling release. The retry re-resolves
+	// the home — now the election winner — and ships the page's current
+	// frame, so late delivery cannot regress newer writes.
+	client.Core().RunRetries()
+	st.drained = client.Core().PendingRetries() == 0
+
+	// Phase 5: a fresh reader (node 4, never touched the region) must see
+	// the last acked sequence through the new home.
+	data, err := readOnce(ctx, c.Node(4), start, 12)
+	if err != nil {
+		return st, fmt.Errorf("read-back through new home: %w", err)
+	}
+	if _, err := fmt.Sscanf(string(data), "seq=%08d", &st.finalSeq); err != nil {
+		return st, fmt.Errorf("read-back payload %q: %w", data, err)
+	}
+
+	// The promotion was a real election: a surviving follower agrees on
+	// the new leader.
+	for _, h := range d.Home[1:] {
+		if leader, _ := c.Node(int(h)).Core().Repl().Leader(start); leader != 0 && leader != st.oldHome {
+			st.newHome = leader
+			break
+		}
+	}
+	for _, n := range c.Nodes() {
+		for _, ctr := range n.Core().MetricsSnapshot().Counters {
+			switch ctr.Name {
+			case telemetry.MetricReplElections:
+				st.votes += ctr.Value
+			case telemetry.MetricReplFailovers:
+				st.wins += ctr.Value
+			}
+		}
+	}
+	return st, nil
+}
+
+// E19Failover reports the consensus failover experiment: bounded
+// takeover time and zero lost releases across a home crash.
+func E19Failover(cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	res := Result{
+		ID:        "E19",
+		Title:     "§3.5 consensus failover — home killed under live lock/write/unlock workload",
+		Predicted: "one election at a standby resumes the region from the replicated log; no acked release is lost and the client sees no errors",
+	}
+	st, err := e19Run(cfg)
+	if err != nil {
+		return res, err
+	}
+	res.Rows = append(res.Rows,
+		Row{Name: "cycles before crash", Value: fmt.Sprintf("%d/%d ok", st.okBefore, e19PreCycles)},
+		Row{Name: "cycles after crash", Value: fmt.Sprintf("%d/%d ok", st.okAfter, e19PostCycles),
+			Detail: "first (failover) cycle took " + fmtDur(st.failover)},
+		Row{Name: "crash-straddling release", Value: fmt.Sprintf("%d queued, drained=%v", st.queued, st.drained)},
+		Row{Name: "acked vs read back", Value: fmt.Sprintf("acked seq %d, read seq %d", st.lastAck, st.finalSeq)},
+		Row{Name: "home", Value: fmt.Sprintf("node %d -> node %d", st.oldHome, st.newHome),
+			Detail: fmt.Sprintf("%d election(s), %d won", st.votes, st.wins)},
+		Row{Name: "client-visible errors", Value: fmt.Sprintf("%d", st.errors)},
+	)
+	res.Pass = st.errors == 0 &&
+		st.okBefore == e19PreCycles && st.okAfter == e19PostCycles &&
+		st.queued > 0 && st.drained &&
+		st.finalSeq == st.lastAck &&
+		st.newHome != 0 && st.newHome != st.oldHome &&
+		st.wins >= 1
+	return res, nil
+}

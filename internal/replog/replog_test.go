@@ -1,0 +1,418 @@
+package replog
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"khazana/internal/gaddr"
+	"khazana/internal/ktypes"
+	"khazana/internal/region"
+	"khazana/internal/wire"
+)
+
+// net wires several Logs together with an in-memory SendFunc and lets
+// tests cut nodes off.
+type net struct {
+	mu   sync.Mutex
+	logs map[ktypes.NodeID]*Log
+	down map[ktypes.NodeID]bool
+}
+
+func newNet() *net {
+	return &net{logs: make(map[ktypes.NodeID]*Log), down: make(map[ktypes.NodeID]bool)}
+}
+
+func (n *net) add(id ktypes.NodeID, dir string, lease time.Duration) *Log {
+	l := New(Config{
+		Self: id,
+		Dir:  dir,
+		Send: func(ctx context.Context, to ktypes.NodeID, m wire.Msg) (wire.Msg, error) {
+			n.mu.Lock()
+			dead := n.down[to] || n.down[id]
+			target := n.logs[to]
+			n.mu.Unlock()
+			if dead || target == nil {
+				return nil, errors.New("replog test: peer unreachable")
+			}
+			switch msg := m.(type) {
+			case *wire.ReplAppend:
+				return target.HandleAppend(msg), nil
+			case *wire.ReplPromote:
+				return target.HandleVote(msg), nil
+			}
+			return nil, fmt.Errorf("replog test: unexpected %T", m)
+		},
+		LeaseTimeout: lease,
+	})
+	n.mu.Lock()
+	n.logs[id] = l
+	n.mu.Unlock()
+	return l
+}
+
+func (n *net) crash(id ktypes.NodeID) {
+	n.mu.Lock()
+	n.down[id] = true
+	n.mu.Unlock()
+}
+
+func testDesc(homes ...ktypes.NodeID) *region.Descriptor {
+	return &region.Descriptor{
+		Range: gaddr.Range{Start: gaddr.New(1, 0x10000), Size: 0x4000},
+		Home:  homes,
+		Epoch: 1,
+	}
+}
+
+func releaseEntry(page uint64, version uint64, owner ktypes.NodeID) wire.ReplEntry {
+	return wire.ReplEntry{
+		Op: wire.ReplOpRelease, Page: gaddr.New(1, page),
+		Node: owner, Nodes: []ktypes.NodeID{1, owner}, Val: version, Aux: version,
+	}
+}
+
+func TestAppendCommitsOnQuorumAndReplicatesState(t *testing.T) {
+	n := newNet()
+	leader := n.add(1, "", 0)
+	follower := n.add(2, "", 0)
+	n.add(3, "", 0)
+	desc := testDesc(1, 2, 3)
+	ctx := context.Background()
+
+	for v := uint64(1); v <= 3; v++ {
+		if err := leader.Append(ctx, desc, releaseEntry(0x10000, v, 2)); err != nil {
+			t.Fatalf("append v%d: %v", v, err)
+		}
+	}
+	commit, last := leader.Progress(desc.Range.Start)
+	if commit != 3 || last != 3 {
+		t.Fatalf("leader progress = %d/%d, want 3/3", commit, last)
+	}
+	// Followers hold the entries; their commit trails by one append (it
+	// advances with the next append's Commit field), so drive one more.
+	if err := leader.Append(ctx, desc, releaseEntry(0x10000, 4, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, flast := follower.Progress(desc.Range.Start); flast != 4 {
+		t.Fatalf("follower last = %d, want 4", flast)
+	}
+	st, ok := leader.Snapshot(desc.Range.Start)
+	if !ok {
+		t.Fatal("leader has no committed state")
+	}
+	if got := st.PageVersion[gaddr.New(1, 0x10000)]; got != 4 {
+		t.Fatalf("leader state version = %d, want 4", got)
+	}
+	if got := st.Owner[gaddr.New(1, 0x10000)]; got != 2 {
+		t.Fatalf("leader state owner = %d, want 2", got)
+	}
+}
+
+func TestAppendRejectsNonLeader(t *testing.T) {
+	n := newNet()
+	standby := n.add(2, "", 0)
+	desc := testDesc(1, 2, 3)
+	if err := standby.Append(context.Background(), desc, releaseEntry(0x10000, 1, 2)); !errors.Is(err, ErrNotLeader) {
+		t.Fatalf("append from standby = %v, want ErrNotLeader", err)
+	}
+}
+
+func TestSingleHomeRegionCommitsWithoutNetwork(t *testing.T) {
+	n := newNet()
+	leader := n.add(1, "", 0)
+	desc := testDesc(1)
+	if err := leader.Append(context.Background(), desc, releaseEntry(0x10000, 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if commit, _ := leader.Progress(desc.Range.Start); commit != 1 {
+		t.Fatalf("commit = %d, want 1", commit)
+	}
+}
+
+func TestLateFollowerCatchesUpViaSnapshot(t *testing.T) {
+	n := newNet()
+	leader := n.add(1, "", 0)
+	desc := testDesc(1, 2, 3)
+	ctx := context.Background()
+	// Node 3 exists but node 2 joins late: run well past the compaction
+	// floor so entry replay alone cannot catch node 2 up.
+	n.add(3, "", 0)
+	for v := uint64(1); v <= keepTail+40; v++ {
+		if err := leader.Append(ctx, desc, releaseEntry(0x10000+4096*(v%8), v, 3)); err != nil {
+			t.Fatalf("append v%d: %v", v, err)
+		}
+	}
+	late := n.add(2, "", 0)
+	if err := leader.Append(ctx, desc, releaseEntry(0x10000, keepTail+41, 3)); err != nil {
+		t.Fatal(err)
+	}
+	_, last := leader.Progress(desc.Range.Start)
+	if _, lateLast := late.Progress(desc.Range.Start); lateLast != last {
+		t.Fatalf("late follower last = %d, want %d", lateLast, last)
+	}
+}
+
+func TestCompactionBoundsTail(t *testing.T) {
+	n := newNet()
+	leader := n.add(1, "", 0)
+	desc := testDesc(1)
+	for v := uint64(1); v <= keepTail*3; v++ {
+		if err := leader.Append(context.Background(), desc, releaseEntry(0x10000, v, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := leader.TailLen(); got > keepTail {
+		t.Fatalf("tail = %d entries, want <= %d", got, keepTail)
+	}
+	// Compaction must not lose state.
+	st, _ := leader.Snapshot(desc.Range.Start)
+	if got := st.PageVersion[gaddr.New(1, 0x10000)]; got != keepTail*3 {
+		t.Fatalf("state version = %d, want %d", got, keepTail*3)
+	}
+}
+
+func TestElectionAfterLeaderCrash(t *testing.T) {
+	n := newNet()
+	lease := 30 * time.Millisecond
+	leader := n.add(1, "", lease)
+	standby := n.add(2, "", lease)
+	n.add(3, "", lease)
+	desc := testDesc(1, 2, 3)
+	ctx := context.Background()
+	for v := uint64(1); v <= 5; v++ {
+		if err := leader.Append(ctx, desc, releaseEntry(0x10000, v, 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n.crash(1)
+	// The lease must expire before peers grant votes; retry like the
+	// promotion path does.
+	deadline := time.Now().Add(2 * time.Second)
+	won := false
+	for time.Now().Before(deadline) {
+		if standby.Campaign(ctx, desc) {
+			won = true
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !won {
+		t.Fatal("standby never won the election")
+	}
+	if id, _ := standby.Leader(desc.Range.Start); id != 2 {
+		t.Fatalf("leader = %d, want 2", id)
+	}
+	// The new leader resumes the log: all committed releases survive.
+	st, ok := standby.Snapshot(desc.Range.Start)
+	if !ok || st.PageVersion[gaddr.New(1, 0x10000)] < 4 {
+		t.Fatalf("new leader lost releases: ok=%v state=%+v", ok, st)
+	}
+	// And can append under the new homes.
+	newDesc := testDesc(2, 3)
+	newDesc.Range = desc.Range
+	if err := standby.Append(ctx, newDesc, wire.ReplEntry{
+		Op: wire.ReplOpHomes, Nodes: []ktypes.NodeID{2, 3}, Val: 2,
+	}); err != nil {
+		t.Fatalf("append after election: %v", err)
+	}
+}
+
+func TestVoteDeniedWhileLeaseLive(t *testing.T) {
+	n := newNet()
+	lease := time.Hour // effectively never expires
+	leader := n.add(1, "", lease)
+	standby := n.add(2, "", lease)
+	n.add(3, "", lease)
+	desc := testDesc(1, 2, 3)
+	ctx := context.Background()
+	if err := leader.Append(ctx, desc, releaseEntry(0x10000, 1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if standby.Campaign(ctx, desc) {
+		t.Fatal("election won against a live leader's lease")
+	}
+}
+
+func TestVoteDeniedForStaleLog(t *testing.T) {
+	n := newNet()
+	lease := time.Nanosecond // always expired
+	leader := n.add(1, "", lease)
+	n.add(2, "", lease)
+	n.add(3, "", lease)
+	desc := testDesc(1, 2, 3)
+	ctx := context.Background()
+	for v := uint64(1); v <= 4; v++ {
+		if err := leader.Append(ctx, desc, releaseEntry(0x10000, v, 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A fresh node with an empty log must not win over current standbys.
+	empty := n.add(9, "", lease)
+	descWithEmpty := testDesc(1, 2, 9)
+	descWithEmpty.Range = desc.Range
+	if empty.Campaign(ctx, descWithEmpty) {
+		t.Fatal("empty-log candidate won over up-to-date voters")
+	}
+}
+
+func TestDeposedLeaderGetsErrNotLeader(t *testing.T) {
+	n := newNet()
+	lease := time.Nanosecond
+	old := n.add(1, "", lease)
+	standby := n.add(2, "", lease)
+	n.add(3, "", lease)
+	desc := testDesc(1, 2, 3)
+	ctx := context.Background()
+	if err := old.Append(ctx, desc, releaseEntry(0x10000, 1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if !standby.Campaign(ctx, desc) {
+		t.Fatal("standby could not win with expired lease")
+	}
+	// The deposed leader's next append must be refused by the quorum.
+	if err := old.Append(ctx, desc, releaseEntry(0x10000, 2, 2)); !errors.Is(err, ErrNotLeader) {
+		t.Fatalf("deposed leader append = %v, want ErrNotLeader", err)
+	}
+}
+
+func TestObserverSeesFollowerProgress(t *testing.T) {
+	n := newNet()
+	var mu sync.Mutex
+	var gotLeader ktypes.NodeID
+	var gotLast uint64
+	follower := New(Config{
+		Self: 2,
+		Send: func(context.Context, ktypes.NodeID, wire.Msg) (wire.Msg, error) {
+			return nil, errors.New("unused")
+		},
+		Observer: func(_ gaddr.Addr, leader ktypes.NodeID, _ uint64, last uint64) {
+			mu.Lock()
+			gotLeader, gotLast = leader, last
+			mu.Unlock()
+		},
+	})
+	n.mu.Lock()
+	n.logs[2] = follower
+	n.mu.Unlock()
+	leader := n.add(1, "", 0)
+	desc := testDesc(1, 2)
+	if err := leader.Append(context.Background(), desc, releaseEntry(0x10000, 1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if gotLeader != 1 || gotLast != 1 {
+		t.Fatalf("observer saw leader=%d last=%d, want 1/1", gotLeader, gotLast)
+	}
+}
+
+func TestDurableTailRoundTrips(t *testing.T) {
+	dir := t.TempDir()
+	n := newNet()
+	leader := n.add(1, dir, 0)
+	desc := testDesc(1)
+	ctx := context.Background()
+	for v := uint64(1); v <= 10; v++ {
+		if err := leader.Append(ctx, desc, releaseEntry(0x10000, v, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := leader.Save(); err != nil {
+		t.Fatal(err)
+	}
+
+	revived := n.add(1, dir, 0)
+	if err := revived.Load(); err != nil {
+		t.Fatal(err)
+	}
+	commit, last := revived.Progress(desc.Range.Start)
+	wantCommit, wantLast := leader.Progress(desc.Range.Start)
+	if commit != wantCommit || last != wantLast {
+		t.Fatalf("restored progress %d/%d, want %d/%d", commit, last, wantCommit, wantLast)
+	}
+	st, ok := revived.Snapshot(desc.Range.Start)
+	if !ok || st.PageVersion[gaddr.New(1, 0x10000)] != 10 {
+		t.Fatalf("restored state lost releases: %+v", st)
+	}
+	if revived.TailLen() != leader.TailLen() {
+		t.Fatalf("restored tail %d, want %d", revived.TailLen(), leader.TailLen())
+	}
+	// And the revived node can continue appending where it left off.
+	if err := revived.Append(ctx, desc, releaseEntry(0x10000, 11, 1)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuorumLossCommitsDegraded(t *testing.T) {
+	n := newNet()
+	leader := n.add(1, "", 0)
+	n.add(2, "", 0)
+	n.add(3, "", 0)
+	n.crash(2)
+	n.crash(3)
+	desc := testDesc(1, 2, 3)
+	// Both followers down: the append must still commit locally (the
+	// unreachable sends fail fast, no ackTimeout stall).
+	done := make(chan error, 1)
+	go func() {
+		done <- leader.Append(context.Background(), desc, releaseEntry(0x10000, 1, 1))
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("degraded append did not return")
+	}
+	if commit, _ := leader.Progress(desc.Range.Start); commit != 1 {
+		t.Fatalf("degraded commit = %d, want 1", commit)
+	}
+}
+
+func TestConcurrentAppendsStayOrdered(t *testing.T) {
+	n := newNet()
+	leader := n.add(1, "", 0)
+	follower := n.add(2, "", 0)
+	n.add(3, "", 0)
+	desc := testDesc(1, 2, 3)
+	ctx := context.Background()
+	const writers, perWriter = 8, 20
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				if err := leader.Append(ctx, desc, releaseEntry(0x10000+4096*uint64(w), uint64(i+1), 2)); err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	_, last := leader.Progress(desc.Range.Start)
+	if last != writers*perWriter {
+		t.Fatalf("last index = %d, want %d", last, writers*perWriter)
+	}
+	// Drive one more append (on a page no writer used) so followers
+	// learn the final commit, then check the writers' pages match at
+	// the follower.
+	if err := leader.Append(ctx, desc, releaseEntry(0x30000, 1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	lst, _ := leader.Snapshot(desc.Range.Start)
+	fst, _ := follower.Snapshot(desc.Range.Start)
+	for w := 0; w < writers; w++ {
+		p := gaddr.New(1, 0x10000+4096*uint64(w))
+		if lst.PageVersion[p] != perWriter || fst.PageVersion[p] != perWriter {
+			t.Fatalf("page %v: leader %d follower %d, want %d",
+				p, lst.PageVersion[p], fst.PageVersion[p], perWriter)
+		}
+	}
+}

@@ -97,4 +97,28 @@ const (
 	// MetricSnapshotReclaimed counts retired old-version frames given
 	// back by version chains (on publish and under memory pressure).
 	MetricSnapshotReclaimed = "consistency.snapshot_reclaimed_frames"
+
+	// MetricHomePromotions counts ad-hoc §3.5 home promotions this node
+	// performed or requested after finding a primary unreachable (the
+	// legacy walk-the-home-list path; election-won failovers count under
+	// replog.failovers instead).
+	MetricHomePromotions = "core.home_promotions"
+	// MetricReplicaRepairs counts pages re-pushed by the background
+	// minimum-replica maintainer to restore a region's replica count.
+	MetricReplicaRepairs = "core.replica_repairs"
+
+	// MetricReplLogLen gauges entries currently retained across all
+	// region logs this node leads or follows (post-compaction tail).
+	MetricReplLogLen = "replog.log_len"
+	// MetricReplCommitLatency observes leader-side commit latency per
+	// append — from entry creation to quorum ack — in nanoseconds.
+	MetricReplCommitLatency = "replog.commit_latency_ns"
+	// MetricReplElections counts leader elections this node started.
+	MetricReplElections = "replog.elections"
+	// MetricReplFailovers counts elections this node won, each one a
+	// completed home failover resumed from the replicated log.
+	MetricReplFailovers = "replog.failovers"
+	// MetricReplDegradedCommits counts appends committed without a
+	// quorum after the ack timeout (availability-over-durability mode).
+	MetricReplDegradedCommits = "replog.degraded_commits"
 )

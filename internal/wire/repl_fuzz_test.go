@@ -1,0 +1,179 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"khazana/internal/gaddr"
+	"khazana/internal/ktypes"
+)
+
+func legacyAppendNodeIDs(b []byte, ns []ktypes.NodeID) []byte {
+	b = legacyAppendU16(b, uint16(len(ns)))
+	for _, n := range ns {
+		b = legacyAppendU32(b, uint32(n))
+	}
+	return b
+}
+
+func legacyAppendReplEntry(b []byte, en ReplEntry) []byte {
+	b = legacyAppendU64(b, en.Index)
+	b = legacyAppendU64(b, en.Term)
+	b = legacyAppendAddr(b, en.Region)
+	b = append(b, en.Op)
+	b = legacyAppendAddr(b, en.Page)
+	b = legacyAppendU32(b, uint32(en.Node))
+	b = legacyAppendNodeIDs(b, en.Nodes)
+	b = legacyAppendU64(b, en.Val)
+	b = legacyAppendU64(b, en.Aux)
+	return b
+}
+
+// FuzzReplAppendWire proves the append encoding is the documented layout
+// (header, count-prefixed entries, snapshot trailer) and round-trips,
+// entries and snapshot state included.
+func FuzzReplAppendWire(f *testing.F) {
+	f.Add(uint64(3), uint64(7), uint64(6), uint32(2), uint64(0x2000),
+		uint64(5), uint64(9), uint64(2), []byte{})
+	f.Add(uint64(0), uint64(1), uint64(0), uint32(1), uint64(1)<<40,
+		uint64(0), uint64(0), uint64(0), bytes.Repeat([]byte{0x5A}, 64))
+	f.Fuzz(func(t *testing.T, term, prev, commit uint64, from uint32,
+		pageLo, val, aux, snapIdx uint64, snap []byte) {
+		region := gaddr.Addr{Hi: 2, Lo: 0x1000}
+		entries := []ReplEntry{
+			{
+				Index: prev + 1, Term: term, Region: region,
+				Op: ReplOpRelease, Page: gaddr.Addr{Hi: 2, Lo: pageLo},
+				Node: ktypes.NodeID(from), Nodes: []ktypes.NodeID{1, 3},
+				Val: val, Aux: aux,
+			},
+			{
+				Index: prev + 2, Term: term, Region: region,
+				Op: ReplOpHomes, Nodes: []ktypes.NodeID{3, 1}, Val: val + 1,
+			},
+		}
+		m := &ReplAppend{
+			Region: region, From: ktypes.NodeID(from), Term: term,
+			PrevIndex: prev, PrevTerm: term, Commit: commit, Entries: entries,
+			SnapIndex: snapIdx, SnapTerm: term, SnapState: snap,
+		}
+		got := Marshal(m)
+
+		want := legacyAppendU16(nil, uint16(KindReplAppend))
+		want = legacyAppendAddr(want, region)
+		want = legacyAppendU32(want, from)
+		want = legacyAppendU64(want, term)
+		want = legacyAppendU64(want, prev)
+		want = legacyAppendU64(want, term)
+		want = legacyAppendU64(want, commit)
+		want = legacyAppendU16(want, uint16(len(entries)))
+		for _, en := range entries {
+			want = legacyAppendReplEntry(want, en)
+		}
+		want = legacyAppendU64(want, snapIdx)
+		want = legacyAppendU64(want, term)
+		want = legacyAppendBytes32(want, snap)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("repl append diverged from documented layout:\n got %x\nwant %x", got, want)
+		}
+
+		back, err := Unmarshal(got)
+		if err != nil {
+			t.Fatalf("unmarshal: %v", err)
+		}
+		r := back.(*ReplAppend)
+		if r.Region != region || r.From != ktypes.NodeID(from) || r.Term != term ||
+			r.PrevIndex != prev || r.PrevTerm != term || r.Commit != commit {
+			t.Fatal("header fields did not round trip")
+		}
+		if len(r.Entries) != 2 {
+			t.Fatalf("entry count did not round trip: %d", len(r.Entries))
+		}
+		for i := range entries {
+			g, w := r.Entries[i], entries[i]
+			if g.Index != w.Index || g.Term != w.Term || g.Region != w.Region ||
+				g.Op != w.Op || g.Page != w.Page || g.Node != w.Node ||
+				g.Val != w.Val || g.Aux != w.Aux || len(g.Nodes) != len(w.Nodes) {
+				t.Fatalf("entry %d did not round trip: got %+v want %+v", i, g, w)
+			}
+			for j := range w.Nodes {
+				if g.Nodes[j] != w.Nodes[j] {
+					t.Fatalf("entry %d copyset did not round trip", i)
+				}
+			}
+		}
+		wantSnap := snap
+		if len(wantSnap) == 0 {
+			wantSnap = nil
+		}
+		if r.SnapIndex != snapIdx || r.SnapTerm != term || !bytes.Equal(r.SnapState, wantSnap) {
+			t.Fatal("snapshot trailer did not round trip")
+		}
+	})
+}
+
+// FuzzReplAckWire proves the shared append/vote reply round-trips and
+// matches the documented layout.
+func FuzzReplAckWire(f *testing.F) {
+	f.Add(uint64(4), uint64(17), true, false, "")
+	f.Add(uint64(0), uint64(0), false, true, "lease still live")
+	f.Fuzz(func(t *testing.T, term, ack uint64, ok, granted bool, errStr string) {
+		m := &ReplAck{Term: term, Ack: ack, OK: ok, VoteGranted: granted, Err: errStr}
+		got := Marshal(m)
+
+		want := legacyAppendU16(nil, uint16(KindReplAck))
+		want = legacyAppendU64(want, term)
+		want = legacyAppendU64(want, ack)
+		want = legacyAppendBool(want, ok)
+		want = legacyAppendBool(want, granted)
+		want = legacyAppendString(want, errStr)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("repl ack diverged from documented layout:\n got %x\nwant %x", got, want)
+		}
+
+		back, err := Unmarshal(got)
+		if err != nil {
+			t.Fatalf("unmarshal: %v", err)
+		}
+		r := back.(*ReplAck)
+		if r.Term != term || r.Ack != ack || r.OK != ok ||
+			r.VoteGranted != granted || r.Err != errStr {
+			t.Fatal("fields did not round trip")
+		}
+	})
+}
+
+// FuzzReplPromoteWire proves the vote request round-trips and matches
+// the documented layout.
+func FuzzReplPromoteWire(f *testing.F) {
+	f.Add(uint64(0x3000), uint32(3), uint64(5), uint64(12), uint64(4))
+	f.Add(uint64(0), uint32(0), uint64(0), uint64(0), uint64(0))
+	f.Fuzz(func(t *testing.T, lo uint64, cand uint32, term, lastIdx, lastTerm uint64) {
+		region := gaddr.Addr{Hi: 1, Lo: lo}
+		m := &ReplPromote{
+			Region: region, Candidate: ktypes.NodeID(cand),
+			Term: term, LastIndex: lastIdx, LastTerm: lastTerm,
+		}
+		got := Marshal(m)
+
+		want := legacyAppendU16(nil, uint16(KindReplPromote))
+		want = legacyAppendAddr(want, region)
+		want = legacyAppendU32(want, cand)
+		want = legacyAppendU64(want, term)
+		want = legacyAppendU64(want, lastIdx)
+		want = legacyAppendU64(want, lastTerm)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("repl promote diverged from documented layout:\n got %x\nwant %x", got, want)
+		}
+
+		back, err := Unmarshal(got)
+		if err != nil {
+			t.Fatalf("unmarshal: %v", err)
+		}
+		r := back.(*ReplPromote)
+		if r.Region != region || r.Candidate != ktypes.NodeID(cand) ||
+			r.Term != term || r.LastIndex != lastIdx || r.LastTerm != lastTerm {
+			t.Fatal("fields did not round trip")
+		}
+	})
+}

@@ -98,6 +98,10 @@ const (
 
 	KindSnapshotReqBatch
 	KindSnapshotGrantBatch
+
+	KindReplAppend
+	KindReplAck
+	KindReplPromote
 )
 
 // Msg is a wire message.
@@ -206,6 +210,10 @@ var factories = map[Kind]func() Msg{
 
 	KindSnapshotReqBatch:   func() Msg { return &SnapshotReqBatch{} },
 	KindSnapshotGrantBatch: func() Msg { return &SnapshotGrantBatch{} },
+
+	KindReplAppend:  func() Msg { return &ReplAppend{} },
+	KindReplAck:     func() Msg { return &ReplAck{} },
+	KindReplPromote: func() Msg { return &ReplPromote{} },
 }
 
 // --- infrastructure -----------------------------------------------------

@@ -136,6 +136,24 @@ func sampleMessages() []Msg {
 			{OK: false, Err: "not home"},
 		}},
 		&SnapshotGrantBatch{Epoch: 1},
+		&ReplAppend{
+			Region: gaddr.New(0, 0x40000000), From: 2, Term: 3,
+			PrevIndex: 6, PrevTerm: 3, Commit: 5,
+			Entries: []ReplEntry{
+				{Index: 7, Term: 3, Region: gaddr.New(0, 0x40000000),
+					Op: ReplOpRelease, Page: gaddr.New(0, 0x40001000),
+					Node: 4, Nodes: []ktypes.NodeID{2, 4}, Val: 9, Aux: 2},
+				{Index: 8, Term: 3, Region: gaddr.New(0, 0x40000000),
+					Op: ReplOpHomes, Nodes: []ktypes.NodeID{2, 1, 3}, Val: 11},
+			},
+		},
+		&ReplAppend{Region: gaddr.New(0, 0x40000000), From: 2, Term: 4,
+			SnapIndex: 8, SnapTerm: 3, SnapState: []byte("state")},
+		&ReplAck{Term: 3, Ack: 8, OK: true},
+		&ReplAck{Term: 5, VoteGranted: true},
+		&ReplAck{Term: 4, Err: "lease still live"},
+		&ReplPromote{Region: gaddr.New(0, 0x40000000), Candidate: 3,
+			Term: 5, LastIndex: 8, LastTerm: 3},
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"context"
 	"fmt"
 	"path/filepath"
+	"sync"
 	"testing"
 	"time"
 
@@ -321,5 +322,141 @@ func TestManyRegionsManyNodes(t *testing.T) {
 		if !bytes.Equal(got, []byte(want)) {
 			t.Fatalf("region %d = %q, want %q", i, got, want)
 		}
+	}
+}
+
+func TestCoarseSerialTCPEndToEnd(t *testing.T) {
+	// A daemon running both E18 baselines at once — CoarseNodeState
+	// (all lock-context and retry state on one mutex) and the legacy
+	// serial transport — serving concurrent serial TCP clients. The
+	// baselines must stay correct, not just slow: contended write locks
+	// on one shared page and per-client private regions all resolve
+	// through the coarse path over real sockets.
+	ctx := context.Background()
+	n1, err := StartNode(ctx, NodeConfig{
+		ID:              1,
+		ListenAddr:      "127.0.0.1:0",
+		StoreDir:        filepath.Join(t.TempDir(), "n1"),
+		Genesis:         true,
+		CoarseNodeState: true,
+		SerialTransport: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n1.Close()
+
+	const clients = 4
+	const cycles = 8
+	clis := make([]*Client, clients)
+	for i := 0; i < clients; i++ {
+		tr, err := transport.NewTCP(ClientID(10+i), "127.0.0.1:0", transport.WithSerialTransport())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer tr.Close()
+		tr.AddPeer(1, n1.Addr())
+		clis[i] = NewClient(tr, 1, "bench")
+	}
+
+	shared, err := clis[0].Reserve(ctx, 4096, Attrs{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := clis[0].Allocate(ctx, shared); err != nil {
+		t.Fatal(err)
+	}
+	private := make([]Addr, clients)
+	for i := range private {
+		start, err := clis[i].Reserve(ctx, 4096, Attrs{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := clis[i].Allocate(ctx, start); err != nil {
+			t.Fatal(err)
+		}
+		private[i] = start
+	}
+
+	// Each client hammers its private region and a distinct 64-byte slot
+	// of the shared page; the shared page's write locks contend, so every
+	// cycle serializes through the single coarse lock-context shard.
+	errs := make([]error, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cli := clis[i]
+			for j := 0; j < cycles; j++ {
+				payload := []byte(fmt.Sprintf("c%02d-%04d", i, j))
+				lk, err := cli.Lock(ctx, Range{Start: private[i], Size: 4096}, LockWrite)
+				if err == nil {
+					if werr := lk.Write(ctx, private[i], payload); werr != nil {
+						err = werr
+					}
+					if uerr := lk.Unlock(ctx); err == nil {
+						err = uerr
+					}
+				}
+				if err != nil {
+					errs[i] = fmt.Errorf("cycle %d private: %w", j, err)
+					return
+				}
+				slot := shared.MustAdd(uint64(64 * i))
+				lk, err = cli.Lock(ctx, Range{Start: shared, Size: 4096}, LockWrite)
+				if err == nil {
+					if werr := lk.Write(ctx, slot, payload); werr != nil {
+						err = werr
+					}
+					if uerr := lk.Unlock(ctx); err == nil {
+						err = uerr
+					}
+				}
+				if err != nil {
+					errs[i] = fmt.Errorf("cycle %d shared: %w", j, err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+	}
+
+	// Every private region and every shared slot holds its writer's
+	// final cycle; a cross client (not the writer) reads each back.
+	for i := 0; i < clients; i++ {
+		want := fmt.Sprintf("c%02d-%04d", i, cycles-1)
+		reader := clis[(i+1)%clients]
+		lk, err := reader.Lock(ctx, Range{Start: private[i], Size: 4096}, LockRead)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := lk.Read(ctx, private[i], uint64(len(want)))
+		_ = lk.Unlock(ctx)
+		if err != nil || string(got) != want {
+			t.Fatalf("private region %d = %q (%v), want %q", i, got, err, want)
+		}
+		lk, err = reader.Lock(ctx, Range{Start: shared, Size: 4096}, LockRead)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err = lk.Read(ctx, shared.MustAdd(uint64(64*i)), uint64(len(want)))
+		_ = lk.Unlock(ctx)
+		if err != nil || string(got) != want {
+			t.Fatalf("shared slot %d = %q (%v), want %q", i, got, err, want)
+		}
+	}
+
+	st, err := clis[0].Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := uint64(2 * clients * cycles); st.LocksGranted < want {
+		t.Fatalf("daemon granted %d locks, want >= %d", st.LocksGranted, want)
 	}
 }
