@@ -69,6 +69,11 @@ fmt-check:
 # it if killing a home under a live lock/write/unlock workload takes the
 # client more than 2s to resume (lease timeout + one election, with
 # margin), loses an acked release, or surfaces any client-visible error.
+# The armed E20 gate fails it if cold descriptor lookups through the
+# consistent-hash ring stop being flat across 16->256-node clusters
+# (max/min > 3x), drop below 10x over the tree-walk fallback at 256
+# nodes, fall back to the walk in steady state, or cannot resolve a
+# region after every bucket owner crashes.
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x -benchmem ./...
 	KHAZANA_E15_GATE=1 $(GO) test -run TestE15TelemetryOverheadGate -count=1 -v ./internal/experiments/
@@ -76,6 +81,7 @@ bench-smoke:
 	KHAZANA_E17_GATE=1 $(GO) test -run TestE17SnapshotScanGate -count=1 -v ./internal/experiments/
 	KHAZANA_E18_GATE=1 $(GO) test -run TestE18FanInGate -count=1 -v ./internal/experiments/
 	KHAZANA_E19_GATE=1 $(GO) test -run TestE19FailoverGate -count=1 -v ./internal/experiments/
+	KHAZANA_E20_GATE=1 $(GO) test -run TestE20RingLookupGate -count=1 -v ./internal/experiments/
 
 # telemetry-smoke boots a real khazanad with the HTTP debug listener and
 # curls the export surface: /metrics must serve Prometheus text and JSON,

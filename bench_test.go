@@ -555,6 +555,42 @@ func BenchmarkE14ZeroCopy(b *testing.B) {
 	})
 }
 
+// --- E20: descriptor partition -----------------------------------------------
+
+// BenchmarkE20RingLookup measures a cold descriptor lookup through the
+// consistent-hash ring (one RPC hop to a bucket owner) against the
+// legacy cold path on a WithNoRing cluster (manager hint + verify, tree
+// walk on miss). The reader's region directory is dropped every
+// iteration so each lookup starts cold.
+func BenchmarkE20RingLookup(b *testing.B) {
+	run := func(b *testing.B, opts ...khazana.ClusterOption) {
+		opts = append([]khazana.ClusterOption{khazana.WithStoreDir(b.TempDir())}, opts...)
+		c, err := khazana.NewCluster(8, opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(c.Close)
+		ctx := context.Background()
+		start := benchRegion(b, c.Node(2), 4096, khazana.Attrs{})
+		for i := 1; i <= c.Len(); i++ {
+			c.Node(i).Core().SendHeartbeat()
+		}
+		for i := 1; i <= c.Len(); i++ {
+			c.Node(i).Core().RingSettle()
+		}
+		reader := c.Node(8)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			reader.Core().RegionDir().Remove(start)
+			if _, err := reader.GetAttr(ctx, start); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("ring-one-hop", func(b *testing.B) { run(b) })
+	b.Run("legacy-cold", func(b *testing.B) { run(b, khazana.WithNoRing()) })
+}
+
 // BenchmarkExperimentHarness runs one fast harness pass end to end, so the
 // full experiment pipeline is exercised by `go test -bench`.
 func BenchmarkExperimentHarness(b *testing.B) {

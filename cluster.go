@@ -23,6 +23,7 @@ type Cluster struct {
 	nodes   []*Node
 	dir     string
 	ownDir  bool
+	cfg     clusterConfig
 }
 
 // ClusterOption configures NewCluster.
@@ -41,6 +42,7 @@ type clusterConfig struct {
 	noReadAhead bool
 	perPageRepl bool
 	noTelemetry bool
+	noRing      bool
 	tracer      func(NodeID, string)
 }
 
@@ -102,6 +104,14 @@ func WithPerPageReplication() ClusterOption {
 	return func(c *clusterConfig) { c.perPageRepl = true }
 }
 
+// WithNoRing disables the consistent-hashing descriptor partition on
+// every node, restoring the paper's cluster-hint / tree-walk lookup path
+// for cold misses. The lookup benchmarks (E20) and the paper-faithful
+// trace reproductions (E2, E3) use it as the baseline.
+func WithNoRing() ClusterOption {
+	return func(c *clusterConfig) { c.noRing = true }
+}
+
 // WithNoTelemetry disables the metrics registry and trace recorder on
 // every node. The telemetry-overhead benchmarks use it as the baseline.
 func WithNoTelemetry() ClusterOption {
@@ -136,7 +146,7 @@ func NewCluster(count int, opts ...ClusterOption) (*Cluster, error) {
 	if cfg.latency > 0 {
 		net.SetBaseLatency(cfg.latency)
 	}
-	c := &Cluster{Network: net, dir: cfg.dir, ownDir: ownDir}
+	c := &Cluster{Network: net, dir: cfg.dir, ownDir: ownDir, cfg: cfg}
 	ctx := context.Background()
 	for i := 1; i <= count; i++ {
 		id := ktypes.NodeID(i)
@@ -167,6 +177,7 @@ func NewCluster(count int, opts ...ClusterOption) (*Cluster, error) {
 			NoReadAhead:        cfg.noReadAhead,
 			PerPageReplication: cfg.perPageRepl,
 			NoTelemetry:        cfg.noTelemetry,
+			NoRing:             cfg.noRing,
 			Tracer:             tracer,
 		})
 		if err != nil {
@@ -180,19 +191,38 @@ func NewCluster(count int, opts ...ClusterOption) (*Cluster, error) {
 
 // AddNode starts one more daemon and attaches it to the cluster,
 // exercising dynamic membership (§3.1: machines can dynamically enter and
-// leave Khazana).
+// leave Khazana). The new daemon inherits the cluster's options, so a
+// WithNoRing (or cache-bounded, telemetry-free, ...) cluster stays
+// homogeneous as it grows.
 func (c *Cluster) AddNode() (*Node, error) {
 	id := ktypes.NodeID(len(c.nodes) + 1)
 	tr, err := c.Network.Attach(id)
 	if err != nil {
 		return nil, err
 	}
+	var tracer func(string)
+	if c.cfg.tracer != nil {
+		nid := id
+		tracer = func(step string) { c.cfg.tracer(nid, step) }
+	}
 	node, err := StartNode(context.Background(), NodeConfig{
-		ID:             id,
-		Transport:      tr,
-		StoreDir:       filepath.Join(c.dir, fmt.Sprintf("node-%d", id)),
-		ClusterManager: 1,
-		MapHome:        1,
+		ID:                 id,
+		Transport:          tr,
+		StoreDir:           filepath.Join(c.dir, fmt.Sprintf("node-%d", id)),
+		MemPages:           c.cfg.memPages,
+		DiskPages:          c.cfg.diskPages,
+		ClusterManager:     1,
+		MapHome:            1,
+		HeartbeatInterval:  c.cfg.heartbeat,
+		RetryInterval:      c.cfg.retry,
+		ReplicaInterval:    c.cfg.replica,
+		MigrationInterval:  c.cfg.migration,
+		PerPageTransfers:   c.cfg.perPage,
+		NoReadAhead:        c.cfg.noReadAhead,
+		PerPageReplication: c.cfg.perPageRepl,
+		NoTelemetry:        c.cfg.noTelemetry,
+		NoRing:             c.cfg.noRing,
+		Tracer:             tracer,
 	})
 	if err != nil {
 		return nil, err

@@ -202,6 +202,9 @@ func run(args []string) error {
 		}
 		fmt.Printf("snapshots   %d reads, %d old frames reclaimed, %s\n",
 			counter(telemetry.MetricSnapshotReads), counter(telemetry.MetricSnapshotReclaimed), chains)
+		fmt.Printf("ring        %d one-hop lookups, %d rebalance moves, %d fallback walks\n",
+			counter(telemetry.MetricRingLookups), counter(telemetry.MetricRingRebalanceMoves),
+			counter(telemetry.MetricRingFallbackWalks))
 		gauge := func(name string) int64 {
 			for _, g := range m.Gauges {
 				if g.Name == name {

@@ -140,6 +140,7 @@ func (n *Node) SendHeartbeat() {
 	}
 	if view, ok := resp.(*wire.ClusterView); ok {
 		n.setMembers(view.Members)
+		n.ringSync(ctx)
 	}
 }
 
@@ -461,6 +462,7 @@ func (n *Node) ensureHomes(ctx context.Context, desc *region.Descriptor) (*regio
 		//khazana:ignore-err descriptor shipping repeats on the next replica-maintenance round; an unreachable secondary just lags
 		_, _ = n.tr.Request(ctx, h, &wire.AttrSet{Desc: out, Principal: out.Attrs.ACL.Owner})
 	}
+	n.ringAnnounce(ctx, out)
 	return out, true
 }
 

@@ -172,16 +172,28 @@ func TestLookupPathStages(t *testing.T) {
 	ctx := context.Background()
 	// Region homed on node 1 (manager).
 	start := mkRegion(t, nodes[0], 4096, region.Attrs{}, "alice")
+	// Announces are asynchronous; wait for the partition to converge so
+	// the cold lookup below deterministically one-hops.
+	nodes[0].RingSettle()
 
 	// Node 3 has never seen the region: full lookup.
 	n3 := nodes[2]
 	if _, err := n3.GetAttr(ctx, start); err != nil {
 		t.Fatal(err)
 	}
+	ringHits := n3.Statistics().RingHits.Load()
 	walks := n3.Statistics().TreeWalks.Load()
 	clusterHits := n3.Statistics().ClusterHits.Load()
-	if walks+clusterHits == 0 {
+	if ringHits+walks+clusterHits == 0 {
 		t.Fatal("first lookup should have gone past the region directory")
+	}
+	// The ring partition resolves the cold miss before the legacy stages
+	// get a chance: no tree walk, no cluster hint.
+	if ringHits == 0 {
+		t.Fatalf("cold lookup should resolve through the ring (walks=%d clusterHits=%d)", walks, clusterHits)
+	}
+	if walks+clusterHits != 0 {
+		t.Fatalf("ring hit should preempt the legacy stages (walks=%d clusterHits=%d)", walks, clusterHits)
 	}
 	// Second lookup: region directory hit.
 	if _, err := n3.GetAttr(ctx, start); err != nil {

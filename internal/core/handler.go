@@ -76,6 +76,10 @@ func (n *Node) handle(ctx context.Context, from ktypes.NodeID, m wire.Msg) (wire
 			return &wire.RegionInfo{Found: true, Desc: d}, nil
 		}
 		return &wire.RegionInfo{Found: false, Err: "not a secondary home"}, nil
+	case *wire.RingLookup:
+		return n.handleRingLookup(msg), nil
+	case *wire.RingAnnounce:
+		return n.handleRingAnnounce(msg), nil
 
 	// --- replicated region-metadata log ------------------------------------
 	case *wire.ReplAppend:
@@ -112,12 +116,15 @@ func (n *Node) handle(ctx context.Context, from ktypes.NodeID, m wire.Msg) (wire
 		if n.manager == nil {
 			return nil, fmt.Errorf("core: %v is not the cluster manager", n.cfg.ID)
 		}
-		return n.manager.Join(msg.Node, msg.Addr), nil
+		view := n.manager.Join(msg.Node, msg.Addr)
+		n.ringSync(ctx)
+		return view, nil
 	case *wire.Heartbeat:
 		if n.manager == nil {
 			return nil, fmt.Errorf("core: %v is not the cluster manager", n.cfg.ID)
 		}
 		n.manager.Heartbeat(msg)
+		n.ringSync(ctx)
 		return n.manager.View(), nil
 	case *wire.ClusterQuery:
 		if n.manager == nil {
@@ -138,6 +145,7 @@ func (n *Node) handle(ctx context.Context, from ktypes.NodeID, m wire.Msg) (wire
 	case *wire.Leave:
 		if n.manager != nil {
 			n.manager.Leave(msg.Node)
+			n.ringSync(ctx)
 		}
 		return &wire.Ack{}, nil
 

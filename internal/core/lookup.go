@@ -11,6 +11,7 @@ import (
 	"khazana/internal/ktypes"
 	"khazana/internal/pagedir"
 	"khazana/internal/region"
+	"khazana/internal/ring"
 	"khazana/internal/wire"
 )
 
@@ -19,10 +20,12 @@ import (
 // inaccessible and the operation fails back to the client" (§3.2).
 var ErrInaccessible = errors.New("core: region inaccessible")
 
-// lookupRegion resolves the descriptor of the region containing addr,
-// following the paper's three-stage path (§3.2, §3.5): region directory
-// first, then the cluster manager, and only then the address map tree
-// walk.
+// lookupRegion resolves the descriptor of the region containing addr.
+// The paper's three-stage path (§3.2, §3.5) — region directory, cluster
+// manager, address map tree walk — gains a consistent-hashing stage in
+// front of the legacy tail: a cold miss hashes the address to its ring
+// owners and resolves in one RPC hop, demoting the cluster hint and
+// tree walk to a repair-only fallback.
 func (n *Node) lookupRegion(ctx context.Context, addr gaddr.Addr) (*region.Descriptor, error) {
 	n.stats.Lookups.Add(1)
 	// Stage 0: the address map region itself is well known.
@@ -34,20 +37,82 @@ func (n *Node) lookupRegion(ctx context.Context, addr gaddr.Addr) (*region.Descr
 		return d, nil
 	}
 	// Stage 1: region directory cache.
+	stageStart := time.Now()
 	if d, ok := n.rdir.Lookup(addr); ok {
 		n.stats.DirHits.Add(1)
+		n.mStageDir.ObserveSince(stageStart)
 		n.trace("1:region-directory-hit")
 		return d, nil
 	}
-	// Stage 2: cluster manager hint / cluster walk.
+	return n.lookupCold(ctx, addr)
+}
+
+// lookupCold resolves a directory miss, collapsing concurrent misses
+// for the same hash bucket into one flight: the first caller does the
+// remote lookup, waiters block on its completion and re-check the
+// directory. A waiter whose address the leader's result did not cover
+// (different region, same bucket) loops and becomes the next leader.
+func (n *Node) lookupCold(ctx context.Context, addr gaddr.Addr) (*region.Descriptor, error) {
+	key := ring.BucketOf(addr)
+	for {
+		n.flightMu.Lock()
+		ch, inflight := n.flights[key]
+		if !inflight {
+			ch = make(chan struct{})
+			n.flights[key] = ch
+			n.flightMu.Unlock()
+			d, err := n.coldFlight(ctx, addr)
+			n.flightMu.Lock()
+			delete(n.flights, key)
+			n.flightMu.Unlock()
+			close(ch)
+			return d, err
+		}
+		n.flightMu.Unlock()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		if d, ok := n.rdir.Lookup(addr); ok {
+			n.stats.DirHits.Add(1)
+			return d, nil
+		}
+	}
+}
+
+// coldFlight is the single in-flight cold lookup for a bucket: ring
+// first (one RPC hop), then the legacy cluster-hint and tree-walk
+// stages as repair fallback. Whatever the fallback finds is announced
+// back to the ring owners so the next cold lookup one-hops.
+func (n *Node) coldFlight(ctx context.Context, addr gaddr.Addr) (*region.Descriptor, error) {
+	if !n.cfg.NoRing {
+		stageStart := time.Now()
+		if d := n.lookupViaRing(ctx, addr); d != nil {
+			n.mRingLookups.Add(1)
+			n.mStageRing.ObserveSince(stageStart)
+			n.trace("2:ring-one-hop")
+			n.rdir.Insert(d)
+			return d.Clone(), nil
+		}
+		// The ring could not resolve the address — owners unreachable or
+		// their tables missing the region. Steady state never gets here;
+		// the legacy path below repairs the ring with whatever it finds.
+		n.mRingFallbacks.Add(1)
+	}
+	// Legacy stage 2: cluster manager hint / cluster walk.
+	stageStart := time.Now()
 	if d := n.lookupViaCluster(ctx, addr); d != nil {
 		n.stats.ClusterHits.Add(1)
+		n.mStageCluster.ObserveSince(stageStart)
 		n.rdir.Insert(d)
+		n.ringAnnounce(ctx, d)
 		return d.Clone(), nil
 	}
-	// Stage 3: address map tree walk.
+	// Legacy stage 3: address map tree walk.
 	n.trace("2-3:address-map-lookup")
 	n.stats.TreeWalks.Add(1)
+	stageStart = time.Now()
 	entry, _, err := n.amap.Lookup(ctx, addr)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrInaccessible, err)
@@ -56,7 +121,9 @@ func (n *Node) lookupRegion(ctx context.Context, addr gaddr.Addr) (*region.Descr
 	if err != nil {
 		return nil, err
 	}
+	n.mStageWalk.ObserveSince(stageStart)
 	n.rdir.Insert(d)
+	n.ringAnnounce(ctx, d)
 	return d.Clone(), nil
 }
 
@@ -202,6 +269,14 @@ func (n *Node) fetchDescriptorTolerant(ctx context.Context, candidates []ktypes.
 // longer is home").
 func (n *Node) refreshDescriptor(ctx context.Context, d *region.Descriptor) (*region.Descriptor, error) {
 	n.rdir.Remove(d.Range.Start)
+	// Ask the region's own homes first: they are authoritative, while
+	// ring and directory answers are cache copies that may trail an
+	// asynchronous announce. Fall back to the full lookup path when no
+	// listed home answers (e.g. the home list itself is stale).
+	if fresh, err := n.fetchDescriptorTolerant(ctx, d.Home, d.Range.Start); err == nil && fresh != nil {
+		n.rdir.Insert(fresh)
+		return fresh.Clone(), nil
+	}
 	return n.lookupRegion(ctx, d.Range.Start)
 }
 
@@ -317,6 +392,9 @@ func (n *Node) promoteFlight(ctx context.Context, start gaddr.Addr) *region.Desc
 	n.stats.Promotions.Add(1)
 	n.mHomePromos.Add(1)
 	n.rdir.Insert(out)
+	// Re-announce the promoted descriptor to its ring owners so one-hop
+	// cold lookups resolve to the new home immediately.
+	n.ringAnnounce(ctx, out)
 	// Best-effort map update so tree walkers find the new home.
 	mapCtx, cancel := context.WithTimeout(context.WithoutCancel(ctx), 2*time.Second)
 	defer cancel()

@@ -43,15 +43,13 @@ func (n *Node) MigrateRegion(ctx context.Context, start gaddr.Addr, newHome ktyp
 		return err
 	}
 	if home != n.cfg.ID {
-		resp, err := n.tr.Request(ctx, home, &wire.Migrate{Start: start, NewHome: newHome, Principal: principal})
-		if err != nil {
+		fresh, err := n.forwardOp(ctx, desc, func() wire.Msg {
+			return &wire.Migrate{Start: start, NewHome: newHome, Principal: principal}
+		})
+		if err != nil || fresh == nil {
 			return err
 		}
-		if ack, ok := resp.(*wire.Ack); ok && ack.Err != "" {
-			return errors.New(ack.Err)
-		}
-		n.rdir.Remove(start)
-		return nil
+		// The refresh says this node is now the home: fall through.
 	}
 	return n.migrateLocal(ctx, start, newHome, principal)
 }
@@ -125,6 +123,8 @@ func (n *Node) migrateLocal(ctx context.Context, start gaddr.Addr, newHome ktype
 	}
 	n.descMu.Unlock()
 	n.rdir.Insert(updated)
+	// Re-announce so one-hop cold lookups resolve to the new home.
+	n.ringAnnounce(ctx, updated)
 	if err := n.mapSetHomes(ctx, start, homes); err != nil {
 		return fmt.Errorf("core: migrate map entry: %w", err)
 	}

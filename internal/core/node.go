@@ -29,6 +29,7 @@ import (
 	"khazana/internal/pagedir"
 	"khazana/internal/region"
 	"khazana/internal/replog"
+	"khazana/internal/ring"
 	"khazana/internal/store"
 	"khazana/internal/telemetry"
 	"khazana/internal/transport"
@@ -97,6 +98,13 @@ type Config struct {
 	// an escape hatch; the default (false) spreads the state over
 	// stateShards shards.
 	CoarseNodeState bool
+	// NoRing disables the consistent-hashing descriptor partition: cold
+	// lookups skip the one-hop ring stage and descriptors are not
+	// announced to ring owners, restoring the legacy cluster-hint /
+	// tree-walk path. It exists for benchmarks comparing the two paths
+	// (E20, and the paper-faithful E2/E3 reproductions) and as an escape
+	// hatch; the default (false) uses the ring.
+	NoRing bool
 	// Registry supplies consistency protocols; nil uses the built-ins.
 	Registry *consistency.Registry
 	// Clock supplies last-writer-wins stamps; nil uses wall time.
@@ -185,6 +193,23 @@ type Node struct {
 	// fed by the replog observer on every replicated append.
 	standbys *cluster.StandbyTable
 
+	// ringMu guards ringState, the current consistent-hashing partition
+	// of region descriptors (nil when Config.NoRing disables it or
+	// before the first membership view). ringTable is this node's
+	// authoritative descriptor table for the buckets it owns, populated
+	// by RingAnnounce traffic and local region lifecycle events.
+	ringMu    sync.Mutex
+	ringState *ring.Ring
+	ringTable *ring.Table
+	// annWG tracks in-flight asynchronous ring announces (see ringCast).
+	annWG sync.WaitGroup
+
+	// flightMu guards flights, the per-bucket cold-lookup singleflight:
+	// N concurrent misses for addresses in one bucket collapse into a
+	// single remote lookup; waiters re-check the directory afterwards.
+	flightMu sync.Mutex
+	flights  map[gaddr.Addr]chan struct{}
+
 	// promoMu guards promo, the per-region promotion singleflight:
 	// concurrent promoteLocal calls for one region collapse into a
 	// single election instead of racing the descriptor reorder.
@@ -212,10 +237,17 @@ type Node struct {
 	mSnapReads      *telemetry.Counter
 	mHomePromos     *telemetry.Counter
 	mReplicaRepairs *telemetry.Counter
+	mRingLookups    *telemetry.Counter
+	mRingMoves      *telemetry.Counter
+	mRingFallbacks  *telemetry.Counter
 	mLockLatency    *telemetry.Histogram
 	mReleaseLatency *telemetry.Histogram
 	mBatchPages     *telemetry.Histogram
 	mPingRTT        *telemetry.Histogram
+	mStageDir       *telemetry.Histogram
+	mStageRing      *telemetry.Histogram
+	mStageCluster   *telemetry.Histogram
+	mStageWalk      *telemetry.Histogram
 	gMemPages       *telemetry.Gauge
 	gDiskPages      *telemetry.Gauge
 }
@@ -226,6 +258,7 @@ type Node struct {
 type Stats struct {
 	Lookups        *telemetry.Counter
 	DirHits        *telemetry.Counter
+	RingHits       *telemetry.Counter
 	ClusterHits    *telemetry.Counter
 	TreeWalks      *telemetry.Counter
 	LocksGranted   *telemetry.Counter
@@ -338,6 +371,7 @@ func NewNode(cfg Config) (*Node, error) {
 		stats: Stats{
 			Lookups:        tel.Counter(telemetry.MetricLookups),
 			DirHits:        tel.Counter(telemetry.MetricLookupDirHits),
+			RingHits:       tel.Counter(telemetry.MetricRingLookups),
 			ClusterHits:    tel.Counter(telemetry.MetricLookupClusterHits),
 			TreeWalks:      tel.Counter(telemetry.MetricLookupTreeWalks),
 			LocksGranted:   tel.Counter(telemetry.MetricLocksGranted),
@@ -348,13 +382,22 @@ func NewNode(cfg Config) (*Node, error) {
 		mSnapReads:      tel.Counter(telemetry.MetricSnapshotReads),
 		mHomePromos:     tel.Counter(telemetry.MetricHomePromotions),
 		mReplicaRepairs: tel.Counter(telemetry.MetricReplicaRepairs),
+		mRingLookups:    tel.Counter(telemetry.MetricRingLookups),
+		mRingMoves:      tel.Counter(telemetry.MetricRingRebalanceMoves),
+		mRingFallbacks:  tel.Counter(telemetry.MetricRingFallbackWalks),
 		mLockLatency:    tel.Histogram(telemetry.MetricLockLatency),
 		mReleaseLatency: tel.Histogram(telemetry.MetricReleaseLatency),
 		mBatchPages:     tel.Histogram(telemetry.MetricLockBatchPages),
 		mPingRTT:        tel.Histogram(telemetry.MetricPingRTT),
+		mStageDir:       tel.Histogram(telemetry.MetricLookupStageDir),
+		mStageRing:      tel.Histogram(telemetry.MetricLookupStageRing),
+		mStageCluster:   tel.Histogram(telemetry.MetricLookupStageCluster),
+		mStageWalk:      tel.Histogram(telemetry.MetricLookupStageWalk),
 		gMemPages:       tel.Gauge(telemetry.MetricMemPages),
 		gDiskPages:      tel.Gauge(telemetry.MetricDiskPages),
 	}
+	n.ringTable = ring.NewTable()
+	n.flights = make(map[gaddr.Addr]chan struct{})
 	n.shardMask = stateShards - 1
 	if cfg.CoarseNodeState {
 		n.shardMask = 0
@@ -442,6 +485,7 @@ func (n *Node) Start(ctx context.Context) error {
 	if err := n.join(ctx); err != nil {
 		return err
 	}
+	n.ringSync(ctx)
 	if n.cfg.HeartbeatInterval > 0 {
 		n.done.Add(1)
 		go n.heartbeatLoop()
@@ -556,6 +600,19 @@ func (n *Node) Repl() *replog.Log { return n.repl }
 
 // Standbys exposes the standby-replica table (diagnostics and tests).
 func (n *Node) Standbys() *cluster.StandbyTable { return n.standbys }
+
+// Ring exposes the node's current consistent-hashing partition view
+// (nil when disabled or before the first membership sync); diagnostics,
+// tests, and experiments.
+func (n *Node) Ring() *ring.Ring {
+	n.ringMu.Lock()
+	defer n.ringMu.Unlock()
+	return n.ringState
+}
+
+// RingTable exposes the node's authoritative ring descriptor table
+// (diagnostics and tests).
+func (n *Node) RingTable() *ring.Table { return n.ringTable }
 
 func (n *Node) setMembers(ms []ktypes.NodeID) {
 	n.memMu.Lock()

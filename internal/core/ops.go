@@ -67,6 +67,7 @@ func (n *Node) Reserve(ctx context.Context, size uint64, attrs region.Attrs, pri
 	}
 	n.putAuthDesc(desc)
 	n.rdir.Insert(desc)
+	n.ringAnnounce(ctx, desc)
 	return start, nil
 }
 
@@ -131,21 +132,21 @@ func (n *Node) Unreserve(ctx context.Context, start gaddr.Addr, principal ktypes
 		return err
 	}
 	if home != n.cfg.ID {
-		resp, err := n.tr.Request(ctx, home, &wire.CUnreserve{Start: start, Principal: principal})
-		if err != nil {
+		fresh, err := n.forwardOp(ctx, desc, func() wire.Msg {
+			return &wire.CUnreserve{Start: start, Principal: principal}
+		})
+		if err != nil || fresh == nil {
 			return err
 		}
-		if ack, ok := resp.(*wire.Ack); ok && ack.Err != "" {
-			return errors.New(ack.Err)
-		}
-		n.rdir.Remove(start)
-		return nil
+		// The refresh says this node is now the home: fall through.
+		desc = fresh
 	}
 	// Home-side teardown: drop pages, descriptor, and the map entry.
 	n.dropRegionPages(ctx, desc)
 	n.dropAuthDesc(start)
 	n.access.forget(start)
 	n.rdir.Remove(start)
+	n.ringWithdraw(ctx, desc)
 	if err := n.mapRemove(ctx, start); err != nil {
 		return fmt.Errorf("core: unrecord region: %w", err)
 	}
@@ -181,21 +182,16 @@ func (n *Node) setAllocated(ctx context.Context, start gaddr.Addr, principal kty
 		return err
 	}
 	if home != n.cfg.ID {
-		var msg wire.Msg
-		if alloc {
-			msg = &wire.CAllocate{Start: start, Principal: principal}
-		} else {
-			msg = &wire.CFree{Start: start, Principal: principal}
-		}
-		resp, err := n.tr.Request(ctx, home, msg)
-		if err != nil {
+		fresh, err := n.forwardOp(ctx, desc, func() wire.Msg {
+			if alloc {
+				return &wire.CAllocate{Start: start, Principal: principal}
+			}
+			return &wire.CFree{Start: start, Principal: principal}
+		})
+		if err != nil || fresh == nil {
 			return err
 		}
-		if ack, ok := resp.(*wire.Ack); ok && ack.Err != "" {
-			return errors.New(ack.Err)
-		}
-		n.rdir.Remove(start) // cached copy is now stale
-		return nil
+		// The refresh says this node is now the home: fall through.
 	}
 	n.descMu.Lock()
 	d, ok := n.authDescs[start]
@@ -208,6 +204,7 @@ func (n *Node) setAllocated(ctx context.Context, start gaddr.Addr, principal kty
 	out := d.Clone()
 	n.descMu.Unlock()
 	n.rdir.Insert(out)
+	n.ringAnnounce(ctx, out)
 	if !alloc {
 		n.dropRegionPages(ctx, out)
 	}
@@ -267,18 +264,13 @@ func (n *Node) SetAttr(ctx context.Context, start gaddr.Addr, attrs region.Attrs
 		return err
 	}
 	if home != n.cfg.ID {
-		updated := desc.Clone()
-		updated.Attrs = attrs
-		resp, err := n.tr.Request(ctx, home, &wire.CSetAttr{Start: start, Attrs: attrs, Principal: principal})
-		if err != nil {
+		fresh, err := n.forwardOp(ctx, desc, func() wire.Msg {
+			return &wire.CSetAttr{Start: start, Attrs: attrs, Principal: principal}
+		})
+		if err != nil || fresh == nil {
 			return err
 		}
-		if ack, ok := resp.(*wire.Ack); ok && ack.Err != "" {
-			return errors.New(ack.Err)
-		}
-		n.rdir.Remove(start)
-		_ = updated
-		return nil
+		// The refresh says this node is now the home: fall through.
 	}
 	n.descMu.Lock()
 	d, ok := n.authDescs[start]
@@ -291,6 +283,7 @@ func (n *Node) SetAttr(ctx context.Context, start gaddr.Addr, attrs region.Attrs
 	out := d.Clone()
 	n.descMu.Unlock()
 	n.rdir.Insert(out)
+	n.ringAnnounce(ctx, out)
 	return nil
 }
 
@@ -322,7 +315,14 @@ func (n *Node) Lock(ctx context.Context, rng gaddr.Range, mode ktypes.LockMode, 
 		return nil, err
 	}
 	if !desc.Allocated {
-		return nil, ErrNotAllocated
+		// A cached or ring-served copy can trail an Allocate that already
+		// committed at the home; re-check against the home once before
+		// failing the gate.
+		fresh, ferr := n.refreshDescriptor(ctx, desc)
+		if ferr != nil || !fresh.Allocated {
+			return nil, ErrNotAllocated
+		}
+		desc = fresh
 	}
 	off, _ := desc.Range.OffsetOf(rng.Start)
 	pages := desc.Pages(off, rng.Size)
@@ -492,6 +492,71 @@ func missingPages(pages, held []gaddr.Addr) []gaddr.Addr {
 func isUnreachable(err error) bool {
 	return err != nil && (errors.Is(err, transport.ErrUnreachable) ||
 		strings.Contains(err.Error(), "unreachable"))
+}
+
+// isStaleHome matches failures that mean the cached descriptor pointed
+// at the wrong home: the node is unreachable, or it answered that the
+// region is not homed there (it migrated or failed over).
+func isStaleHome(err error) bool {
+	return err != nil && (isUnreachable(err) ||
+		strings.Contains(err.Error(), "not homed here"))
+}
+
+// ackRequest sends msg to a node and folds the Ack-carried error into
+// the Go error.
+func (n *Node) ackRequest(ctx context.Context, to ktypes.NodeID, msg wire.Msg) error {
+	resp, err := n.tr.Request(ctx, to, msg)
+	if err != nil {
+		return err
+	}
+	if ack, ok := resp.(*wire.Ack); ok && ack.Err != "" {
+		return errors.New(ack.Err)
+	}
+	return nil
+}
+
+// forwardOp forwards a home-side operation to the region's primary home.
+// On a stale-home failure (§3.2: "the use of a stale home pointer will
+// simply result in a message being sent to a node that no longer is
+// home") it drops the cached descriptor, re-resolves it — ring first —
+// and retries once against the new home before giving up.
+//
+// Returns (nil, nil) on success; (fresh, nil) when the refresh reveals
+// this node became the home, so the caller falls through to its local
+// path; (nil, err) on failure. build constructs a fresh message per
+// attempt so a retry never reuses a consumed frame.
+func (n *Node) forwardOp(ctx context.Context, desc *region.Descriptor, build func() wire.Msg) (*region.Descriptor, error) {
+	home, err := desc.PrimaryHome()
+	if err != nil {
+		return nil, err
+	}
+	start := desc.Range.Start
+	err = n.ackRequest(ctx, home, build())
+	if err == nil {
+		n.rdir.Remove(start) // cached copy is now stale
+		return nil, nil
+	}
+	if !isStaleHome(err) {
+		return nil, err
+	}
+	fresh, ferr := n.refreshDescriptor(ctx, desc)
+	if ferr != nil {
+		return nil, err
+	}
+	newHome, herr := fresh.PrimaryHome()
+	if herr != nil {
+		return nil, err
+	}
+	if newHome == n.cfg.ID {
+		return fresh, nil
+	}
+	if newHome != home {
+		if rerr := n.ackRequest(ctx, newHome, build()); rerr == nil {
+			n.rdir.Remove(start)
+			return nil, nil
+		}
+	}
+	return nil, err
 }
 
 // lockByID resolves a lock context.

@@ -209,7 +209,13 @@ func TestIsolatedNodeRejoins(t *testing.T) {
 	ctx := context.Background()
 	start := mkRegion(t, nodes[0], 4096, region.Attrs{}, "")
 
+	// The descriptor partition may have made node 3 a ring owner of the
+	// region's bucket, in which case it can answer the lookup from its own
+	// table even while cut off. Drop that copy (after announces settle)
+	// so the test still exercises a lookup that must leave the node.
+	nodes[0].RingSettle()
 	net.Isolate(3)
+	nodes[2].RingTable().Remove(start)
 	shortCtx, cancel := context.WithTimeout(ctx, 200*time.Millisecond)
 	if _, err := nodes[2].GetAttr(shortCtx, start); err == nil {
 		t.Fatal("isolated node should fail to resolve a foreign region")

@@ -116,7 +116,9 @@ func E2Figure2(cfg Config) (Result, error) {
 		events = append(events, ev{step: step, at: time.Since(t0)})
 		mu.Unlock()
 	}
-	c, err := newCluster(cfg, 2, khazana.WithTracer(tracer))
+	// The paper's Figure-2 trace predates the descriptor partition;
+	// disable the ring so the optional tree-walk steps 2-3 appear.
+	c, err := newCluster(cfg, 2, khazana.WithTracer(tracer), khazana.WithNoRing())
 	if err != nil {
 		return res, err
 	}
@@ -195,7 +197,9 @@ func E3LookupPath(cfg Config) (Result, error) {
 		Title:     "§3.2 — region location path: directory hit vs cluster manager vs tree walk",
 		Predicted: "directory hit ≪ cluster-manager hint < cluster walk ≈ tree walk; tree search cost grows with depth",
 	}
-	c, err := newCluster(cfg, 6)
+	// Measure the paper's legacy stages bare: the ring would otherwise
+	// resolve every cold miss before stages 2-3 run.
+	c, err := newCluster(cfg, 6, khazana.WithNoRing())
 	if err != nil {
 		return res, err
 	}

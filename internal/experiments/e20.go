@@ -1,0 +1,320 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"khazana"
+	"khazana/internal/ring"
+	"khazana/internal/telemetry"
+)
+
+// E20 measures the consistent-hashing descriptor partition against the
+// §3.2 tree-walk fallback as the deployment grows. Cluster size scales
+// both dimensions a real deployment grows: members and regions (two per
+// node here), so the address map deepens with scale and a cold tree walk
+// pays ever more sequential remote page reads — E3 measured ~19.6ms at
+// depth 2. The ring path hashes the address to its bucket owners and
+// resolves in one RPC hop regardless of either dimension, so its cold
+// latency should stay flat from 16 to 256 nodes while the walk degrades.
+
+const (
+	// e20SamplePoints is how many regions each phase cold-reads,
+	// spread evenly across the address range.
+	e20SamplePoints = 8
+	// e20RingSamples is how many cold lookups are timed per sampled
+	// region on the ring path.
+	e20RingSamples = 5
+)
+
+// e20SizeStats is one cluster size's measurements.
+type e20SizeStats struct {
+	nodes       int
+	regions     int
+	depth       int           // address-map tree depth at this scale
+	ringMean    time.Duration // mean cold one-hop lookup latency
+	walkMean    time.Duration // mean cold tree-walk lookup latency
+	speedup     float64       // walkMean / ringMean
+	ringHits    uint64        // reader's ring.lookups delta (want all samples)
+	fallbacks   uint64        // reader's ring.fallback_walks delta (want 0)
+	walkSamples int           // legacy samples that actually paid the walk
+	localHits   int           // buckets the reader itself owned (not timed)
+}
+
+// e20Stats is the full experiment outcome.
+type e20Stats struct {
+	sizes           []e20SizeStats
+	flatness        float64 // max/min ring mean across sizes
+	repairRan       bool    // a region with home-disjoint owners existed
+	repairFallbacks uint64  // reader fallback-walk delta during repair
+	repairOK        bool    // lookup survived both bucket owners crashing
+}
+
+// counterVal reads one telemetry counter from a node's registry.
+func counterVal(n *khazana.Node, name string) uint64 {
+	for _, c := range n.Core().MetricsSnapshot().Counters {
+		if c.Name == name {
+			return c.Value
+		}
+	}
+	return 0
+}
+
+// e20MakeRegions creates `count` 4KiB regions homed round-robin on nodes
+// 2..n-1 (node 1 is the manager and map home; node n is the cold
+// reader). Regions homed on distinct nodes come from distinct 1GiB
+// allocator chunks, so they land in distinct ring buckets with
+// independent owner sets.
+func e20MakeRegions(ctx context.Context, c *khazana.Cluster, count int) ([]khazana.Addr, error) {
+	n := c.Len()
+	starts := make([]khazana.Addr, count)
+	for i := range starts {
+		h := 2 + i%(n-2)
+		s, err := mkRegion(ctx, c.Node(h), 4096, khazana.Attrs{})
+		if err != nil {
+			return nil, fmt.Errorf("region %d on node %d: %w", i, h, err)
+		}
+		starts[i] = s
+	}
+	return starts, nil
+}
+
+// e20Converge pushes one heartbeat from every node (full membership view
+// everywhere, ring synced to it) and drains in-flight announces.
+func e20Converge(c *khazana.Cluster) {
+	for i := 1; i <= c.Len(); i++ {
+		c.Node(i).Core().SendHeartbeat()
+	}
+	for i := 1; i <= c.Len(); i++ {
+		c.Node(i).Core().RingSettle()
+	}
+}
+
+// e20Probe measures cold-lookup latency at one cluster size: the ring
+// path on a partitioned cluster, then the tree-walk fallback on a
+// WithNoRing twin of the same shape.
+func e20Probe(cfg Config, n int) (e20SizeStats, error) {
+	st := e20SizeStats{nodes: n, regions: 2 * n}
+	ctx := context.Background()
+
+	// --- Ring path -----------------------------------------------------
+	c, err := newCluster(cfg, n)
+	if err != nil {
+		return st, err
+	}
+	defer c.Close()
+	starts, err := e20MakeRegions(ctx, c, st.regions)
+	if err != nil {
+		return st, err
+	}
+	e20Converge(c)
+
+	reader := c.Node(n)
+	core := reader.Core()
+	hits0 := core.Statistics().RingHits.Load()
+	fall0 := counterVal(reader, telemetry.MetricRingFallbackWalks)
+	var ringTotal time.Duration
+	ringSamples := 0
+	for k := 0; k < e20SamplePoints; k++ {
+		s := starts[k*len(starts)/e20SamplePoints]
+		// Skip buckets the reader co-owns: its table answers locally with
+		// zero RPCs, which would flatter the one-hop mean.
+		local := false
+		for _, o := range core.Ring().Owners(ring.BucketOf(s)) {
+			if int(o) == n {
+				local = true
+				break
+			}
+		}
+		if local {
+			st.localHits++
+			continue
+		}
+		for i := 0; i < e20RingSamples; i++ {
+			core.RegionDir().Remove(s)
+			d, err := timeOp(func() error {
+				_, err := reader.GetAttr(ctx, s)
+				return err
+			})
+			if err != nil {
+				return st, fmt.Errorf("n=%d ring lookup %v: %w", n, s, err)
+			}
+			ringTotal += d
+			ringSamples++
+		}
+	}
+	if ringSamples == 0 {
+		return st, fmt.Errorf("n=%d: reader co-owns every sampled bucket", n)
+	}
+	st.ringMean = ringTotal / time.Duration(ringSamples)
+	st.ringHits = core.Statistics().RingHits.Load() - hits0
+	st.fallbacks = counterVal(reader, telemetry.MetricRingFallbackWalks) - fall0
+
+	// --- Tree-walk fallback --------------------------------------------
+	// A WithNoRing twin restores the paper's cold tail in its hint-miss
+	// regime — the state a manager restart or hint eviction leaves, and
+	// the regime the ring retires. No heartbeats run here: they would
+	// seed exact manager hints for every region, which is the separate
+	// §3.1 hint stage E3 already characterizes. Each sample reads from a
+	// freshly joined node so the map's tree pages are cold, exactly like
+	// the one-hop samples above (the ring needs no page cache at all).
+	b, err := newCluster(cfg, n, khazana.WithNoRing())
+	if err != nil {
+		return st, err
+	}
+	defer b.Close()
+	bstarts, err := e20MakeRegions(ctx, b, st.regions)
+	if err != nil {
+		return st, err
+	}
+	if st.depth, err = b.Node(1).Core().AddressMap().Depth(ctx); err != nil {
+		return st, err
+	}
+	var walkTotal time.Duration
+	for k := 0; k < e20SamplePoints; k++ {
+		s := bstarts[k*len(bstarts)/e20SamplePoints]
+		fresh, err := b.AddNode()
+		if err != nil {
+			return st, err
+		}
+		d, err := timeOp(func() error {
+			_, err := fresh.GetAttr(ctx, s)
+			return err
+		})
+		if err != nil {
+			return st, fmt.Errorf("n=%d walk lookup %v: %w", n, s, err)
+		}
+		// Only count samples that really paid the walk; a manager-adjacent
+		// cache can short-circuit the odd region (e.g. a descriptor still
+		// in node 1's directory from the chunk grant).
+		if fresh.Core().Statistics().TreeWalks.Load() == 1 {
+			walkTotal += d
+			st.walkSamples++
+		}
+	}
+	if st.walkSamples == 0 {
+		return st, fmt.Errorf("n=%d: no cold lookup reached the tree walk", n)
+	}
+	st.walkMean = walkTotal / time.Duration(st.walkSamples)
+	st.speedup = float64(st.walkMean) / float64(st.ringMean)
+	return st, nil
+}
+
+// e20Repair exercises the repair-only fallback: crash every ring owner
+// of a region's bucket (none of them the home, the manager, or the
+// reader), then prove a cold lookup still resolves through the legacy
+// tail and counts a fallback walk — the steady-state-zero counter's one
+// legitimate reason to move.
+func e20Repair(cfg Config) (ran bool, fallbacks uint64, ok bool, err error) {
+	const n = 12
+	ctx := context.Background()
+	c, cerr := newCluster(cfg, n)
+	if cerr != nil {
+		return false, 0, false, cerr
+	}
+	defer c.Close()
+	starts, merr := e20MakeRegions(ctx, c, n-2)
+	if merr != nil {
+		return false, 0, false, merr
+	}
+	e20Converge(c)
+
+	reader := c.Node(n)
+	core := reader.Core()
+	for i, s := range starts {
+		home := 2 + i%(n-2)
+		owners := core.Ring().Owners(ring.BucketOf(s))
+		disjoint := len(owners) > 0
+		for _, o := range owners {
+			if int(o) == 1 || int(o) == home || int(o) == n {
+				disjoint = false
+				break
+			}
+		}
+		if !disjoint {
+			continue
+		}
+		for _, o := range owners {
+			c.Crash(int(o))
+		}
+		fall0 := counterVal(reader, telemetry.MetricRingFallbackWalks)
+		core.RegionDir().Remove(s)
+		lctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+		_, gerr := reader.GetAttr(lctx, s)
+		cancel()
+		fallbacks = counterVal(reader, telemetry.MetricRingFallbackWalks) - fall0
+		return true, fallbacks, gerr == nil, nil
+	}
+	return false, 0, false, nil
+}
+
+// e20Run probes every cluster size, then runs the repair scenario.
+func e20Run(cfg Config, sizes []int) (e20Stats, error) {
+	var st e20Stats
+	for _, n := range sizes {
+		s, err := e20Probe(cfg, n)
+		if err != nil {
+			return st, err
+		}
+		st.sizes = append(st.sizes, s)
+	}
+	minMean, maxMean := st.sizes[0].ringMean, st.sizes[0].ringMean
+	for _, s := range st.sizes[1:] {
+		if s.ringMean < minMean {
+			minMean = s.ringMean
+		}
+		if s.ringMean > maxMean {
+			maxMean = s.ringMean
+		}
+	}
+	if minMean > 0 {
+		st.flatness = float64(maxMean) / float64(minMean)
+	}
+	ran, fallbacks, ok, err := e20Repair(cfg)
+	if err != nil {
+		return st, err
+	}
+	st.repairRan, st.repairFallbacks, st.repairOK = ran, fallbacks, ok
+	return st, nil
+}
+
+// E20RingLookup reports the descriptor-partition scaling experiment:
+// cold-lookup latency flat across cluster sizes on the ring path, a
+// tree-walk fallback that degrades as the map deepens, zero steady-state
+// fallbacks, and a working repair fallback when every bucket owner dies.
+func E20RingLookup(cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	res := Result{
+		ID:        "E20",
+		Title:     "consistent-hash descriptor partition — O(1) cold lookups vs the §3.2 tree walk",
+		Predicted: "one-hop cold lookup latency stays flat as members and regions grow while the tree walk deepens and degrades; steady state never falls back to the walk, and killing every bucket owner only demotes that lookup to the (counted) repair fallback",
+	}
+	st, err := e20Run(cfg, []int{8, 16, 32})
+	if err != nil {
+		return res, err
+	}
+	var fallbacks uint64
+	for _, s := range st.sizes {
+		res.Rows = append(res.Rows, Row{
+			Name:  fmt.Sprintf("%d nodes / %d regions, cold lookup", s.nodes, s.regions),
+			Value: fmt.Sprintf("ring %s vs walk %s", fmtDur(s.ringMean), fmtDur(s.walkMean)),
+			Detail: fmt.Sprintf("%.1fx speedup at map depth %d; %d one-hop lookups, %d fallback walks",
+				s.speedup, s.depth, s.ringHits, s.fallbacks),
+		})
+		fallbacks += s.fallbacks
+	}
+	last := st.sizes[len(st.sizes)-1]
+	res.Rows = append(res.Rows,
+		Row{Name: "ring latency flatness", Value: fmt.Sprintf("%.2fx max/min across sizes", st.flatness),
+			Detail: "O(1) path should not feel cluster growth"},
+		Row{Name: "steady-state fallback walks", Value: fmt.Sprintf("%d", fallbacks)},
+		Row{Name: "owners-crashed repair", Value: fmt.Sprintf("ran=%v resolved=%v", st.repairRan, st.repairOK),
+			Detail: fmt.Sprintf("%d fallback walk(s) counted", st.repairFallbacks)},
+	)
+	res.Pass = fallbacks == 0 &&
+		st.flatness > 0 && st.flatness <= 4 &&
+		last.speedup >= 3 &&
+		st.repairRan && st.repairOK && st.repairFallbacks >= 1
+	return res, nil
+}

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+)
+
+// TestE20RingLookup checks the deterministic shape of the descriptor-
+// partition experiment at small cluster sizes: one-hop cold lookups with
+// zero steady-state fallback walks, a measurable edge over the legacy
+// cluster walk, and a working repair fallback when every bucket owner
+// crashes. The hundreds-of-nodes scaling claim arms below.
+func TestE20RingLookup(t *testing.T) {
+	runAndCheck(t, "E20", E20RingLookup)
+}
+
+// TestE20RingLookupGate enforces the scaling acceptance bar on big
+// simulated clusters: cold one-hop latency flat (≤3x max/min) from 16 to
+// 256 nodes, at least 10x faster than the legacy walk at 256 nodes,
+// zero steady-state fallback walks, and the owners-crashed repair path
+// counted and resolved. Set KHAZANA_E20_GATE=1 to arm (CI bench-smoke
+// leg).
+func TestE20RingLookupGate(t *testing.T) {
+	if os.Getenv("KHAZANA_E20_GATE") != "1" {
+		t.Skip("set KHAZANA_E20_GATE=1 to arm the ring-lookup scaling gate (CI bench-smoke leg)")
+	}
+	cfg := Config{Dir: t.TempDir()}.withDefaults()
+	st, err := e20Run(cfg, []int{16, 64, 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fallbacks uint64
+	for _, s := range st.sizes {
+		t.Logf("n=%-4d regions=%-4d depth=%d ring %-10v walk %-12v %6.1fx  (%d one-hop, %d fallbacks, %d walk samples, %d reader-owned buckets)",
+			s.nodes, s.regions, s.depth, s.ringMean, s.walkMean, s.speedup, s.ringHits, s.fallbacks, s.walkSamples, s.localHits)
+		fallbacks += s.fallbacks
+	}
+	t.Logf("flatness %.2fx; repair ran=%v ok=%v fallbacks=%d",
+		st.flatness, st.repairRan, st.repairOK, st.repairFallbacks)
+	if fallbacks != 0 {
+		t.Fatalf("steady state fell back to the walk %d times (gate: 0)", fallbacks)
+	}
+	if st.flatness <= 0 || st.flatness > 3 {
+		t.Fatalf("ring latency varied %.2fx from 16 to 256 nodes (gate: flat within 3x)", st.flatness)
+	}
+	last := st.sizes[len(st.sizes)-1]
+	if last.speedup < 10 {
+		t.Fatalf("ring is only %.1fx faster than the legacy walk at %d nodes (gate: >=10x)",
+			last.speedup, last.nodes)
+	}
+	if !st.repairRan {
+		t.Fatal("no region had both bucket owners disjoint from home/manager/reader; repair scenario never ran")
+	}
+	if !st.repairOK || st.repairFallbacks < 1 {
+		t.Fatalf("owners-crashed lookup: resolved=%v with %d fallback walks (gate: resolved via >=1 counted fallback)",
+			st.repairOK, st.repairFallbacks)
+	}
+}

@@ -121,4 +121,34 @@ const (
 	// MetricReplDegradedCommits counts appends committed without a
 	// quorum after the ack timeout (availability-over-durability mode).
 	MetricReplDegradedCommits = "replog.degraded_commits"
+
+	// MetricLookupStageDir observes the latency of lookups resolved by
+	// the region-directory cache (stage 1), in nanoseconds.
+	MetricLookupStageDir = "core.lookup_stage_dir_ns"
+	// MetricLookupStageRing observes the latency of cold lookups resolved
+	// by the consistent-hashing ring in one RPC hop (stage 2), in
+	// nanoseconds.
+	MetricLookupStageRing = "core.lookup_stage_ring_ns"
+	// MetricLookupStageCluster observes the latency of cold lookups that
+	// fell back to the cluster manager hint path, in nanoseconds.
+	MetricLookupStageCluster = "core.lookup_stage_cluster_ns"
+	// MetricLookupStageWalk observes the latency of cold lookups that
+	// fell all the way back to the §3.1 address-map tree walk, in
+	// nanoseconds.
+	MetricLookupStageWalk = "core.lookup_stage_walk_ns"
+
+	// MetricRingLookups counts cold lookups resolved through the
+	// consistent-hashing descriptor partition (one-hop RingLookup hits,
+	// local ring-table hits included).
+	MetricRingLookups = "ring.lookups"
+	// MetricRingRebalanceMoves counts homed descriptors whose ring owner
+	// set changed on a membership change and were re-announced (only
+	// moved partitions re-announce; everything else stays put).
+	MetricRingRebalanceMoves = "ring.rebalance_moves"
+	// MetricRingFallbackWalks counts cold lookups the ring failed to
+	// resolve — owners unreachable or their tables missing the region —
+	// that fell into the legacy cluster/tree-walk path. Steady state is
+	// zero; a nonzero rate means the ring disagrees with reality
+	// (mid-churn, lost announce) and is being repaired.
+	MetricRingFallbackWalks = "ring.fallback_walks"
 )

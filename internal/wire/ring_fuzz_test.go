@@ -1,0 +1,185 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"khazana/internal/gaddr"
+	"khazana/internal/ktypes"
+	"khazana/internal/region"
+	"khazana/internal/security"
+)
+
+func legacyAppendDescriptor(b []byte, d *region.Descriptor) []byte {
+	b = legacyAppendAddr(b, d.Range.Start)
+	b = legacyAppendU64(b, d.Range.Size)
+	b = legacyAppendU32(b, d.Attrs.PageSize)
+	b = append(b, uint8(d.Attrs.Level), uint8(d.Attrs.Protocol), d.Attrs.MinReplicas)
+	b = legacyAppendString(b, string(d.Attrs.ACL.Owner))
+	b = append(b, uint8(d.Attrs.ACL.World))
+	b = legacyAppendU16(b, uint16(len(d.Attrs.ACL.Entries)))
+	for _, ent := range d.Attrs.ACL.Entries {
+		b = legacyAppendString(b, string(ent.Principal))
+		b = append(b, uint8(ent.Allow))
+	}
+	b = legacyAppendNodeIDs(b, d.Home)
+	b = legacyAppendU64(b, d.Epoch)
+	b = legacyAppendBool(b, d.Allocated)
+	return b
+}
+
+func fuzzDescriptor(startLo, size, epoch uint64, pageSize uint32, home uint32, allocated bool) *region.Descriptor {
+	return &region.Descriptor{
+		Range: gaddr.Range{Start: gaddr.Addr{Hi: 1, Lo: startLo}, Size: size},
+		Attrs: region.Attrs{
+			PageSize:    pageSize,
+			Level:       region.Strict,
+			Protocol:    region.CREW,
+			MinReplicas: 2,
+			ACL:         security.Open(),
+		},
+		Home:      []ktypes.NodeID{ktypes.NodeID(home), ktypes.NodeID(home) + 1},
+		Epoch:     epoch,
+		Allocated: allocated,
+	}
+}
+
+func descriptorsEqual(a, b *region.Descriptor) bool {
+	if a.Range != b.Range || a.Attrs.PageSize != b.Attrs.PageSize ||
+		a.Attrs.Level != b.Attrs.Level || a.Attrs.Protocol != b.Attrs.Protocol ||
+		a.Attrs.MinReplicas != b.Attrs.MinReplicas ||
+		a.Attrs.ACL.Owner != b.Attrs.ACL.Owner ||
+		a.Attrs.ACL.World != b.Attrs.ACL.World ||
+		len(a.Attrs.ACL.Entries) != len(b.Attrs.ACL.Entries) ||
+		a.Epoch != b.Epoch || a.Allocated != b.Allocated ||
+		len(a.Home) != len(b.Home) {
+		return false
+	}
+	for i := range a.Home {
+		if a.Home[i] != b.Home[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// FuzzRingLookupWire proves the ring lookup request is the documented
+// layout (addr + requester) and round-trips.
+func FuzzRingLookupWire(f *testing.F) {
+	f.Add(uint64(2), uint64(0x40002000), uint32(4))
+	f.Add(uint64(0), uint64(0), uint32(0))
+	f.Fuzz(func(t *testing.T, hi, lo uint64, from uint32) {
+		m := &RingLookup{Addr: gaddr.Addr{Hi: hi, Lo: lo}, From: ktypes.NodeID(from)}
+		got := Marshal(m)
+
+		want := legacyAppendU16(nil, uint16(KindRingLookup))
+		want = legacyAppendAddr(want, m.Addr)
+		want = legacyAppendU32(want, from)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("ring lookup diverged from documented layout:\n got %x\nwant %x", got, want)
+		}
+
+		back, err := Unmarshal(got)
+		if err != nil {
+			t.Fatalf("unmarshal: %v", err)
+		}
+		r := back.(*RingLookup)
+		if r.Addr != m.Addr || r.From != m.From {
+			t.Fatalf("round trip mismatch: %+v != %+v", r, m)
+		}
+	})
+}
+
+// FuzzRingReplyWire proves the ring reply (found-guarded descriptor +
+// error string, the RegionInfo shape) matches the documented layout and
+// round-trips.
+func FuzzRingReplyWire(f *testing.F) {
+	f.Add(true, uint64(0x40000000), uint64(1)<<20, uint64(7), uint32(4096), uint32(2), true, "")
+	f.Add(false, uint64(0), uint64(0), uint64(0), uint32(0), uint32(0), false, "not in table")
+	f.Fuzz(func(t *testing.T, found bool, startLo, size, epoch uint64,
+		pageSize, home uint32, allocated bool, errStr string) {
+		m := &RingReply{Found: found, Err: errStr}
+		if found {
+			m.Desc = fuzzDescriptor(startLo, size, epoch, pageSize, home, allocated)
+		}
+		got := Marshal(m)
+
+		want := legacyAppendU16(nil, uint16(KindRingReply))
+		want = legacyAppendBool(want, found)
+		if found {
+			want = legacyAppendDescriptor(want, m.Desc)
+		}
+		want = legacyAppendString(want, errStr)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("ring reply diverged from documented layout:\n got %x\nwant %x", got, want)
+		}
+
+		back, err := Unmarshal(got)
+		if err != nil {
+			t.Fatalf("unmarshal: %v", err)
+		}
+		r := back.(*RingReply)
+		if r.Found != found || r.Err != errStr {
+			t.Fatalf("header round trip mismatch: %+v", r)
+		}
+		if found && !descriptorsEqual(r.Desc, m.Desc) {
+			t.Fatalf("descriptor did not round trip:\n got %+v\nwant %+v", r.Desc, m.Desc)
+		}
+
+		// Truncations must fail cleanly.
+		for cut := 2; cut < len(got); cut++ {
+			if _, err := Unmarshal(got[:cut]); err == nil {
+				t.Fatalf("cut=%d should fail", cut)
+			}
+		}
+	})
+}
+
+// FuzzRingAnnounceWire proves the announce (op, nil-guarded descriptor,
+// start, origin) matches the documented layout and round-trips for both
+// put and withdraw shapes.
+func FuzzRingAnnounceWire(f *testing.F) {
+	f.Add(true, uint64(0x40000000), uint64(1)<<20, uint64(3), uint32(8192), uint32(1), true)
+	f.Add(false, uint64(0x80000000), uint64(0), uint64(0), uint32(0), uint32(5), false)
+	f.Fuzz(func(t *testing.T, put bool, startLo, size, epoch uint64,
+		pageSize, from uint32, allocated bool) {
+		m := &RingAnnounce{From: ktypes.NodeID(from)}
+		if put {
+			m.Op = RingOpPut
+			m.Desc = fuzzDescriptor(startLo, size, epoch, pageSize, from+1, allocated)
+			m.Start = m.Desc.Range.Start
+		} else {
+			m.Op = RingOpWithdraw
+			m.Start = gaddr.Addr{Hi: 1, Lo: startLo}
+		}
+		got := Marshal(m)
+
+		want := legacyAppendU16(nil, uint16(KindRingAnnounce))
+		want = append(want, m.Op)
+		want = legacyAppendBool(want, m.Desc != nil)
+		if m.Desc != nil {
+			want = legacyAppendDescriptor(want, m.Desc)
+		}
+		want = legacyAppendAddr(want, m.Start)
+		want = legacyAppendU32(want, from)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("ring announce diverged from documented layout:\n got %x\nwant %x", got, want)
+		}
+
+		back, err := Unmarshal(got)
+		if err != nil {
+			t.Fatalf("unmarshal: %v", err)
+		}
+		r := back.(*RingAnnounce)
+		if r.Op != m.Op || r.Start != m.Start || r.From != m.From {
+			t.Fatalf("header round trip mismatch: %+v", r)
+		}
+		if put {
+			if r.Desc == nil || !descriptorsEqual(r.Desc, m.Desc) {
+				t.Fatalf("descriptor did not round trip")
+			}
+		} else if r.Desc != nil {
+			t.Fatalf("withdraw grew a descriptor")
+		}
+	})
+}

@@ -102,6 +102,10 @@ const (
 	KindReplAppend
 	KindReplAck
 	KindReplPromote
+
+	KindRingLookup
+	KindRingReply
+	KindRingAnnounce
 )
 
 // Msg is a wire message.
@@ -214,6 +218,10 @@ var factories = map[Kind]func() Msg{
 	KindReplAppend:  func() Msg { return &ReplAppend{} },
 	KindReplAck:     func() Msg { return &ReplAck{} },
 	KindReplPromote: func() Msg { return &ReplPromote{} },
+
+	KindRingLookup:   func() Msg { return &RingLookup{} },
+	KindRingReply:    func() Msg { return &RingReply{} },
+	KindRingAnnounce: func() Msg { return &RingAnnounce{} },
 }
 
 // --- infrastructure -----------------------------------------------------

@@ -154,6 +154,11 @@ func sampleMessages() []Msg {
 		&ReplAck{Term: 4, Err: "lease still live"},
 		&ReplPromote{Region: gaddr.New(0, 0x40000000), Candidate: 3,
 			Term: 5, LastIndex: 8, LastTerm: 3},
+		&RingLookup{Addr: gaddr.New(0, 0x40002000), From: 4},
+		&RingReply{Found: true, Desc: desc},
+		&RingReply{Found: false, Err: "not in table"},
+		&RingAnnounce{Op: RingOpPut, Desc: desc, Start: desc.Range.Start, From: 2},
+		&RingAnnounce{Op: RingOpWithdraw, Start: gaddr.New(0, 0x40000000), From: 3},
 	}
 }
 

@@ -162,6 +162,10 @@ type NodeConfig struct {
 	// multiplexed one. Inbound connections always auto-detect the
 	// client's protocol.
 	SerialTransport bool
+	// NoRing disables the consistent-hashing descriptor partition: cold
+	// lookups skip the one-hop ring stage and fall straight to the
+	// paper's cluster-hint / tree-walk path (the E20 baseline).
+	NoRing bool
 	// NoTelemetry disables the metrics registry and trace recorder; the
 	// overhead benchmarks use it to measure the instrumented paths bare.
 	NoTelemetry bool
@@ -214,6 +218,7 @@ func StartNode(ctx context.Context, cfg NodeConfig) (*Node, error) {
 		NoReadAhead:        cfg.NoReadAhead,
 		PerPageReplication: cfg.PerPageReplication,
 		CoarseNodeState:    cfg.CoarseNodeState,
+		NoRing:             cfg.NoRing,
 		NoTelemetry:        cfg.NoTelemetry,
 		Tracer:             cfg.Tracer,
 	})
